@@ -1,0 +1,83 @@
+// bench_barrier — substrate validation for the §4.3/§5.1 baselines.
+//
+// The three barrier implementations (central condvar, atomic spin,
+// combining tree) across party counts and round counts.  On one core
+// the condvar barrier should dominate the spin barrier as soon as
+// parties > 1 (every spin round burns the quantum of the thread that
+// could make progress).
+
+#include <benchmark/benchmark.h>
+
+#include "monotonic/patterns/counter_barrier.hpp"
+#include "monotonic/sync/barrier.hpp"
+#include "monotonic/threads/pool.hpp"
+
+namespace monotonic {
+namespace {
+
+constexpr int kRounds = 50;
+
+void BM_CentralBarrier(benchmark::State& state) {
+  const auto parties = static_cast<std::size_t>(state.range(0));
+  ThreadTeam team(parties);
+  for (auto _ : state) {
+    CentralBarrier barrier(parties);
+    team.run([&](std::size_t) {
+      for (int r = 0; r < kRounds; ++r) barrier.Pass();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kRounds);
+}
+BENCHMARK(BM_CentralBarrier)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+void BM_AtomicBarrier(benchmark::State& state) {
+  const auto parties = static_cast<std::size_t>(state.range(0));
+  ThreadTeam team(parties);
+  for (auto _ : state) {
+    AtomicBarrier barrier(parties);
+    team.run([&](std::size_t) {
+      for (int r = 0; r < kRounds; ++r) barrier.Pass();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kRounds);
+}
+BENCHMARK(BM_AtomicBarrier)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+// The barrier built from one monotonic counter (patterns/counter_barrier):
+// how does encoding rounds in a monotone value compare with
+// sense-reversal?
+void BM_CounterBarrier(benchmark::State& state) {
+  const auto parties = static_cast<std::size_t>(state.range(0));
+  ThreadTeam team(parties);
+  for (auto _ : state) {
+    CounterBarrier<> barrier(parties);
+    team.run([&](std::size_t) {
+      auto participant = barrier.participant();
+      for (int r = 0; r < kRounds; ++r) participant.Pass();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kRounds);
+}
+BENCHMARK(BM_CounterBarrier)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+void BM_TreeBarrier(benchmark::State& state) {
+  const auto parties = static_cast<std::size_t>(state.range(0));
+  ThreadTeam team(parties);
+  for (auto _ : state) {
+    TreeBarrier barrier(parties);
+    team.run([&](std::size_t slot) {
+      for (int r = 0; r < kRounds; ++r) barrier.Pass(slot);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kRounds);
+}
+BENCHMARK(BM_TreeBarrier)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace monotonic
+
+BENCHMARK_MAIN();

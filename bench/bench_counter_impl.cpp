@@ -1,0 +1,134 @@
+// bench_counter_impl — experiment E10 (implementation ablation).
+//
+// The same workloads driven through every counter implementation:
+// the §7 wait-list Counter (with and without node pooling), the
+// single-CV broadcast baseline, the futex implementation, and the
+// busy-wait implementation.  Shapes to look for: the wait-list wins on
+// spurious wakeups as levels spread out; spin is hopeless when
+// oversubscribed (threads >> cores); futex tracks single-CV but with
+// cheaper uncontended ops.
+
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "monotonic/algos/floyd_warshall.hpp"
+#include "monotonic/algos/graph.hpp"
+#include "monotonic/algos/heat1d.hpp"
+#include "monotonic/core/any_counter.hpp"
+#include "monotonic/threads/structured.hpp"
+
+namespace monotonic {
+namespace {
+
+using bench::banner;
+using bench::median_ms;
+using bench::note;
+
+constexpr int kReps = 3;
+
+template <typename C>
+void fw_row(TextTable& table, const std::string& name,
+            const SquareMatrix& edges, const FwOptions& options,
+            const std::function<C*()>& make) {
+  const double ms = median_ms(kReps, [&] {
+    std::unique_ptr<C> c(make());
+    (void)fw_counter_with(edges, options, *c);
+  });
+  std::unique_ptr<C> c(make());
+  (void)fw_counter_with(edges, options, *c);
+  const auto s = c->stats();
+  table.add_row({name, cell(ms), cell(s.suspensions),
+                 cell(s.spurious_wakeups), cell(s.notifies)});
+}
+
+void fw_ablation() {
+  banner("E10.a", "Floyd-Warshall (N=128, t=4) per implementation");
+  TextTable table(
+      {"impl", "ms", "suspensions", "spurious wakeups", "notifies"});
+  const auto edges = random_graph(128, {.seed = 50});
+  FwOptions options;
+  options.num_threads = 4;
+
+  fw_row<Counter>(table, "list", edges, options, [] { return new Counter(); });
+  fw_row<Counter>(table, "list-nopool", edges, options, [] {
+    Counter::Options o;
+    o.pool_nodes = false;
+    return new Counter(o);
+  });
+  fw_row<SingleCvCounter>(table, "single-cv", edges, options,
+                          [] { return new SingleCvCounter(); });
+  fw_row<FutexCounter>(table, "futex", edges, options,
+                       [] { return new FutexCounter(); });
+  fw_row<SpinCounter>(table, "spin", edges, options,
+                      [] { return new SpinCounter(); });
+  fw_row<HybridCounter>(table, "hybrid", edges, options,
+                        [] { return new HybridCounter(); });
+  bench::print(table);
+}
+
+void heat_ablation() {
+  banner("E10.b", "heat 16 cells x 200 steps per implementation");
+  note("14 threads on one core: the busy-wait implementation pays for\n"
+       "every spin; kernel-sleeping implementations schedule cleanly.");
+  TextTable table({"impl", "ms"});
+  std::vector<double> rod(16, 1.0);
+  rod.front() = 100.0;
+  const HeatOptions options{.steps = 200, .cell_hook = {}, .telemetry = {}};
+  table.add_row({"list", cell(median_ms(kReps, [&] {
+                   (void)heat_ragged_with<Counter>(rod, options);
+                 }))});
+  table.add_row({"single-cv", cell(median_ms(kReps, [&] {
+                   (void)heat_ragged_with<SingleCvCounter>(rod, options);
+                 }))});
+  table.add_row({"futex", cell(median_ms(kReps, [&] {
+                   (void)heat_ragged_with<FutexCounter>(rod, options);
+                 }))});
+  table.add_row({"spin", cell(median_ms(1, [&] {
+                   (void)heat_ragged_with<SpinCounter>(rod, options);
+                 }))});
+  table.add_row({"hybrid", cell(median_ms(kReps, [&] {
+                   (void)heat_ragged_with<HybridCounter>(rod, options);
+                 }))});
+  bench::print(table);
+}
+
+void handoff_ablation() {
+  banner("E10.c", "1:1 handoff chain latency (10k handoffs)");
+  TextTable table({"impl", "ms", "us/handoff"});
+  constexpr counter_value_t kHandoffs = 10000;
+  for (CounterKind kind : all_counter_kinds()) {
+    const double ms = median_ms(kReps, [&] {
+      auto ping = make_counter(kind);
+      auto pong = make_counter(kind);
+      multithreaded_block(
+          [&] {
+            for (counter_value_t i = 1; i <= kHandoffs; ++i) {
+              ping->Increment(1);
+              pong->Check(i);
+            }
+          },
+          [&] {
+            for (counter_value_t i = 1; i <= kHandoffs; ++i) {
+              ping->Check(i);
+              pong->Increment(1);
+            }
+          });
+    });
+    table.add_row({std::string(to_string(kind)), cell(ms),
+                   cell(ms * 1000.0 / static_cast<double>(kHandoffs), 2)});
+  }
+  bench::print(table);
+}
+
+}  // namespace
+}  // namespace monotonic
+
+int main() {
+  monotonic::fw_ablation();
+  monotonic::heat_ablation();
+  monotonic::handoff_ablation();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// bench_util.hpp — shared harness helpers for the experiment benches.
+//
+// Each bench binary regenerates one DESIGN.md experiment as a
+// paper-style text table: run with no arguments, moderate default
+// sizes, deterministic seeds.  Wall times are medians over several
+// repetitions; structural counters (wakeups, nodes, suspensions) are
+// exact and schedule-independent, which is what the shape claims rest
+// on for a single-core host (DESIGN.md §3).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "monotonic/support/stats.hpp"
+#include "monotonic/support/stopwatch.hpp"
+#include "monotonic/support/table.hpp"
+
+namespace monotonic::bench {
+
+/// Median wall time (milliseconds) of `reps` runs of fn().
+template <typename Fn>
+double median_ms(int reps, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    fn();
+    samples.push_back(sw.elapsed_ms());
+  }
+  return summarize(samples).p50;
+}
+
+/// Prints an experiment banner matching EXPERIMENTS.md's headings.
+inline void banner(const std::string& experiment_id,
+                   const std::string& title) {
+  std::printf("\n=== %s: %s ===\n\n", experiment_id.c_str(), title.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("%s\n", text.c_str());
+}
+
+inline void print(const TextTable& table) {
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace monotonic::bench

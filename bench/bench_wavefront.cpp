@@ -1,0 +1,85 @@
+// bench_wavefront — extension experiment E11: 2-D dataflow on counters.
+//
+// (a) LCS wavefront: tile-size sweep — counter granularity tuned like
+//     §5.3's blockSize; too-fine tiles drown in sync, too-coarse tiles
+//     serialize the wavefront.
+// (b) heat2d: global barrier vs per-strip counters under heterogeneous
+//     strip stalls (the 2-D version of E2.b).
+
+#include <chrono>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "monotonic/algos/heat2d.hpp"
+#include "monotonic/algos/lcs.hpp"
+#include "monotonic/support/rng.hpp"
+
+namespace monotonic {
+namespace {
+
+using bench::banner;
+using bench::median_ms;
+using bench::note;
+
+constexpr int kReps = 3;
+
+void lcs_tile_sweep() {
+  banner("E11.a", "LCS wavefront: counter granularity (tile) sweep");
+  note("One counter per tile-row; a Check/Increment pair per tile.\n"
+       "Granularity trades sync ops against exposed concurrency, the\n"
+       "same dial as §5.3's blockSize.");
+  const auto a = random_string(1500, 4, 7);
+  const auto b = random_string(1500, 4, 8);
+  const double seq_ms =
+      median_ms(kReps, [&] { (void)lcs_sequential(a, b); });
+
+  TextTable table({"tile", "threads", "wavefront ms", "vs seq", "tiles"});
+  for (std::size_t tile : {8u, 32u, 128u, 512u}) {
+    for (std::size_t threads : {2u, 4u}) {
+      const double ms = median_ms(
+          kReps, [&] { (void)lcs_wavefront(a, b, threads, tile, tile); });
+      const std::size_t tiles_per_side = (1500 + tile - 1) / tile;
+      table.add_row({cell(tile), cell(threads), cell(ms),
+                     cell(ms / seq_ms, 2),
+                     cell(tiles_per_side * tiles_per_side)});
+    }
+  }
+  std::printf("sequential: %.2f ms\n\n", seq_ms);
+  bench::print(table);
+}
+
+void heat2d_comparison() {
+  banner("E11.b", "heat2d: strip counters vs global barrier, skewed strips");
+  note("Strip s stalls hash(s,t) mod 300us per step.  The barrier charges\n"
+       "every step the max stall; strip counters overlap them.");
+  TextTable table({"grid", "threads", "steps", "barrier ms", "ragged ms",
+                   "barrier/ragged"});
+  for (std::size_t size : {16u, 32u}) {
+    Grid2D grid(size, size, 0.0);
+    for (std::size_t c = 0; c < size; ++c) grid.at(0, c) = 100.0;
+    Heat2dOptions options;
+    options.steps = 40;
+    options.num_threads = 4;
+    options.strip_hook = [](std::size_t s, std::size_t t) {
+      const auto stall = hash_index(s * 40503u + 11, t) % 300;
+      std::this_thread::sleep_for(std::chrono::microseconds(stall));
+    };
+    const double barrier_ms =
+        median_ms(kReps, [&] { (void)heat2d_barrier(grid, options); });
+    const double ragged_ms =
+        median_ms(kReps, [&] { (void)heat2d_ragged(grid, options); });
+    table.add_row({cell(size) + "x" + cell(size), cell(4), cell(40),
+                   cell(barrier_ms), cell(ragged_ms),
+                   cell(barrier_ms / ragged_ms, 2)});
+  }
+  bench::print(table);
+}
+
+}  // namespace
+}  // namespace monotonic
+
+int main() {
+  monotonic::lcs_tile_sweep();
+  monotonic::heat2d_comparison();
+  return 0;
+}

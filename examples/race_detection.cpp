@@ -1,0 +1,120 @@
+// race_detection — the §6 determinacy checker in action.
+//
+//   ./build/examples/race_detection
+//
+// Runs the paper's three example programs under the dynamic checker:
+// the counter-sequenced program certifies clean, the concurrent-access
+// program is flagged, and the lock-guarded program is flagged for
+// *ordering* (mutual exclusion without a deterministic order).  Then
+// shows the §6 methodology on a realistic pipeline: check once, strip
+// the checker, ship.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "monotonic/determinacy/checked.hpp"
+#include "monotonic/determinacy/recorder.hpp"
+#include "monotonic/determinacy/tracked_counter.hpp"
+#include "monotonic/sync/lock.hpp"
+#include "monotonic/threads/structured.hpp"
+
+using namespace monotonic;
+
+namespace {
+
+void report(const char* title, const RaceDetector& detector,
+            bool expect_clean) {
+  const auto reports = detector.reports();
+  std::printf("%-38s races: %zu   %s\n", title, reports.size(),
+              (reports.empty() == expect_clean) ? "(as §6 predicts)"
+                                                : "(UNEXPECTED)");
+  for (const auto& r : reports) {
+    std::printf("    %s\n", r.to_string().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::puts("§6 example programs under the determinacy checker\n");
+
+  {  // counter-sequenced: deterministic, certified clean.
+    RaceDetector detector;
+    TrackedCounter<> x_count(detector);
+    Checked<int> x(detector, "x", 3);
+    multithreaded_block(
+        [&] {
+          x_count.Check(0);
+          x.update([](int v) { return v + 1; });
+          x_count.Increment(1);
+        },
+        [&] {
+          x_count.Check(1);
+          x.update([](int v) { return v * 2; });
+          x_count.Increment(1);
+        });
+    report("sequenced (Check 0 / Check 1):", detector, /*expect_clean=*/true);
+    std::printf("    x = %d on every schedule\n\n", x.unchecked());
+  }
+
+  {  // both Check(0): concurrent operations on x.
+    RaceDetector detector;
+    TrackedCounter<> x_count(detector);
+    Checked<int> x(detector, "x", 3);
+    multithreaded_block(
+        [&] {
+          x_count.Check(0);
+          x.update([](int v) { return v + 1; });
+          x_count.Increment(1);
+        },
+        [&] {
+          x_count.Check(0);
+          x.update([](int v) { return v * 2; });
+          x_count.Increment(1);
+        });
+    report("racy (both Check 0):", detector, /*expect_clean=*/false);
+    std::puts("");
+  }
+
+  {  // lock-guarded: exclusive but unordered.
+    RaceDetector detector;
+    Checked<int> x(detector, "x", 3);
+    Lock x_lock;
+    multithreaded_block(
+        [&] {
+          std::scoped_lock hold(x_lock);
+          x.update([](int v) { return v + 1; });
+        },
+        [&] {
+          std::scoped_lock hold(x_lock);
+          x.update([](int v) { return v * 2; });
+        });
+    report("lock-guarded (unordered):", detector, /*expect_clean=*/false);
+    std::puts("    the lock excludes but does not order: x is 7 or 8\n");
+  }
+
+  {  // the methodology at work: a 4-stage producer chain, checked once.
+    RaceDetector detector;
+    TrackedCounter<> stage_done(detector);
+    std::vector<std::unique_ptr<Checked<int>>> cells;
+    for (int i = 0; i < 4; ++i) {
+      cells.push_back(std::make_unique<Checked<int>>(
+          detector, "cell" + std::to_string(i)));
+    }
+    multithreaded_for(0, 4, 1, [&](int i) {
+      if (i > 0) {
+        stage_done.Check(static_cast<counter_value_t>(i));
+        cells[i]->write(cells[i - 1]->read() + 1);
+      } else {
+        cells[0]->write(1);
+      }
+      stage_done.Increment(1);
+    });
+    report("4-stage chain, counter-linked:", detector, /*expect_clean=*/true);
+    std::printf("    cell3 = %d; one clean run certifies ALL runs (§6)\n",
+                cells[3]->unchecked());
+  }
+  return 0;
+}

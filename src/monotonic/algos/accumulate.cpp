@@ -1,0 +1,109 @@
+#include "monotonic/algos/accumulate.hpp"
+
+#include <algorithm>
+
+#include "monotonic/support/rng.hpp"
+
+namespace monotonic {
+
+double sum_sequential(const std::vector<double>& values) {
+  double result = 0.0;
+  for (double v : values) result += v;
+  return result;
+}
+
+double sum_lock(const std::vector<double>& values,
+                const AccumulateOptions& options) {
+  MC_REQUIRE(options.num_threads >= 1, "need at least one thread");
+  const std::size_t n = values.size();
+  const std::size_t threads = std::max<std::size_t>(
+      1, std::min(options.num_threads, n == 0 ? 1 : n));
+
+  double result = 0.0;
+  Lock result_lock;
+
+  multithreaded_for(
+      std::size_t{0}, threads, std::size_t{1},
+      [&](std::size_t t) {
+        const std::size_t begin = t * n / threads;
+        const std::size_t end = (t + 1) * n / threads;
+        for (std::size_t i = begin; i < end; ++i) {
+          if (options.compute_hook) options.compute_hook(i);
+          const double subresult = values[i];
+          Lock::Holder hold(result_lock);
+          result += subresult;
+        }
+      },
+      Execution::kMultithreaded);
+
+  return result;
+}
+
+double sum_ordered(const std::vector<double>& values,
+                   const AccumulateOptions& options) {
+  return sum_ordered_with<Counter>(values, options);
+}
+
+namespace {
+
+template <typename Guarded>
+std::vector<std::uint64_t> append_impl(std::size_t n,
+                                       const AccumulateOptions& options,
+                                       Guarded&& guarded_append) {
+  MC_REQUIRE(options.num_threads >= 1, "need at least one thread");
+  const std::size_t threads = std::max<std::size_t>(
+      1, std::min(options.num_threads, n == 0 ? 1 : n));
+
+  multithreaded_for(
+      std::size_t{0}, threads, std::size_t{1},
+      [&](std::size_t t) {
+        const std::size_t begin = t * n / threads;
+        const std::size_t end = (t + 1) * n / threads;
+        for (std::size_t i = begin; i < end; ++i) {
+          if (options.compute_hook) options.compute_hook(i);
+          guarded_append(i);
+        }
+      },
+      Execution::kMultithreaded);
+  return {};
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> append_lock(std::size_t n,
+                                       const AccumulateOptions& options) {
+  std::vector<std::uint64_t> result;
+  result.reserve(n);
+  Lock result_lock;
+  append_impl(n, options, [&](std::size_t i) {
+    Lock::Holder hold(result_lock);
+    result.push_back(i);
+  });
+  return result;
+}
+
+std::vector<std::uint64_t> append_ordered(std::size_t n,
+                                          const AccumulateOptions& options) {
+  std::vector<std::uint64_t> result;
+  result.reserve(n);
+  Sequencer<Counter> seq;
+  append_impl(n, options, [&](std::size_t i) {
+    seq.run_in_order(i, [&] { result.push_back(i); });
+  });
+  return result;
+}
+
+std::vector<double> order_sensitive_values(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Alternate huge and tiny magnitudes with mixed signs: any change
+    // to the addition order changes which low bits are absorbed.
+    const double magnitude = (i % 2 == 0) ? 1e16 : 1.0;
+    const double sign = (rng() & 1) ? 1.0 : -1.0;
+    values[i] = sign * magnitude * (1.0 + rng.uniform01());
+  }
+  return values;
+}
+
+}  // namespace monotonic

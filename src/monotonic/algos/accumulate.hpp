@@ -1,0 +1,95 @@
+// accumulate.hpp — §5.2's accumulation of concurrently-computed
+// subresults, with and without sequential ordering.
+//
+// The paper's two example Accumulate operations are both
+// non-associative — appending to a linked list and floating-point
+// addition — so the lock version "may produce different results on
+// repeated executions" while the counter version is deterministic and
+// equal to sequential execution.  These functions make that claim
+// directly testable.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "monotonic/core/counter.hpp"
+#include "monotonic/core/counter_concept.hpp"
+#include "monotonic/patterns/sequencer.hpp"
+#include "monotonic/support/assert.hpp"
+#include "monotonic/sync/lock.hpp"
+#include "monotonic/threads/structured.hpp"
+
+namespace monotonic {
+
+struct AccumulateOptions {
+  /// Worker threads; each handles a contiguous block of subresults.
+  /// (The paper spawns one thread per subresult; pass num_threads == n
+  /// for that exact shape.)
+  std::size_t num_threads = 4;
+  /// Optional artificial work performed while computing subresult i,
+  /// to vary arrival order run to run.
+  std::function<void(std::size_t i)> compute_hook;
+};
+
+/// Sequential reference: left-to-right sum.
+double sum_sequential(const std::vector<double>& values);
+
+/// §5.2 program 1: lock-guarded accumulation.  Mutual exclusion only —
+/// the addition order is the (nondeterministic) arrival order.
+double sum_lock(const std::vector<double>& values,
+                const AccumulateOptions& options);
+
+/// §5.2 program 2: counter-sequenced accumulation.  Mutual exclusion
+/// plus sequential order; always equals sum_sequential.
+double sum_ordered(const std::vector<double>& values,
+                   const AccumulateOptions& options);
+
+/// Lock-guarded list append: result is a permutation of 0..n-1 in
+/// arrival order.
+std::vector<std::uint64_t> append_lock(std::size_t n,
+                                       const AccumulateOptions& options);
+
+/// Counter-sequenced list append: result is always 0..n-1 in order.
+std::vector<std::uint64_t> append_ordered(std::size_t n,
+                                          const AccumulateOptions& options);
+
+/// sum_ordered generalized over the counter implementation (E10).
+template <CounterLike C>
+double sum_ordered_with(const std::vector<double>& values,
+                        const AccumulateOptions& options) {
+  MC_REQUIRE(options.num_threads >= 1, "need at least one thread");
+  const std::size_t n = values.size();
+  const std::size_t threads = std::max<std::size_t>(
+      1, std::min(options.num_threads, n == 0 ? 1 : n));
+
+  double result = 0.0;
+  Sequencer<C> seq;
+
+  multithreaded_for(
+      std::size_t{0}, threads, std::size_t{1},
+      [&](std::size_t t) {
+        const std::size_t begin = t * n / threads;
+        const std::size_t end = (t + 1) * n / threads;
+        for (std::size_t i = begin; i < end; ++i) {
+          if (options.compute_hook) options.compute_hook(i);
+          const double subresult = values[i];
+          // §5.2: "resultCount.Check(i); Accumulate(...);
+          // resultCount.Increment(1);" — the i-th accumulation waits
+          // for accumulations 0..i-1 regardless of which thread runs it.
+          seq.run_in_order(i, [&] { result += subresult; });
+        }
+      },
+      Execution::kMultithreaded);
+
+  return result;
+}
+
+/// Returns values whose sum is order-sensitive in IEEE double
+/// arithmetic (mixed magnitudes), deterministic in the seed.
+std::vector<double> order_sensitive_values(std::size_t n,
+                                           std::uint64_t seed = 42);
+
+}  // namespace monotonic

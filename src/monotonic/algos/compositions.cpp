@@ -1,0 +1,105 @@
+#include "monotonic/algos/compositions.hpp"
+
+#include <algorithm>
+
+#include "monotonic/patterns/pipeline.hpp"
+#include "monotonic/support/assert.hpp"
+
+namespace monotonic {
+
+namespace {
+
+/// Order-sensitive combination of an accumulated checksum and an item.
+constexpr std::uint64_t fold(std::uint64_t acc, std::uint64_t item) noexcept {
+  return (acc * 0x9e3779b97f4a7c15ull) ^ (item + 0x7f4a7c15ull);
+}
+
+/// The item derived from upstream item `x` by prepending part `p`.
+constexpr std::uint64_t derive(std::uint64_t p, std::uint64_t x) noexcept {
+  return (x * 31) + p * 0x100000001b3ull;
+}
+
+std::vector<std::uint64_t> stage_counts(std::size_t max_size,
+                                        std::size_t max_part) {
+  std::vector<std::uint64_t> counts(max_size + 1, 0);
+  counts[0] = 1;
+  for (std::size_t k = 1; k <= max_size; ++k) {
+    for (std::size_t p = 1; p <= std::min(k, max_part); ++p) {
+      counts[k] += counts[k - p];
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+CompositionResult compositions_sequential(std::size_t max_size,
+                                          std::size_t max_part) {
+  MC_REQUIRE(max_part >= 1, "parts must be at least 1");
+  const auto counts = stage_counts(max_size, max_part);
+
+  std::vector<std::vector<std::uint64_t>> items(max_size + 1);
+  items[0] = {1};  // the empty composition's seed item
+  for (std::size_t k = 1; k <= max_size; ++k) {
+    items[k].reserve(counts[k]);
+    // Deterministic emission order: part p ascending, upstream index
+    // ascending — the same order the pipeline stage uses.
+    for (std::size_t p = 1; p <= std::min(k, max_part); ++p) {
+      for (std::uint64_t x : items[k - p]) items[k].push_back(derive(p, x));
+    }
+  }
+
+  CompositionResult result;
+  result.counts = counts;
+  result.checksums.resize(max_size + 1, 0);
+  for (std::size_t k = 0; k <= max_size; ++k) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t x : items[k]) sum = fold(sum, x);
+    result.checksums[k] = sum;
+  }
+  return result;
+}
+
+CompositionResult compositions_pipeline(std::size_t max_size,
+                                        std::size_t max_part,
+                                        std::size_t block_size,
+                                        Execution policy) {
+  MC_REQUIRE(max_part >= 1, "parts must be at least 1");
+  const auto counts = stage_counts(max_size, max_part);
+
+  Pipeline<std::uint64_t> pipeline;
+  for (std::size_t k = 0; k <= max_size; ++k) {
+    pipeline.add_stage(
+        counts[k],
+        [k, max_part](Pipeline<std::uint64_t>::Context& ctx) {
+          if (k == 0) {
+            ctx.emit(1);
+            return;
+          }
+          // Stage k streams every upstream stage k-p: each read blocks
+          // only until the producer has published that item, so stages
+          // overlap — the chained broadcast §5.3 describes.
+          for (std::size_t p = 1; p <= std::min(k, max_part); ++p) {
+            const std::size_t upstream = k - p;
+            const std::size_t n = ctx.count(upstream);
+            for (std::size_t i = 0; i < n; ++i) {
+              ctx.emit(derive(p, ctx.read(upstream, i)));
+            }
+          }
+        },
+        block_size);
+  }
+  pipeline.run(policy);
+
+  CompositionResult result;
+  result.counts = counts;
+  result.checksums.resize(max_size + 1, 0);
+  for (std::size_t k = 0; k <= max_size; ++k) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t x : pipeline.output(k)) sum = fold(sum, x);
+    result.checksums[k] = sum;
+  }
+  return result;
+}
+
+}  // namespace monotonic

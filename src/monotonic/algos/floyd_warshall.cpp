@@ -1,0 +1,102 @@
+#include "monotonic/algos/floyd_warshall.hpp"
+
+#include <vector>
+
+namespace monotonic {
+
+SquareMatrix fw_sequential(SquareMatrix edges) {
+  const std::size_t n = edges.size();
+  SquareMatrix path = std::move(edges);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const weight_t candidate = path_add(path.at(i, k), path.at(k, j));
+        if (candidate < path.at(i, j)) path.at(i, j) = candidate;
+      }
+    }
+  }
+  return path;
+}
+
+SquareMatrix fw_barrier(SquareMatrix edges, const FwOptions& options) {
+  const std::size_t n = edges.size();
+  MC_REQUIRE(options.num_threads >= 1, "need at least one thread");
+  const std::size_t threads = std::min(options.num_threads, n);
+
+  SquareMatrix path = std::move(edges);
+  CentralBarrier barrier(threads);
+
+  multithreaded_for(
+      std::size_t{0}, threads, std::size_t{1},
+      [&](std::size_t t) {
+        const std::size_t begin = detail::fw_block_begin(t, n, threads);
+        const std::size_t end = detail::fw_block_end(t, n, threads);
+        for (std::size_t k = 0; k < n; ++k) {
+          if (options.iteration_hook) options.iteration_hook(t, k);
+          for (std::size_t i = begin; i < end; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+              // Safe to read path[k][j] directly: "the algorithm will
+              // never assign to path[i][k] or path[k][j] during
+              // iteration k" (§4.3), and the barrier keeps every thread
+              // in the same iteration.
+              const weight_t candidate =
+                  path_add(path.at(i, k), path.at(k, j));
+              if (candidate < path.at(i, j)) path.at(i, j) = candidate;
+            }
+          }
+          barrier.Pass();
+        }
+      },
+      Execution::kMultithreaded);
+
+  return path;
+}
+
+SquareMatrix fw_condition_array(SquareMatrix edges, const FwOptions& options) {
+  const std::size_t n = edges.size();
+  MC_REQUIRE(options.num_threads >= 1, "need at least one thread");
+  const std::size_t threads = std::min(options.num_threads, n);
+
+  SquareMatrix path = std::move(edges);
+  // §4.4: "the most significant extra cost is allocation of N condition
+  // variables.  N may be much larger than numThreads."  This is the
+  // structural cost fw_counter removes.
+  std::vector<Condition> k_done(n);
+  SquareMatrix k_row(n, 0);
+  for (std::size_t j = 0; j < n; ++j) k_row.at(0, j) = path.at(0, j);
+  k_done[0].Set();
+
+  multithreaded_for(
+      std::size_t{0}, threads, std::size_t{1},
+      [&](std::size_t t) {
+        const std::size_t begin = detail::fw_block_begin(t, n, threads);
+        const std::size_t end = detail::fw_block_end(t, n, threads);
+        for (std::size_t k = 0; k < n; ++k) {
+          if (options.iteration_hook) options.iteration_hook(t, k);
+          k_done[k].Check();
+          for (std::size_t i = begin; i < end; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+              const weight_t candidate =
+                  path_add(path.at(i, k), k_row.at(k, j));
+              if (candidate < path.at(i, j)) path.at(i, j) = candidate;
+            }
+            if (i == k + 1) {
+              for (std::size_t j = 0; j < n; ++j) {
+                k_row.at(k + 1, j) = path.at(k + 1, j);
+              }
+              k_done[k + 1].Set();
+            }
+          }
+        }
+      },
+      Execution::kMultithreaded);
+
+  return path;
+}
+
+SquareMatrix fw_counter(SquareMatrix edges, const FwOptions& options) {
+  Counter counter;
+  return fw_counter_with(std::move(edges), options, counter);
+}
+
+}  // namespace monotonic

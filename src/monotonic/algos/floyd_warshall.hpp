@@ -1,0 +1,116 @@
+// floyd_warshall.hpp — the paper's §4 worked example, all four variants.
+//
+//   §4.2  fw_sequential       — the plain triple loop.
+//   §4.3  fw_barrier          — numThreads row-blocks, one N-way barrier
+//                               pass per iteration k.
+//   §4.4  fw_condition_array  — each thread proceeds as soon as row k is
+//                               ready; N Condition objects + kRow copies.
+//   §4.5  fw_counter          — identical schedule to §4.4 with ONE
+//                               counter replacing the N conditions.
+//
+// All variants take the edge matrix by value and return the path
+// matrix, so inputs can be reused across variants and runs.  The
+// multithreaded variants are deterministic (§6) and always produce
+// fw_sequential's result — the equivalence tests exercise exactly that.
+//
+// `iteration_hook(t, k)` is called by thread t at the top of iteration
+// k; benches inject artificial load imbalance through it (the situation
+// where §4.4/§4.5's "faster threads can execute many iterations ahead"
+// pays off).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+
+#include "monotonic/algos/graph.hpp"
+#include "monotonic/core/counter.hpp"
+#include "monotonic/core/counter_concept.hpp"
+#include "monotonic/support/assert.hpp"
+#include "monotonic/sync/barrier.hpp"
+#include "monotonic/sync/event.hpp"
+#include "monotonic/threads/structured.hpp"
+
+namespace monotonic {
+
+struct FwOptions {
+  std::size_t num_threads = 2;
+  /// Optional stall injected at the top of each (thread, iteration).
+  std::function<void(std::size_t t, std::size_t k)> iteration_hook;
+};
+
+/// §4.2 — sequential Floyd-Warshall.
+SquareMatrix fw_sequential(SquareMatrix edges);
+
+/// §4.3 — multithreaded with one N-way barrier per iteration.
+SquareMatrix fw_barrier(SquareMatrix edges, const FwOptions& options);
+
+/// §4.4 — multithreaded with an array of N Condition objects.
+SquareMatrix fw_condition_array(SquareMatrix edges, const FwOptions& options);
+
+/// §4.5 — multithreaded with a single monotonic counter.  Returns the
+/// path matrix; if `counter_out` is non-null the counter used is made
+/// available for stats inspection after the run.
+SquareMatrix fw_counter(SquareMatrix edges, const FwOptions& options);
+
+namespace detail {
+
+/// Row-block boundaries (§4.3: i in [t*N/T, (t+1)*N/T)).
+constexpr std::size_t fw_block_begin(std::size_t t, std::size_t n,
+                                     std::size_t threads) noexcept {
+  return t * n / threads;
+}
+constexpr std::size_t fw_block_end(std::size_t t, std::size_t n,
+                                   std::size_t threads) noexcept {
+  return (t + 1) * n / threads;
+}
+
+}  // namespace detail
+
+/// §4.5 generalized over the counter implementation (ablation E10).
+/// `counter` must be freshly constructed (value zero).
+template <CounterLike C>
+SquareMatrix fw_counter_with(SquareMatrix edges, const FwOptions& options,
+                             C& counter) {
+  const std::size_t n = edges.size();
+  MC_REQUIRE(options.num_threads >= 1, "need at least one thread");
+  const std::size_t threads = std::min(options.num_threads, n);
+
+  SquareMatrix path = std::move(edges);
+  // kRow[k] is row k of `path` as of the end of iteration k-1; reading
+  // from the copy (not from path) is what removes the §4.3 requirement
+  // that no thread runs ahead.
+  SquareMatrix k_row(n, 0);
+  for (std::size_t j = 0; j < n; ++j) k_row.at(0, j) = path.at(0, j);
+
+  multithreaded_for(
+      std::size_t{0}, threads, std::size_t{1},
+      [&](std::size_t t) {
+        const std::size_t begin = detail::fw_block_begin(t, n, threads);
+        const std::size_t end = detail::fw_block_end(t, n, threads);
+        for (std::size_t k = 0; k < n; ++k) {
+          if (options.iteration_hook) options.iteration_hook(t, k);
+          counter.Check(k);  // row k is ready once value >= k
+          for (std::size_t i = begin; i < end; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+              const weight_t candidate =
+                  path_add(path.at(i, k), k_row.at(k, j));
+              if (candidate < path.at(i, j)) path.at(i, j) = candidate;
+            }
+            if (i == k + 1) {
+              // Row k+1 is final w.r.t. iteration k: snapshot it and
+              // broadcast availability to every thread in one operation.
+              for (std::size_t j = 0; j < n; ++j) {
+                k_row.at(k + 1, j) = path.at(k + 1, j);
+              }
+              counter.Increment(1);
+            }
+          }
+        }
+      },
+      Execution::kMultithreaded);
+
+  return path;
+}
+
+}  // namespace monotonic

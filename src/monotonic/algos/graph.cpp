@@ -1,0 +1,79 @@
+#include "monotonic/algos/graph.hpp"
+
+#include "monotonic/support/rng.hpp"
+
+namespace monotonic {
+
+SquareMatrix random_graph(std::size_t n, const GraphOptions& options) {
+  MC_REQUIRE(n >= 1, "graph must have at least one vertex");
+  MC_REQUIRE(options.min_weight <= options.max_weight, "empty weight range");
+  MC_REQUIRE(options.min_weight >= 0,
+             "set allow_negative instead of negative min_weight");
+
+  SquareMatrix edges(n, kInfinity);
+  Xoshiro256 rng(options.seed);
+
+  // Vertex potentials for negative-edge generation: reweighting
+  // w'(u,v) = w(u,v) + h(u) - h(v) preserves shortest paths and, with
+  // w >= 0, guarantees no negative cycles (sum of potentials telescopes
+  // to zero around any cycle).
+  std::vector<weight_t> potential(n, 0);
+  if (options.allow_negative) {
+    for (auto& h : potential) {
+      h = static_cast<weight_t>(rng.uniform(0, 20));
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) {
+        edges.at(i, j) = 0;  // §4.1: self-edge weight is required to be zero
+        continue;
+      }
+      if (rng.uniform01() >= options.edge_probability) continue;
+      const auto base = static_cast<weight_t>(rng.uniform(
+          static_cast<std::uint64_t>(options.min_weight),
+          static_cast<std::uint64_t>(options.max_weight)));
+      edges.at(i, j) = base + potential[i] - potential[j];
+    }
+  }
+  return edges;
+}
+
+SquareMatrix figure1_edges() {
+  SquareMatrix m(3, kInfinity);
+  // Figure 1 edge matrix:
+  //   0:  0   1   2       (row 0: V0->V0=0, V0->V1=1, V0->V2=2)
+  //   1:  4   0  ∞
+  //   2:  1  -3   0
+  m.at(0, 0) = 0;
+  m.at(0, 1) = 1;
+  m.at(0, 2) = 2;
+  m.at(1, 0) = 4;
+  m.at(1, 1) = 0;
+  m.at(1, 2) = kInfinity;
+  m.at(2, 0) = 1;
+  m.at(2, 1) = -3;
+  m.at(2, 2) = 0;
+  return m;
+}
+
+SquareMatrix figure1_paths() {
+  SquareMatrix m(3, kInfinity);
+  // Figure 1 path matrix:
+  //   0:  0  -1   2
+  //   1:  4   0   6
+  //   2:  1  -3   0
+  m.at(0, 0) = 0;
+  m.at(0, 1) = -1;
+  m.at(0, 2) = 2;
+  m.at(1, 0) = 4;
+  m.at(1, 1) = 0;
+  m.at(1, 2) = 6;
+  m.at(2, 0) = 1;
+  m.at(2, 1) = -3;
+  m.at(2, 2) = 0;
+  return m;
+}
+
+}  // namespace monotonic

@@ -1,0 +1,78 @@
+// graph.hpp — dense weighted digraphs for the shortest-path experiments.
+//
+// §4.1: input is the edge-weight matrix of a weighted directed graph
+// with no negative-length cycles and zero self-edge weights; output is
+// the matrix of all-pairs shortest path lengths.  Missing edges are
+// kInfinity (Figure 1 uses ∞).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "monotonic/support/assert.hpp"
+
+namespace monotonic {
+
+/// Edge weight type.  64-bit so that `kInfinity + weight` cannot wrap
+/// for any realistic input (additions are still guarded).
+using weight_t = std::int64_t;
+
+/// "No edge".  Chosen so kInfinity + kInfinity does not overflow.
+inline constexpr weight_t kInfinity = static_cast<weight_t>(1) << 60;
+
+/// Dense row-major square matrix of edge weights / path lengths.
+class SquareMatrix {
+ public:
+  SquareMatrix() = default;
+  explicit SquareMatrix(std::size_t n, weight_t fill = kInfinity)
+      : n_(n), cells_(n * n, fill) {}
+
+  std::size_t size() const noexcept { return n_; }
+
+  weight_t& at(std::size_t i, std::size_t j) {
+    MC_ASSERT(i < n_ && j < n_, "index out of range");
+    return cells_[i * n_ + j];
+  }
+  weight_t at(std::size_t i, std::size_t j) const {
+    MC_ASSERT(i < n_ && j < n_, "index out of range");
+    return cells_[i * n_ + j];
+  }
+
+  weight_t* row(std::size_t i) { return cells_.data() + i * n_; }
+  const weight_t* row(std::size_t i) const { return cells_.data() + i * n_; }
+
+  bool operator==(const SquareMatrix&) const = default;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<weight_t> cells_;
+};
+
+/// Saturating path addition: a step through kInfinity stays unreachable.
+constexpr weight_t path_add(weight_t a, weight_t b) noexcept {
+  return (a >= kInfinity || b >= kInfinity) ? kInfinity : a + b;
+}
+
+/// Options for random graph generation.
+struct GraphOptions {
+  std::uint64_t seed = 42;
+  double edge_probability = 0.5;  ///< density of non-infinite edges
+  weight_t min_weight = 1;        ///< inclusive
+  weight_t max_weight = 100;      ///< inclusive
+  /// When true, a fraction of edges get small negative weights, with a
+  /// positive vertex potential applied so no negative cycle can form
+  /// (Johnson-style reweighting run in reverse).
+  bool allow_negative = false;
+};
+
+/// Random edge matrix: zero diagonal, kInfinity non-edges, weights in
+/// [min_weight, max_weight].  Deterministic in the seed.
+SquareMatrix random_graph(std::size_t n, const GraphOptions& options = {});
+
+/// The worked example of Figure 1 (3 vertices), for unit tests.
+SquareMatrix figure1_edges();
+/// Figure 1's expected output matrix.
+SquareMatrix figure1_paths();
+
+}  // namespace monotonic

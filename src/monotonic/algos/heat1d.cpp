@@ -1,0 +1,61 @@
+#include "monotonic/algos/heat1d.hpp"
+
+namespace monotonic {
+
+std::vector<double> heat_sequential(std::vector<double> state,
+                                    const HeatOptions& options) {
+  const std::size_t n = state.size();
+  MC_REQUIRE(n >= 3, "need at least one interior cell");
+  std::vector<double> next = state;
+  for (std::size_t t = 1; t <= options.steps; ++t) {
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      if (options.cell_hook) options.cell_hook(i, t);
+      next[i] = heat_update(state[i - 1], state[i], state[i + 1]);
+    }
+    state.swap(next);
+  }
+  return state;
+}
+
+std::vector<double> heat_barrier(std::vector<double> state,
+                                 const HeatOptions& options) {
+  const std::size_t n = state.size();
+  MC_REQUIRE(n >= 3, "need at least one interior cell");
+  // One party per interior cell.  (The paper's listing constructs
+  // Barrier b(N) while spawning N-2 threads — with N parties the
+  // program would hang; the intended party count is the thread count.)
+  CentralBarrier barrier(n - 2);
+
+  multithreaded_for(
+      std::size_t{1}, n - 1, std::size_t{1},
+      [&](std::size_t i) {
+        double l_state, r_state;
+        double my_state = state[i];
+        for (std::size_t t = 1; t <= options.steps; ++t) {
+          if (options.cell_hook) options.cell_hook(i, t);
+          barrier.Pass();  // everyone finished writing step t-1
+          l_state = state[i - 1];
+          r_state = state[i + 1];
+          barrier.Pass();  // everyone finished reading
+          my_state = heat_update(l_state, my_state, r_state);
+          state[i] = my_state;
+        }
+      },
+      Execution::kMultithreaded);
+
+  if (options.telemetry != nullptr) {
+    options.telemetry->sync_objects = 1;
+    options.telemetry->suspensions = barrier.stat_suspensions();
+    // One notify_all per round; every round broadcasts to all parties.
+    options.telemetry->wakeup_broadcasts = barrier.stat_rounds();
+    options.telemetry->max_live_levels = 0;  // barriers have one queue
+  }
+  return state;
+}
+
+std::vector<double> heat_ragged(std::vector<double> state,
+                                const HeatOptions& options) {
+  return heat_ragged_with<Counter>(std::move(state), options);
+}
+
+}  // namespace monotonic

@@ -1,0 +1,121 @@
+// heat1d.hpp — §5.1's time-stepped 1-D simulation (heat along a rod).
+//
+//   "The state of internal cell i at time t is a function of the states
+//    of cells i-1, i, and i+1 at time t-1.  The states of the leftmost
+//    and rightmost cells remain constant over time."
+//
+// Three implementations compute bit-identical results:
+//
+//   heat_sequential — double-buffered (Jacobi) reference.
+//   heat_barrier    — one thread per interior cell; two full-barrier
+//                     passes per step (§5.1's first program).
+//   heat_ragged     — one thread per interior cell; pairwise neighbour
+//                     sync through a RaggedBarrier (§5.1's second
+//                     program).  c[i] >= 2t-1 means cell i has read both
+//                     neighbours in step t; c[i] >= 2t means cell i has
+//                     completed step t.
+//
+// `cell_hook(i, t)` injects artificial per-cell load for the imbalance
+// experiments (E2): with a barrier every cell waits for the slowest
+// cell every step; with the ragged barrier the delay only ripples to
+// neighbours.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "monotonic/core/counter.hpp"
+#include "monotonic/core/counter_concept.hpp"
+#include "monotonic/patterns/ragged_barrier.hpp"
+#include "monotonic/support/assert.hpp"
+#include "monotonic/sync/barrier.hpp"
+#include "monotonic/threads/structured.hpp"
+
+namespace monotonic {
+
+/// The cell update rule, shared by all implementations so equivalence
+/// is exact: explicit heat diffusion with conduction factor 1/4.
+constexpr double heat_update(double left, double centre,
+                             double right) noexcept {
+  return centre + 0.25 * (left - 2.0 * centre + right);
+}
+
+/// Structural measurements filled by the multithreaded variants when
+/// HeatOptions::telemetry is set (experiment E2.c).
+struct HeatTelemetry {
+  std::uint64_t sync_objects = 0;     ///< barrier: 1; ragged: N counters
+  std::uint64_t suspensions = 0;      ///< threads that actually slept
+  std::uint64_t wakeup_broadcasts = 0;///< condvar notify_all calls
+  std::uint64_t max_live_levels = 0;  ///< max wait levels per counter
+};
+
+struct HeatOptions {
+  std::size_t steps = 100;
+  /// Optional stall for cell `i` at time step `t` (interior cells only).
+  std::function<void(std::size_t i, std::size_t t)> cell_hook;
+  /// Optional out-param for structural measurements.
+  HeatTelemetry* telemetry = nullptr;
+};
+
+/// Reference implementation (double-buffered sweep).
+std::vector<double> heat_sequential(std::vector<double> state,
+                                    const HeatOptions& options);
+
+/// §5.1 program 1: thread per interior cell, full barrier twice a step.
+std::vector<double> heat_barrier(std::vector<double> state,
+                                 const HeatOptions& options);
+
+/// §5.1 program 2: thread per interior cell, pairwise counter sync.
+std::vector<double> heat_ragged(std::vector<double> state,
+                                const HeatOptions& options);
+
+/// heat_ragged generalized over the counter implementation (E10).
+template <CounterLike C>
+std::vector<double> heat_ragged_with(std::vector<double> state,
+                                     const HeatOptions& options) {
+  const std::size_t n = state.size();
+  MC_REQUIRE(n >= 3, "need at least one interior cell");
+  const std::size_t steps = options.steps;
+
+  RaggedBarrier<C> sync(n);
+  // Boundary cells never change: satisfy every future dependency on
+  // them up front (§5.1: c[0].Increment(2*numSteps); likewise c[N-1]).
+  sync.preload(0, 2 * steps);
+  sync.preload(n - 1, 2 * steps);
+
+  multithreaded_for(
+      std::size_t{1}, n - 1, std::size_t{1},
+      [&](std::size_t i) {
+        double my_state = state[i];
+        for (std::size_t t = 1; t <= steps; ++t) {
+          if (options.cell_hook) options.cell_hook(i, t);
+          // Neighbours have completed step t-1: their states are final.
+          sync.wait_for(i - 1, 2 * t - 2);
+          const double l_state = state[i - 1];
+          sync.wait_for(i + 1, 2 * t - 2);
+          const double r_state = state[i + 1];
+          sync.arrive(i);  // value 2t-1: finished reading neighbours
+          my_state = heat_update(l_state, my_state, r_state);
+          // Neighbours have finished reading: safe to overwrite.
+          sync.wait_for(i - 1, 2 * t - 1);
+          sync.wait_for(i + 1, 2 * t - 1);
+          state[i] = my_state;
+          sync.arrive(i);  // value 2t: completed step t
+        }
+      },
+      Execution::kMultithreaded);
+
+  if (options.telemetry != nullptr) {
+    if constexpr (requires(const C& c) { c.stats(); }) {
+      const auto s = sync.aggregate_stats();
+      options.telemetry->sync_objects = n;
+      options.telemetry->suspensions = s.suspensions;
+      options.telemetry->wakeup_broadcasts = s.notifies;
+      options.telemetry->max_live_levels = s.max_live_nodes;
+    }
+  }
+  return state;
+}
+
+}  // namespace monotonic

@@ -1,0 +1,69 @@
+#include "monotonic/algos/heat2d.hpp"
+
+#include <algorithm>
+
+namespace monotonic {
+
+Grid2D heat2d_sequential(Grid2D grid, const Heat2dOptions& options) {
+  const std::size_t rows = grid.rows();
+  const std::size_t cols = grid.cols();
+  MC_REQUIRE(rows >= 3 && cols >= 3, "need at least one interior cell");
+
+  Grid2D next = grid;
+  for (std::size_t t = 1; t <= options.steps; ++t) {
+    if (options.strip_hook) options.strip_hook(0, t);
+    for (std::size_t r = 1; r + 1 < rows; ++r) {
+      for (std::size_t c = 1; c + 1 < cols; ++c) {
+        next.at(r, c) =
+            heat2d_update(grid.at(r - 1, c), grid.at(r, c - 1), grid.at(r, c),
+                          grid.at(r, c + 1), grid.at(r + 1, c));
+      }
+    }
+    std::swap(grid, next);
+  }
+  return grid;
+}
+
+Grid2D heat2d_barrier(Grid2D grid, const Heat2dOptions& options) {
+  const std::size_t rows = grid.rows();
+  const std::size_t cols = grid.cols();
+  MC_REQUIRE(rows >= 3 && cols >= 3, "need at least one interior cell");
+  MC_REQUIRE(options.num_threads >= 1, "need at least one thread");
+
+  const std::size_t interior = rows - 2;
+  const std::size_t strips = std::min(options.num_threads, interior);
+  CentralBarrier barrier(strips);
+  Grid2D next = grid;  // shared double buffer
+  Grid2D* current = &grid;
+  Grid2D* scratch = &next;
+
+  multithreaded_for(
+      std::size_t{0}, strips, std::size_t{1},
+      [&](std::size_t s) {
+        const std::size_t begin = 1 + s * interior / strips;
+        const std::size_t end = 1 + (s + 1) * interior / strips;
+        for (std::size_t t = 1; t <= options.steps; ++t) {
+          if (options.strip_hook) options.strip_hook(s, t);
+          for (std::size_t r = begin; r < end; ++r) {
+            for (std::size_t c = 1; c + 1 < cols; ++c) {
+              scratch->at(r, c) = heat2d_update(
+                  current->at(r - 1, c), current->at(r, c - 1),
+                  current->at(r, c), current->at(r, c + 1),
+                  current->at(r + 1, c));
+            }
+          }
+          barrier.Pass();  // everyone computed step t from `current`
+          if (s == 0) std::swap(current, scratch);
+          barrier.Pass();  // swap visible to all before next step
+        }
+      },
+      Execution::kMultithreaded);
+
+  return *current;
+}
+
+Grid2D heat2d_ragged(Grid2D grid, const Heat2dOptions& options) {
+  return heat2d_ragged_with<Counter>(std::move(grid), options);
+}
+
+}  // namespace monotonic

@@ -1,0 +1,160 @@
+// heat2d.hpp — 2-D heat diffusion with row-strip threads.
+//
+// Extends §5.1 to two dimensions (the paper: boundary exchange "in one
+// or more dimensions").  The grid's boundary rows/columns are held
+// constant; interior cells update by the 5-point Jacobi stencil.  The
+// multithreaded variants assign each thread a strip of rows and
+// synchronize strip halos — with a global barrier (baseline) or with
+// one counter per strip (RaggedStrips).  All variants are bit-exact
+// against the sequential reference.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "monotonic/core/counter.hpp"
+#include "monotonic/core/counter_concept.hpp"
+#include "monotonic/patterns/ragged_grid.hpp"
+#include "monotonic/support/assert.hpp"
+#include "monotonic/sync/barrier.hpp"
+#include "monotonic/threads/structured.hpp"
+
+namespace monotonic {
+
+/// Dense row-major grid of cell temperatures.
+class Grid2D {
+ public:
+  Grid2D() = default;
+  Grid2D(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), cells_(rows * cols, fill) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) {
+    MC_ASSERT(r < rows_ && c < cols_, "index out of range");
+    return cells_[r * cols_ + c];
+  }
+  double at(std::size_t r, std::size_t c) const {
+    MC_ASSERT(r < rows_ && c < cols_, "index out of range");
+    return cells_[r * cols_ + c];
+  }
+
+  double* row(std::size_t r) { return cells_.data() + r * cols_; }
+  const double* row(std::size_t r) const { return cells_.data() + r * cols_; }
+
+  bool operator==(const Grid2D&) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> cells_;
+};
+
+/// The 5-point stencil rule shared by every implementation.
+constexpr double heat2d_update(double up, double left, double centre,
+                               double right, double down) noexcept {
+  return centre + 0.125 * (up + left + right + down - 4.0 * centre);
+}
+
+struct Heat2dOptions {
+  std::size_t steps = 100;
+  std::size_t num_threads = 4;
+  /// Optional stall for strip `s` at step `t` (imbalance experiments).
+  std::function<void(std::size_t s, std::size_t t)> strip_hook;
+};
+
+/// Sequential double-buffered reference.
+Grid2D heat2d_sequential(Grid2D grid, const Heat2dOptions& options);
+
+/// Strip threads + one global barrier per phase (baseline).
+Grid2D heat2d_barrier(Grid2D grid, const Heat2dOptions& options);
+
+/// Strip threads + one counter per strip (RaggedStrips).
+Grid2D heat2d_ragged(Grid2D grid, const Heat2dOptions& options);
+
+/// heat2d_ragged generalized over the counter implementation.
+template <CounterLike C>
+Grid2D heat2d_ragged_with(Grid2D grid, const Heat2dOptions& options) {
+  const std::size_t rows = grid.rows();
+  const std::size_t cols = grid.cols();
+  MC_REQUIRE(rows >= 3 && cols >= 3, "need at least one interior cell");
+  MC_REQUIRE(options.num_threads >= 1, "need at least one thread");
+
+  const std::size_t interior = rows - 2;
+  const std::size_t strips = std::min(options.num_threads, interior);
+  RaggedStrips<C> sync(strips);
+  const std::size_t steps = options.steps;
+
+  // Strip s owns interior rows [1 + s*interior/strips, 1 + (s+1)*interior/strips).
+  auto strip_begin = [&](std::size_t s) { return 1 + s * interior / strips; };
+  auto strip_end = [&](std::size_t s) {
+    return 1 + (s + 1) * interior / strips;
+  };
+
+  multithreaded_for(
+      std::size_t{0}, strips, std::size_t{1},
+      [&](std::size_t s) {
+        const std::size_t begin = strip_begin(s);
+        const std::size_t end = strip_end(s);
+        // Private copy of the strip (plus scratch halo rows): the same
+        // my_state trick as §5.1's program, lifted to row strips.
+        std::vector<double> mine((end - begin) * cols);
+        for (std::size_t r = begin; r < end; ++r) {
+          for (std::size_t c = 0; c < cols; ++c) {
+            mine[(r - begin) * cols + c] = grid.at(r, c);
+          }
+        }
+        std::vector<double> halo_up(cols), halo_down(cols);
+
+        for (std::size_t t = 1; t <= steps; ++t) {
+          if (options.strip_hook) options.strip_hook(s, t);
+          // Read halos once neighbours have completed step t-1.  The
+          // boundary rows (0 and rows-1) are constant, so strips at the
+          // edges read them without waiting (handled by RaggedStrips'
+          // missing-side skip plus the constant rows never changing).
+          sync.wait_neighbours_written(s, t);
+          for (std::size_t c = 0; c < cols; ++c) {
+            halo_up[c] = grid.at(begin - 1, c);
+            halo_down[c] = grid.at(end, c);
+          }
+          sync.done_reading(s);
+
+          // Compute the new strip from private state + halos.
+          std::vector<double> next((end - begin) * cols);
+          for (std::size_t r = begin; r < end; ++r) {
+            const std::size_t lr = r - begin;
+            const double* up_row =
+                lr == 0 ? halo_up.data() : &mine[(lr - 1) * cols];
+            const double* down_row = (r + 1 == end)
+                                         ? halo_down.data()
+                                         : &mine[(lr + 1) * cols];
+            for (std::size_t c = 0; c < cols; ++c) {
+              if (c == 0 || c + 1 == cols) {
+                next[lr * cols + c] = mine[lr * cols + c];  // fixed columns
+              } else {
+                next[lr * cols + c] = heat2d_update(
+                    up_row[c], mine[lr * cols + c - 1], mine[lr * cols + c],
+                    mine[lr * cols + c + 1], down_row[c]);
+              }
+            }
+          }
+          mine.swap(next);
+
+          // Publish once neighbours have read our previous halo rows.
+          sync.wait_neighbours_read(s, t);
+          for (std::size_t r = begin; r < end; ++r) {
+            for (std::size_t c = 0; c < cols; ++c) {
+              grid.at(r, c) = mine[(r - begin) * cols + c];
+            }
+          }
+          sync.done_writing(s);
+        }
+      },
+      Execution::kMultithreaded);
+
+  return grid;
+}
+
+}  // namespace monotonic

@@ -1,0 +1,89 @@
+#include "monotonic/algos/lcs.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "monotonic/patterns/wavefront.hpp"
+#include "monotonic/support/assert.hpp"
+#include "monotonic/support/rng.hpp"
+
+namespace monotonic {
+
+namespace {
+
+/// Shared cell rule over a (m+1) x (n+1) table with a zero border.
+class LcsTable {
+ public:
+  LcsTable(std::string_view a, std::string_view b)
+      : a_(a), b_(b), cols_(b.size() + 1),
+        cells_((a.size() + 1) * (b.size() + 1), 0) {}
+
+  void compute_cell(std::size_t i, std::size_t j) {
+    // 1-based over the DP table; row/col 0 stay zero.
+    std::uint32_t& cell = cells_[i * cols_ + j];
+    if (a_[i - 1] == b_[j - 1]) {
+      cell = cells_[(i - 1) * cols_ + (j - 1)] + 1;
+    } else {
+      cell = std::max(cells_[(i - 1) * cols_ + j], cells_[i * cols_ + j - 1]);
+    }
+  }
+
+  std::uint32_t result() const { return cells_.back(); }
+
+ private:
+  std::string_view a_;
+  std::string_view b_;
+  std::size_t cols_;
+  std::vector<std::uint32_t> cells_;
+};
+
+}  // namespace
+
+std::size_t lcs_sequential(std::string_view a, std::string_view b) {
+  if (a.empty() || b.empty()) return 0;
+  LcsTable table(a, b);
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    for (std::size_t j = 1; j <= b.size(); ++j) table.compute_cell(i, j);
+  }
+  return table.result();
+}
+
+std::size_t lcs_wavefront(std::string_view a, std::string_view b,
+                          std::size_t num_threads, std::size_t block_rows,
+                          std::size_t block_cols) {
+  MC_REQUIRE(block_rows >= 1 && block_cols >= 1, "tile must be nonempty");
+  if (a.empty() || b.empty()) return 0;
+
+  LcsTable table(a, b);
+  const std::size_t tile_rows = (a.size() + block_rows - 1) / block_rows;
+  const std::size_t tile_cols = (b.size() + block_cols - 1) / block_cols;
+
+  wavefront_rows(tile_rows, tile_cols, num_threads,
+                 [&](std::size_t tr, std::size_t tc) {
+                   const std::size_t i_end =
+                       std::min((tr + 1) * block_rows, a.size());
+                   const std::size_t j_end =
+                       std::min((tc + 1) * block_cols, b.size());
+                   for (std::size_t i = tr * block_rows + 1; i <= i_end; ++i) {
+                     for (std::size_t j = tc * block_cols + 1; j <= j_end;
+                          ++j) {
+                       table.compute_cell(i, j);
+                     }
+                   }
+                 });
+
+  return table.result();
+}
+
+std::string random_string(std::size_t n, std::size_t alphabet,
+                          std::uint64_t seed) {
+  MC_REQUIRE(alphabet >= 1 && alphabet <= 26, "alphabet in [1, 26]");
+  Xoshiro256 rng(seed);
+  std::string s(n, 'a');
+  for (auto& c : s) {
+    c = static_cast<char>('a' + rng.uniform(0, alphabet - 1));
+  }
+  return s;
+}
+
+}  // namespace monotonic

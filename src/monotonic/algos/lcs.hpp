@@ -1,0 +1,31 @@
+// lcs.hpp — longest common subsequence via the counter wavefront.
+//
+// A second dataflow workload (beyond §4's Floyd-Warshall) exercising
+// wavefront_rows: the LCS dynamic program's cell (i, j) depends on
+// (i-1, j), (i, j-1), (i-1, j-1) — the canonical wavefront.  The grid
+// is blocked so each counter operation covers a tile of work, showing
+// how counter granularity is tuned exactly like §5.3's blockSize.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace monotonic {
+
+/// Reference row-sweep LCS length.
+std::size_t lcs_sequential(std::string_view a, std::string_view b);
+
+/// Blocked wavefront LCS length on counters; bit-identical to
+/// lcs_sequential for every thread count and tile shape (§6
+/// determinism).  Tiles are block_rows × block_cols cells.
+std::size_t lcs_wavefront(std::string_view a, std::string_view b,
+                          std::size_t num_threads, std::size_t block_rows = 32,
+                          std::size_t block_cols = 32);
+
+/// Deterministic random string over an alphabet of `alphabet` symbols.
+std::string random_string(std::size_t n, std::size_t alphabet,
+                          std::uint64_t seed);
+
+}  // namespace monotonic

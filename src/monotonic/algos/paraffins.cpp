@@ -1,0 +1,210 @@
+#include "monotonic/algos/paraffins.hpp"
+
+#include <functional>
+
+#include "monotonic/patterns/pipeline.hpp"
+#include "monotonic/support/assert.hpp"
+
+namespace monotonic {
+
+namespace {
+
+/// Multichoose: number of multisets of size k drawn from n kinds.
+constexpr std::uint64_t multichoose(std::uint64_t n, std::uint64_t k) {
+  // C(n+k-1, k) for the small k (<= 4) used here.
+  switch (k) {
+    case 0:
+      return 1;
+    case 1:
+      return n;
+    case 2:
+      return n * (n + 1) / 2;
+    case 3:
+      return n * (n + 1) * (n + 2) / 6;
+    case 4:
+      return n * (n + 1) * (n + 2) * (n + 3) / 24;
+    default:
+      MC_REQUIRE(false, "multichoose: unsupported k");
+      return 0;
+  }
+}
+
+/// Order-sensitive fold for stage checksums (same shape as the
+/// compositions workload, distinct constants).
+constexpr std::uint64_t fold(std::uint64_t acc, std::uint64_t item) {
+  return (acc * 0x100000001b3ull) ^ (item + 0x9e3779b97f4a7c15ull);
+}
+
+/// Canonical hash of a radical from its three ordered children hashes.
+constexpr std::uint64_t combine(std::uint64_t a, std::uint64_t b,
+                                std::uint64_t c) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fold(h, a);
+  h = fold(h, b);
+  h = fold(h, c);
+  return h | 1;  // never zero, distinguishes from the hydrogen seed
+}
+
+constexpr std::uint64_t kHydrogenSeed = 0x48ull;  // 'H'
+
+/// radicals[k] for k <= max, by the multiset recurrence (no items).
+std::vector<std::uint64_t> radical_counts(std::size_t max) {
+  std::vector<std::uint64_t> r(max + 1, 0);
+  r[0] = 1;  // hydrogen
+  for (std::size_t n = 1; n <= max; ++n) {
+    const std::size_t budget = n - 1;
+    std::uint64_t total = 0;
+    for (std::size_t s1 = 0; 3 * s1 <= budget; ++s1) {
+      for (std::size_t s2 = s1; s1 + 2 * s2 <= budget; ++s2) {
+        const std::size_t s3 = budget - s1 - s2;
+        if (s3 < s2) continue;
+        if (s1 == s2 && s2 == s3) {
+          total += multichoose(r[s1], 3);
+        } else if (s1 == s2) {
+          total += multichoose(r[s1], 2) * r[s3];
+        } else if (s2 == s3) {
+          total += r[s1] * multichoose(r[s2], 2);
+        } else {
+          total += r[s1] * r[s2] * r[s3];
+        }
+      }
+    }
+    r[n] = total;
+  }
+  return r;
+}
+
+/// Alkane counts by centroid decomposition over radical counts.
+std::vector<std::uint64_t> alkane_counts(
+    const std::vector<std::uint64_t>& radicals, std::size_t max) {
+  std::vector<std::uint64_t> a(max + 1, 0);
+  for (std::size_t n = 1; n <= max; ++n) {
+    const std::size_t budget = n - 1;
+    const std::size_t limit = budget / 2;  // every branch <= (n-1)/2
+    std::uint64_t centroid = 0;
+    for (std::size_t s1 = 0; s1 <= limit; ++s1) {
+      for (std::size_t s2 = s1; s2 <= limit; ++s2) {
+        for (std::size_t s3 = s2; s3 <= limit; ++s3) {
+          if (s1 + s2 + s3 > budget) break;
+          const std::size_t s4 = budget - s1 - s2 - s3;
+          if (s4 < s3 || s4 > limit) continue;
+          // Multichoose per group of equal sizes.
+          std::size_t sizes[4] = {s1, s2, s3, s4};
+          std::uint64_t ways = 1;
+          std::size_t i = 0;
+          while (i < 4) {
+            std::size_t j = i;
+            while (j < 4 && sizes[j] == sizes[i]) ++j;
+            ways *= multichoose(radicals[sizes[i]], j - i);
+            i = j;
+          }
+          centroid += ways;
+        }
+      }
+    }
+    std::uint64_t bicentroid = 0;
+    if (n % 2 == 0) {
+      bicentroid = multichoose(radicals[n / 2], 2);
+    }
+    a[n] = centroid + bicentroid;
+  }
+  return a;
+}
+
+/// Enumerates stage n's radicals in canonical order.  `item(s, i)`
+/// returns the i-th radical hash of stage s (blocking in the pipeline
+/// variant); each generated radical is passed to `emit`.
+void enumerate_stage(
+    std::size_t n, const std::vector<std::uint64_t>& counts,
+    const std::function<std::uint64_t(std::size_t, std::size_t)>& item,
+    const std::function<void(std::uint64_t)>& emit) {
+  if (n == 0) {
+    emit(kHydrogenSeed);
+    return;
+  }
+  const std::size_t budget = n - 1;
+  for (std::size_t s1 = 0; 3 * s1 <= budget; ++s1) {
+    for (std::size_t s2 = s1; s1 + 2 * s2 <= budget; ++s2) {
+      const std::size_t s3 = budget - s1 - s2;
+      if (s3 < s2) continue;
+      for (std::size_t i1 = 0; i1 < counts[s1]; ++i1) {
+        const std::uint64_t h1 = item(s1, i1);
+        const std::size_t i2_begin = s2 == s1 ? i1 : 0;
+        for (std::size_t i2 = i2_begin; i2 < counts[s2]; ++i2) {
+          const std::uint64_t h2 = item(s2, i2);
+          const std::size_t i3_begin = s3 == s2 ? i2 : 0;
+          for (std::size_t i3 = i3_begin; i3 < counts[s3]; ++i3) {
+            emit(combine(h1, h2, item(s3, i3)));
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::uint64_t> checksums_of(
+    const std::vector<std::vector<std::uint64_t>>& stages) {
+  std::vector<std::uint64_t> sums(stages.size(), 0);
+  for (std::size_t k = 0; k < stages.size(); ++k) {
+    std::uint64_t acc = 0;
+    for (std::uint64_t h : stages[k]) acc = fold(acc, h);
+    sums[k] = acc;
+  }
+  return sums;
+}
+
+}  // namespace
+
+ParaffinsResult paraffins_sequential(std::size_t max_carbons) {
+  const auto counts = radical_counts(max_carbons);
+
+  std::vector<std::vector<std::uint64_t>> stages(max_carbons + 1);
+  for (std::size_t n = 0; n <= max_carbons; ++n) {
+    stages[n].reserve(counts[n]);
+    enumerate_stage(
+        n, counts,
+        [&](std::size_t s, std::size_t i) { return stages[s][i]; },
+        [&](std::uint64_t h) { stages[n].push_back(h); });
+    MC_CHECK(stages[n].size() == counts[n],
+             "enumeration disagrees with the counting recurrence");
+  }
+
+  ParaffinsResult result;
+  result.radicals = counts;
+  result.alkanes = alkane_counts(counts, max_carbons);
+  result.radical_checksums = checksums_of(stages);
+  return result;
+}
+
+ParaffinsResult paraffins_pipeline(std::size_t max_carbons,
+                                   std::size_t block_size,
+                                   Execution policy) {
+  const auto counts = radical_counts(max_carbons);
+
+  Pipeline<std::uint64_t> pipeline;
+  for (std::size_t n = 0; n <= max_carbons; ++n) {
+    pipeline.add_stage(
+        counts[n],
+        [n, &counts](Pipeline<std::uint64_t>::Context& ctx) {
+          enumerate_stage(
+              n, counts,
+              [&](std::size_t s, std::size_t i) { return ctx.read(s, i); },
+              [&](std::uint64_t h) { ctx.emit(h); });
+        },
+        block_size);
+  }
+  pipeline.run(policy);
+
+  std::vector<std::vector<std::uint64_t>> stages(max_carbons + 1);
+  for (std::size_t n = 0; n <= max_carbons; ++n) {
+    stages[n] = pipeline.output(n);
+  }
+
+  ParaffinsResult result;
+  result.radicals = counts;
+  result.alkanes = alkane_counts(counts, max_carbons);
+  result.radical_checksums = checksums_of(stages);
+  return result;
+}
+
+}  // namespace monotonic

@@ -1,0 +1,80 @@
+#include "monotonic/algos/sor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace monotonic {
+
+namespace detail {
+
+void sor_half_sweep(Grid2D& grid, std::size_t row_begin, std::size_t row_end,
+                    std::size_t colour, double omega) {
+  const std::size_t cols = grid.cols();
+  for (std::size_t r = row_begin; r < row_end; ++r) {
+    // First interior column of this colour on row r; interior columns
+    // are 1..cols-2.
+    std::size_t c = 1 + ((r + 1 + colour) % 2);
+    for (; c + 1 < cols; c += 2) {
+      const double neighbours = grid.at(r - 1, c) + grid.at(r + 1, c) +
+                                grid.at(r, c - 1) + grid.at(r, c + 1);
+      grid.at(r, c) =
+          (1.0 - omega) * grid.at(r, c) + omega * 0.25 * neighbours;
+    }
+  }
+}
+
+}  // namespace detail
+
+Grid2D sor_sequential(Grid2D grid, const SorOptions& options) {
+  const std::size_t rows = grid.rows();
+  MC_REQUIRE(rows >= 3 && grid.cols() >= 3, "need interior cells");
+  for (std::size_t h = 1; h <= 2 * options.iterations; ++h) {
+    if (options.strip_hook) options.strip_hook(0, h);
+    detail::sor_half_sweep(grid, 1, rows - 1, (h - 1) % 2, options.omega);
+  }
+  return grid;
+}
+
+Grid2D sor_barrier(Grid2D grid, const SorOptions& options) {
+  const std::size_t rows = grid.rows();
+  MC_REQUIRE(rows >= 3 && grid.cols() >= 3, "need interior cells");
+  MC_REQUIRE(options.num_threads >= 1, "need at least one thread");
+
+  const std::size_t interior = rows - 2;
+  const std::size_t strips = std::min(options.num_threads, interior);
+  CentralBarrier barrier(strips);
+
+  multithreaded_for(
+      std::size_t{0}, strips, std::size_t{1},
+      [&](std::size_t s) {
+        const std::size_t begin = 1 + s * interior / strips;
+        const std::size_t end = 1 + (s + 1) * interior / strips;
+        for (std::size_t h = 1; h <= 2 * options.iterations; ++h) {
+          if (options.strip_hook) options.strip_hook(s, h);
+          detail::sor_half_sweep(grid, begin, end, (h - 1) % 2,
+                                 options.omega);
+          barrier.Pass();  // global rendezvous per half-sweep
+        }
+      },
+      Execution::kMultithreaded);
+
+  return grid;
+}
+
+Grid2D sor_ragged(Grid2D grid, const SorOptions& options) {
+  return sor_ragged_with<Counter>(std::move(grid), options);
+}
+
+double sor_residual(const Grid2D& grid) {
+  double total = 0.0;
+  for (std::size_t r = 1; r + 1 < grid.rows(); ++r) {
+    for (std::size_t c = 1; c + 1 < grid.cols(); ++c) {
+      const double neighbours = grid.at(r - 1, c) + grid.at(r + 1, c) +
+                                grid.at(r, c - 1) + grid.at(r, c + 1);
+      total += std::abs(0.25 * neighbours - grid.at(r, c));
+    }
+  }
+  return total;
+}
+
+}  // namespace monotonic

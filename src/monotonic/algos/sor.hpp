@@ -1,0 +1,100 @@
+// sor.hpp — red-black successive over-relaxation on counters.
+//
+// A second physical-simulation workload (§5.1: boundary exchange occurs
+// "in most multithreaded simulations of physical systems").  Solves the
+// Laplace equation on a rectangular grid with fixed boundary values by
+// red-black SOR: each iteration updates the "red" cells ((r+c) even)
+// from their black neighbours in place, then the black cells from red.
+//
+// The counter protocol here is *simpler* than heat1d's 2t-1/2t scheme,
+// and deliberately so: within a half-sweep, red writes touch only red
+// cells and read only black cells, so a strip may overlap freely with
+// its neighbours *inside* a half-sweep — the only dependency is that
+// both neighbours have finished the *previous* half-sweep.  One counter
+// per strip, value = half-sweeps completed, one wait per neighbour per
+// half-sweep.  (Contrast heat1d, whose Jacobi update writes the same
+// cells it exposes, needing the two-phase read/write handshake.)
+//
+// All variants are bit-identical: red-black updates are order-
+// independent within a half-sweep.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "monotonic/algos/heat2d.hpp"  // Grid2D
+#include "monotonic/core/counter.hpp"
+#include "monotonic/core/counter_concept.hpp"
+#include "monotonic/patterns/ragged_barrier.hpp"
+#include "monotonic/support/assert.hpp"
+#include "monotonic/sync/barrier.hpp"
+#include "monotonic/threads/structured.hpp"
+
+namespace monotonic {
+
+struct SorOptions {
+  std::size_t iterations = 100;
+  std::size_t num_threads = 4;
+  double omega = 1.5;  ///< relaxation factor in (0, 2)
+  /// Optional stall per (strip, half_sweep) for imbalance experiments.
+  std::function<void(std::size_t s, std::size_t half_sweep)> strip_hook;
+};
+
+/// Sequential reference.
+Grid2D sor_sequential(Grid2D grid, const SorOptions& options);
+
+/// Strip threads + global barrier per half-sweep (baseline).
+Grid2D sor_barrier(Grid2D grid, const SorOptions& options);
+
+/// Strip threads + one counter per strip.
+Grid2D sor_ragged(Grid2D grid, const SorOptions& options);
+
+/// Sum of |residual| over interior cells — convergence diagnostic.
+double sor_residual(const Grid2D& grid);
+
+namespace detail {
+
+/// Updates the cells of `colour` (0 = red, 1 = black) in rows
+/// [row_begin, row_end), in place.  Shared by every variant so
+/// equivalence is exact.
+void sor_half_sweep(Grid2D& grid, std::size_t row_begin, std::size_t row_end,
+                    std::size_t colour, double omega);
+
+}  // namespace detail
+
+/// sor_ragged generalized over the counter implementation.
+template <CounterLike C>
+Grid2D sor_ragged_with(Grid2D grid, const SorOptions& options) {
+  const std::size_t rows = grid.rows();
+  MC_REQUIRE(rows >= 3 && grid.cols() >= 3, "need interior cells");
+  MC_REQUIRE(options.num_threads >= 1, "need at least one thread");
+
+  const std::size_t interior = rows - 2;
+  const std::size_t strips = std::min(options.num_threads, interior);
+  RaggedBarrier<C> sync(strips);
+
+  multithreaded_for(
+      std::size_t{0}, strips, std::size_t{1},
+      [&](std::size_t s) {
+        const std::size_t begin = 1 + s * interior / strips;
+        const std::size_t end = 1 + (s + 1) * interior / strips;
+        const std::size_t half_sweeps = 2 * options.iterations;
+        for (std::size_t h = 1; h <= half_sweeps; ++h) {
+          if (options.strip_hook) options.strip_hook(s, h);
+          // Neighbours must have completed half-sweep h-1: their halo
+          // rows then carry the opposite colour's final values, and
+          // their concurrent writes in half-sweep h touch only the
+          // colour we are not reading.
+          if (s > 0) sync.wait_for(s - 1, h - 1);
+          if (s + 1 < strips) sync.wait_for(s + 1, h - 1);
+          detail::sor_half_sweep(grid, begin, end, (h - 1) % 2,
+                                 options.omega);
+          sync.arrive(s);
+        }
+      },
+      Execution::kMultithreaded);
+
+  return grid;
+}
+
+}  // namespace monotonic

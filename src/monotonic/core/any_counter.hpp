@@ -1,0 +1,143 @@
+// any_counter.hpp — runtime-polymorphic counter handle.
+//
+// Benches and examples select an implementation by name on the command
+// line; AnyCounter type-erases the four implementations behind one
+// virtual interface.  Hot paths in the library itself stay templated on
+// CounterLike — this wrapper exists only at harness boundaries.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "monotonic/core/broadcast_counter.hpp"
+#include "monotonic/core/counter.hpp"
+#include "monotonic/core/counter_stats.hpp"
+#include "monotonic/core/futex_counter.hpp"
+#include "monotonic/core/hybrid_counter.hpp"
+#include "monotonic/core/spin_counter.hpp"
+#include "monotonic/support/assert.hpp"
+#include "monotonic/support/config.hpp"
+
+namespace monotonic {
+
+enum class CounterKind {
+  kList,        ///< Counter — paper §7 wait-list implementation
+  kListNoPool,  ///< Counter with the node pool disabled (ablation)
+  kSingleCv,    ///< SingleCvCounter — broadcast baseline
+  kFutex,       ///< FutexCounter — kernel-queue implementation
+  kSpin,        ///< SpinCounter — busy-wait implementation
+  kHybrid,      ///< HybridCounter — lock-free fast path + §7 slow path
+};
+
+/// Human-readable name ("list", "list-nopool", "single-cv", ...).
+std::string_view to_string(CounterKind kind);
+
+/// Parses a kind name; throws std::invalid_argument on unknown names.
+CounterKind counter_kind_from_string(std::string_view name);
+
+/// All kinds, in a stable order, for sweeps.
+const std::vector<CounterKind>& all_counter_kinds();
+
+/// Type-erased counter.
+class AnyCounter {
+ public:
+  virtual ~AnyCounter() = default;
+  virtual void Increment(counter_value_t amount) = 0;
+  virtual void Check(counter_value_t level) = 0;
+  virtual void Reset() = 0;
+  virtual CounterStatsSnapshot stats() const = 0;
+  virtual void stats_reset() = 0;
+  virtual CounterKind kind() const = 0;
+};
+
+/// Creates a counter of the given kind.
+std::unique_ptr<AnyCounter> make_counter(CounterKind kind);
+
+namespace detail {
+
+template <typename C, CounterKind K>
+class CounterModel final : public AnyCounter {
+ public:
+  CounterModel() = default;
+  template <typename... Args>
+  explicit CounterModel(Args&&... args) : impl_(std::forward<Args>(args)...) {}
+
+  void Increment(counter_value_t amount) override { impl_.Increment(amount); }
+  void Check(counter_value_t level) override { impl_.Check(level); }
+  void Reset() override { impl_.Reset(); }
+  CounterStatsSnapshot stats() const override { return impl_.stats(); }
+  void stats_reset() override { impl_.stats_reset(); }
+  CounterKind kind() const override { return K; }
+
+  C& impl() { return impl_; }
+
+ private:
+  C impl_;
+};
+
+}  // namespace detail
+
+inline std::string_view to_string(CounterKind kind) {
+  switch (kind) {
+    case CounterKind::kList:
+      return "list";
+    case CounterKind::kListNoPool:
+      return "list-nopool";
+    case CounterKind::kSingleCv:
+      return "single-cv";
+    case CounterKind::kFutex:
+      return "futex";
+    case CounterKind::kSpin:
+      return "spin";
+    case CounterKind::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+inline CounterKind counter_kind_from_string(std::string_view name) {
+  for (CounterKind k : all_counter_kinds()) {
+    if (to_string(k) == name) return k;
+  }
+  MC_REQUIRE(false, "unknown counter kind");
+  return CounterKind::kList;  // unreachable
+}
+
+inline const std::vector<CounterKind>& all_counter_kinds() {
+  static const std::vector<CounterKind> kinds = {
+      CounterKind::kList,  CounterKind::kListNoPool, CounterKind::kSingleCv,
+      CounterKind::kFutex, CounterKind::kSpin,       CounterKind::kHybrid};
+  return kinds;
+}
+
+inline std::unique_ptr<AnyCounter> make_counter(CounterKind kind) {
+  switch (kind) {
+    case CounterKind::kList:
+      return std::make_unique<
+          detail::CounterModel<Counter, CounterKind::kList>>();
+    case CounterKind::kListNoPool: {
+      Counter::Options opts;
+      opts.pool_nodes = false;
+      return std::make_unique<
+          detail::CounterModel<Counter, CounterKind::kListNoPool>>(opts);
+    }
+    case CounterKind::kSingleCv:
+      return std::make_unique<
+          detail::CounterModel<SingleCvCounter, CounterKind::kSingleCv>>();
+    case CounterKind::kFutex:
+      return std::make_unique<
+          detail::CounterModel<FutexCounter, CounterKind::kFutex>>();
+    case CounterKind::kSpin:
+      return std::make_unique<
+          detail::CounterModel<SpinCounter, CounterKind::kSpin>>();
+    case CounterKind::kHybrid:
+      return std::make_unique<
+          detail::CounterModel<HybridCounter, CounterKind::kHybrid>>();
+  }
+  MC_REQUIRE(false, "unknown counter kind");
+  return nullptr;  // unreachable
+}
+
+}  // namespace monotonic

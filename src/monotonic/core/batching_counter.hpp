@@ -1,0 +1,62 @@
+// batching_counter.hpp — per-thread increment batching.
+//
+// §5.3's blocked writer generalized into a counter adapter: a
+// BatchingIncrementer accumulates increments locally and pushes them to
+// the shared counter once `batch_size` units have accrued (or on
+// flush()/destruction).  Readers observe the counter rising in batch
+// steps — coarser dataflow granularity for cheaper synchronization,
+// the same dial as §5.3's blockSize but reusable with ANY counter
+// consumer, not just BroadcastChannel.
+//
+// Semantics note: batching *delays* visibility (value lags the logical
+// total by < batch_size until flushed) but preserves monotonicity and
+// therefore all of §6's determinism machinery — a Check still can't
+// observe a value that later decreases.
+#pragma once
+
+#include "monotonic/core/counter.hpp"
+#include "monotonic/core/counter_concept.hpp"
+#include "monotonic/support/assert.hpp"
+#include "monotonic/support/config.hpp"
+
+namespace monotonic {
+
+/// Thread-local batching front-end for a shared counter.  NOT
+/// thread-safe itself: one incrementer per producing thread.
+template <CounterLike C = Counter>
+class BatchingIncrementer {
+ public:
+  /// Batches `batch_size` units before each push to `counter`.
+  BatchingIncrementer(C& counter, counter_value_t batch_size)
+      : counter_(counter), batch_(batch_size) {
+    MC_REQUIRE(batch_size >= 1, "batch size must be positive");
+  }
+  BatchingIncrementer(const BatchingIncrementer&) = delete;
+  BatchingIncrementer& operator=(const BatchingIncrementer&) = delete;
+
+  /// Flushes any buffered amount on destruction, so no increment is
+  /// ever lost (mirrors BroadcastChannel::Writer).
+  ~BatchingIncrementer() { flush(); }
+
+  void Increment(counter_value_t amount = 1) {
+    pending_ += amount;
+    if (pending_ >= batch_) flush();
+  }
+
+  /// Pushes the buffered amount immediately.
+  void flush() {
+    if (pending_ > 0) {
+      counter_.Increment(pending_);
+      pending_ = 0;
+    }
+  }
+
+  counter_value_t pending() const noexcept { return pending_; }
+
+ private:
+  C& counter_;
+  const counter_value_t batch_;
+  counter_value_t pending_ = 0;
+};
+
+}  // namespace monotonic

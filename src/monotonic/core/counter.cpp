@@ -1,0 +1,255 @@
+#include "monotonic/core/counter.hpp"
+
+#include <limits>
+
+#include "monotonic/support/assert.hpp"
+
+namespace monotonic {
+
+Counter::Counter(const Options& options) : options_(options) {}
+
+Counter::~Counter() {
+  std::scoped_lock lock(m_);
+  MC_CHECK(waiting_ == nullptr, "Counter destroyed with suspended waiters");
+  // Unreached callbacks are dropped, not run: running "reached level L"
+  // callbacks for a level that was never reached would be a lie.
+  while (callbacks_ != nullptr) {
+    CallbackNode* node = callbacks_;
+    callbacks_ = node->next;
+    delete node;
+  }
+  drain_pool();
+}
+
+void Counter::drain_pool() {
+  while (free_list_ != nullptr) {
+    WaitNode* node = free_list_;
+    free_list_ = node->next;
+    delete node;
+  }
+  pool_size_ = 0;
+}
+
+Counter::WaitNode* Counter::acquire_node(counter_value_t level) {
+  WaitNode* node;
+  bool from_pool = false;
+  if (free_list_ != nullptr) {
+    node = free_list_;
+    free_list_ = node->next;
+    --pool_size_;
+    from_pool = true;
+  } else {
+    node = new WaitNode();
+  }
+  node->level = level;
+  node->waiters = 0;
+  node->released = false;
+  node->next = nullptr;
+  stats_.on_node_allocated(from_pool);
+  return node;
+}
+
+void Counter::release_node(WaitNode* node) {
+  stats_.on_node_freed();
+  if (options_.pool_nodes &&
+      (options_.max_pool_size == 0 || pool_size_ < options_.max_pool_size)) {
+    node->next = free_list_;
+    free_list_ = node;
+    ++pool_size_;
+  } else {
+    delete node;
+  }
+}
+
+Counter::WaitNode** Counter::find_insert_position(counter_value_t level) {
+  WaitNode** pos = &waiting_;
+  while (*pos != nullptr && (*pos)->level < level) pos = &(*pos)->next;
+  return pos;
+}
+
+void Counter::Increment(counter_value_t amount) {
+  CallbackNode* reached = nullptr;
+  {
+    std::scoped_lock lock(m_);
+    stats_.on_increment();
+    if (amount == 0) return;
+    MC_REQUIRE(value_ <= std::numeric_limits<counter_value_t>::max() - amount,
+               "counter value overflow");
+    value_ += amount;
+
+    // §7: "removes all nodes with levels less than or equal to the new
+    // counter value from the waiting list.  The condition variable is
+    // set in each of these nodes, which wakes up all threads waiting at
+    // those levels."  The list is ascending, so the released nodes are
+    // exactly a prefix — Increment touches O(released levels) nodes,
+    // never the whole list and never individual waiters.
+    //
+    // notify_all is issued under the lock: a released node may only be
+    // freed by its last waiter, and waiters cannot run until we drop
+    // m_, so the node is guaranteed alive here (a spuriously-woken
+    // waiter observing released==true could otherwise free it
+    // mid-notify).
+    while (waiting_ != nullptr && waiting_->level <= value_) {
+      WaitNode* node = waiting_;
+      waiting_ = node->next;
+      node->released = true;
+      stats_.on_wakeups(node->waiters);
+      stats_.on_notify();
+      node->cv.notify_all();
+    }
+
+    reached = detach_reached_callbacks();
+  }
+  // Callbacks run outside the lock (CP.22): they may re-enter this
+  // counter or any other.
+  run_callback_chain(reached);
+}
+
+void Counter::OnReach(counter_value_t level, std::function<void()> fn) {
+  {
+    std::unique_lock lock(m_);
+    if (value_ < level) {
+      // Insert into the ascending callback list, joining an existing
+      // level node if present (mirrors the wait list).
+      CallbackNode** pos = &callbacks_;
+      while (*pos != nullptr && (*pos)->level < level) pos = &(*pos)->next;
+      if (*pos != nullptr && (*pos)->level == level) {
+        (*pos)->callbacks.push_back(std::move(fn));
+      } else {
+        auto* node = new CallbackNode();
+        node->level = level;
+        node->callbacks.push_back(std::move(fn));
+        node->next = *pos;
+        *pos = node;
+      }
+      return;
+    }
+  }
+  // Level already reached: run here, outside the lock.
+  fn();
+}
+
+Counter::CallbackNode* Counter::detach_reached_callbacks() {
+  CallbackNode* head = nullptr;
+  CallbackNode** tail = &head;
+  while (callbacks_ != nullptr && callbacks_->level <= value_) {
+    CallbackNode* node = callbacks_;
+    callbacks_ = node->next;
+    node->next = nullptr;
+    *tail = node;
+    tail = &node->next;
+  }
+  return head;
+}
+
+void Counter::run_callback_chain(CallbackNode* chain) {
+  while (chain != nullptr) {
+    CallbackNode* node = chain;
+    chain = node->next;
+    for (auto& fn : node->callbacks) fn();
+    delete node;
+  }
+}
+
+void Counter::Check(counter_value_t level) {
+  std::unique_lock lock(m_);
+  stats_.on_check();
+  // Fast path (§7): "Check with a level less than or equal to the
+  // current counter value returns immediately."
+  if (value_ >= level) {
+    stats_.on_fast_check();
+    return;
+  }
+
+  WaitNode** pos = find_insert_position(level);
+  WaitNode* node;
+  if (*pos != nullptr && (*pos)->level == level) {
+    node = *pos;  // join the existing queue for this level
+  } else {
+    node = acquire_node(level);
+    node->next = *pos;
+    *pos = node;
+  }
+  ++node->waiters;
+  stats_.on_suspend();
+
+  // Wait on `released` rather than re-deriving value_ >= level so the
+  // predicate stays correct even across a (misused) Reset.
+  while (!node->released) {
+    node->cv.wait(lock);
+    if (!node->released) stats_.on_spurious_wakeup();
+  }
+
+  stats_.on_resume();
+  // §7: "The thread that decrements the count to zero deallocates the
+  // node."  Increment already unlinked it from the waiting list.
+  if (--node->waiters == 0) release_node(node);
+}
+
+bool Counter::check_until(counter_value_t level,
+                          std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock lock(m_);
+  stats_.on_check();
+  if (value_ >= level) {
+    stats_.on_fast_check();
+    return true;
+  }
+
+  WaitNode** pos = find_insert_position(level);
+  WaitNode* node;
+  if (*pos != nullptr && (*pos)->level == level) {
+    node = *pos;
+  } else {
+    node = acquire_node(level);
+    node->next = *pos;
+    *pos = node;
+  }
+  ++node->waiters;
+  stats_.on_suspend();
+
+  while (!node->released) {
+    if (node->cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      if (node->released) break;  // released at the wire: count as success
+      stats_.on_resume();
+      if (--node->waiters == 0) {
+        // Still linked (only Increment unlinks, and it would have set
+        // released); unlink ourselves to preserve the storage bound.
+        WaitNode** p = &waiting_;
+        while (*p != node) p = &(*p)->next;
+        *p = node->next;
+        release_node(node);
+      }
+      return false;
+    }
+    if (!node->released) stats_.on_spurious_wakeup();
+  }
+
+  stats_.on_resume();
+  if (--node->waiters == 0) release_node(node);
+  return true;
+}
+
+void Counter::Reset() {
+  std::scoped_lock lock(m_);
+  MC_REQUIRE(waiting_ == nullptr,
+             "Reset called while threads are suspended (§2: Reset must not "
+             "run concurrently with other operations)");
+  MC_REQUIRE(callbacks_ == nullptr,
+             "Reset called with pending OnReach callbacks");
+  value_ = 0;
+}
+
+Counter::DebugSnapshot Counter::debug_snapshot() const {
+  std::scoped_lock lock(m_);
+  DebugSnapshot snap;
+  snap.value = value_;
+  for (WaitNode* node = waiting_; node != nullptr; node = node->next) {
+    snap.wait_levels.push_back(DebugWaitLevel{node->level, node->waiters});
+  }
+  for (CallbackNode* node = callbacks_; node != nullptr; node = node->next) {
+    snap.callback_levels.push_back(node->level);
+  }
+  return snap;
+}
+
+}  // namespace monotonic

@@ -1,0 +1,20 @@
+// counter_concept.hpp — the compile-time interface all counter
+// implementations share, for generic algorithms and typed tests.
+#pragma once
+
+#include <concepts>
+
+#include "monotonic/support/config.hpp"
+
+namespace monotonic {
+
+/// Anything with the paper's two fundamental operations.  The patterns
+/// and algos layers are templated on this, so every experiment can be
+/// run against every implementation (E10 ablation).
+template <typename C>
+concept CounterLike = requires(C c, counter_value_t v) {
+  { c.Increment(v) };
+  { c.Check(v) };
+};
+
+}  // namespace monotonic

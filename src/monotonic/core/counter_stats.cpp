@@ -1,0 +1,43 @@
+#include "monotonic/core/counter_stats.hpp"
+
+namespace monotonic {
+
+CounterStatsSnapshot CounterStats::snapshot() const noexcept {
+  CounterStatsSnapshot s;
+#if MONOTONIC_ENABLE_STATS
+  s.increments = increments_.load(std::memory_order_relaxed);
+  s.checks = checks_.load(std::memory_order_relaxed);
+  s.fast_checks = fast_checks_.load(std::memory_order_relaxed);
+  s.suspensions = suspensions_.load(std::memory_order_relaxed);
+  s.wakeups = wakeups_.load(std::memory_order_relaxed);
+  s.notifies = notifies_.load(std::memory_order_relaxed);
+  s.nodes_allocated = nodes_allocated_.load(std::memory_order_relaxed);
+  s.nodes_pooled = nodes_pooled_.load(std::memory_order_relaxed);
+  s.live_nodes = live_nodes_.load(std::memory_order_relaxed);
+  s.max_live_nodes = max_live_nodes_.load(std::memory_order_relaxed);
+  s.max_live_waiters = max_live_waiters_.load(std::memory_order_relaxed);
+  s.spurious_wakeups = spurious_wakeups_.load(std::memory_order_relaxed);
+#endif
+  return s;
+}
+
+void CounterStats::reset() noexcept {
+#if MONOTONIC_ENABLE_STATS
+  increments_.store(0, std::memory_order_relaxed);
+  checks_.store(0, std::memory_order_relaxed);
+  fast_checks_.store(0, std::memory_order_relaxed);
+  suspensions_.store(0, std::memory_order_relaxed);
+  wakeups_.store(0, std::memory_order_relaxed);
+  notifies_.store(0, std::memory_order_relaxed);
+  nodes_allocated_.store(0, std::memory_order_relaxed);
+  nodes_pooled_.store(0, std::memory_order_relaxed);
+  // live_nodes_ / live_waiters_ are levels, not totals; do not reset.
+  max_live_nodes_.store(live_nodes_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  max_live_waiters_.store(live_waiters_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  spurious_wakeups_.store(0, std::memory_order_relaxed);
+#endif
+}
+
+}  // namespace monotonic

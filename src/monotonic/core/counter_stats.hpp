@@ -1,0 +1,118 @@
+// counter_stats.hpp — structural instrumentation for counter implementations.
+//
+// The paper's §7 complexity claim — storage and time proportional to the
+// number of *distinct levels with waiters*, not the number of waiting
+// threads — cannot be validated from wall time alone on a single-core
+// machine.  Every counter implementation therefore maintains these
+// structural counters (relaxed atomics, negligible overhead), and the
+// E5/E6 benches report them directly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "monotonic/support/config.hpp"
+
+namespace monotonic {
+
+/// Plain-value snapshot of CounterStats, safe to copy and compare.
+struct CounterStatsSnapshot {
+  std::uint64_t increments = 0;       ///< Increment() calls
+  std::uint64_t checks = 0;           ///< Check() calls
+  std::uint64_t fast_checks = 0;      ///< Check() satisfied without sleeping
+  std::uint64_t suspensions = 0;      ///< Check() calls that slept
+  std::uint64_t wakeups = 0;          ///< threads woken by Increment()
+  std::uint64_t notifies = 0;         ///< condvar notify_all calls issued
+  std::uint64_t nodes_allocated = 0;  ///< wait nodes created (incl. reused)
+  std::uint64_t nodes_pooled = 0;     ///< allocations served from the pool
+  std::uint64_t live_nodes = 0;       ///< wait nodes currently linked/waited
+  std::uint64_t max_live_nodes = 0;   ///< high-water mark of live_nodes
+  std::uint64_t max_live_waiters = 0; ///< high-water mark of sleeping threads
+  std::uint64_t spurious_wakeups = 0; ///< woken with predicate still false
+};
+
+/// Thread-safe accumulator.  All mutators are relaxed: these are
+/// diagnostics, not synchronization.
+class CounterStats {
+ public:
+  void on_increment() noexcept { bump(increments_); }
+  void on_check() noexcept { bump(checks_); }
+  void on_fast_check() noexcept { bump(fast_checks_); }
+  void on_spurious_wakeup() noexcept { bump(spurious_wakeups_); }
+  void on_notify() noexcept { bump(notifies_); }
+  void on_wakeups(std::uint64_t n) noexcept {
+#if MONOTONIC_ENABLE_STATS
+    wakeups_.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  void on_node_allocated(bool from_pool) noexcept {
+#if MONOTONIC_ENABLE_STATS
+    bump(nodes_allocated_);
+    if (from_pool) bump(nodes_pooled_);
+    const auto live = live_nodes_.fetch_add(1, std::memory_order_relaxed) + 1;
+    raise_max(max_live_nodes_, live);
+#else
+    (void)from_pool;
+#endif
+  }
+
+  void on_node_freed() noexcept {
+#if MONOTONIC_ENABLE_STATS
+    live_nodes_.fetch_sub(1, std::memory_order_relaxed);
+#endif
+  }
+
+  void on_suspend() noexcept {
+#if MONOTONIC_ENABLE_STATS
+    bump(suspensions_);
+    const auto live =
+        live_waiters_.fetch_add(1, std::memory_order_relaxed) + 1;
+    raise_max(max_live_waiters_, live);
+#endif
+  }
+
+  void on_resume() noexcept {
+#if MONOTONIC_ENABLE_STATS
+    live_waiters_.fetch_sub(1, std::memory_order_relaxed);
+#endif
+  }
+
+  CounterStatsSnapshot snapshot() const noexcept;
+  void reset() noexcept;
+
+ private:
+  static void bump(std::atomic<std::uint64_t>& a) noexcept {
+#if MONOTONIC_ENABLE_STATS
+    a.fetch_add(1, std::memory_order_relaxed);
+#else
+    (void)a;
+#endif
+  }
+  static void raise_max(std::atomic<std::uint64_t>& max,
+                        std::uint64_t candidate) noexcept {
+    std::uint64_t cur = max.load(std::memory_order_relaxed);
+    while (candidate > cur &&
+           !max.compare_exchange_weak(cur, candidate,
+                                      std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::uint64_t> increments_{0};
+  std::atomic<std::uint64_t> checks_{0};
+  std::atomic<std::uint64_t> fast_checks_{0};
+  std::atomic<std::uint64_t> suspensions_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
+  std::atomic<std::uint64_t> notifies_{0};
+  std::atomic<std::uint64_t> nodes_allocated_{0};
+  std::atomic<std::uint64_t> nodes_pooled_{0};
+  std::atomic<std::uint64_t> live_nodes_{0};
+  std::atomic<std::uint64_t> max_live_nodes_{0};
+  std::atomic<std::uint64_t> live_waiters_{0};
+  std::atomic<std::uint64_t> max_live_waiters_{0};
+  std::atomic<std::uint64_t> spurious_wakeups_{0};
+};
+
+}  // namespace monotonic

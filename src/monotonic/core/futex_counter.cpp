@@ -1,0 +1,79 @@
+#include "monotonic/core/futex_counter.hpp"
+
+#include <climits>
+#include <limits>
+
+#include "monotonic/support/assert.hpp"
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace monotonic {
+
+namespace {
+
+#if defined(__linux__)
+void futex_wait(std::atomic<std::uint32_t>* addr, std::uint32_t expected) {
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
+          FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
+}
+
+void futex_wake_all(std::atomic<std::uint32_t>* addr) {
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
+          FUTEX_WAKE_PRIVATE, INT_MAX, nullptr, nullptr, 0);
+}
+#else
+void futex_wait(std::atomic<std::uint32_t>* addr, std::uint32_t expected) {
+  addr->wait(expected, std::memory_order_acquire);
+}
+void futex_wake_all(std::atomic<std::uint32_t>* addr) {
+  addr->notify_all();
+}
+#endif
+
+}  // namespace
+
+void FutexCounter::Increment(counter_value_t amount) {
+  stats_.on_increment();
+  if (amount == 0) return;
+  const counter_value_t prev =
+      value_.fetch_add(amount, std::memory_order_release);
+  MC_REQUIRE(prev <= std::numeric_limits<counter_value_t>::max() - amount,
+             "counter value overflow");
+  // Publish-then-wake: bump the notification word after the value so a
+  // waiter that reads the new seq also sees the new value, then wake
+  // everyone sleeping on the word.
+  notify_seq_.fetch_add(1, std::memory_order_release);
+  stats_.on_notify();
+  futex_wake_all(&notify_seq_);
+}
+
+void FutexCounter::Check(counter_value_t level) {
+  stats_.on_check();
+  if (value_.load(std::memory_order_acquire) >= level) {
+    stats_.on_fast_check();
+    return;
+  }
+  stats_.on_suspend();
+  for (;;) {
+    // Snapshot the seq *before* re-reading the value: if an Increment
+    // lands between the two reads, the seq no longer matches and
+    // FUTEX_WAIT returns immediately instead of missing the wakeup.
+    const std::uint32_t seq = notify_seq_.load(std::memory_order_acquire);
+    if (value_.load(std::memory_order_acquire) >= level) break;
+    futex_wait(&notify_seq_, seq);
+    if (value_.load(std::memory_order_acquire) < level) {
+      stats_.on_spurious_wakeup();
+    } else {
+      break;
+    }
+  }
+  stats_.on_resume();
+}
+
+void FutexCounter::Reset() { value_.store(0, std::memory_order_release); }
+
+}  // namespace monotonic

@@ -1,0 +1,116 @@
+#include "monotonic/core/hybrid_counter.hpp"
+
+namespace monotonic {
+
+HybridCounter::~HybridCounter() {
+  std::scoped_lock lock(m_);
+  MC_CHECK(waiting_ == nullptr,
+           "HybridCounter destroyed with suspended waiters");
+}
+
+void HybridCounter::Increment(counter_value_t amount) {
+  stats_.on_increment();
+  if (amount == 0) return;
+  // Overflow is checked BEFORE the fetch_add: a wrapped word would
+  // corrupt the flag bit and cannot be rolled back.  The check is
+  // optimistic (concurrent increments could still overflow between the
+  // load and the add) — like any checked usage error, racing into the
+  // boundary is a caller bug; the check catches the deterministic case.
+  MC_REQUIRE(amount <= kMaxValue &&
+                 (word_.load(std::memory_order_relaxed) >> 1) <=
+                     kMaxValue - amount,
+             "counter value overflow");
+  // Amount occupies the value field (bits 63..1).
+  const counter_value_t prev =
+      word_.fetch_add(amount << 1, std::memory_order_release);
+  if ((prev & kWaitersBit) == 0) return;  // fast path: nobody parked
+
+  // Slow path: waiters may be eligible.  The lock orders us with the
+  // waiter's set-flag/re-check protocol.
+  std::scoped_lock lock(m_);
+  release_reached_locked();
+}
+
+void HybridCounter::release_reached_locked() {
+  const counter_value_t value = word_.load(std::memory_order_acquire) >> 1;
+  while (waiting_ != nullptr && waiting_->level <= value) {
+    WaitNode* node = waiting_;
+    waiting_ = node->next;
+    node->released = true;
+    stats_.on_wakeups(node->waiters);
+    stats_.on_notify();
+    node->cv.notify_all();
+  }
+  if (waiting_ == nullptr) {
+    // List drained: allow future increments back onto the fast path.
+    word_.fetch_and(~kWaitersBit, std::memory_order_relaxed);
+  }
+}
+
+void HybridCounter::Check(counter_value_t level) {
+  stats_.on_check();
+  MC_REQUIRE(level <= kMaxValue, "level exceeds HybridCounter range");
+  if ((word_.load(std::memory_order_acquire) >> 1) >= level) {
+    stats_.on_fast_check();  // lock-free success
+    return;
+  }
+
+  std::unique_lock lock(m_);
+  // Publish intent to sleep, then re-check: any Increment that races
+  // past the flag-set either sees the flag (and will queue behind m_)
+  // or happened before our re-read (and we see its value).
+  word_.fetch_or(kWaitersBit, std::memory_order_relaxed);
+  if ((word_.load(std::memory_order_acquire) >> 1) >= level) {
+    stats_.on_fast_check();
+    // We set the flag but never parked; if the list is empty, clear it
+    // so increments return to the fast path.
+    if (waiting_ == nullptr) {
+      word_.fetch_and(~kWaitersBit, std::memory_order_relaxed);
+    }
+    return;
+  }
+
+  // Park on a per-level node, §7 style.
+  WaitNode** pos = &waiting_;
+  while (*pos != nullptr && (*pos)->level < level) pos = &(*pos)->next;
+  WaitNode* node;
+  WaitNode local;  // stack node: the hybrid counter allocates nothing
+  if (*pos != nullptr && (*pos)->level == level) {
+    node = *pos;
+  } else {
+    node = &local;
+    node->level = level;
+    node->next = *pos;
+    *pos = node;
+    stats_.on_node_allocated(false);
+  }
+  ++node->waiters;
+  stats_.on_suspend();
+  while (!node->released) {
+    node->cv.wait(lock);
+    if (!node->released) stats_.on_spurious_wakeup();
+  }
+  stats_.on_resume();
+  --node->waiters;
+  if (node == &local) {
+    // A stack node dies with its frame; it must have no co-waiters
+    // left.  Co-waiters joined OUR node, so we leave only after them.
+    while (node->waiters != 0) {
+      node->cv.wait(lock);  // released stays true; just wait them out
+    }
+    stats_.on_node_freed();
+  } else if (node->waiters == 0) {
+    // Last leaver of someone else's stack node: wake its owner (who
+    // may be parked in the waiters!=0 loop above).
+    node->cv.notify_all();
+  }
+}
+
+void HybridCounter::Reset() {
+  std::scoped_lock lock(m_);
+  MC_REQUIRE(waiting_ == nullptr,
+             "Reset called while threads are suspended");
+  word_.store(0, std::memory_order_release);
+}
+
+}  // namespace monotonic

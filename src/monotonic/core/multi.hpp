@@ -1,0 +1,71 @@
+// multi.hpp — waiting on several counters at once.
+//
+// A pleasant consequence of monotonicity (§6): a conjunction of counter
+// conditions can be waited for as a *sequence* of Checks, in any order,
+// with no lock-ordering discipline and no possibility of missed
+// wakeups — once value_i >= level_i becomes true it stays true, so
+// checking one counter can never invalidate another already-checked
+// one.  Contrast acquiring multiple locks, where order matters and
+// deadlock looms (C++ Core Guidelines CP.21 exists precisely because
+// of that).
+//
+// There is deliberately no check_any: "first counter to reach its
+// level" is a race on relative timing, which the no-probe rule (§2)
+// excludes from the deterministic core.  A timed check_all_for is
+// provided for integration with non-deterministic outer layers.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <utility>
+
+#include "monotonic/core/counter.hpp"
+#include "monotonic/core/counter_concept.hpp"
+#include "monotonic/support/config.hpp"
+
+namespace monotonic {
+
+/// One (counter, level) conjunct for check_all.
+template <CounterLike C>
+struct CounterCondition {
+  C* counter;
+  counter_value_t level;
+};
+
+/// Suspends until every counter has reached its level.  Order-
+/// independent and deadlock-free by monotonicity.
+template <CounterLike C>
+void check_all(std::span<const CounterCondition<C>> conditions) {
+  for (const auto& cond : conditions) cond.counter->Check(cond.level);
+}
+
+template <CounterLike C>
+void check_all(std::initializer_list<CounterCondition<C>> conditions) {
+  for (const auto& cond : conditions) cond.counter->Check(cond.level);
+}
+
+/// Both counters up to one level each — the common pairwise case
+/// (e.g. §5.1's two-neighbour wait).
+template <CounterLike C>
+void check_both(C& a, counter_value_t level_a, C& b,
+                counter_value_t level_b) {
+  a.Check(level_a);
+  b.Check(level_b);
+}
+
+/// Timed conjunction on the wait-list Counter: true iff every level was
+/// reached before the deadline.  On timeout, counters already checked
+/// stay satisfied (monotonicity), so retrying is cheap.
+template <typename Rep, typename Period>
+bool check_all_for(std::span<const CounterCondition<Counter>> conditions,
+                   std::chrono::duration<Rep, Period> timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (const auto& cond : conditions) {
+    if (!cond.counter->CheckUntil(cond.level, deadline)) return false;
+  }
+  return true;
+}
+
+}  // namespace monotonic

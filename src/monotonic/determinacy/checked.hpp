@@ -1,0 +1,107 @@
+// checked.hpp — shared variables under the determinacy checker.
+//
+// Checked<T> wraps a shared variable and records every read and write
+// against the owning RaceDetector's happens-before order.  A pair of
+// operations on the same variable, at least one of them a write, whose
+// clocks are unordered is exactly a violation of §6's discipline
+// ("each pair of operations on a shared variable must be separated by
+// a transitive chain of counter operations") and produces a RaceReport.
+//
+// The wrapper is a verification harness, not a fast path: every access
+// takes the detector's global lock.  Production code uses plain
+// variables once the checked run is clean — §6's theorem is precisely
+// that one clean execution certifies all executions (for counter-only
+// synchronization).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "monotonic/determinacy/recorder.hpp"
+#include "monotonic/determinacy/report.hpp"
+#include "monotonic/determinacy/vector_clock.hpp"
+
+namespace monotonic {
+
+/// A shared variable whose accesses are checked for §6 discipline.
+template <typename T>
+class Checked {
+ public:
+  Checked(RaceDetector& detector, std::string name, T initial = T{})
+      : detector_(detector), name_(std::move(name)), value_(std::move(initial)) {}
+  Checked(const Checked&) = delete;
+  Checked& operator=(const Checked&) = delete;
+
+  /// Recorded read.  Returns a copy of the current value.
+  T read() const {
+    std::vector<RaceReport> races;
+    T copy;
+    {
+      auto locked = detector_.lock_thread();
+      // write-read race: the last write is not ordered before this read.
+      if (has_write_ && !write_clock_.leq(locked.clock) &&
+          write_thread_ != locked.index) {
+        races.push_back(RaceReport{name_, RaceReport::Kind::kWriteRead,
+                                   write_thread_, locked.index});
+      }
+      reads_[locked.index] = locked.clock;
+      copy = value_;
+    }
+    // record_race re-acquires the detector lock; it must run after the
+    // Locked handle is released.
+    for (auto& r : races) detector_.record_race(std::move(r));
+    return copy;
+  }
+
+  /// Recorded write.
+  void write(T value) {
+    std::vector<RaceReport> races;
+    {
+      auto locked = detector_.lock_thread();
+      if (has_write_ && !write_clock_.leq(locked.clock) &&
+          write_thread_ != locked.index) {
+        races.push_back(RaceReport{name_, RaceReport::Kind::kWriteWrite,
+                                   write_thread_, locked.index});
+      }
+      for (const auto& [tid, clock] : reads_) {
+        if (tid != locked.index && !clock.leq(locked.clock)) {
+          races.push_back(RaceReport{name_, RaceReport::Kind::kReadWrite, tid,
+                                     locked.index});
+        }
+      }
+      reads_.clear();
+      has_write_ = true;
+      write_thread_ = locked.index;
+      write_clock_ = locked.clock;
+      value_ = std::move(value);
+    }
+    for (auto& r : races) detector_.record_race(std::move(r));
+  }
+
+  /// Recorded read-modify-write: write(fn(current)).
+  template <typename Fn>
+  void update(Fn&& fn) {
+    write(fn(read()));
+  }
+
+  /// Raw value without recording an access.  For end-of-run assertions
+  /// after all threads have joined.
+  const T& unchecked() const noexcept { return value_; }
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  RaceDetector& detector_;
+  const std::string name_;
+
+  // All fields below are guarded by the detector's lock (lock_thread()).
+  mutable std::unordered_map<std::size_t, VectorClock> reads_;
+  VectorClock write_clock_;
+  std::size_t write_thread_ = 0;
+  bool has_write_ = false;
+  T value_;
+};
+
+}  // namespace monotonic

@@ -1,0 +1,74 @@
+// checked_array.hpp — an array of shared variables under the checker.
+//
+// The §4/§5 programs share *arrays* (path matrices, cell states, item
+// buffers) with per-element dependency structure; checking them as one
+// Checked<vector> would flag every disjoint-element access pair.
+// CheckedArray tracks each element independently — exactly the
+// granularity at which §6's discipline is stated ("each pair of
+// operations on a shared variable") — so the paper's own programs can
+// be certified at small sizes (see determinacy tests).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "monotonic/determinacy/checked.hpp"
+#include "monotonic/determinacy/recorder.hpp"
+#include "monotonic/support/assert.hpp"
+
+namespace monotonic {
+
+/// Fixed-size array of independently-checked elements.
+template <typename T>
+class CheckedArray {
+ public:
+  CheckedArray(RaceDetector& detector, std::string name, std::size_t size,
+               T initial = T{})
+      : name_(std::move(name)) {
+    cells_.reserve(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      cells_.push_back(std::make_unique<Checked<T>>(
+          detector, name_ + "[" + std::to_string(i) + "]", initial));
+    }
+  }
+  CheckedArray(const CheckedArray&) = delete;
+  CheckedArray& operator=(const CheckedArray&) = delete;
+
+  std::size_t size() const noexcept { return cells_.size(); }
+
+  /// Recorded element read.
+  T read(std::size_t i) const {
+    MC_REQUIRE(i < cells_.size(), "index out of range");
+    return cells_[i]->read();
+  }
+
+  /// Recorded element write.
+  void write(std::size_t i, T value) {
+    MC_REQUIRE(i < cells_.size(), "index out of range");
+    cells_[i]->write(std::move(value));
+  }
+
+  /// Raw element without recording; for post-join assertions.
+  const T& unchecked(std::size_t i) const {
+    MC_REQUIRE(i < cells_.size(), "index out of range");
+    return cells_[i]->unchecked();
+  }
+
+  /// Raw copy of the whole array without recording.
+  std::vector<T> unchecked_snapshot() const {
+    std::vector<T> out;
+    out.reserve(cells_.size());
+    for (const auto& cell : cells_) out.push_back(cell->unchecked());
+    return out;
+  }
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Checked<T>>> cells_;
+};
+
+}  // namespace monotonic

@@ -1,0 +1,115 @@
+#include "monotonic/determinacy/recorder.hpp"
+
+#include <atomic>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+
+namespace monotonic {
+
+namespace {
+
+// Per-OS-thread cache of (detector, epoch) -> index assignments.  The
+// epoch lets reset() invalidate stale indices without touching other
+// threads' storage.
+struct CachedIndex {
+  std::uint64_t epoch;
+  std::size_t index;
+};
+
+std::unordered_map<const RaceDetector*, CachedIndex>& cache() {
+  static thread_local std::unordered_map<const RaceDetector*, CachedIndex> c;
+  return c;
+}
+
+}  // namespace
+
+std::uint64_t RaceDetector::next_epoch() noexcept {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t RaceDetector::thread_index_locked() {
+  auto& c = cache();
+  auto it = c.find(this);
+  if (it != c.end() && it->second.epoch == epoch_ &&
+      it->second.index < clocks_.size()) {
+    return it->second.index;
+  }
+  const std::size_t index = clocks_.size();
+  clocks_.emplace_back();
+  clocks_.back().tick(index);  // every thread starts with one own event
+  c[this] = CachedIndex{epoch_, index};
+  return index;
+}
+
+std::size_t RaceDetector::thread_index() {
+  std::unique_lock lock(m_);
+  return thread_index_locked();
+}
+
+VectorClock RaceDetector::thread_clock() {
+  std::unique_lock lock(m_);
+  return clocks_[thread_index_locked()];
+}
+
+void RaceDetector::release(VectorClock& sync_clock) {
+  std::unique_lock lock(m_);
+  const std::size_t i = thread_index_locked();
+  sync_clock.merge(clocks_[i]);
+  clocks_[i].tick(i);
+}
+
+void RaceDetector::acquire(const VectorClock& sync_clock) {
+  std::unique_lock lock(m_);
+  const std::size_t i = thread_index_locked();
+  clocks_[i].merge(sync_clock);
+  clocks_[i].tick(i);
+}
+
+void RaceDetector::record_race(RaceReport report) {
+  std::unique_lock lock(m_);
+  reports_.push_back(std::move(report));
+}
+
+std::vector<RaceReport> RaceDetector::reports() const {
+  std::unique_lock lock(m_);
+  return reports_;
+}
+
+std::size_t RaceDetector::race_count() const {
+  std::unique_lock lock(m_);
+  return reports_.size();
+}
+
+std::vector<RaceReport> RaceDetector::unique_reports() const {
+  std::unique_lock lock(m_);
+  std::vector<RaceReport> unique;
+  std::set<std::tuple<std::string, int, std::size_t, std::size_t>> seen;
+  for (const auto& r : reports_) {
+    const auto key = std::make_tuple(r.variable, static_cast<int>(r.kind),
+                                     r.first_thread, r.second_thread);
+    if (seen.insert(key).second) unique.push_back(r);
+  }
+  return unique;
+}
+
+std::size_t RaceDetector::known_threads() const {
+  std::unique_lock lock(m_);
+  return clocks_.size();
+}
+
+void RaceDetector::reset() {
+  std::unique_lock lock(m_);
+  clocks_.clear();
+  reports_.clear();
+  epoch_ = next_epoch();
+}
+
+RaceDetector::Locked RaceDetector::lock_thread() {
+  std::unique_lock lock(m_);
+  const std::size_t i = thread_index_locked();
+  return Locked(clocks_[i], i, std::move(lock));
+}
+
+}  // namespace monotonic

@@ -1,0 +1,103 @@
+// recorder.hpp — the dynamic determinacy checker.
+//
+// Operationalises §6: a program whose shared variables are guarded
+// against concurrent operations and whose only synchronization is
+// counter operations is deterministic, and (by Thornley's thesis [21])
+// the guard condition — every conflicting pair separated by a
+// transitive chain of counter operations — need only be verified on
+// *one* execution to hold on all.  RaceDetector verifies it on this
+// execution:
+//
+//   * each participating thread gets a checker index and a vector clock;
+//   * TrackedCounter turns Increment into a clock *release* into the
+//     counter and a passed Check into an *acquire* from it;
+//   * Checked<T> (checked.hpp) records variable accesses and flags any
+//     conflicting pair whose clocks are unordered.
+//
+// Soundness note (DESIGN.md §6.4): the acquire merges everything the
+// counter has accumulated at pass time, which can include increments
+// that were not strictly necessary to reach the level.  That adds
+// edges, so the checker can miss races that only manifest under other
+// schedules of programs *outside* the counter-only discipline; within
+// the discipline §6's theorem makes the observed order canonical.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "monotonic/determinacy/report.hpp"
+#include "monotonic/determinacy/vector_clock.hpp"
+
+namespace monotonic {
+
+/// Collects happens-before state and race reports for one checked
+/// program run.  All methods are thread-safe; the detector serializes
+/// internally (it is a verification tool, not a fast path).
+class RaceDetector {
+ public:
+  RaceDetector() = default;
+  RaceDetector(const RaceDetector&) = delete;
+  RaceDetector& operator=(const RaceDetector&) = delete;
+
+  /// Index of the calling thread, assigned on first use.
+  std::size_t thread_index();
+
+  /// Snapshot of the calling thread's clock (registering it if needed).
+  VectorClock thread_clock();
+
+  // --- hooks used by TrackedCounter ------------------------------------
+  /// Thread releases its clock into sync object `sync_clock`.
+  void release(VectorClock& sync_clock);
+  /// Thread acquires (merges in) `sync_clock`.
+  void acquire(const VectorClock& sync_clock);
+
+  // --- hooks used by Checked<T> ----------------------------------------
+  /// Per-variable access metadata lives in the variable; the detector
+  /// supplies clocks and records reports.
+  void record_race(RaceReport report);
+
+  std::vector<RaceReport> reports() const;
+  std::size_t race_count() const;
+
+  /// Reports deduplicated by (variable, kind, thread pair): one racy
+  /// access pattern in a loop produces one line, not thousands.
+  std::vector<RaceReport> unique_reports() const;
+
+  std::size_t known_threads() const;
+
+  /// Clears reports and all clocks; for reuse between test cases.
+  /// Must not run concurrently with checked program activity.
+  void reset();
+
+  /// Internal: locked access to the calling thread's clock entry.
+  /// Exposed for Checked<T>, which needs read-modify-write under the
+  /// detector lock.
+  class Locked {
+   public:
+    VectorClock& clock;
+    std::size_t index;
+
+   private:
+    friend class RaceDetector;
+    Locked(VectorClock& c, std::size_t i, std::unique_lock<std::mutex> l)
+        : clock(c), index(i), lock_(std::move(l)) {}
+    std::unique_lock<std::mutex> lock_;
+  };
+  Locked lock_thread();
+
+ private:
+  std::size_t thread_index_locked();
+
+  static std::uint64_t next_epoch() noexcept;
+
+  mutable std::mutex m_;
+  std::vector<VectorClock> clocks_;   // indexed by thread index
+  std::vector<RaceReport> reports_;
+  // Process-unique epoch: bumped by reset() to invalidate per-thread
+  // cached indices, and seeded uniquely per detector so a detector
+  // constructed at a reused address cannot match stale cache entries.
+  std::uint64_t epoch_ = next_epoch();
+};
+
+}  // namespace monotonic

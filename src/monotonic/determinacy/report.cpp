@@ -1,0 +1,25 @@
+#include "monotonic/determinacy/report.hpp"
+
+namespace monotonic {
+
+const char* to_string(RaceReport::Kind kind) {
+  switch (kind) {
+    case RaceReport::Kind::kWriteWrite:
+      return "write-write";
+    case RaceReport::Kind::kReadWrite:
+      return "read-write";
+    case RaceReport::Kind::kWriteRead:
+      return "write-read";
+  }
+  return "?";
+}
+
+std::string RaceReport::to_string() const {
+  return std::string("race on '") + variable + "': " +
+         ::monotonic::to_string(kind) + " between thread #" +
+         std::to_string(first_thread) + " and thread #" +
+         std::to_string(second_thread) +
+         " (no transitive chain of counter operations separates them)";
+}
+
+}  // namespace monotonic

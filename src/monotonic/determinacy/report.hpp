@@ -1,0 +1,26 @@
+// report.hpp — race reports produced by the determinacy checker.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace monotonic {
+
+/// One detected violation of the §6 shared-variable discipline: two
+/// operations on the same variable, at least one a write, not separated
+/// by a transitive chain of counter operations.
+struct RaceReport {
+  enum class Kind { kWriteWrite, kReadWrite, kWriteRead };
+
+  std::string variable;     ///< name given at Checked<T> construction
+  Kind kind;
+  std::size_t first_thread;   ///< checker-assigned index of earlier op
+  std::size_t second_thread;  ///< checker-assigned index of later op
+
+  std::string to_string() const;
+};
+
+const char* to_string(RaceReport::Kind kind);
+
+}  // namespace monotonic

@@ -1,0 +1,56 @@
+// tracked_condition.hpp — Condition (one-shot event) under the checker.
+//
+// A Condition is a counter restricted to {0, 1} (event.hpp's header
+// note), so its checker semantics follow directly: Set is a release at
+// level 1, a passed Check is an acquire of the setting thread's clock.
+// With this, the paper's §4.4 condition-array program can be certified
+// alongside the §4.5 counter program (determinacy tests).
+//
+// Idempotent Set: only the FIRST Set's clock is published — the event
+// was enabled by that one; later Sets are no-ops (matching Condition's
+// own semantics and the enabling-prefix rule in tracked_counter.hpp).
+#pragma once
+
+#include <mutex>
+
+#include "monotonic/determinacy/recorder.hpp"
+#include "monotonic/determinacy/vector_clock.hpp"
+#include "monotonic/sync/event.hpp"
+
+namespace monotonic {
+
+/// Checker-instrumented one-shot condition.
+class TrackedCondition {
+ public:
+  explicit TrackedCondition(RaceDetector& detector) : detector_(detector) {}
+  TrackedCondition(const TrackedCondition&) = delete;
+  TrackedCondition& operator=(const TrackedCondition&) = delete;
+
+  void Set() {
+    {
+      std::scoped_lock lock(m_);
+      if (!clock_published_) {
+        detector_.release(clock_);
+        clock_published_ = true;
+      }
+    }
+    impl_.Set();
+  }
+
+  void Check() {
+    impl_.Check();
+    std::scoped_lock lock(m_);
+    detector_.acquire(clock_);
+  }
+
+  Condition& impl() noexcept { return impl_; }
+
+ private:
+  RaceDetector& detector_;
+  Condition impl_;
+  std::mutex m_;
+  VectorClock clock_;
+  bool clock_published_ = false;
+};
+
+}  // namespace monotonic

@@ -1,0 +1,103 @@
+// tracked_counter.hpp — a Counter that feeds the determinacy checker.
+//
+// Wraps any CounterLike implementation and translates its operations
+// into happens-before edges (recorder.hpp):
+//
+//   Increment — *release*: the thread's clock is merged into the
+//               counter's clock history before the value rises, so any
+//               Check enabled by this increment observes it.
+//   Check(L)  — *acquire*: after the underlying Check returns, the
+//               thread merges the cumulative clock of the shortest
+//               prefix of increments (in the counter's serialization
+//               order) whose sum reaches L — exactly the increments
+//               that enabled this check.  Check(0) merges nothing.
+//
+// Merging the enabling prefix rather than everything-so-far matters:
+// with the whole-history merge, a Check(0) that happened to run after
+// an unrelated Increment would appear ordered after it, and the §6
+// example program 3 (two branches both Check(0)) would not be flagged.
+//
+// The clock history grows by one entry per Increment.  TrackedCounter
+// is a verification harness (like Checked<T>), not a production path;
+// §6's theorem is that one clean checked run certifies all runs.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "monotonic/core/counter.hpp"
+#include "monotonic/core/counter_concept.hpp"
+#include "monotonic/determinacy/recorder.hpp"
+#include "monotonic/determinacy/vector_clock.hpp"
+#include "monotonic/support/config.hpp"
+
+namespace monotonic {
+
+/// Checker-instrumented counter.  Semantics are identical to the
+/// wrapped implementation C; only clock bookkeeping is added.
+template <CounterLike C = Counter>
+class TrackedCounter {
+ public:
+  explicit TrackedCounter(RaceDetector& detector) : detector_(detector) {}
+  TrackedCounter(const TrackedCounter&) = delete;
+  TrackedCounter& operator=(const TrackedCounter&) = delete;
+
+  void Increment(counter_value_t amount = 1) {
+    {
+      std::scoped_lock lock(m_);
+      record_release(amount);
+    }
+    impl_.Increment(amount);
+  }
+
+  void Check(counter_value_t level) {
+    impl_.Check(level);
+    if (level == 0) {
+      // Enabled by construction; no increment is acquired, but the
+      // check is still a thread event.
+      detector_.acquire(VectorClock{});
+      return;
+    }
+    VectorClock enabling;
+    {
+      std::scoped_lock lock(m_);
+      // First history entry whose cumulative value reaches `level`.
+      // It exists: impl_.Check(level) returned, so the increments have
+      // been serialized into history_ (release precedes the value
+      // becoming visible).
+      for (const auto& entry : history_) {
+        if (entry.cumulative_value >= level) {
+          enabling = entry.cumulative_clock;
+          break;
+        }
+      }
+    }
+    detector_.acquire(enabling);
+  }
+
+  C& impl() noexcept { return impl_; }
+  RaceDetector& detector() noexcept { return detector_; }
+
+ private:
+  struct HistoryEntry {
+    counter_value_t cumulative_value;
+    VectorClock cumulative_clock;
+  };
+
+  // Requires m_.  Appends the releasing increment to the history.
+  void record_release(counter_value_t amount) {
+    VectorClock merged =
+        history_.empty() ? VectorClock{} : history_.back().cumulative_clock;
+    detector_.release(merged);
+    const counter_value_t base =
+        history_.empty() ? 0 : history_.back().cumulative_value;
+    history_.push_back(HistoryEntry{base + amount, std::move(merged)});
+  }
+
+  RaceDetector& detector_;
+  C impl_;
+  std::mutex m_;  // guards history_ against concurrent Increments
+  std::vector<HistoryEntry> history_;
+};
+
+}  // namespace monotonic

@@ -1,0 +1,66 @@
+// vector_clock.hpp — vector clocks for the determinacy checker.
+//
+// §6 sketches the discipline: "each pair of operations on a shared
+// variable must be separated by a transitive chain of counter
+// operations", and if that holds in one execution it holds in all of
+// them.  The checker (recorder.hpp) verifies the discipline dynamically
+// by maintaining a happens-before partial order; this is its clock type.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace monotonic {
+
+/// Grow-on-demand vector clock.  Component i counts events of the
+/// thread with checker-assigned index i; missing components are zero.
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  std::uint64_t component(std::size_t i) const noexcept {
+    return i < c_.size() ? c_[i] : 0;
+  }
+
+  /// Advances this thread's own component (one event executed).
+  void tick(std::size_t i) {
+    ensure(i + 1);
+    ++c_[i];
+  }
+
+  void set_component(std::size_t i, std::uint64_t v) {
+    ensure(i + 1);
+    c_[i] = v;
+  }
+
+  /// Pointwise maximum (joins knowledge from another clock).
+  void merge(const VectorClock& other) {
+    ensure(other.c_.size());
+    for (std::size_t i = 0; i < other.c_.size(); ++i) {
+      c_[i] = std::max(c_[i], other.c_[i]);
+    }
+  }
+
+  /// True iff this <= other pointwise (this happens-before-or-equals
+  /// other when `this` is an event snapshot and `other` a thread clock).
+  bool leq(const VectorClock& other) const noexcept {
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+      if (c_[i] > other.component(i)) return false;
+    }
+    return true;
+  }
+
+  std::size_t size() const noexcept { return c_.size(); }
+  std::string to_string() const;
+
+ private:
+  void ensure(std::size_t n) {
+    if (c_.size() < n) c_.resize(n, 0);
+  }
+  std::vector<std::uint64_t> c_;
+};
+
+}  // namespace monotonic

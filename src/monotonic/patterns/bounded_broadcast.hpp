@@ -1,0 +1,124 @@
+// bounded_broadcast.hpp — §5.3 broadcast through a fixed-size ring.
+//
+// BroadcastChannel stores the whole sequence (capacity = item count);
+// for long or unbounded streams that is the wrong shape.  This ring
+// combines the paper's two flow-control ideas:
+//
+//   * §5.3 forward flow: readers Check the writer's counter before
+//     reading item i (per-block granularity);
+//   * §5.1-style backward flow: the writer Checks EVERY reader's
+//     counter before overwriting slot i % ring: reader r must have
+//     consumed item i - ring_size first.
+//
+// All counters are monotone cursors — the same structure the LMAX
+// Disruptor builds from "sequences", which the calibration notes cite
+// as this paper's closest production descendant.  Here it falls out of
+// two counter patterns composed.
+//
+// Single writer, fixed reader count, every reader sees every item.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "monotonic/core/counter.hpp"
+#include "monotonic/core/counter_concept.hpp"
+#include "monotonic/support/assert.hpp"
+#include "monotonic/support/cache.hpp"
+#include "monotonic/support/config.hpp"
+
+namespace monotonic {
+
+/// Streaming single-writer broadcast over a ring of `ring_size` slots
+/// to a fixed set of readers.  Total stream length is unbounded.
+template <typename T, CounterLike C = Counter>
+class BoundedBroadcast {
+ public:
+  BoundedBroadcast(std::size_t ring_size, std::size_t num_readers)
+      : ring_(ring_size), consumed_(num_readers) {
+    MC_REQUIRE(ring_size >= 1, "ring must have at least one slot");
+    MC_REQUIRE(num_readers >= 1, "need at least one reader");
+  }
+  BoundedBroadcast(const BoundedBroadcast&) = delete;
+  BoundedBroadcast& operator=(const BoundedBroadcast&) = delete;
+
+  std::size_t ring_size() const noexcept { return ring_.size(); }
+  std::size_t num_readers() const noexcept { return consumed_.size(); }
+
+  /// The single producer.
+  class Writer {
+   public:
+    explicit Writer(BoundedBroadcast& ring) : ring_(ring) {}
+    Writer(const Writer&) = delete;
+    Writer& operator=(const Writer&) = delete;
+
+    /// Publishes item `next`: waits until every reader has consumed
+    /// item next - ring_size (so the slot is reusable), writes, then
+    /// announces.
+    void publish(T item) {
+      const std::size_t i = next_;
+      if (i >= ring_.ring_size()) {
+        const counter_value_t must_have_consumed = i - ring_.ring_size() + 1;
+        for (auto& cursor : ring_.consumed_) {
+          cursor.value.Check(must_have_consumed);
+        }
+      }
+      ring_.ring_[i % ring_.ring_size()] = std::move(item);
+      ++next_;
+      ring_.published_.Increment(1);
+    }
+
+    std::size_t published() const noexcept { return next_; }
+
+   private:
+    BoundedBroadcast& ring_;
+    std::size_t next_ = 0;
+  };
+
+  /// Reader `id`'s cursor.  Items MUST be consumed strictly in order
+  /// (the backward flow counter encodes exactly that).
+  class Reader {
+   public:
+    Reader(BoundedBroadcast& ring, std::size_t id) : ring_(ring), id_(id) {
+      MC_REQUIRE(id < ring.num_readers(), "reader id out of range");
+    }
+    Reader(const Reader&) = delete;
+    Reader& operator=(const Reader&) = delete;
+
+    /// Blocks until the next item is published, consumes it (copying
+    /// out — the slot will be overwritten once ALL readers pass).
+    T consume() {
+      const std::size_t i = next_;
+      ring_.published_.Check(i + 1);
+      T item = ring_.ring_[i % ring_.ring_size()];
+      ++next_;
+      // Announce consumption AFTER copying: the writer may overwrite
+      // the slot as soon as the slowest reader's counter reaches it.
+      ring_.consumed_[id_].value.Increment(1);
+      return item;
+    }
+
+    std::size_t consumed() const noexcept { return next_; }
+
+   private:
+    BoundedBroadcast& ring_;
+    const std::size_t id_;
+    std::size_t next_ = 0;
+  };
+
+  Writer writer() { return Writer(*this); }
+  Reader reader(std::size_t id) { return Reader(*this, id); }
+
+  C& published_counter() noexcept { return published_; }
+  C& consumed_counter(std::size_t id) {
+    MC_REQUIRE(id < consumed_.size(), "reader id out of range");
+    return consumed_[id].value;
+  }
+
+ private:
+  std::vector<T> ring_;
+  C published_;
+  std::vector<CacheAligned<C>> consumed_;  // one cursor per reader
+};
+
+}  // namespace monotonic

@@ -1,0 +1,212 @@
+// broadcast.hpp — §5.3's single-writer multiple-reader broadcast.
+//
+//   "Counters can be used to provide elegant, flexible, and efficient
+//    dataflow synchronization between a single writer and multiple
+//    readers of a sequence of items written to an array.  ...  reading
+//    an item does not remove it from the sequence — each reader
+//    independently reads the entire sequence."
+//
+// BroadcastChannel<T> is that pattern: a fixed-capacity array, ONE
+// counter, one writer cursor, and any number of independent reader
+// cursors, each with its own synchronization granularity (block size).
+// Contrast with BoundedBuffer (sync/bounded_buffer.hpp), where each
+// item is consumed once — the two patterns genuinely differ (§5.3).
+//
+// ConditionPerItemBroadcast is the traditional-mechanism baseline for
+// bench E4: one Condition object per item, the §4.4 strategy scaled to
+// this pattern.  It needs O(items) synchronization objects where the
+// counter needs one.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "monotonic/core/counter.hpp"
+#include "monotonic/core/counter_concept.hpp"
+#include "monotonic/support/assert.hpp"
+#include "monotonic/support/config.hpp"
+#include "monotonic/sync/event.hpp"
+
+namespace monotonic {
+
+/// Thrown by Reader::get when the producer failed before publishing
+/// the requested item (the channel was poisoned).
+class BrokenChannelError : public std::runtime_error {
+ public:
+  BrokenChannelError()
+      : std::runtime_error(
+            "broadcast channel poisoned: the producer failed before "
+            "publishing the requested item") {}
+};
+
+/// Single-writer multiple-reader broadcast over a fixed-size array,
+/// synchronized by one monotonic counter.
+template <typename T, CounterLike C = Counter>
+class BroadcastChannel {
+ public:
+  /// Channel carrying exactly `capacity` items per run.
+  explicit BroadcastChannel(std::size_t capacity)
+      : data_(capacity) {
+    MC_REQUIRE(capacity >= 1, "capacity must be positive");
+  }
+  BroadcastChannel(const BroadcastChannel&) = delete;
+  BroadcastChannel& operator=(const BroadcastChannel&) = delete;
+
+  std::size_t capacity() const noexcept { return data_.size(); }
+  C& counter() noexcept { return count_; }
+
+  /// The single producer.  publish() items in order; the counter is
+  /// incremented once per completed block (§5.3's blocked variant;
+  /// block_size 1 reproduces the per-item variant).  Destroying the
+  /// writer before publishing all `capacity` items flushes the partial
+  /// block, so readers of published items never deadlock.
+  class Writer {
+   public:
+    Writer(BroadcastChannel& channel, std::size_t block_size)
+        : ch_(channel), block_(block_size) {
+      MC_REQUIRE(block_size >= 1, "block size must be positive");
+    }
+    Writer(const Writer&) = delete;
+    Writer& operator=(const Writer&) = delete;
+    ~Writer() { flush(); }
+
+    void publish(T item) {
+      MC_REQUIRE(next_ < ch_.capacity(), "published past channel capacity");
+      ch_.data_[next_] = std::move(item);
+      ++next_;
+      ch_.published_.store(next_, std::memory_order_release);
+      if (next_ % block_ == 0 || next_ == ch_.capacity()) {
+        ch_.count_.Increment(next_ - announced_);
+        announced_ = next_;
+      }
+    }
+
+    /// Announces any buffered partial block immediately.
+    void flush() {
+      if (announced_ < next_) {
+        ch_.count_.Increment(next_ - announced_);
+        announced_ = next_;
+      }
+    }
+
+    /// Marks the channel broken and releases every reader: items
+    /// published so far stay readable, reads past them throw
+    /// BrokenChannelError instead of blocking forever on a producer
+    /// that will never come back.  Call from the producer's failure
+    /// path (Pipeline does this automatically).
+    void poison() {
+      flush();
+      ch_.poisoned_.store(true, std::memory_order_release);
+      // Raise the counter to capacity so every current and future
+      // Check passes; the poisoned flag (set first, published by the
+      // counter's release operation) redirects them to the throw path.
+      ch_.count_.Increment(ch_.capacity() - announced_);
+      announced_ = ch_.capacity();
+    }
+
+    std::size_t published() const noexcept { return next_; }
+
+   private:
+    BroadcastChannel& ch_;
+    const std::size_t block_;
+    std::size_t next_ = 0;       // items written to the array
+    std::size_t announced_ = 0;  // items made visible via the counter
+  };
+
+  /// An independent consumer cursor.  Each reader sees every item, in
+  /// order, synchronizing once per block (readers may use different
+  /// block sizes from the writer and from each other — §5.3: "There is
+  /// no requirement that blockSize be the same in all threads").
+  class Reader {
+   public:
+    Reader(BroadcastChannel& channel, std::size_t block_size)
+        : ch_(channel), block_(block_size) {
+      MC_REQUIRE(block_size >= 1, "block size must be positive");
+    }
+
+    /// Blocks until item i is published, then returns it.  Items must
+    /// be requested in nondecreasing order for block batching to apply;
+    /// random access is allowed but checks per item.
+    const T& get(std::size_t i) {
+      MC_REQUIRE(i < ch_.capacity(), "read past channel capacity");
+      if (i >= synced_) {
+        const std::size_t target =
+            std::min(i - (i % block_) + block_, ch_.capacity());
+        ch_.count_.Check(target);
+        synced_ = target;
+      }
+      if (ch_.poisoned_.load(std::memory_order_acquire) &&
+          i >= ch_.published_.load(std::memory_order_acquire)) {
+        throw BrokenChannelError();
+      }
+      return ch_.data_[i];
+    }
+
+    /// Reads the full sequence, invoking fn(i, item).
+    template <typename Fn>
+    void for_each(Fn&& fn) {
+      for (std::size_t i = 0; i < ch_.capacity(); ++i) fn(i, get(i));
+    }
+
+   private:
+    BroadcastChannel& ch_;
+    const std::size_t block_;
+    std::size_t synced_ = 0;  // counter level known to be reached
+  };
+
+  Writer writer(std::size_t block_size = 1) { return Writer(*this, block_size); }
+  Reader reader(std::size_t block_size = 1) { return Reader(*this, block_size); }
+
+  /// True once a producer failed (poison()).
+  bool poisoned() const noexcept {
+    return poisoned_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> data_;
+  C count_;
+  std::atomic<std::size_t> published_{0};  // items actually written
+  std::atomic<bool> poisoned_{false};
+};
+
+/// Traditional-mechanism baseline: one Condition per item (bench E4).
+/// Same external contract as BroadcastChannel with block size 1.
+template <typename T>
+class ConditionPerItemBroadcast {
+ public:
+  explicit ConditionPerItemBroadcast(std::size_t capacity)
+      : data_(capacity), ready_(capacity) {
+    MC_REQUIRE(capacity >= 1, "capacity must be positive");
+  }
+  ConditionPerItemBroadcast(const ConditionPerItemBroadcast&) = delete;
+  ConditionPerItemBroadcast& operator=(const ConditionPerItemBroadcast&) =
+      delete;
+
+  std::size_t capacity() const noexcept { return data_.size(); }
+
+  void publish(std::size_t i, T item) {
+    MC_REQUIRE(i < data_.size(), "published past capacity");
+    data_[i] = std::move(item);
+    ready_[i].Set();
+  }
+
+  const T& get(std::size_t i) {
+    MC_REQUIRE(i < data_.size(), "read past capacity");
+    ready_[i].Check();
+    return data_[i];
+  }
+
+  /// Number of synchronization objects this baseline allocated — the
+  /// structural cost §5.3 argues counters avoid.
+  std::size_t sync_object_count() const noexcept { return ready_.size(); }
+
+ private:
+  std::vector<T> data_;
+  std::vector<Condition> ready_;  // vector is sized once; Condition is
+                                  // neither movable nor copyable
+};
+
+}  // namespace monotonic

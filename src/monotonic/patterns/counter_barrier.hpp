@@ -1,0 +1,70 @@
+// counter_barrier.hpp — a cyclic N-party barrier built from ONE counter.
+//
+// §1: "a wide variety of sophisticated synchronization patterns can be
+// expressed concisely using only a few counter operations."  A barrier
+// is the simplest demonstration: party arrival is Increment(1), and
+// "round r is complete" is exactly value >= r*N — one counter, no
+// sense-reversal flag, no reset logic, reusable forever (up to 2^64
+// arrivals).
+//
+//   CounterBarrier<> barrier(4);
+//   // per thread:
+//   auto p = barrier.participant();
+//   for (...) { ...; p.Pass(); }
+//
+// Unlike CentralBarrier, a participant handle carries its own round
+// number, so the object itself has no per-round mutable state beyond
+// the counter — the monotone value encodes the entire history.
+#pragma once
+
+#include <cstddef>
+
+#include "monotonic/core/counter.hpp"
+#include "monotonic/core/counter_concept.hpp"
+#include "monotonic/support/assert.hpp"
+#include "monotonic/support/config.hpp"
+
+namespace monotonic {
+
+/// Reusable barrier on a single monotonic counter.
+template <CounterLike C = Counter>
+class CounterBarrier {
+ public:
+  explicit CounterBarrier(std::size_t parties) : parties_(parties) {
+    MC_REQUIRE(parties >= 1, "barrier needs at least one party");
+  }
+  CounterBarrier(const CounterBarrier&) = delete;
+  CounterBarrier& operator=(const CounterBarrier&) = delete;
+
+  /// A party's view of the barrier.  Each of the N threads holds one
+  /// participant and calls Pass() once per round.
+  class Participant {
+   public:
+    /// Arrive and wait for round completion.
+    void Pass() {
+      ++round_;
+      barrier_->arrivals_.Increment(1);
+      barrier_->arrivals_.Check(round_ * barrier_->parties_);
+    }
+
+    /// Rounds this participant has completed.
+    counter_value_t rounds() const noexcept { return round_; }
+
+   private:
+    friend class CounterBarrier;
+    explicit Participant(CounterBarrier* barrier) : barrier_(barrier) {}
+    CounterBarrier* barrier_;
+    counter_value_t round_ = 0;
+  };
+
+  Participant participant() { return Participant(this); }
+
+  std::size_t parties() const noexcept { return parties_; }
+  C& counter() noexcept { return arrivals_; }
+
+ private:
+  const std::size_t parties_;
+  C arrivals_;
+};
+
+}  // namespace monotonic

@@ -1,0 +1,128 @@
+// dataflow_var.hpp — single-assignment variables rebuilt on a counter.
+//
+// §8: counters "extend [the dataflow] model by (i) separating the
+// synchronization and data-holding functionality..."  DataflowVar<T>
+// deliberately recombines them: a write-once slot whose readiness IS a
+// counter at level 1.  Compared to sync/single_assignment.hpp (the
+// classic mutex+condvar sync variable), this version inherits the
+// counter's extras for free:
+//
+//   * get_for(timeout)  — from the counter's timed check;
+//   * then(fn)          — async continuation via OnReach: runs in the
+//                         setter's thread (or immediately if already
+//                         set), no reader thread parked;
+//   * one counter could gate many vars (see DataflowGroup below),
+//     which a per-variable condvar cannot express.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "monotonic/core/counter.hpp"
+#include "monotonic/support/assert.hpp"
+#include "monotonic/support/config.hpp"
+
+namespace monotonic {
+
+/// Write-once dataflow cell on a counter.
+template <typename T>
+class DataflowVar {
+ public:
+  DataflowVar() = default;
+  DataflowVar(const DataflowVar&) = delete;
+  DataflowVar& operator=(const DataflowVar&) = delete;
+
+  /// Publishes the value (exactly once; checked).  Readers blocked in
+  /// get() wake; continuations registered with then() run here.
+  template <typename U>
+  void set(U&& value) {
+    MC_REQUIRE(!slot_.has_value(), "DataflowVar set twice");
+    slot_.emplace(std::forward<U>(value));
+    ready_.Increment(1);
+  }
+
+  /// Blocks until set; returns a reference valid for the cell lifetime.
+  const T& get() const {
+    ready_.Check(1);
+    return *slot_;
+  }
+
+  /// Timed get: nullptr on timeout.
+  template <typename Rep, typename Period>
+  const T* get_for(std::chrono::duration<Rep, Period> timeout) const {
+    if (!ready_.CheckFor(1, timeout)) return nullptr;
+    return &*slot_;
+  }
+
+  /// Runs fn(value) once the value is available — immediately if it
+  /// already is, otherwise in the setter's thread right after set().
+  template <typename Fn>
+  void then(Fn&& fn) {
+    ready_.OnReach(1, [this, fn = std::forward<Fn>(fn)]() mutable {
+      fn(*slot_);
+    });
+  }
+
+  /// The underlying readiness counter (level 1 == set), for composing
+  /// with check_all or external waits.
+  Counter& ready() const noexcept { return ready_; }
+
+ private:
+  mutable Counter ready_;
+  std::optional<T> slot_;
+};
+
+/// N write-once cells gated by ONE counter: cell i is readable once
+/// i+1 values have been published (publication order is the index
+/// order) — §5.3's broadcast array with future-style access.
+template <typename T>
+class DataflowGroup {
+ public:
+  explicit DataflowGroup(std::size_t size) : slots_(size) {
+    MC_REQUIRE(size >= 1, "group must be nonempty");
+  }
+  DataflowGroup(const DataflowGroup&) = delete;
+  DataflowGroup& operator=(const DataflowGroup&) = delete;
+
+  std::size_t size() const noexcept { return slots_.size(); }
+
+  /// Publishes the next cell (cells are set in index order — that is
+  /// what lets one counter express all of their readiness).
+  template <typename U>
+  void set_next(U&& value) {
+    const std::size_t i = next_;
+    MC_REQUIRE(i < slots_.size(), "all cells already set");
+    slots_[i].emplace(std::forward<U>(value));
+    ++next_;
+    ready_.Increment(1);
+  }
+
+  /// Blocks until cell i is set.
+  const T& get(std::size_t i) const {
+    MC_REQUIRE(i < slots_.size(), "index out of range");
+    ready_.Check(i + 1);
+    return *slots_[i];
+  }
+
+  /// Async continuation on cell i.
+  template <typename Fn>
+  void then(std::size_t i, Fn&& fn) {
+    MC_REQUIRE(i < slots_.size(), "index out of range");
+    ready_.OnReach(i + 1, [this, i, fn = std::forward<Fn>(fn)]() mutable {
+      fn(*slots_[i]);
+    });
+  }
+
+  Counter& ready() const noexcept { return ready_; }
+
+ private:
+  mutable Counter ready_;
+  std::vector<std::optional<T>> slots_;
+  std::size_t next_ = 0;  // single writer, per §5.3
+};
+
+}  // namespace monotonic

@@ -1,0 +1,74 @@
+// ragged_grid.hpp — ragged barrier for 2-D stencil decompositions.
+//
+// §5.1: "Similar boundary exchange requirements occur in most
+// multithreaded simulations of physical systems in one or more
+// dimensions."  This is the "or more" part: a grid of row-strips, each
+// owned by one thread, each strip exchanging halo rows with the strips
+// above and below.  The protocol generalizes §5.1's counter phases:
+//
+//   counter value 2t-1  — strip finished READING both halo rows for
+//                         step t (neighbours may overwrite theirs);
+//   counter value 2t    — strip finished WRITING step t (neighbours
+//                         may read).
+//
+// Exactly one counter per strip, independent of the grid size — §5.1's
+// cost argument again.
+#pragma once
+
+#include <cstddef>
+
+#include "monotonic/core/counter.hpp"
+#include "monotonic/core/counter_concept.hpp"
+#include "monotonic/patterns/ragged_barrier.hpp"
+#include "monotonic/support/assert.hpp"
+#include "monotonic/support/config.hpp"
+
+namespace monotonic {
+
+/// Neighbour-sync helper for row-strip decompositions.  Wraps a
+/// RaggedBarrier with the read/write phase protocol so stencil codes
+/// cannot get the 2t-1/2t arithmetic wrong.
+template <CounterLike C = Counter>
+class RaggedStrips {
+ public:
+  explicit RaggedStrips(std::size_t strips) : barrier_(strips) {}
+
+  std::size_t strips() const noexcept { return barrier_.parties(); }
+
+  /// Pre-satisfies a constant strip (e.g. fixed boundary rows) for all
+  /// `steps` time steps.
+  void preload_constant(std::size_t strip, std::size_t steps) {
+    barrier_.preload(strip, 2 * static_cast<counter_value_t>(steps));
+  }
+
+  /// Blocks until both neighbours of `strip` have *completed* step
+  /// t-1, making their halo rows final.  Edge strips skip the missing
+  /// side.
+  void wait_neighbours_written(std::size_t strip, std::size_t t) {
+    const auto level = 2 * static_cast<counter_value_t>(t) - 2;
+    if (strip > 0) barrier_.wait_for(strip - 1, level);
+    if (strip + 1 < strips()) barrier_.wait_for(strip + 1, level);
+  }
+
+  /// Announces that `strip` has finished reading its halo rows for
+  /// step t (value becomes 2t-1).
+  void done_reading(std::size_t strip) { barrier_.arrive(strip); }
+
+  /// Blocks until both neighbours have finished *reading* for step t,
+  /// so overwriting this strip's halo rows cannot lose data.
+  void wait_neighbours_read(std::size_t strip, std::size_t t) {
+    const auto level = 2 * static_cast<counter_value_t>(t) - 1;
+    if (strip > 0) barrier_.wait_for(strip - 1, level);
+    if (strip + 1 < strips()) barrier_.wait_for(strip + 1, level);
+  }
+
+  /// Announces that `strip` has completed step t (value becomes 2t).
+  void done_writing(std::size_t strip) { barrier_.arrive(strip); }
+
+  RaggedBarrier<C>& barrier() noexcept { return barrier_; }
+
+ private:
+  RaggedBarrier<C> barrier_;
+};
+
+}  // namespace monotonic

@@ -1,0 +1,97 @@
+// reduction.hpp — deterministic parallel reduction on counters.
+//
+// §5.2 buys determinism for non-associative accumulation by
+// *serializing*: section i waits for section i-1.  When the operation
+// is non-associative but the reduction ORDER merely has to be fixed
+// (not left-to-right), there is a better trade: combine in a fixed
+// binary tree.  The parenthesization is a function of the input length
+// alone, so the result is identical on every schedule and thread count
+// — deterministic like the sequencer, parallel like the lock version.
+//
+// Synchronization is the §1 dataflow idiom via TaskGraph: one counter
+// per internal tree node; each combine waits on its two children.
+//
+//   fp sum:      tree_reduce(values, std::plus<>{}, threads)
+//   reproducible min/argmin, string concat, matrix chains, ...
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "monotonic/patterns/task_graph.hpp"
+#include "monotonic/support/assert.hpp"
+
+namespace monotonic {
+
+/// Reference parenthesization: the same fixed tree, evaluated
+/// sequentially.  tree_reduce is defined to equal this exactly.
+template <typename T, typename Fn>
+T tree_reduce_sequential(std::vector<T> values, Fn&& combine) {
+  MC_REQUIRE(!values.empty(), "reduction of an empty range");
+  // Level-by-level pairwise combination; odd tail elements pass
+  // through unchanged.  (combine(a, b) keeps argument order: a is the
+  // lower-indexed subtree.)
+  while (values.size() > 1) {
+    std::vector<T> next;
+    next.reserve((values.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < values.size(); i += 2) {
+      next.push_back(combine(values[i], values[i + 1]));
+    }
+    if (values.size() % 2 == 1) next.push_back(values.back());
+    values = std::move(next);
+  }
+  return values.front();
+}
+
+/// Parallel fixed-tree reduction: bit-identical to
+/// tree_reduce_sequential for every thread count and schedule.
+template <typename T, typename Fn>
+T tree_reduce(const std::vector<T>& values, Fn&& combine,
+              std::size_t num_threads) {
+  MC_REQUIRE(!values.empty(), "reduction of an empty range");
+  MC_REQUIRE(num_threads >= 1, "need at least one thread");
+  if (values.size() == 1) return values.front();
+
+  // Slots hold intermediate results; level l's slots are appended
+  // after level l-1's, and every combine task depends on the tasks
+  // that produced its two inputs — expressed directly in TaskGraph.
+  std::vector<T> slots = values;
+  std::vector<TaskGraph<>::TaskId> producer(values.size());
+
+  TaskGraph<> graph;
+  // Leaves: trivial tasks so inner nodes have uniform dependencies.
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    producer[i] = graph.add_task([] {});
+  }
+
+  std::vector<std::size_t> level_slots(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) level_slots[i] = i;
+
+  while (level_slots.size() > 1) {
+    std::vector<std::size_t> next_slots;
+    next_slots.reserve((level_slots.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level_slots.size(); i += 2) {
+      const std::size_t left = level_slots[i];
+      const std::size_t right = level_slots[i + 1];
+      const std::size_t out = slots.size();
+      slots.push_back(T{});
+      const auto task = graph.add_task(
+          [&slots, &combine, left, right, out] {
+            slots[out] = combine(slots[left], slots[right]);
+          },
+          {producer[left], producer[right]});
+      producer.push_back(task);  // slot `out` aligns with this entry
+      next_slots.push_back(out);
+    }
+    if (level_slots.size() % 2 == 1) {
+      next_slots.push_back(level_slots.back());
+    }
+    level_slots = std::move(next_slots);
+  }
+
+  graph.run(num_threads);
+  return slots[level_slots.front()];
+}
+
+}  // namespace monotonic

@@ -1,0 +1,100 @@
+// task_graph.hpp — static task DAGs scheduled with one counter per task.
+//
+// The paper's §1 framing — "Check operations can be used to express
+// data dependencies and Increment operations can be used to broadcast
+// the availability of data to a set of waiting threads" — in its most
+// literal form: a directed acyclic graph of tasks where task i runs
+// after its predecessors.  Each task owns a counter; finishing is
+// Increment(1); depending is Check(1) on each predecessor.  Any number
+// of successors wait on the same counter (the broadcast), and the
+// whole schedule is deterministic (§6).
+//
+// Execution model: tasks are indexed 0..n-1 with every dependency
+// pointing to a smaller index (enforced at add_task); worker t runs
+// tasks t, t+T, t+2T, ... in increasing order.  Deadlock-freedom is
+// the §4.5 induction: the smallest unfinished task has all
+// dependencies finished, and its owner reaches it after only smaller
+// tasks of its own.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "monotonic/core/counter.hpp"
+#include "monotonic/core/counter_concept.hpp"
+#include "monotonic/support/assert.hpp"
+#include "monotonic/threads/structured.hpp"
+
+namespace monotonic {
+
+/// A run-once DAG of tasks synchronized entirely by counters.
+template <CounterLike C = Counter>
+class TaskGraph {
+ public:
+  using TaskId = std::size_t;
+
+  TaskGraph() = default;
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Adds a task depending on earlier tasks only (checked); returns its
+  /// id.  The dependency-on-earlier rule both guarantees acyclicity and
+  /// makes the cyclic worker assignment deadlock-free.
+  TaskId add_task(std::function<void()> body,
+                  std::vector<TaskId> dependencies = {}) {
+    MC_REQUIRE(!ran_, "task graph already ran");
+    const TaskId id = tasks_.size();
+    for (TaskId dep : dependencies) {
+      MC_REQUIRE(dep < id, "dependencies must reference earlier tasks");
+    }
+    tasks_.push_back(Task{std::move(body), std::move(dependencies),
+                          std::make_unique<C>()});
+    return id;
+  }
+
+  std::size_t size() const noexcept { return tasks_.size(); }
+
+  /// Runs every task exactly once on `num_threads` workers, honouring
+  /// all dependencies.  Blocks until the whole graph has finished.
+  void run(std::size_t num_threads) {
+    MC_REQUIRE(!ran_, "task graph already ran");
+    MC_REQUIRE(num_threads >= 1, "need at least one worker");
+    ran_ = true;
+    if (tasks_.empty()) return;
+    const std::size_t workers = std::min(num_threads, tasks_.size());
+
+    multithreaded_for(
+        std::size_t{0}, workers, std::size_t{1},
+        [&](std::size_t t) {
+          for (TaskId id = t; id < tasks_.size(); id += workers) {
+            Task& task = tasks_[id];
+            for (TaskId dep : task.dependencies) {
+              tasks_[dep].done->Check(1);
+            }
+            task.body();
+            task.done->Increment(1);
+          }
+        },
+        Execution::kMultithreaded);
+  }
+
+  /// The counter of a task, e.g. for external consumers of its output.
+  C& done_counter(TaskId id) {
+    MC_REQUIRE(id < tasks_.size(), "task id out of range");
+    return *tasks_[id].done;
+  }
+
+ private:
+  struct Task {
+    std::function<void()> body;
+    std::vector<TaskId> dependencies;
+    std::unique_ptr<C> done;  // value 1 once the task has finished
+  };
+
+  std::vector<Task> tasks_;
+  bool ran_ = false;
+};
+
+}  // namespace monotonic

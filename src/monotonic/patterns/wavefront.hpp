@@ -1,0 +1,59 @@
+// wavefront.hpp — 2-D wavefront (dataflow) execution on counters.
+//
+// An extension of the §4 Floyd-Warshall idea to the classic wavefront
+// dependence pattern: cell (r, c) depends on (r-1, c) and (r, c-1), as
+// in dynamic-programming kernels (LCS, Smith-Waterman, SOR sweeps).
+//
+// One counter per row — the paper's signature move of replacing an
+// array of per-cell events with one multi-level object per row:
+// row r's counter value is the number of cells of row r completed, so
+// "cell (r-1, c) is done" is exactly rows[r-1].Check(c+1).  Threads own
+// whole rows (block-cyclic), and faster rows run ahead as far as the
+// data dependencies allow — a 2-D ragged barrier.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "monotonic/core/counter.hpp"
+#include "monotonic/core/counter_concept.hpp"
+#include "monotonic/support/assert.hpp"
+#include "monotonic/support/cache.hpp"
+#include "monotonic/threads/structured.hpp"
+
+namespace monotonic {
+
+/// Executes body(r, c) for every cell of a rows × cols grid, honouring
+/// dependencies (r-1, c) → (r, c) and (c-1 precedes c within a row via
+/// program order).  `num_threads` threads own rows cyclically.
+///
+/// Always runs multithreaded: like §4.5's Floyd-Warshall (and unlike
+/// the §5.2/§5.3 patterns), a thread may wait on a row owned by a
+/// not-yet-scheduled thread, so "execution ignoring the multithreaded
+/// keyword" deadlocks — the program is deterministic (§6) but not
+/// sequentially executable.  Deterministic results are still easy to
+/// test: every schedule produces the same output.
+template <CounterLike C = Counter, typename Fn>
+void wavefront_rows(std::size_t rows, std::size_t cols,
+                    std::size_t num_threads, Fn&& body) {
+  MC_REQUIRE(rows >= 1 && cols >= 1, "grid must be nonempty");
+  MC_REQUIRE(num_threads >= 1, "need at least one thread");
+
+  std::vector<CacheAligned<C>> row_done(rows);
+
+  multithreaded_for(
+      std::size_t{0}, num_threads, std::size_t{1},
+      [&](std::size_t t) {
+        for (std::size_t r = t; r < rows; r += num_threads) {
+          for (std::size_t c = 0; c < cols; ++c) {
+            // Wait for the cell above; left neighbour is program order.
+            if (r > 0) row_done[r - 1].value.Check(c + 1);
+            body(r, c);
+            row_done[r].value.Increment(1);
+          }
+        }
+      },
+      Execution::kMultithreaded);
+}
+
+}  // namespace monotonic

@@ -1,0 +1,37 @@
+#include "monotonic/support/affinity.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace monotonic {
+
+std::size_t num_cpus() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+bool pin_this_thread(std::size_t cpu) noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % num_cpus(), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+void name_this_thread(const std::string& name) noexcept {
+#if defined(__linux__)
+  pthread_setname_np(pthread_self(), name.substr(0, 15).c_str());
+#else
+  (void)name;
+#endif
+}
+
+}  // namespace monotonic

@@ -1,0 +1,24 @@
+// affinity.hpp — CPU topology queries and thread pinning.
+//
+// Benches optionally pin worker threads so run-to-run variance comes
+// from the synchronization under test rather than the scheduler.  On
+// the single-core reproduction machine pinning is a no-op, but the API
+// is kept so the harness is portable to real SMPs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace monotonic {
+
+/// Number of logical CPUs usable by this process.
+std::size_t num_cpus() noexcept;
+
+/// Pins the calling thread to the given logical CPU (modulo num_cpus()).
+/// Returns false (without throwing) if the platform call fails.
+bool pin_this_thread(std::size_t cpu) noexcept;
+
+/// Best-effort thread naming for debuggers/profilers (<=15 chars used).
+void name_this_thread(const std::string& name) noexcept;
+
+}  // namespace monotonic

@@ -1,0 +1,50 @@
+// assert.hpp — internal assertion macros.
+//
+// MC_ASSERT   — debug-only invariant check (compiled out in NDEBUG).
+// MC_CHECK    — always-on check; aborts with a message on failure.
+// MC_REQUIRE  — precondition check on public API entry points; throws
+//               std::invalid_argument so callers can recover and tests
+//               can assert on misuse.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace monotonic::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "monotonic: check failed: %s at %s:%d%s%s\n", expr,
+               file, line, msg && *msg ? ": " : "", msg ? msg : "");
+  std::abort();
+}
+
+[[noreturn]] inline void require_fail(const char* expr, const char* msg) {
+  throw std::invalid_argument(std::string("monotonic: precondition failed: ") +
+                              expr + (msg && *msg ? ": " : "") +
+                              (msg ? msg : ""));
+}
+
+}  // namespace monotonic::detail
+
+#define MC_CHECK(expr, msg)                                            \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::monotonic::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define MC_ASSERT(expr, msg) ((void)0)
+#else
+#define MC_ASSERT(expr, msg) MC_CHECK(expr, msg)
+#endif
+
+#define MC_REQUIRE(expr, msg)                                \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::monotonic::detail::require_fail(#expr, msg);         \
+    }                                                        \
+  } while (0)

@@ -1,0 +1,38 @@
+// cache.hpp — cache-line geometry helpers.
+//
+// Synchronization-heavy data structures pad hot fields to distinct cache
+// lines to avoid false sharing (C++ Core Guidelines CP; Herlihy & Shavit
+// ch. 7).  libstdc++ does not always expose
+// std::hardware_destructive_interference_size, so we provide a portable
+// constant.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace monotonic {
+
+// A fixed 64 rather than std::hardware_destructive_interference_size:
+// the library's ABI must not vary with -mtune (GCC's -Winterference-size
+// rationale), and 64 is correct for every x86-64 and mainstream AArch64
+// part this targets.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps T so that distinct CacheAligned<T> objects in an array never
+/// share a cache line.  Used for per-thread slots in barriers and the
+/// ragged-barrier counter array.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value{};
+
+  CacheAligned() = default;
+  explicit CacheAligned(const T& v) : value(v) {}
+  explicit CacheAligned(T&& v) : value(static_cast<T&&>(v)) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+}  // namespace monotonic

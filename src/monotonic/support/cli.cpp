@@ -1,0 +1,80 @@
+#include "monotonic/support/cli.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "monotonic/support/assert.hpp"
+
+namespace monotonic {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  MC_REQUIRE(argc >= 1, "argv must contain the program name");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.size() >= 2 && arg.substr(0, 2) == "--") {
+      const auto eq = arg.find('=');
+      if (eq == std::string_view::npos) {
+        options_.push_back(Option{std::string(arg.substr(2)), "", false});
+      } else {
+        options_.push_back(Option{std::string(arg.substr(2, eq - 2)),
+                                  std::string(arg.substr(eq + 1)), true});
+      }
+    } else {
+      positionals_.emplace_back(arg);
+    }
+  }
+}
+
+std::uint64_t CliArgs::parse_u64(const std::string& text) {
+  std::uint64_t value = 0;
+  const auto* begin = text.data();
+  const auto* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || text.empty()) {
+    throw std::invalid_argument("not a nonnegative integer: '" + text + "'");
+  }
+  return value;
+}
+
+std::uint64_t CliArgs::positional_u64(std::size_t i,
+                                      std::uint64_t fallback) const {
+  if (i >= positionals_.size()) return fallback;
+  return parse_u64(positionals_[i]);
+}
+
+std::string CliArgs::positional_str(std::size_t i,
+                                    std::string fallback) const {
+  if (i >= positionals_.size()) return fallback;
+  return positionals_[i];
+}
+
+std::optional<std::uint64_t> CliArgs::option_u64(std::string_view key) const {
+  for (const auto& opt : options_) {
+    if (opt.key == key && opt.has_value) return parse_u64(opt.value);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> CliArgs::option_str(std::string_view key) const {
+  for (const auto& opt : options_) {
+    if (opt.key == key && opt.has_value) return opt.value;
+  }
+  return std::nullopt;
+}
+
+bool CliArgs::has_flag(std::string_view key) const {
+  for (const auto& opt : options_) {
+    if (opt.key == key) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> CliArgs::option_keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(options_.size());
+  for (const auto& opt : options_) keys.push_back(opt.key);
+  return keys;
+}
+
+}  // namespace monotonic

@@ -1,0 +1,61 @@
+// cli.hpp — minimal command-line parsing for the examples and benches.
+//
+// Positional-with-defaults plus --key=value flags; just enough that
+// every example binary validates input the same way and prints a
+// uniform usage line.  Not a general-purpose library — a shared
+// harness utility.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace monotonic {
+
+/// Parsed argv: positionals in order, --key=value / --flag options.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  const std::string& program() const noexcept { return program_; }
+  std::size_t positional_count() const noexcept {
+    return positionals_.size();
+  }
+
+  /// Positional i as u64, or `fallback` if absent.  Throws
+  /// std::invalid_argument on malformed or out-of-range input.
+  std::uint64_t positional_u64(std::size_t i, std::uint64_t fallback) const;
+
+  /// Positional i as a string, or `fallback` if absent.
+  std::string positional_str(std::size_t i, std::string fallback) const;
+
+  /// --key=value as u64; nullopt when the option is absent.
+  std::optional<std::uint64_t> option_u64(std::string_view key) const;
+
+  /// --key=value as string; nullopt when absent.
+  std::optional<std::string> option_str(std::string_view key) const;
+
+  /// True iff --key appears (with or without a value).
+  bool has_flag(std::string_view key) const;
+
+  /// Unrecognized option keys, for strict binaries that reject typos.
+  std::vector<std::string> option_keys() const;
+
+ private:
+  struct Option {
+    std::string key;
+    std::string value;  // empty for bare --flag
+    bool has_value;
+  };
+
+  static std::uint64_t parse_u64(const std::string& text);
+
+  std::string program_;
+  std::vector<std::string> positionals_;
+  std::vector<Option> options_;
+};
+
+}  // namespace monotonic

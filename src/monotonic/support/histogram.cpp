@@ -1,0 +1,18 @@
+#include "monotonic/support/histogram.hpp"
+
+#include <sstream>
+
+namespace monotonic {
+
+std::string Log2Histogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const std::uint64_t lo = i == 0 ? 0 : (1ull << i);
+    os << '[' << lo << ", " << upper_bound_of(i) << "]: " << buckets_[i]
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace monotonic

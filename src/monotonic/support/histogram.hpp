@@ -1,0 +1,70 @@
+// histogram.hpp — log2-bucketed histogram for latency distributions.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace monotonic {
+
+/// Histogram over uint64 values with one bucket per power of two.
+/// add() is lock-free relative to nothing — callers synchronize
+/// externally or keep one histogram per thread and merge().
+class Log2Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void add(std::uint64_t value) noexcept {
+    ++buckets_[bucket_of(value)];
+    ++count_;
+    sum_ += value;
+  }
+
+  void merge(const Log2Histogram& other) noexcept {
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  double mean() const noexcept {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  std::uint64_t bucket(std::size_t i) const noexcept { return buckets_[i]; }
+
+  /// Upper bound (inclusive) of the value whose cumulative frequency
+  /// first reaches fraction q, at bucket resolution.
+  std::uint64_t quantile_bound(double q) const noexcept {
+    if (count_ == 0) return 0;
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen > target) return upper_bound_of(i);
+    }
+    return upper_bound_of(kBuckets - 1);
+  }
+
+  /// Multi-line "bucket: count" rendering, skipping empty buckets.
+  std::string to_string() const;
+
+  static std::size_t bucket_of(std::uint64_t value) noexcept {
+    if (value == 0) return 0;
+    return static_cast<std::size_t>(64 - __builtin_clzll(value)) - 1;
+  }
+
+  static std::uint64_t upper_bound_of(std::size_t bucket) noexcept {
+    return bucket >= 63 ? ~0ull : (2ull << bucket) - 1;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+}  // namespace monotonic

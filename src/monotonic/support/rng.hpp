@@ -1,0 +1,111 @@
+// rng.hpp — small deterministic PRNGs for workload generation.
+//
+// Benchmarks and tests must be reproducible run-to-run, so all workload
+// generators take an explicit seed and use these engines rather than
+// std::random_device.  xoshiro256** is the general-purpose engine;
+// SplitMix64 seeds it and serves as a cheap per-thread stream splitter.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace monotonic {
+
+/// SplitMix64 (Steele, Lea, Flood 2014).  Used for seeding and for
+/// cheap stateless hashing of indices into pseudo-random values.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna 2018).
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm();
+  }
+
+  constexpr std::uint64_t operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive), by 64x64->128 multiply-
+  /// high (Lemire-style; the negligible bias is irrelevant for workload
+  /// generation).  The multiply-high is done in 64-bit halves to stay
+  /// within standard C++.
+  constexpr std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept {
+    const std::uint64_t range = hi - lo + 1;
+    if (range == 0) return (*this)();  // full 64-bit range
+    return lo + mulhi64((*this)(), range);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  /// High 64 bits of a 64x64 product, via four 32x32 partials.
+  static constexpr std::uint64_t mulhi64(std::uint64_t a,
+                                         std::uint64_t b) noexcept {
+    const std::uint64_t a_lo = a & 0xffffffffull, a_hi = a >> 32;
+    const std::uint64_t b_lo = b & 0xffffffffull, b_hi = b >> 32;
+    const std::uint64_t lo_lo = a_lo * b_lo;
+    const std::uint64_t hi_lo = a_hi * b_lo;
+    const std::uint64_t lo_hi = a_lo * b_hi;
+    const std::uint64_t hi_hi = a_hi * b_hi;
+    const std::uint64_t carry =
+        ((lo_lo >> 32) + (hi_lo & 0xffffffffull) + (lo_hi & 0xffffffffull)) >>
+        32;
+    return hi_hi + (hi_lo >> 32) + (lo_hi >> 32) + carry;
+  }
+
+  std::uint64_t s_[4];
+};
+
+/// Deterministically hashes (seed, index) to a 64-bit value.  Handy for
+/// generating the i-th workload item without shared RNG state.
+constexpr std::uint64_t hash_index(std::uint64_t seed,
+                                   std::uint64_t index) noexcept {
+  SplitMix64 sm(seed ^ (index * 0x9e3779b97f4a7c15ull + 0x7f4a7c15ull));
+  return sm();
+}
+
+}  // namespace monotonic

@@ -1,0 +1,60 @@
+// spin_wait.hpp — adaptive busy-wait helper.
+//
+// SpinWait escalates from CPU pause instructions to std::this_thread::yield
+// to a short sleep, so spin-based primitives (SpinCounter, AtomicBarrier,
+// SpinLock) behave tolerably even when oversubscribed — which on the
+// single-core reproduction machine is the common case.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace monotonic {
+
+/// Issues one architecture-appropriate pause/relax instruction.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("isb" ::: "memory");
+#else
+  // Fallback: compiler barrier only.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Adaptive spinner.  Call once() in a polling loop:
+///   - first kPauseIterations calls: exponentially more pause instructions;
+///   - next kYieldIterations calls: sched yield;
+///   - afterwards: 100us sleeps (the waiter is clearly long-term).
+class SpinWait {
+ public:
+  static constexpr std::uint32_t kPauseIterations = 10;  // up to 2^10 pauses
+  static constexpr std::uint32_t kYieldIterations = 20;
+
+  void once() noexcept {
+    if (count_ < kPauseIterations) {
+      for (std::uint32_t i = 0; i < (1u << count_); ++i) cpu_relax();
+    } else if (count_ < kPauseIterations + kYieldIterations) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    ++count_;
+  }
+
+  /// Number of times once() has been called since construction/reset.
+  std::uint32_t spins() const noexcept { return count_; }
+
+  void reset() noexcept { count_ = 0; }
+
+ private:
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace monotonic

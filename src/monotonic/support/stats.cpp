@@ -1,0 +1,45 @@
+#include "monotonic/support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace monotonic {
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+namespace {
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+SampleSummary summarize(const std::vector<double>& samples) {
+  SampleSummary s;
+  if (samples.empty()) return s;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  RunningStats rs;
+  for (double x : sorted) rs.add(x);
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p50 = percentile(sorted, 0.50);
+  s.p90 = percentile(sorted, 0.90);
+  s.p99 = percentile(sorted, 0.99);
+  return s;
+}
+
+}  // namespace monotonic

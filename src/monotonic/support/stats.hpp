@@ -1,0 +1,55 @@
+// stats.hpp — summary statistics for bench output.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace monotonic {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+  void reset() noexcept { *this = RunningStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile summary of a sample set.  Computed once over a copy;
+/// intended for bench post-processing, not hot paths.
+struct SampleSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Builds a SampleSummary from raw samples.  The input is copied and
+/// sorted internally; an empty input yields an all-zero summary.
+SampleSummary summarize(const std::vector<double>& samples);
+
+}  // namespace monotonic

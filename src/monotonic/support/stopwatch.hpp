@@ -1,0 +1,41 @@
+// stopwatch.hpp — steady-clock stopwatch for benches and tests.
+#pragma once
+
+#include <chrono>
+
+namespace monotonic {
+
+/// Monotonic stopwatch.  Starts running at construction.
+class Stopwatch {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch and returns the elapsed time before restart.
+  std::chrono::nanoseconds lap() {
+    auto now = clock::now();
+    auto elapsed = now - start_;
+    start_ = now;
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed);
+  }
+
+  std::chrono::nanoseconds elapsed() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                start_);
+  }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+  double elapsed_us() const { return elapsed_seconds() * 1e6; }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  clock::time_point start_;
+};
+
+}  // namespace monotonic

@@ -1,0 +1,49 @@
+// table.hpp — aligned plain-text tables for bench harness output.
+//
+// Bench binaries print paper-style result tables with this helper rather
+// than hand-aligned printf, so every experiment's output has the same
+// shape (EXPERIMENTS.md embeds them verbatim).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace monotonic {
+
+/// Minimal text table: set a header row, append data rows (any cell is a
+/// string; use cell() helpers to format numbers), then stream it.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row.  Rows shorter than the header are right-padded
+  /// with empty cells; longer rows are an error (MC_REQUIRE).
+  void add_row(std::vector<std::string> row);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with a separator line under the header, columns padded to
+  /// the widest cell, numeric-looking cells right-aligned.
+  std::string to_string() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (fixed notation).
+std::string cell(double v, int precision = 2);
+
+/// Formats any integer cell.
+template <typename Int>
+  requires std::is_integral_v<Int>
+std::string cell(Int v) {
+  return std::to_string(v);
+}
+
+}  // namespace monotonic

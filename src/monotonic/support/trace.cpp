@@ -1,0 +1,156 @@
+#include "monotonic/support/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <unordered_map>
+
+namespace monotonic {
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kIncrement:
+      return "increment";
+    case TraceEventKind::kCheckFast:
+      return "check-fast";
+    case TraceEventKind::kSuspend:
+      return "suspend";
+    case TraceEventKind::kResume:
+      return "resume";
+    case TraceEventKind::kSpanBegin:
+      return "span-begin";
+    case TraceEventKind::kSpanEnd:
+      return "span-end";
+    case TraceEventKind::kInstant:
+      return "instant";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+// Fixed-capacity single-writer ring.  The owning thread appends with
+// relaxed stores; readers (events()) snapshot under the registry lock
+// at quiescent points, which the API contract requires.
+struct Tracer::Ring {
+  explicit Ring(std::uint32_t thread_index, std::size_t capacity)
+      : thread(thread_index), slots(capacity) {}
+
+  struct Slot {
+    std::uint64_t timestamp_ns;
+    TraceEventKind kind;
+    const char* name;
+    std::uint64_t arg;
+  };
+
+  const std::uint32_t thread;
+  std::vector<Slot> slots;
+  std::atomic<std::uint64_t> next{0};  // total appended (mod capacity slot)
+
+  void append(TraceEventKind kind, const char* name, std::uint64_t arg,
+              std::uint64_t ts) {
+    const std::uint64_t i = next.load(std::memory_order_relaxed);
+    Slot& slot = slots[i % slots.size()];
+    slot.timestamp_ns = ts;
+    slot.kind = kind;
+    slot.name = name;
+    slot.arg = arg;
+    next.store(i + 1, std::memory_order_release);
+  }
+};
+
+Tracer::Tracer(std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      epoch_ns_(now_ns()) {}
+
+Tracer::~Tracer() = default;
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::uint64_t Tracer::next_tracer_id() noexcept {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tracer::Ring& Tracer::ring_for_this_thread() {
+  // One ring per (tracer, thread).  The map is thread_local, so lookup
+  // is uncontended; ring creation takes the registry lock once.  Keyed
+  // on the process-unique tracer id, not the address: a new Tracer at
+  // a reused address must not inherit a destroyed tracer's ring.
+  static thread_local std::unordered_map<std::uint64_t, Ring*> my_rings;
+  auto it = my_rings.find(tracer_id_);
+  if (it != my_rings.end()) return *it->second;
+  std::scoped_lock lock(registry_m_);
+  rings_.push_back(std::make_unique<Ring>(
+      static_cast<std::uint32_t>(rings_.size()), ring_capacity_));
+  Ring* ring = rings_.back().get();
+  my_rings[tracer_id_] = ring;
+  return *ring;
+}
+
+void Tracer::record(TraceEventKind kind, const char* name,
+                    std::uint64_t arg) {
+  if (!enabled()) return;
+  ring_for_this_thread().append(kind, name, arg, now_ns() - epoch_ns_);
+}
+
+std::vector<Tracer::Event> Tracer::events() const {
+  std::vector<Event> out;
+  {
+    std::scoped_lock lock(registry_m_);
+    for (const auto& ring : rings_) {
+      const std::uint64_t total = ring->next.load(std::memory_order_acquire);
+      const std::uint64_t kept =
+          std::min<std::uint64_t>(total, ring->slots.size());
+      for (std::uint64_t i = total - kept; i < total; ++i) {
+        const auto& slot = ring->slots[i % ring->slots.size()];
+        out.push_back(Event{slot.timestamp_ns,
+                            ring->thread, slot.kind, slot.name, slot.arg});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    return a.timestamp_ns < b.timestamp_ns;
+  });
+  return out;
+}
+
+std::string Tracer::to_chrome_json() const {
+  const auto all = events();
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : all) {
+    if (!first) os << ",";
+    first = false;
+    // Chrome phases: B/E for spans, i for instants, X not used.
+    char phase = 'i';
+    if (e.kind == TraceEventKind::kSpanBegin) phase = 'B';
+    if (e.kind == TraceEventKind::kSpanEnd) phase = 'E';
+    os << "{\"name\":\"" << e.name << "\",\"cat\":\"" << to_string(e.kind)
+       << "\",\"ph\":\"" << phase << "\",\"ts\":" << e.timestamp_ns / 1000.0
+       << ",\"pid\":1,\"tid\":" << e.thread << ",\"args\":{\"arg\":" << e.arg
+       << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void Tracer::clear() {
+  std::scoped_lock lock(registry_m_);
+  for (auto& ring : rings_) ring->next.store(0, std::memory_order_release);
+}
+
+}  // namespace monotonic

@@ -1,0 +1,81 @@
+// bounded_buffer.hpp — multi-producer multi-consumer bounded buffer.
+//
+// §5.3 contrasts the single-writer multiple-reader *broadcast* pattern
+// (each reader sees every item; counters fit) with the bounded-buffer
+// problem (each item consumed once; semaphores fit, Morenoff & McLean
+// [16]).  This is the semaphore solution, used by tests and the
+// broadcast bench to demonstrate that the two patterns genuinely differ.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "monotonic/support/assert.hpp"
+#include "monotonic/sync/semaphore.hpp"
+
+namespace monotonic {
+
+/// Classic ring-buffer bounded queue guarded by two semaphores and a
+/// lock.  push blocks when full; pop blocks when empty.  Each pushed
+/// item is popped by exactly one consumer.
+template <typename T>
+class BoundedBuffer {
+ public:
+  explicit BoundedBuffer(std::size_t capacity)
+      : capacity_(capacity),
+        ring_(capacity),
+        free_slots_(capacity),
+        full_slots_(0) {
+    MC_REQUIRE(capacity >= 1, "capacity must be positive");
+  }
+  BoundedBuffer(const BoundedBuffer&) = delete;
+  BoundedBuffer& operator=(const BoundedBuffer&) = delete;
+
+  void push(T value) {
+    free_slots_.acquire();
+    {
+      std::scoped_lock lock(m_);
+      ring_[head_] = std::move(value);
+      head_ = (head_ + 1) % capacity_;
+    }
+    full_slots_.release();
+  }
+
+  T pop() {
+    full_slots_.acquire();
+    T value;
+    {
+      std::scoped_lock lock(m_);
+      value = std::move(ring_[tail_]);
+      tail_ = (tail_ + 1) % capacity_;
+    }
+    free_slots_.release();
+    return value;
+  }
+
+  bool try_push(T value) {
+    if (!free_slots_.try_acquire()) return false;
+    {
+      std::scoped_lock lock(m_);
+      ring_[head_] = std::move(value);
+      head_ = (head_ + 1) % capacity_;
+    }
+    full_slots_.release();
+    return true;
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  std::mutex m_;
+  std::vector<T> ring_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  Semaphore free_slots_;
+  Semaphore full_slots_;
+};
+
+}  // namespace monotonic

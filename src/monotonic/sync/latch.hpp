@@ -1,0 +1,60 @@
+// latch.hpp — single-use countdown latch.
+//
+// A latch is the *dual* of a monotonic counter: it counts down to zero
+// and releases everyone, whereas a Counter counts up and releases level
+// by level.  Included as a baseline (cf. java.util.concurrent
+// CountDownLatch, C++20 std::latch) for the related-work comparison in
+// E9: one suspension queue, one release point.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "monotonic/support/assert.hpp"
+
+namespace monotonic {
+
+/// Single-use latch.  count_down() may be called from any thread;
+/// wait() blocks until the internal count reaches zero.
+class CountdownLatch {
+ public:
+  explicit CountdownLatch(std::uint64_t count) : count_(count) {}
+  CountdownLatch(const CountdownLatch&) = delete;
+  CountdownLatch& operator=(const CountdownLatch&) = delete;
+
+  /// Decrements by n (saturating at zero is a usage error: MC_REQUIRE).
+  void count_down(std::uint64_t n = 1) {
+    std::unique_lock lock(m_);
+    MC_REQUIRE(n <= count_, "count_down past zero");
+    count_ -= n;
+    if (count_ == 0) {
+      lock.unlock();
+      cv_.notify_all();
+    }
+  }
+
+  /// Blocks until the count reaches zero.
+  void wait() {
+    std::unique_lock lock(m_);
+    cv_.wait(lock, [&] { return count_ == 0; });
+  }
+
+  /// count_down(1) then wait(); the classic arrive-and-wait.
+  void arrive_and_wait() {
+    count_down(1);
+    wait();
+  }
+
+  bool try_wait() {
+    std::scoped_lock lock(m_);
+    return count_ == 0;
+  }
+
+ private:
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::uint64_t count_;
+};
+
+}  // namespace monotonic

@@ -1,0 +1,38 @@
+// lock.hpp — mutual-exclusion locks in the paper's vocabulary.
+//
+// The paper (§5.2, §6) writes `resultLock.Lock(); ...; resultLock.Unlock();`.
+// Lock wraps std::mutex under those names so the worked examples read like
+// the paper, and Holder provides the RAII form that production call sites
+// should prefer (C++ Core Guidelines CP.20: use RAII, never plain
+// lock()/unlock()).
+#pragma once
+
+#include <mutex>
+
+namespace monotonic {
+
+/// Plain mutual-exclusion lock (paper: "locks, also known as mutexes").
+/// Non-recursive.  Lock/Unlock mirror the paper's API; prefer Holder.
+class Lock {
+ public:
+  Lock() = default;
+  Lock(const Lock&) = delete;
+  Lock& operator=(const Lock&) = delete;
+
+  void Lock_() { m_.lock(); }
+  void Unlock() { m_.unlock(); }
+  bool TryLock() { return m_.try_lock(); }
+
+  // Lockable requirements, so std::scoped_lock/unique_lock work directly.
+  void lock() { m_.lock(); }
+  void unlock() { m_.unlock(); }
+  bool try_lock() { return m_.try_lock(); }
+
+  /// RAII holder: `Lock::Holder h(myLock);`
+  using Holder = std::scoped_lock<Lock>;
+
+ private:
+  std::mutex m_;
+};
+
+}  // namespace monotonic

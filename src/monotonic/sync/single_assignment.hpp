@@ -1,0 +1,60 @@
+// single_assignment.hpp — single-assignment ("sync") variable.
+//
+// The dataflow ancestor of counters (§8): Val/Sisal/Strand/PCN/CC++
+// build determinism on variables that are written once and read many
+// times; a read before the write suspends.  A SingleAssignment<T> is a
+// Condition fused with a data slot — counters "extend this model by
+// (i) separating the synchronization and data-holding functionality,
+// and (ii) allowing synchronization on many different values of a
+// single object" (§8).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "monotonic/support/assert.hpp"
+
+namespace monotonic {
+
+/// Write-once cell.  set() publishes a value exactly once; get() blocks
+/// until published and returns a reference valid for the cell lifetime.
+template <typename T>
+class SingleAssignment {
+ public:
+  SingleAssignment() = default;
+  SingleAssignment(const SingleAssignment&) = delete;
+  SingleAssignment& operator=(const SingleAssignment&) = delete;
+
+  /// Publishes the value.  Calling set twice is a usage error.
+  template <typename U>
+  void set(U&& value) {
+    {
+      std::scoped_lock lock(m_);
+      MC_REQUIRE(!slot_.has_value(), "SingleAssignment set twice");
+      slot_.emplace(std::forward<U>(value));
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until set() has been called, then returns the value.
+  const T& get() const {
+    std::unique_lock lock(m_);
+    cv_.wait(lock, [&] { return slot_.has_value(); });
+    return *slot_;
+  }
+
+  /// Non-blocking probe for tests; application code should use get().
+  bool debug_is_set() const {
+    std::scoped_lock lock(m_);
+    return slot_.has_value();
+  }
+
+ private:
+  mutable std::mutex m_;
+  mutable std::condition_variable cv_;
+  std::optional<T> slot_;
+};
+
+}  // namespace monotonic

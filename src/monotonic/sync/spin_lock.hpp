@@ -1,0 +1,40 @@
+// spin_lock.hpp — test-and-test-and-set spinlock with adaptive backoff.
+//
+// Used as a baseline in the lock-ablation benches; not recommended for
+// application code on oversubscribed machines.
+#pragma once
+
+#include <atomic>
+
+#include "monotonic/support/spin_wait.hpp"
+
+namespace monotonic {
+
+/// TTAS spinlock.  Meets the C++ Lockable requirements.
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() noexcept {
+    SpinWait spinner;
+    for (;;) {
+      // Test first to avoid bouncing the line in exclusive state.
+      while (locked_.load(std::memory_order_relaxed)) spinner.once();
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace monotonic

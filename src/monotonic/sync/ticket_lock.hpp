@@ -1,0 +1,39 @@
+// ticket_lock.hpp — FIFO ticket spinlock.
+//
+// Grants the lock in arrival order.  Note that FIFO fairness is *not*
+// the same as the deterministic sequential ordering a Counter provides
+// (§5.2): arrival order itself is a race.  The ordered-mutex bench (E3)
+// uses TicketLock to demonstrate exactly that distinction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "monotonic/support/spin_wait.hpp"
+
+namespace monotonic {
+
+/// FIFO spinlock.  Meets the C++ Lockable requirements except try_lock.
+class TicketLock {
+ public:
+  TicketLock() = default;
+  TicketLock(const TicketLock&) = delete;
+  TicketLock& operator=(const TicketLock&) = delete;
+
+  void lock() noexcept {
+    const std::uint64_t my = next_.fetch_add(1, std::memory_order_relaxed);
+    SpinWait spinner;
+    while (serving_.load(std::memory_order_acquire) != my) spinner.once();
+  }
+
+  void unlock() noexcept {
+    serving_.store(serving_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint64_t> next_{0};
+  std::atomic<std::uint64_t> serving_{0};
+};
+
+}  // namespace monotonic

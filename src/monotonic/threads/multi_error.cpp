@@ -1,0 +1,25 @@
+#include "monotonic/threads/multi_error.hpp"
+
+namespace monotonic {
+
+std::string MultiError::compose_message(
+    const std::vector<std::exception_ptr>& errors) {
+  std::string msg = std::to_string(errors.size()) +
+                    " thread(s) of a multithreaded block failed:";
+  for (const auto& ep : errors) {
+    msg += "\n  - ";
+    try {
+      std::rethrow_exception(ep);
+    } catch (const std::exception& e) {
+      msg += e.what();
+    } catch (...) {
+      msg += "(non-std exception)";
+    }
+  }
+  return msg;
+}
+
+MultiError::MultiError(std::vector<std::exception_ptr> errors)
+    : std::runtime_error(compose_message(errors)), errors_(std::move(errors)) {}
+
+}  // namespace monotonic

@@ -1,0 +1,32 @@
+// multi_error.hpp — exception aggregation for structured thread groups.
+//
+// A multithreaded block joins all of its threads before continuing (§3),
+// so exceptions from several threads can be pending at once.  They are
+// collected and rethrown as one MultiError after the join.
+#pragma once
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace monotonic {
+
+/// Aggregate of one or more exceptions thrown by threads of a
+/// multithreaded block or for-loop.
+class MultiError : public std::runtime_error {
+ public:
+  explicit MultiError(std::vector<std::exception_ptr> errors);
+
+  const std::vector<std::exception_ptr>& errors() const noexcept {
+    return errors_;
+  }
+  std::size_t size() const noexcept { return errors_.size(); }
+
+ private:
+  static std::string compose_message(
+      const std::vector<std::exception_ptr>& errors);
+  std::vector<std::exception_ptr> errors_;
+};
+
+}  // namespace monotonic

@@ -1,0 +1,40 @@
+// policy.hpp — execution policy for multithreaded constructs.
+//
+// §6: "if sequential execution of the program (i.e., execution ignoring
+// the multithreaded keyword) does not deadlock, multithreaded execution
+// is guaranteed not to deadlock and to produce the same results."
+// Execution::kSequential is exactly "ignoring the keyword": statements
+// / iterations run in program order on the calling thread.  The
+// sequential-equivalence tests (E8) run every workload under both
+// policies and require identical results.
+#pragma once
+
+namespace monotonic {
+
+enum class Execution {
+  kSequential,     ///< run statements in order on the calling thread
+  kMultithreaded,  ///< run statements as concurrent threads (default)
+};
+
+/// Process-wide default used by multithreaded()/multithreaded_for()
+/// when no explicit policy is passed.  Intended for tests that flip a
+/// whole program between modes; not synchronized with running blocks.
+Execution default_execution() noexcept;
+void set_default_execution(Execution policy) noexcept;
+
+/// RAII guard restoring the previous default on scope exit.
+class ScopedExecution {
+ public:
+  explicit ScopedExecution(Execution policy)
+      : previous_(default_execution()) {
+    set_default_execution(policy);
+  }
+  ~ScopedExecution() { set_default_execution(previous_); }
+  ScopedExecution(const ScopedExecution&) = delete;
+  ScopedExecution& operator=(const ScopedExecution&) = delete;
+
+ private:
+  Execution previous_;
+};
+
+}  // namespace monotonic

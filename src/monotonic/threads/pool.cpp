@@ -1,0 +1,75 @@
+#include "monotonic/threads/pool.hpp"
+
+#include "monotonic/support/assert.hpp"
+
+namespace monotonic {
+
+ThreadTeam::ThreadTeam(std::size_t size) : size_(size), errors_(size) {
+  MC_REQUIRE(size >= 1, "team needs at least one worker");
+  workers_.reserve(size);
+  for (std::size_t tid = 0; tid < size; ++tid) {
+    workers_.emplace_back([this, tid] { worker(tid); });
+  }
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    std::scoped_lock lock(m_);
+    shutting_down_ = true;
+  }
+  start_cv_.notify_all();
+  // jthread destructors join.
+}
+
+void ThreadTeam::worker(std::size_t tid) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* body;
+    {
+      std::unique_lock lock(m_);
+      start_cv_.wait(lock, [&] {
+        return shutting_down_ || generation_ != seen_generation;
+      });
+      if (shutting_down_) return;
+      seen_generation = generation_;
+      body = body_;
+    }
+    try {
+      (*body)(tid);
+    } catch (...) {
+      std::scoped_lock lock(m_);
+      errors_[tid] = std::current_exception();
+    }
+    {
+      std::scoped_lock lock(m_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadTeam::run(const std::function<void(std::size_t)>& body) {
+  {
+    std::scoped_lock lock(m_);
+    MC_REQUIRE(remaining_ == 0, "ThreadTeam::run is not reentrant");
+    body_ = &body;
+    remaining_ = size_;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  {
+    std::unique_lock lock(m_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    body_ = nullptr;
+  }
+
+  std::vector<std::exception_ptr> collected;
+  for (auto& ep : errors_) {
+    if (ep) {
+      collected.push_back(std::move(ep));
+      ep = nullptr;
+    }
+  }
+  if (!collected.empty()) throw MultiError(std::move(collected));
+}
+
+}  // namespace monotonic

@@ -1,0 +1,57 @@
+// pool.hpp — reusable thread team for repeated parallel regions.
+//
+// The paper's model (§3) creates threads per multithreaded block, which
+// is faithful but expensive when a bench executes thousands of parallel
+// regions.  ThreadTeam keeps `size` workers alive and replays a region
+// body on all of them per run() call — the same construct OpenMP calls
+// a thread team.  Benches use it so measured costs are synchronization,
+// not clone(2).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "monotonic/threads/multi_error.hpp"
+
+namespace monotonic {
+
+/// Fixed team of worker threads executing parallel regions.
+class ThreadTeam {
+ public:
+  /// Spawns `size` workers (>=1).  Workers idle until run() is called.
+  explicit ThreadTeam(std::size_t size);
+
+  /// Joins all workers.  Must not be called while run() is in progress.
+  ~ThreadTeam();
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  /// Executes body(tid) on every worker, tid in [0, size), and blocks
+  /// until all have finished.  Exceptions are aggregated into a
+  /// MultiError rethrown here.  Not reentrant; one region at a time.
+  void run(const std::function<void(std::size_t)>& body);
+
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  void worker(std::size_t tid);
+
+  const std::size_t size_;
+  std::mutex m_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* body_ = nullptr;  // current region
+  std::uint64_t generation_ = 0;  // bumped per region; workers wait on it
+  std::size_t remaining_ = 0;     // workers still in the current region
+  bool shutting_down_ = false;
+  std::vector<std::exception_ptr> errors_;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace monotonic

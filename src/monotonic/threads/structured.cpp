@@ -1,0 +1,73 @@
+#include "monotonic/threads/structured.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace monotonic::detail {
+
+namespace {
+
+std::atomic<Execution>& default_execution_atomic() noexcept {
+  static std::atomic<Execution> policy{Execution::kMultithreaded};
+  return policy;
+}
+
+}  // namespace
+
+void run_block(std::vector<std::function<void()>> statements,
+               Execution policy) {
+  if (statements.empty()) return;
+
+  if (policy == Execution::kSequential) {
+    // §6: execution ignoring the multithreaded keyword — program order,
+    // calling thread, first exception propagates directly (wrapped for
+    // a uniform catch surface).
+    for (auto& stmt : statements) stmt();
+    return;
+  }
+
+  // Indexed exception slots keep the report deterministic (statement
+  // order), independent of which thread failed first.
+  std::vector<std::exception_ptr> errors(statements.size());
+  std::atomic<bool> any_error{false};
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(statements.size());
+    for (std::size_t i = 0; i < statements.size(); ++i) {
+      threads.emplace_back([&, i] {
+        try {
+          statements[i]();
+        } catch (...) {
+          errors[i] = std::current_exception();
+          any_error.store(true, std::memory_order_release);
+        }
+      });
+    }
+    // jthread joins on destruction: execution does not continue past
+    // the block until all threads have individually terminated (§3).
+  }
+
+  if (any_error.load(std::memory_order_acquire)) {
+    std::vector<std::exception_ptr> collected;
+    for (auto& ep : errors) {
+      if (ep) collected.push_back(std::move(ep));
+    }
+    throw MultiError(std::move(collected));
+  }
+}
+
+}  // namespace monotonic::detail
+
+namespace monotonic {
+
+Execution default_execution() noexcept {
+  return detail::default_execution_atomic().load(std::memory_order_relaxed);
+}
+
+void set_default_execution(Execution policy) noexcept {
+  detail::default_execution_atomic().store(policy, std::memory_order_relaxed);
+}
+
+}  // namespace monotonic

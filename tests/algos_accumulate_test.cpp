@@ -1,0 +1,148 @@
+// algos_accumulate_test.cpp — §5.2: lock accumulation is
+// order-nondeterministic; counter-sequenced accumulation always equals
+// sequential execution (E3, E7).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <thread>
+
+#include "monotonic/algos/accumulate.hpp"
+#include "monotonic/core/broadcast_counter.hpp"
+#include "monotonic/support/rng.hpp"
+
+namespace monotonic {
+namespace {
+
+TEST(OrderSensitiveValues, SumActuallyDependsOnOrder) {
+  // Sanity of the workload itself: reversing the order changes the sum.
+  const auto values = order_sensitive_values(64);
+  auto reversed = values;
+  std::reverse(reversed.begin(), reversed.end());
+  EXPECT_NE(sum_sequential(values), sum_sequential(reversed));
+}
+
+TEST(SumOrdered, EqualsSequentialForAllThreadCounts) {
+  const auto values = order_sensitive_values(128);
+  const double expected = sum_sequential(values);
+  for (std::size_t threads : {1u, 2u, 3u, 4u, 8u}) {
+    AccumulateOptions options;
+    options.num_threads = threads;
+    EXPECT_EQ(sum_ordered(values, options), expected)
+        << threads << " threads";
+  }
+}
+
+TEST(SumOrdered, DeterministicUnderAdversarialStalls) {
+  const auto values = order_sensitive_values(96);
+  const double expected = sum_sequential(values);
+  Xoshiro256 rng(5);
+  for (int run = 0; run < 10; ++run) {
+    AccumulateOptions options;
+    options.num_threads = 4;
+    const std::uint64_t salt = rng();
+    options.compute_hook = [salt](std::size_t i) {
+      if (((i * 31) ^ salt) % 3 == 0) std::this_thread::yield();
+    };
+    ASSERT_EQ(sum_ordered(values, options), expected) << "run " << run;
+  }
+}
+
+TEST(SumLock, TotalIsAlwaysAPermutationSum) {
+  // The lock version is unordered but never loses items: with integer-
+  // valued doubles the sum is exact and order-independent, so it must
+  // equal the sequential total.
+  std::vector<double> values(256);
+  std::iota(values.begin(), values.end(), 1.0);
+  AccumulateOptions options;
+  options.num_threads = 8;
+  EXPECT_EQ(sum_lock(values, options), sum_sequential(values));
+}
+
+TEST(SumOrdered, EmptyAndSingleton) {
+  AccumulateOptions options;
+  options.num_threads = 4;
+  EXPECT_EQ(sum_ordered({}, options), 0.0);
+  EXPECT_EQ(sum_ordered({3.5}, options), 3.5);
+}
+
+TEST(AppendOrdered, AlwaysSequentialOrder) {
+  AccumulateOptions options;
+  options.num_threads = 5;
+  for (int run = 0; run < 10; ++run) {
+    const auto result = append_ordered(64, options);
+    ASSERT_EQ(result.size(), 64u);
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      ASSERT_EQ(result[i], i) << "run " << run;
+    }
+  }
+}
+
+TEST(AppendLock, AlwaysAPermutation) {
+  AccumulateOptions options;
+  options.num_threads = 5;
+  auto result = append_lock(64, options);
+  ASSERT_EQ(result.size(), 64u);
+  std::sort(result.begin(), result.end());
+  for (std::size_t i = 0; i < result.size(); ++i) EXPECT_EQ(result[i], i);
+}
+
+TEST(AppendLock, InterleavingCanDifferFromSequential) {
+  // With per-item stalls skewed against thread order, the lock version
+  // should (at least once over many runs) produce a non-sequential
+  // interleaving — §5.2: "the above program may produce different
+  // results on repeated executions."  This is probabilistic by nature;
+  // 50 runs with forced stalls makes a false PASS-as-sequential
+  // astronomically unlikely, and we only *warn* if unobserved.
+  AccumulateOptions options;
+  options.num_threads = 4;
+  options.compute_hook = [](std::size_t i) {
+    // Stall the low-index items so later items tend to arrive first.
+    if (i < 32) std::this_thread::sleep_for(std::chrono::microseconds(200));
+  };
+  bool saw_non_sequential = false;
+  for (int run = 0; run < 50 && !saw_non_sequential; ++run) {
+    const auto result = append_lock(64, options);
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      if (result[i] != i) {
+        saw_non_sequential = true;
+        break;
+      }
+    }
+  }
+  if (!saw_non_sequential) {
+    GTEST_SKIP() << "scheduler never interleaved; nondeterminism not "
+                    "observable on this run";
+  }
+  SUCCEED();
+}
+
+TEST(SumOrderedWith, OtherCounterImplementations) {
+  const auto values = order_sensitive_values(64);
+  const double expected = sum_sequential(values);
+  AccumulateOptions options;
+  options.num_threads = 4;
+  EXPECT_EQ(sum_ordered_with<SingleCvCounter>(values, options), expected);
+}
+
+TEST(PaperValues, SequencedUpdateProducesEight) {
+  // §6's worked arithmetic: x = 3; x+1 then x*2 in sequence gives 8.
+  Counter c;
+  int x = 3;
+  multithreaded_block(
+      [&] {
+        c.Check(0);
+        x = x + 1;
+        c.Increment(1);
+      },
+      [&] {
+        c.Check(1);
+        x = x * 2;
+        c.Increment(1);
+      });
+  EXPECT_EQ(x, 8);
+}
+
+}  // namespace
+}  // namespace monotonic

@@ -1,0 +1,140 @@
+// algos_heat2d_test.cpp — the 2-D extension of §5.1: strip threads with
+// halo exchange through RaggedStrips, bit-exact vs sequential Jacobi.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "monotonic/algos/heat2d.hpp"
+#include "monotonic/core/broadcast_counter.hpp"
+#include "monotonic/support/rng.hpp"
+
+namespace monotonic {
+namespace {
+
+Grid2D random_grid(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Grid2D grid(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      grid.at(r, c) = rng.uniform01() * 100.0;
+    }
+  }
+  return grid;
+}
+
+Heat2dOptions opts(std::size_t steps, std::size_t threads) {
+  Heat2dOptions o;
+  o.steps = steps;
+  o.num_threads = threads;
+  return o;
+}
+
+TEST(Heat2dSequential, UniformGridStaysUniform) {
+  Grid2D grid(6, 7, 42.0);
+  const auto result = heat2d_sequential(grid, opts(50, 1));
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 7; ++c) {
+      EXPECT_DOUBLE_EQ(result.at(r, c), 42.0);
+    }
+  }
+}
+
+TEST(Heat2dSequential, BoundariesNeverChange) {
+  auto grid = random_grid(8, 9, 1);
+  const auto result = heat2d_sequential(grid, opts(100, 1));
+  for (std::size_t c = 0; c < 9; ++c) {
+    EXPECT_DOUBLE_EQ(result.at(0, c), grid.at(0, c));
+    EXPECT_DOUBLE_EQ(result.at(7, c), grid.at(7, c));
+  }
+  for (std::size_t r = 0; r < 8; ++r) {
+    EXPECT_DOUBLE_EQ(result.at(r, 0), grid.at(r, 0));
+    EXPECT_DOUBLE_EQ(result.at(r, 8), grid.at(r, 8));
+  }
+}
+
+TEST(Heat2dSequential, HeatSpreadsInward) {
+  Grid2D grid(8, 8, 0.0);
+  for (std::size_t c = 0; c < 8; ++c) grid.at(0, c) = 100.0;  // hot top edge
+  const auto result = heat2d_sequential(grid, opts(500, 1));
+  EXPECT_GT(result.at(1, 4), 0.0);
+  EXPECT_GT(result.at(1, 4), result.at(6, 4));  // gradient away from source
+}
+
+struct Heat2dParam {
+  std::size_t rows;
+  std::size_t cols;
+  std::size_t steps;
+  std::size_t threads;
+};
+
+class Heat2dEquivalence : public ::testing::TestWithParam<Heat2dParam> {};
+
+TEST_P(Heat2dEquivalence, BarrierMatchesSequentialExactly) {
+  const auto p = GetParam();
+  const auto grid = random_grid(p.rows, p.cols, 10 + p.rows);
+  const auto options = opts(p.steps, p.threads);
+  EXPECT_EQ(heat2d_barrier(grid, options), heat2d_sequential(grid, options));
+}
+
+TEST_P(Heat2dEquivalence, RaggedMatchesSequentialExactly) {
+  const auto p = GetParam();
+  const auto grid = random_grid(p.rows, p.cols, 20 + p.rows);
+  const auto options = opts(p.steps, p.threads);
+  EXPECT_EQ(heat2d_ragged(grid, options), heat2d_sequential(grid, options));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Heat2dEquivalence,
+    ::testing::Values(Heat2dParam{3, 3, 10, 1}, Heat2dParam{4, 4, 20, 2},
+                      Heat2dParam{8, 8, 50, 2}, Heat2dParam{8, 8, 50, 6},
+                      Heat2dParam{12, 6, 30, 4}, Heat2dParam{16, 16, 25, 4},
+                      Heat2dParam{9, 17, 40, 3}),
+    [](const ::testing::TestParamInfo<Heat2dParam>& info) {
+      return "r" + std::to_string(info.param.rows) + "c" +
+             std::to_string(info.param.cols) + "_s" +
+             std::to_string(info.param.steps) + "_t" +
+             std::to_string(info.param.threads);
+    });
+
+TEST(Heat2dEquivalenceExtra, ThreadsBeyondStripsClamp) {
+  const auto grid = random_grid(5, 5, 3);  // 3 interior rows
+  const auto options = opts(20, 16);       // clamped to 3 strips
+  EXPECT_EQ(heat2d_ragged(grid, options), heat2d_sequential(grid, options));
+}
+
+TEST(Heat2dEquivalenceExtra, ImbalancedStripsStillExact) {
+  const auto grid = random_grid(10, 10, 4);
+  auto skewed = opts(20, 4);
+  skewed.strip_hook = [](std::size_t s, std::size_t) {
+    if (s == 1) std::this_thread::yield();
+  };
+  EXPECT_EQ(heat2d_ragged(grid, skewed), heat2d_sequential(grid, opts(20, 4)));
+}
+
+TEST(Heat2dEquivalenceExtra, DeterministicAcrossRuns) {
+  const auto grid = random_grid(10, 8, 5);
+  const auto options = opts(30, 3);
+  const auto first = heat2d_ragged(grid, options);
+  for (int run = 0; run < 5; ++run) {
+    ASSERT_EQ(heat2d_ragged(grid, options), first);
+  }
+}
+
+TEST(Heat2dEquivalenceExtra, OtherCounterImplementations) {
+  const auto grid = random_grid(8, 8, 6);
+  const auto options = opts(20, 3);
+  EXPECT_EQ(heat2d_ragged_with<SingleCvCounter>(grid, options),
+            heat2d_sequential(grid, options));
+}
+
+TEST(Heat2dValidation, TooSmallGridsRejected) {
+  EXPECT_THROW(heat2d_sequential(Grid2D(2, 5), opts(1, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(heat2d_ragged(Grid2D(5, 2), opts(1, 1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace monotonic

@@ -1,0 +1,126 @@
+// algos_heat_test.cpp — §5.1's heat simulation: barrier and ragged
+// variants must match the sequential reference bit-for-bit (E2).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "monotonic/algos/heat1d.hpp"
+#include "monotonic/core/broadcast_counter.hpp"
+#include "monotonic/core/spin_counter.hpp"
+#include "monotonic/support/rng.hpp"
+
+namespace monotonic {
+namespace {
+
+HeatOptions steps_only(std::size_t steps) {
+  HeatOptions options;
+  options.steps = steps;
+  return options;
+}
+
+std::vector<double> random_rod(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> state(n);
+  for (auto& s : state) s = rng.uniform01() * 100.0;
+  return state;
+}
+
+TEST(HeatSequential, UniformRodStaysUniform) {
+  std::vector<double> state(8, 25.0);
+  const auto result = heat_sequential(state, steps_only(50));
+  for (double s : result) EXPECT_DOUBLE_EQ(s, 25.0);
+}
+
+TEST(HeatSequential, BoundariesNeverChange) {
+  auto state = random_rod(16, 1);
+  state[0] = -5.0;
+  state[15] = 99.0;
+  const auto result = heat_sequential(state, steps_only(200));
+  EXPECT_DOUBLE_EQ(result[0], -5.0);
+  EXPECT_DOUBLE_EQ(result[15], 99.0);
+}
+
+TEST(HeatSequential, ConvergesTowardLinearProfile) {
+  // Heat equation steady state on a rod with fixed ends is linear.
+  std::vector<double> state(9, 0.0);
+  state[8] = 80.0;
+  const auto result = heat_sequential(state, steps_only(5000));
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_NEAR(result[i], 10.0 * static_cast<double>(i), 0.01);
+  }
+}
+
+TEST(HeatSequential, ZeroStepsIsIdentity) {
+  const auto state = random_rod(10, 2);
+  EXPECT_EQ(heat_sequential(state, steps_only(0)), state);
+}
+
+struct HeatParam {
+  std::size_t cells;
+  std::size_t steps;
+};
+
+class HeatEquivalence : public ::testing::TestWithParam<HeatParam> {};
+
+TEST_P(HeatEquivalence, BarrierMatchesSequentialExactly) {
+  const auto p = GetParam();
+  const auto initial = random_rod(p.cells, 100 + p.cells);
+  const HeatOptions options = steps_only(p.steps);
+  EXPECT_EQ(heat_barrier(initial, options), heat_sequential(initial, options));
+}
+
+TEST_P(HeatEquivalence, RaggedMatchesSequentialExactly) {
+  const auto p = GetParam();
+  const auto initial = random_rod(p.cells, 200 + p.cells);
+  const HeatOptions options = steps_only(p.steps);
+  EXPECT_EQ(heat_ragged(initial, options), heat_sequential(initial, options));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HeatEquivalence,
+    ::testing::Values(HeatParam{3, 10}, HeatParam{4, 50}, HeatParam{8, 100},
+                      HeatParam{16, 50}, HeatParam{24, 25}),
+    [](const ::testing::TestParamInfo<HeatParam>& info) {
+      return "n" + std::to_string(info.param.cells) + "_s" +
+             std::to_string(info.param.steps);
+    });
+
+TEST(HeatEquivalenceExtra, ImbalancedCellsStillExact) {
+  // One pathological cell stalls every step; results must not change
+  // (only timing does — that is E2's point).
+  const auto initial = random_rod(10, 3);
+  HeatOptions skewed = steps_only(30);
+  skewed.cell_hook = [](std::size_t i, std::size_t) {
+    if (i == 5) std::this_thread::yield();
+  };
+  const HeatOptions plain = steps_only(30);
+  EXPECT_EQ(heat_ragged(initial, skewed), heat_sequential(initial, plain));
+}
+
+TEST(HeatEquivalenceExtra, DeterministicAcrossRuns) {
+  const auto initial = random_rod(12, 4);
+  const HeatOptions options = steps_only(40);
+  const auto first = heat_ragged(initial, options);
+  for (int run = 0; run < 5; ++run) {
+    ASSERT_EQ(heat_ragged(initial, options), first);
+  }
+}
+
+TEST(HeatEquivalenceExtra, OtherCounterImplementations) {
+  const auto initial = random_rod(8, 5);
+  const HeatOptions options = steps_only(25);
+  const auto expected = heat_sequential(initial, options);
+  EXPECT_EQ(heat_ragged_with<SingleCvCounter>(initial, options), expected);
+  EXPECT_EQ(heat_ragged_with<SpinCounter>(initial, options), expected);
+}
+
+TEST(HeatValidation, TooFewCellsRejected) {
+  EXPECT_THROW(heat_sequential({1.0, 2.0}, steps_only(1)),
+               std::invalid_argument);
+  EXPECT_THROW(heat_ragged({1.0}, steps_only(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace monotonic

@@ -1,0 +1,85 @@
+// algos_lcs_test.cpp — the LCS wavefront workload (counter-driven 2-D
+// dataflow, extension of §4's pattern).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "monotonic/algos/lcs.hpp"
+
+namespace monotonic {
+namespace {
+
+TEST(LcsSequential, HandComputedCases) {
+  EXPECT_EQ(lcs_sequential("abcde", "ace"), 3u);
+  EXPECT_EQ(lcs_sequential("abc", "abc"), 3u);
+  EXPECT_EQ(lcs_sequential("abc", "def"), 0u);
+  EXPECT_EQ(lcs_sequential("", "abc"), 0u);
+  EXPECT_EQ(lcs_sequential("abc", ""), 0u);
+  EXPECT_EQ(lcs_sequential("aggtab", "gxtxayb"), 4u);  // "gtab"
+}
+
+TEST(LcsSequential, SubsequenceOfItself) {
+  const auto s = random_string(200, 4, 1);
+  EXPECT_EQ(lcs_sequential(s, s), s.size());
+}
+
+TEST(RandomString, DeterministicAndInAlphabet) {
+  const auto a = random_string(100, 3, 7);
+  const auto b = random_string(100, 3, 7);
+  EXPECT_EQ(a, b);
+  for (char c : a) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'c');
+  }
+}
+
+struct LcsParam {
+  std::size_t len_a;
+  std::size_t len_b;
+  std::size_t threads;
+  std::size_t block_rows;
+  std::size_t block_cols;
+};
+
+class LcsWavefront : public ::testing::TestWithParam<LcsParam> {};
+
+TEST_P(LcsWavefront, MatchesSequential) {
+  const auto p = GetParam();
+  const auto a = random_string(p.len_a, 4, 11);
+  const auto b = random_string(p.len_b, 4, 22);
+  EXPECT_EQ(lcs_wavefront(a, b, p.threads, p.block_rows, p.block_cols),
+            lcs_sequential(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LcsWavefront,
+    ::testing::Values(LcsParam{1, 1, 1, 1, 1}, LcsParam{10, 10, 2, 3, 3},
+                      LcsParam{100, 80, 4, 16, 16},
+                      LcsParam{200, 200, 2, 64, 32},
+                      LcsParam{128, 256, 8, 32, 64},
+                      LcsParam{257, 129, 3, 50, 50}),
+    [](const ::testing::TestParamInfo<LcsParam>& info) {
+      return "a" + std::to_string(info.param.len_a) + "b" +
+             std::to_string(info.param.len_b) + "_t" +
+             std::to_string(info.param.threads) + "_r" +
+             std::to_string(info.param.block_rows) + "c" +
+             std::to_string(info.param.block_cols);
+    });
+
+TEST(LcsWavefrontExtra, EmptyInputsShortCircuit) {
+  EXPECT_EQ(lcs_wavefront("", "abc", 4), 0u);
+  EXPECT_EQ(lcs_wavefront("abc", "", 4), 0u);
+}
+
+TEST(LcsWavefrontExtra, DeterministicAcrossRuns) {
+  const auto a = random_string(150, 4, 33);
+  const auto b = random_string(150, 4, 44);
+  const auto first = lcs_wavefront(a, b, 4, 20, 20);
+  for (int run = 0; run < 5; ++run) {
+    ASSERT_EQ(lcs_wavefront(a, b, 4, 20, 20), first);
+  }
+}
+
+}  // namespace
+}  // namespace monotonic

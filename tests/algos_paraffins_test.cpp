@@ -1,0 +1,95 @@
+// algos_paraffins_test.cpp — the Paraffins Problem [9], §5.3's cited
+// application: radical enumeration through chained broadcast stages and
+// alkane counting by centroid decomposition, validated against the
+// published isomer counts.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "monotonic/algos/paraffins.hpp"
+
+namespace monotonic {
+namespace {
+
+// OEIS A000598: rooted trees with out-degree <= 3 ("radicals").
+const std::vector<std::uint64_t> kRadicals = {1,  1,  1,  2,   4,   8,
+                                              17, 39, 89, 211, 507, 1238};
+// OEIS A000602: alkanes C_n H_2n+2 (free carbon trees, degree <= 4).
+const std::vector<std::uint64_t> kAlkanes = {0,  1,  1,  1,  2,   3,
+                                             5,  9,  18, 35, 75,  159};
+
+TEST(ParaffinsSequential, RadicalCountsMatchOeisA000598) {
+  const auto r = paraffins_sequential(11);
+  ASSERT_EQ(r.radicals.size(), 12u);
+  for (std::size_t k = 0; k < 12; ++k) {
+    EXPECT_EQ(r.radicals[k], kRadicals[k]) << "k=" << k;
+  }
+}
+
+TEST(ParaffinsSequential, AlkaneCountsMatchOeisA000602) {
+  const auto r = paraffins_sequential(11);
+  ASSERT_EQ(r.alkanes.size(), 12u);
+  for (std::size_t n = 1; n < 12; ++n) {
+    EXPECT_EQ(r.alkanes[n], kAlkanes[n]) << "n=" << n;
+  }
+}
+
+TEST(ParaffinsSequential, FamousIsomerCounts) {
+  const auto r = paraffins_sequential(10);
+  EXPECT_EQ(r.alkanes[4], 2u);   // butane, isobutane
+  EXPECT_EQ(r.alkanes[5], 3u);   // pentane, isopentane, neopentane
+  EXPECT_EQ(r.alkanes[8], 18u);  // the octanes
+  EXPECT_EQ(r.alkanes[10], 75u); // the decanes
+}
+
+TEST(ParaffinsSequential, ChecksumsAreReproducible) {
+  EXPECT_EQ(paraffins_sequential(9), paraffins_sequential(9));
+}
+
+TEST(ParaffinsSequential, DistinctStagesHaveDistinctChecksums) {
+  const auto r = paraffins_sequential(8);
+  for (std::size_t i = 1; i < r.radical_checksums.size(); ++i) {
+    EXPECT_NE(r.radical_checksums[i], r.radical_checksums[i - 1]);
+  }
+}
+
+struct ParaffinsParam {
+  std::size_t max_carbons;
+  std::size_t block;
+};
+
+class ParaffinsPipeline : public ::testing::TestWithParam<ParaffinsParam> {};
+
+TEST_P(ParaffinsPipeline, MatchesSequentialReference) {
+  const auto p = GetParam();
+  const auto expected = paraffins_sequential(p.max_carbons);
+  const auto actual = paraffins_pipeline(p.max_carbons, p.block,
+                                         Execution::kMultithreaded);
+  EXPECT_EQ(actual, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParaffinsPipeline,
+    ::testing::Values(ParaffinsParam{1, 1}, ParaffinsParam{5, 1},
+                      ParaffinsParam{8, 1}, ParaffinsParam{8, 16},
+                      ParaffinsParam{10, 4}, ParaffinsParam{11, 32}),
+    [](const ::testing::TestParamInfo<ParaffinsParam>& info) {
+      return "c" + std::to_string(info.param.max_carbons) + "_b" +
+             std::to_string(info.param.block);
+    });
+
+TEST(ParaffinsPipelineExtra, SequentialPolicyMatches) {
+  EXPECT_EQ(paraffins_pipeline(9, 4, Execution::kSequential),
+            paraffins_sequential(9));
+}
+
+TEST(ParaffinsPipelineExtra, DeterministicAcrossRuns) {
+  const auto first = paraffins_pipeline(9, 2, Execution::kMultithreaded);
+  for (int run = 0; run < 5; ++run) {
+    ASSERT_EQ(paraffins_pipeline(9, 2, Execution::kMultithreaded), first);
+  }
+}
+
+}  // namespace
+}  // namespace monotonic

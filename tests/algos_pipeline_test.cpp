@@ -1,0 +1,84 @@
+// algos_pipeline_test.cpp — the paraffins-shaped composition pipeline
+// (§5.3's motivating application, per the DESIGN.md substitution).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "monotonic/algos/compositions.hpp"
+
+namespace monotonic {
+namespace {
+
+TEST(CompositionsSequential, KnownCountsMaxPart2) {
+  // Compositions into parts {1,2} count as Fibonacci: 1 1 2 3 5 8 13.
+  const auto r = compositions_sequential(6, 2);
+  EXPECT_EQ(r.counts,
+            (std::vector<std::uint64_t>{1, 1, 2, 3, 5, 8, 13}));
+}
+
+TEST(CompositionsSequential, KnownCountsMaxPart3) {
+  // Tribonacci: 1 1 2 4 7 13 24.
+  const auto r = compositions_sequential(6, 3);
+  EXPECT_EQ(r.counts, (std::vector<std::uint64_t>{1, 1, 2, 4, 7, 13, 24}));
+}
+
+TEST(CompositionsSequential, UnboundedPartsDoublesCounts) {
+  // All compositions of k: 2^(k-1).
+  const auto r = compositions_sequential(10, 10);
+  for (std::size_t k = 1; k <= 10; ++k) {
+    EXPECT_EQ(r.counts[k], std::uint64_t{1} << (k - 1)) << "k=" << k;
+  }
+}
+
+TEST(CompositionsSequential, ChecksumsAreReproducible) {
+  const auto a = compositions_sequential(8, 3);
+  const auto b = compositions_sequential(8, 3);
+  EXPECT_EQ(a, b);
+}
+
+struct PipelineParam {
+  std::size_t max_size;
+  std::size_t max_part;
+  std::size_t block;
+};
+
+class CompositionPipeline : public ::testing::TestWithParam<PipelineParam> {};
+
+TEST_P(CompositionPipeline, MatchesSequentialReference) {
+  const auto p = GetParam();
+  const auto expected = compositions_sequential(p.max_size, p.max_part);
+  const auto actual = compositions_pipeline(p.max_size, p.max_part, p.block,
+                                            Execution::kMultithreaded);
+  EXPECT_EQ(actual, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CompositionPipeline,
+    ::testing::Values(PipelineParam{1, 1, 1}, PipelineParam{6, 2, 1},
+                      PipelineParam{8, 3, 1}, PipelineParam{8, 3, 4},
+                      PipelineParam{10, 2, 16}, PipelineParam{12, 3, 8},
+                      PipelineParam{14, 2, 32}),
+    [](const ::testing::TestParamInfo<PipelineParam>& info) {
+      return "k" + std::to_string(info.param.max_size) + "_p" +
+             std::to_string(info.param.max_part) + "_b" +
+             std::to_string(info.param.block);
+    });
+
+TEST(CompositionPipelineExtra, SequentialPolicyMatchesToo) {
+  const auto expected = compositions_sequential(10, 3);
+  EXPECT_EQ(compositions_pipeline(10, 3, 4, Execution::kSequential),
+            expected);
+}
+
+TEST(CompositionPipelineExtra, DeterministicAcrossRuns) {
+  const auto first =
+      compositions_pipeline(9, 3, 2, Execution::kMultithreaded);
+  for (int run = 0; run < 5; ++run) {
+    ASSERT_EQ(compositions_pipeline(9, 3, 2, Execution::kMultithreaded),
+              first);
+  }
+}
+
+}  // namespace
+}  // namespace monotonic

@@ -1,0 +1,145 @@
+// algos_sor_test.cpp — red-black SOR: convergence, and bit-exact
+// equivalence between sequential, barrier, and ragged-counter variants
+// (the half-sweep protocol relies on red/black disjointness; these
+// tests would catch any skew bug).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "monotonic/algos/sor.hpp"
+#include "monotonic/core/broadcast_counter.hpp"
+#include "monotonic/support/rng.hpp"
+
+namespace monotonic {
+namespace {
+
+Grid2D boundary_problem(std::size_t rows, std::size_t cols) {
+  Grid2D grid(rows, cols, 0.0);
+  for (std::size_t c = 0; c < cols; ++c) grid.at(0, c) = 100.0;  // hot top
+  return grid;
+}
+
+Grid2D random_problem(std::size_t rows, std::size_t cols,
+                      std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Grid2D grid(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      grid.at(r, c) = rng.uniform01() * 10.0;
+    }
+  }
+  return grid;
+}
+
+SorOptions opts(std::size_t iterations, std::size_t threads,
+                double omega = 1.5) {
+  SorOptions o;
+  o.iterations = iterations;
+  o.num_threads = threads;
+  o.omega = omega;
+  return o;
+}
+
+TEST(SorSequential, ResidualDecreasesMonotonically) {
+  const auto grid = boundary_problem(12, 12);
+  double prev = sor_residual(grid);
+  for (std::size_t iters : {5u, 20u, 80u}) {
+    const double res = sor_residual(sor_sequential(grid, opts(iters, 1)));
+    EXPECT_LT(res, prev);
+    prev = res;
+  }
+}
+
+TEST(SorSequential, ConvergesToHarmonicSolution) {
+  // With enough iterations every interior cell approaches the average
+  // of its neighbours (residual -> 0).
+  const auto solved = sor_sequential(boundary_problem(10, 10),
+                                     opts(2000, 1));
+  EXPECT_LT(sor_residual(solved), 1e-9);
+}
+
+TEST(SorSequential, OmegaOneIsGaussSeidel) {
+  // omega = 1 must still converge (plain Gauss-Seidel).
+  const auto solved = sor_sequential(boundary_problem(8, 8),
+                                     opts(2000, 1, 1.0));
+  EXPECT_LT(sor_residual(solved), 1e-9);
+}
+
+TEST(SorSequential, BoundariesFixed) {
+  const auto grid = boundary_problem(8, 9);
+  const auto solved = sor_sequential(grid, opts(100, 1));
+  for (std::size_t c = 0; c < 9; ++c) {
+    EXPECT_DOUBLE_EQ(solved.at(0, c), 100.0);
+    EXPECT_DOUBLE_EQ(solved.at(7, c), 0.0);
+  }
+}
+
+struct SorParam {
+  std::size_t rows;
+  std::size_t cols;
+  std::size_t iterations;
+  std::size_t threads;
+};
+
+class SorEquivalence : public ::testing::TestWithParam<SorParam> {};
+
+TEST_P(SorEquivalence, BarrierMatchesSequentialExactly) {
+  const auto p = GetParam();
+  const auto grid = random_problem(p.rows, p.cols, 60 + p.rows);
+  const auto options = opts(p.iterations, p.threads);
+  EXPECT_EQ(sor_barrier(grid, options), sor_sequential(grid, options));
+}
+
+TEST_P(SorEquivalence, RaggedMatchesSequentialExactly) {
+  const auto p = GetParam();
+  const auto grid = random_problem(p.rows, p.cols, 70 + p.rows);
+  const auto options = opts(p.iterations, p.threads);
+  EXPECT_EQ(sor_ragged(grid, options), sor_sequential(grid, options));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SorEquivalence,
+    ::testing::Values(SorParam{3, 3, 10, 1}, SorParam{4, 5, 25, 2},
+                      SorParam{8, 8, 50, 3}, SorParam{8, 8, 50, 6},
+                      SorParam{16, 12, 30, 4}, SorParam{11, 23, 40, 5}),
+    [](const ::testing::TestParamInfo<SorParam>& info) {
+      return "r" + std::to_string(info.param.rows) + "c" +
+             std::to_string(info.param.cols) + "_i" +
+             std::to_string(info.param.iterations) + "_t" +
+             std::to_string(info.param.threads);
+    });
+
+TEST(SorEquivalenceExtra, SkewedStripsStillExact) {
+  const auto grid = random_problem(10, 10, 5);
+  auto skewed = opts(20, 4);
+  skewed.strip_hook = [](std::size_t s, std::size_t) {
+    if (s == 0) std::this_thread::yield();
+  };
+  EXPECT_EQ(sor_ragged(grid, skewed), sor_sequential(grid, opts(20, 4)));
+}
+
+TEST(SorEquivalenceExtra, DeterministicAcrossRuns) {
+  const auto grid = random_problem(12, 12, 6);
+  const auto options = opts(30, 4);
+  const auto first = sor_ragged(grid, options);
+  for (int run = 0; run < 5; ++run) {
+    ASSERT_EQ(sor_ragged(grid, options), first);
+  }
+}
+
+TEST(SorEquivalenceExtra, OtherCounterImplementations) {
+  const auto grid = random_problem(8, 8, 7);
+  const auto options = opts(20, 3);
+  EXPECT_EQ(sor_ragged_with<SingleCvCounter>(grid, options),
+            sor_sequential(grid, options));
+}
+
+TEST(SorValidation, TooSmallGridRejected) {
+  EXPECT_THROW(sor_sequential(Grid2D(2, 8), opts(1, 1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace monotonic

@@ -1,0 +1,225 @@
+// async_and_failure_test.cpp — the OnReach asynchronous checks and the
+// broadcast/pipeline failure-poisoning paths.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "monotonic/core/counter.hpp"
+#include "monotonic/patterns/broadcast.hpp"
+#include "monotonic/patterns/pipeline.hpp"
+#include "monotonic/threads/multi_error.hpp"
+#include "monotonic/threads/structured.hpp"
+
+namespace monotonic {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ------------------------------------------------------------- OnReach
+
+TEST(OnReach, ReachedLevelRunsImmediately) {
+  Counter c;
+  c.Increment(5);
+  bool ran = false;
+  c.OnReach(3, [&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(OnReach, PendingCallbackRunsOnIncrement) {
+  Counter c;
+  std::atomic<int> ran{0};
+  c.OnReach(2, [&] { ran = 1; });
+  EXPECT_EQ(ran.load(), 0);
+  c.Increment(1);
+  EXPECT_EQ(ran.load(), 0) << "level 2 not yet reached";
+  c.Increment(1);
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(OnReach, CallbacksRunInLevelThenRegistrationOrder) {
+  Counter c;
+  std::vector<int> order;
+  c.OnReach(3, [&] { order.push_back(31); });
+  c.OnReach(1, [&] { order.push_back(10); });
+  c.OnReach(3, [&] { order.push_back(32); });
+  c.OnReach(2, [&] { order.push_back(20); });
+  c.Increment(3);  // releases everything in one wave
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 31, 32}));
+}
+
+TEST(OnReach, PartialWaveRunsOnlyReachedLevels) {
+  Counter c;
+  std::vector<int> order;
+  c.OnReach(1, [&] { order.push_back(1); });
+  c.OnReach(5, [&] { order.push_back(5); });
+  c.Increment(2);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  auto snap = c.debug_snapshot();
+  ASSERT_EQ(snap.callback_levels.size(), 1u);
+  EXPECT_EQ(snap.callback_levels[0], 5u);
+  c.Increment(3);
+  EXPECT_EQ(order, (std::vector<int>{1, 5}));
+}
+
+TEST(OnReach, CallbackMayReenterTheCounter) {
+  // CP.22: callbacks run outside the lock, so chaining is legal —
+  // each reached level schedules the next and increments.
+  Counter c;
+  std::atomic<int> chain{0};
+  std::function<void(counter_value_t)> link = [&](counter_value_t level) {
+    chain.fetch_add(1);
+    if (level < 5) {
+      c.OnReach(level + 1, [&, level] { link(level + 1); });
+      c.Increment(1);
+    }
+  };
+  c.OnReach(1, [&] { link(1); });
+  c.Increment(1);
+  EXPECT_EQ(chain.load(), 5);
+}
+
+TEST(OnReach, CallbackWakesSuspendedChecker) {
+  // The callback runs in the incrementing thread and can itself
+  // increment another counter a sleeping thread waits on.
+  Counter first, second;
+  std::atomic<bool> passed{false};
+  std::jthread waiter([&] {
+    second.Check(1);
+    passed.store(true);
+  });
+  first.OnReach(1, [&] { second.Increment(1); });
+  std::this_thread::sleep_for(10ms);
+  EXPECT_FALSE(passed.load());
+  first.Increment(1);
+  waiter.join();
+  EXPECT_TRUE(passed.load());
+}
+
+TEST(OnReach, ConcurrentRegistrationAndIncrements) {
+  for (int round = 0; round < 10; ++round) {
+    Counter c;
+    std::atomic<int> fired{0};
+    constexpr int kLevels = 50;
+    multithreaded_block(
+        [&] {
+          for (counter_value_t l = 1; l <= kLevels; ++l) {
+            c.OnReach(l, [&] { fired.fetch_add(1); });
+          }
+        },
+        [&] {
+          for (int i = 0; i < kLevels; ++i) c.Increment(1);
+        });
+    // Every callback's level was eventually reached, so every callback
+    // fired (either at registration or at an increment).
+    EXPECT_EQ(fired.load(), kLevels);
+  }
+}
+
+TEST(OnReach, ResetWithPendingCallbackRejected) {
+  Counter c;
+  c.OnReach(10, [] {});
+  EXPECT_THROW(c.Reset(), std::invalid_argument);
+  c.Increment(10);  // fires and clears the callback
+  c.Reset();
+}
+
+// ------------------------------------------------- channel poisoning
+
+TEST(Poisoning, ReaderGetsPublishedItemsThenThrows) {
+  BroadcastChannel<int> ch(10);
+  {
+    auto writer = ch.writer(1);
+    writer.publish(100);
+    writer.publish(101);
+    writer.poison();
+  }
+  auto reader = ch.reader(1);
+  EXPECT_EQ(reader.get(0), 100);
+  EXPECT_EQ(reader.get(1), 101);
+  EXPECT_THROW(reader.get(2), BrokenChannelError);
+  EXPECT_THROW(reader.get(9), BrokenChannelError);
+  EXPECT_TRUE(ch.poisoned());
+}
+
+TEST(Poisoning, BlockedReaderIsReleasedNotDeadlocked) {
+  BroadcastChannel<int> ch(100);
+  std::atomic<bool> threw{false};
+  multithreaded_block(
+      [&] {
+        auto writer = ch.writer(1);
+        writer.publish(1);
+        std::this_thread::sleep_for(10ms);
+        writer.poison();  // reader is (likely) parked on item 50
+      },
+      [&] {
+        auto reader = ch.reader(1);
+        try {
+          (void)reader.get(0);
+          (void)reader.get(50);  // never published
+        } catch (const BrokenChannelError&) {
+          threw.store(true);
+        }
+      });
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(Poisoning, FailingPipelineStageDoesNotDeadlockDownstream) {
+  Pipeline<int> p;
+  p.add_stage(5, [](Pipeline<int>::Context& ctx) {
+    ctx.emit(1);
+    ctx.emit(2);
+    throw std::runtime_error("producer exploded");
+  });
+  p.add_stage(5, [](Pipeline<int>::Context& ctx) {
+    for (std::size_t i = 0; i < 5; ++i) ctx.emit(ctx.read(0, i) * 10);
+  });
+  try {
+    p.run(Execution::kMultithreaded);
+    FAIL() << "expected MultiError";
+  } catch (const MultiError& e) {
+    // Producer's runtime_error plus the consumer's BrokenChannelError.
+    EXPECT_GE(e.size(), 1u);
+    EXPECT_NE(std::string(e.what()).find("producer exploded"),
+              std::string::npos);
+  }
+}
+
+TEST(Poisoning, CascadeThroughThreeStages) {
+  Pipeline<int> p;
+  p.add_stage(3, [](Pipeline<int>::Context& ctx) {
+    ctx.emit(1);
+    throw std::runtime_error("stage 0 failed");
+  });
+  p.add_stage(3, [](Pipeline<int>::Context& ctx) {
+    for (std::size_t i = 0; i < 3; ++i) ctx.emit(ctx.read(0, i));
+  });
+  p.add_stage(3, [](Pipeline<int>::Context& ctx) {
+    for (std::size_t i = 0; i < 3; ++i) ctx.emit(ctx.read(1, i));
+  });
+  EXPECT_THROW(p.run(Execution::kMultithreaded), MultiError);
+  // The key property is that run() RETURNED (no deadlock): each broken
+  // stage poisoned its own channel for the next one.
+}
+
+TEST(Poisoning, HealthyChannelNeverThrows) {
+  BroadcastChannel<int> ch(50);
+  multithreaded_block(
+      [&] {
+        auto writer = ch.writer(8);
+        for (int i = 0; i < 50; ++i) writer.publish(i);
+      },
+      [&] {
+        auto reader = ch.reader(4);
+        for (std::size_t i = 0; i < 50; ++i) {
+          EXPECT_EQ(reader.get(i), static_cast<int>(i));
+        }
+      });
+  EXPECT_FALSE(ch.poisoned());
+}
+
+}  // namespace
+}  // namespace monotonic

@@ -1,0 +1,108 @@
+// barrier_test.cpp — the three barrier implementations (S2), including
+// reuse across rounds and the instrumentation the benches rely on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "monotonic/sync/barrier.hpp"
+#include "monotonic/threads/structured.hpp"
+
+namespace monotonic {
+namespace {
+
+// Shared harness: `parties` threads run `rounds` rounds; within each
+// round every thread bumps a per-round arrival count before the
+// barrier, and after passing asserts the count is complete — which can
+// only hold if nobody passed early.
+template <typename PassFn>
+void exercise_barrier(std::size_t parties, std::size_t rounds, PassFn pass) {
+  std::vector<std::atomic<std::size_t>> arrivals(rounds);
+  multithreaded_for(
+      std::size_t{0}, parties, std::size_t{1},
+      [&](std::size_t slot) {
+        for (std::size_t r = 0; r < rounds; ++r) {
+          arrivals[r].fetch_add(1, std::memory_order_relaxed);
+          pass(slot);
+          EXPECT_EQ(arrivals[r].load(std::memory_order_relaxed), parties)
+              << "thread passed round " << r << " before all arrived";
+        }
+      },
+      Execution::kMultithreaded);
+}
+
+class BarrierParties : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BarrierParties, CentralBarrierSynchronizesEveryRound) {
+  const std::size_t parties = GetParam();
+  CentralBarrier barrier(parties);
+  exercise_barrier(parties, 20, [&](std::size_t) { barrier.Pass(); });
+  EXPECT_EQ(barrier.stat_rounds(), 20u);
+}
+
+TEST_P(BarrierParties, AtomicBarrierSynchronizesEveryRound) {
+  const std::size_t parties = GetParam();
+  AtomicBarrier barrier(parties);
+  exercise_barrier(parties, 20, [&](std::size_t) { barrier.Pass(); });
+  EXPECT_EQ(barrier.stat_rounds(), 20u);
+}
+
+TEST_P(BarrierParties, TreeBarrierSynchronizesEveryRound) {
+  const std::size_t parties = GetParam();
+  TreeBarrier barrier(parties);
+  exercise_barrier(parties, 20, [&](std::size_t slot) { barrier.Pass(slot); });
+}
+
+INSTANTIATE_TEST_SUITE_P(Parties, BarrierParties,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 13),
+                         [](const ::testing::TestParamInfo<std::size_t>& i) {
+                           return "p" + std::to_string(i.param);
+                         });
+
+TEST(CentralBarrierTest, SinglePartyNeverBlocks) {
+  CentralBarrier barrier(1);
+  for (int i = 0; i < 100; ++i) barrier.Pass();
+  EXPECT_EQ(barrier.stat_rounds(), 100u);
+  EXPECT_EQ(barrier.stat_suspensions(), 0u);
+}
+
+TEST(CentralBarrierTest, SuspensionAccounting) {
+  CentralBarrier barrier(3);
+  multithreaded_for(0, 3, 1, [&](int) { barrier.Pass(); });
+  // Exactly parties-1 threads suspend per round (the last flips sense).
+  EXPECT_EQ(barrier.stat_rounds(), 1u);
+  EXPECT_EQ(barrier.stat_suspensions(), 2u);
+}
+
+TEST(CentralBarrierTest, ZeroPartiesRejected) {
+  EXPECT_THROW(CentralBarrier b(0), std::invalid_argument);
+  EXPECT_THROW(AtomicBarrier b2(0), std::invalid_argument);
+  EXPECT_THROW(TreeBarrier b3(0), std::invalid_argument);
+}
+
+TEST(TreeBarrierTest, SlotOutOfRangeRejected) {
+  TreeBarrier barrier(2);
+  EXPECT_THROW(barrier.Pass(2), std::invalid_argument);
+}
+
+TEST(BarrierInterleaving, TwoBarriersAlternate) {
+  // The §5.1 double-barrier step structure: read-barrier then
+  // write-barrier, repeated; exercises sense reversal under pipelining.
+  CentralBarrier read_barrier(4), write_barrier(4);
+  std::atomic<int> phase_sum{0};
+  multithreaded_for(0, 4, 1, [&](int) {
+    for (int t = 0; t < 10; ++t) {
+      read_barrier.Pass();
+      phase_sum.fetch_add(1);
+      write_barrier.Pass();
+    }
+  });
+  EXPECT_EQ(phase_sum.load(), 40);
+  EXPECT_EQ(read_barrier.stat_rounds(), 10u);
+  EXPECT_EQ(write_barrier.stat_rounds(), 10u);
+}
+
+}  // namespace
+}  // namespace monotonic

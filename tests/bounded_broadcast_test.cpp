@@ -1,0 +1,229 @@
+// bounded_broadcast_test.cpp — streaming broadcast through a ring:
+// forward (published) and backward (consumed) counter flow control.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <memory>
+
+#include "monotonic/determinacy/checked.hpp"
+#include "monotonic/determinacy/checked_array.hpp"
+#include "monotonic/determinacy/tracked_condition.hpp"
+#include "monotonic/patterns/bounded_broadcast.hpp"
+#include "monotonic/threads/structured.hpp"
+
+namespace monotonic {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(BoundedBroadcastTest, StreamLongerThanRing) {
+  // 10k items through an 8-slot ring: impossible unless slots are
+  // recycled, so data integrity proves both flow directions work.
+  constexpr std::size_t kItems = 10000;
+  BoundedBroadcast<std::uint64_t> ring(8, 2);
+  std::atomic<std::uint64_t> sums[2] = {{0}, {0}};
+
+  multithreaded_block(
+      [&] {
+        auto writer = ring.writer();
+        for (std::size_t i = 0; i < kItems; ++i) writer.publish(i * 7);
+      },
+      [&] {
+        auto reader = ring.reader(0);
+        std::uint64_t sum = 0;
+        for (std::size_t i = 0; i < kItems; ++i) {
+          const auto v = reader.consume();
+          ASSERT_EQ(v, i * 7);
+          sum += v;
+        }
+        sums[0] = sum;
+      },
+      [&] {
+        auto reader = ring.reader(1);
+        std::uint64_t sum = 0;
+        for (std::size_t i = 0; i < kItems; ++i) sum += reader.consume();
+        sums[1] = sum;
+      });
+
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < kItems; ++i) expected += i * 7;
+  EXPECT_EQ(sums[0].load(), expected);
+  EXPECT_EQ(sums[1].load(), expected);
+}
+
+TEST(BoundedBroadcastTest, WriterBlocksOnSlowestReader) {
+  BoundedBroadcast<int> ring(4, 1);
+  std::atomic<std::size_t> published{0};
+  std::jthread writer_thread([&] {
+    auto writer = ring.writer();
+    for (int i = 0; i < 10; ++i) {
+      writer.publish(i);
+      published.store(writer.published());
+    }
+  });
+  // No reader yet: the writer can fill the ring (4) but not overwrite
+  // slot 0 for item 4.
+  std::this_thread::sleep_for(30ms);
+  EXPECT_EQ(published.load(), 4u);
+  auto reader = ring.reader(0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(reader.consume(), i);
+  writer_thread.join();
+  EXPECT_EQ(published.load(), 10u);
+}
+
+TEST(BoundedBroadcastTest, FastReaderWaitsForWriter) {
+  BoundedBroadcast<int> ring(4, 1);
+  std::atomic<int> got{-1};
+  std::jthread reader_thread([&] {
+    auto reader = ring.reader(0);
+    got.store(reader.consume());
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(got.load(), -1);
+  auto writer = ring.writer();
+  writer.publish(99);
+  reader_thread.join();
+  EXPECT_EQ(got.load(), 99);
+}
+
+TEST(BoundedBroadcastTest, ReadersAtDifferentSpeeds) {
+  constexpr std::size_t kItems = 500;
+  BoundedBroadcast<std::size_t> ring(16, 3);
+  std::atomic<int> ok{0};
+  std::vector<std::function<void()>> bodies;
+  bodies.emplace_back([&] {
+    auto writer = ring.writer();
+    for (std::size_t i = 0; i < kItems; ++i) writer.publish(i);
+  });
+  for (std::size_t r = 0; r < 3; ++r) {
+    bodies.emplace_back([&, r] {
+      auto reader = ring.reader(r);
+      for (std::size_t i = 0; i < kItems; ++i) {
+        if (reader.consume() != i) return;
+        if (i % (10 + r * 7) == 0) std::this_thread::yield();
+      }
+      ok.fetch_add(1);
+    });
+  }
+  multithreaded(std::move(bodies), Execution::kMultithreaded);
+  EXPECT_EQ(ok.load(), 3);
+}
+
+TEST(BoundedBroadcastTest, SingleSlotRingFullySerializes) {
+  BoundedBroadcast<int> ring(1, 1);
+  multithreaded_block(
+      [&] {
+        auto writer = ring.writer();
+        for (int i = 0; i < 100; ++i) writer.publish(i);
+      },
+      [&] {
+        auto reader = ring.reader(0);
+        for (int i = 0; i < 100; ++i) ASSERT_EQ(reader.consume(), i);
+      });
+}
+
+TEST(BoundedBroadcastTest, InvalidConstructionRejected) {
+  EXPECT_THROW((BoundedBroadcast<int>(0, 1)), std::invalid_argument);
+  EXPECT_THROW((BoundedBroadcast<int>(4, 0)), std::invalid_argument);
+  BoundedBroadcast<int> ring(4, 2);
+  EXPECT_THROW(ring.reader(2), std::invalid_argument);
+}
+
+// --------------------------------------------------- TrackedCondition
+
+TEST(TrackedConditionTest, SetThenCheckOrdersAccesses) {
+  RaceDetector detector;
+  TrackedCondition cond(detector);
+  Checked<int> data(detector, "data");
+  multithreaded_block(
+      [&] {
+        data.write(5);
+        cond.Set();
+      },
+      [&] {
+        cond.Check();
+        EXPECT_EQ(data.read(), 5);
+      });
+  EXPECT_EQ(detector.race_count(), 0u);
+}
+
+TEST(TrackedConditionTest, UnsynchronizedAccessStillFlagged) {
+  RaceDetector detector;
+  TrackedCondition cond(detector);
+  Checked<int> data(detector, "data");
+  multithreaded_block(
+      [&] {
+        cond.Set();
+        data.write(5);  // BUG: write after Set
+      },
+      [&] {
+        cond.Check();
+        (void)data.read();
+      });
+  EXPECT_GT(detector.race_count(), 0u);
+}
+
+// The §4.4 condition-array program, certified (companion to the §4.5
+// certification in determinacy_programs_test.cpp).
+TEST(TrackedConditionTest, ConditionArrayFloydWarshallIsClean) {
+  RaceDetector detector;
+  constexpr std::size_t kN = 5;
+  constexpr std::size_t kThreads = 2;
+  CheckedArray<long long> path(detector, "path", kN * kN);
+  CheckedArray<long long> k_row(detector, "kRow", kN * kN);
+  std::vector<std::unique_ptr<TrackedCondition>> k_done;
+  for (std::size_t k = 0; k < kN; ++k) {
+    k_done.push_back(std::make_unique<TrackedCondition>(detector));
+  }
+
+  for (std::size_t i = 0; i < kN; ++i) {
+    for (std::size_t j = 0; j < kN; ++j) {
+      path.write(i * kN + j,
+                 i == j ? 0
+                        : static_cast<long long>((i * 13 + j * 7) % 9 + 1));
+    }
+  }
+  for (std::size_t j = 0; j < kN; ++j) {
+    k_row.write(j, path.read(j));
+  }
+  k_done[0]->Set();
+  const VectorClock fork_clock = detector.thread_clock();
+
+  multithreaded_for(
+      std::size_t{0}, kThreads, std::size_t{1},
+      [&](std::size_t t) {
+        detector.acquire(fork_clock);
+        const std::size_t begin = t * kN / kThreads;
+        const std::size_t end = (t + 1) * kN / kThreads;
+        for (std::size_t k = 0; k < kN; ++k) {
+          k_done[k]->Check();
+          for (std::size_t i = begin; i < end; ++i) {
+            for (std::size_t j = 0; j < kN; ++j) {
+              const long long candidate =
+                  path.read(i * kN + k) + k_row.read(k * kN + j);
+              if (candidate < path.read(i * kN + j)) {
+                path.write(i * kN + j, candidate);
+              }
+            }
+            if (i == k + 1) {
+              for (std::size_t j = 0; j < kN; ++j) {
+                k_row.write((k + 1) * kN + j, path.read((k + 1) * kN + j));
+              }
+              k_done[k + 1]->Set();
+            }
+          }
+        }
+      },
+      Execution::kMultithreaded);
+
+  EXPECT_EQ(detector.race_count(), 0u)
+      << "§4.4's condition-array program also satisfies §6's conditions";
+}
+
+}  // namespace
+}  // namespace monotonic

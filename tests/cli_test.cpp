@@ -1,0 +1,67 @@
+// cli_test.cpp — the shared example/bench argument parser.
+
+#include <gtest/gtest.h>
+
+#include "monotonic/support/cli.hpp"
+
+namespace monotonic {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv(args);
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliTest, ProgramNameAndPositionals) {
+  const auto args = make({"prog", "64", "4", "counter"});
+  EXPECT_EQ(args.program(), "prog");
+  EXPECT_EQ(args.positional_count(), 3u);
+  EXPECT_EQ(args.positional_u64(0, 1), 64u);
+  EXPECT_EQ(args.positional_u64(1, 1), 4u);
+  EXPECT_EQ(args.positional_str(2, "x"), "counter");
+}
+
+TEST(CliTest, FallbacksWhenAbsent) {
+  const auto args = make({"prog"});
+  EXPECT_EQ(args.positional_u64(0, 128), 128u);
+  EXPECT_EQ(args.positional_str(5, "default"), "default");
+}
+
+TEST(CliTest, OptionsWithValues) {
+  const auto args = make({"prog", "--threads=8", "--impl=futex", "10"});
+  EXPECT_EQ(args.option_u64("threads"), 8u);
+  EXPECT_EQ(args.option_str("impl"), "futex");
+  EXPECT_EQ(args.positional_u64(0, 0), 10u);
+  EXPECT_FALSE(args.option_u64("missing").has_value());
+}
+
+TEST(CliTest, BareFlags) {
+  const auto args = make({"prog", "--verbose", "--out=x.json"});
+  EXPECT_TRUE(args.has_flag("verbose"));
+  EXPECT_TRUE(args.has_flag("out"));
+  EXPECT_FALSE(args.has_flag("quiet"));
+  EXPECT_FALSE(args.option_str("verbose").has_value());
+}
+
+TEST(CliTest, MalformedNumbersThrow) {
+  const auto args = make({"prog", "12x", "--n=abc"});
+  EXPECT_THROW(args.positional_u64(0, 0), std::invalid_argument);
+  EXPECT_THROW(args.option_u64("n"), std::invalid_argument);
+}
+
+TEST(CliTest, NegativeNumbersRejected) {
+  const auto args = make({"prog", "-5"});
+  // "-5" does not start with "--", so it is positional — and invalid.
+  EXPECT_THROW(args.positional_u64(0, 0), std::invalid_argument);
+}
+
+TEST(CliTest, OptionKeysListed) {
+  const auto args = make({"prog", "--a=1", "--b"});
+  const auto keys = args.option_keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+}
+
+}  // namespace
+}  // namespace monotonic

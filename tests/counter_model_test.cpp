@@ -1,0 +1,190 @@
+// counter_model_test.cpp — model-based testing of the counter.
+//
+// A reference model (plain integer + pending-check list) is driven with
+// randomized operation sequences; the real implementations must agree
+// with the model on every observable: which timed checks pass, which
+// time out, the final snapshot value, and the wait-list shape.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "monotonic/core/any_counter.hpp"
+#include "monotonic/core/counter.hpp"
+#include "monotonic/support/rng.hpp"
+
+namespace monotonic {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ----------------------------------------------------------------------
+// Single-threaded model equivalence: sequences of Increment / probing
+// timed Check / Reset, mirrored against a plain integer.
+
+TEST(CounterModel, RandomSequencesMatchIntegerModel) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    Xoshiro256 rng(seed);
+    Counter counter;
+    counter_value_t model = 0;
+
+    for (int op = 0; op < 400; ++op) {
+      switch (rng.uniform(0, 2)) {
+        case 0: {  // Increment
+          const counter_value_t amount = rng.uniform(0, 20);
+          counter.Increment(amount);
+          model += amount;
+          break;
+        }
+        case 1: {  // timed Check as a safe probe
+          // Probe a level near the model value; CheckFor(., 0ms) is a
+          // non-blocking observation: passes iff model >= level.
+          const counter_value_t level =
+              model > 5 ? model - 5 + rng.uniform(0, 10)
+                        : rng.uniform(0, 10);
+          const bool expected = model >= level;
+          EXPECT_EQ(counter.CheckFor(level, 0ms), expected)
+              << "seed=" << seed << " op=" << op << " level=" << level
+              << " model=" << model;
+          break;
+        }
+        case 2: {  // Reset (valid here: no concurrent waiters)
+          if (rng.uniform(0, 9) == 0) {
+            counter.Reset();
+            model = 0;
+          }
+          break;
+        }
+      }
+      ASSERT_EQ(counter.debug_snapshot().value, model);
+    }
+  }
+}
+
+// The same sequences applied to every implementation kind through the
+// type-erased interface: all kinds must agree on the value trajectory.
+TEST(CounterModel, AllKindsAgreeOnValueTrajectory) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    // Generate one operation tape.
+    Xoshiro256 rng(seed * 977);
+    std::vector<counter_value_t> amounts;
+    for (int op = 0; op < 200; ++op) amounts.push_back(rng.uniform(0, 15));
+
+    // Apply to all kinds; verify with a blocking Check on the final sum
+    // (which must not block) for each.
+    counter_value_t total = 0;
+    for (auto a : amounts) total += a;
+    for (CounterKind kind : all_counter_kinds()) {
+      auto c = make_counter(kind);
+      for (auto a : amounts) c->Increment(a);
+      c->Check(total);  // hangs (test timeout) if any increment was lost
+      EXPECT_EQ(c->stats().increments, amounts.size()) << to_string(kind);
+    }
+  }
+}
+
+// ----------------------------------------------------------------------
+// Wait-list shape model: issue a batch of waiters at random levels, and
+// check the snapshot matches a map<level, count> model exactly.
+
+TEST(CounterModel, WaitListShapeMatchesMultiset) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Xoshiro256 rng(seed * 31337);
+    Counter counter;
+    const std::size_t waiters = 6 + seed % 5;
+
+    std::map<counter_value_t, std::size_t> model;
+    std::vector<std::jthread> threads;
+    for (std::size_t w = 0; w < waiters; ++w) {
+      const counter_value_t level = rng.uniform(1, 6);
+      ++model[level];
+      threads.emplace_back([&counter, level] { counter.Check(level); });
+    }
+
+    // Wait until all suspended, then compare shapes.
+    for (;;) {
+      std::size_t total = 0;
+      for (const auto& wl : counter.debug_snapshot().wait_levels) {
+        total += wl.waiters;
+      }
+      if (total == waiters) break;
+      std::this_thread::yield();
+    }
+    const auto snap = counter.debug_snapshot();
+    ASSERT_EQ(snap.wait_levels.size(), model.size()) << "seed=" << seed;
+    auto it = model.begin();
+    for (const auto& wl : snap.wait_levels) {
+      EXPECT_EQ(wl.level, it->first);
+      EXPECT_EQ(wl.waiters, it->second);
+      ++it;
+    }
+
+    // Release a random prefix of levels; the remaining shape must be
+    // the model's tail.
+    const counter_value_t release = rng.uniform(1, 6);
+    counter.Increment(release);
+    while (true) {
+      const auto s = counter.debug_snapshot();
+      std::size_t expected_nodes = 0;
+      for (const auto& [level, count] : model) {
+        if (level > release) ++expected_nodes;
+      }
+      if (s.wait_levels.size() == expected_nodes) break;
+      std::this_thread::yield();
+    }
+    for (const auto& wl : counter.debug_snapshot().wait_levels) {
+      EXPECT_GT(wl.level, release);
+      EXPECT_EQ(wl.waiters, model[wl.level]);
+    }
+    counter.Increment(6);  // drain
+    threads.clear();
+  }
+}
+
+// ----------------------------------------------------------------------
+// Timed checks racing increments: whatever the interleaving, a CheckFor
+// that returns true implies the level was reached, and one that returns
+// false implies the deadline passed — and the wait list is always empty
+// once all actors are done.
+
+TEST(CounterModel, TimedChecksNeverCorruptTheWaitList) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Counter counter;
+    Xoshiro256 rng(seed * 7919);
+    const counter_value_t target = 50;
+
+    std::vector<std::jthread> actors;
+    for (int a = 0; a < 4; ++a) {
+      const std::uint64_t salt = rng();
+      actors.emplace_back([&counter, salt] {
+        Xoshiro256 local(salt);
+        for (int i = 0; i < 25; ++i) {
+          const auto level = local.uniform(1, target);
+          (void)counter.CheckFor(level,
+                                 std::chrono::microseconds(local.uniform(0, 300)));
+        }
+      });
+    }
+    actors.emplace_back([&counter] {
+      for (counter_value_t i = 0; i < target; ++i) {
+        counter.Increment(1);
+        std::this_thread::yield();
+      }
+    });
+    actors.clear();  // join all
+
+    const auto snap = counter.debug_snapshot();
+    EXPECT_EQ(snap.value, target);
+    EXPECT_TRUE(snap.wait_levels.empty())
+        << "timed-out waiters must unlink their nodes";
+    EXPECT_EQ(counter.stats().live_nodes, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace monotonic

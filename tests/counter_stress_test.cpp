@@ -1,0 +1,191 @@
+// counter_stress_test.cpp — parameterized stress and property sweeps
+// over counter implementations, thread counts, and level shapes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "monotonic/core/any_counter.hpp"
+#include "monotonic/support/rng.hpp"
+#include "monotonic/threads/structured.hpp"
+
+namespace monotonic {
+namespace {
+
+struct StressParam {
+  CounterKind kind;
+  int writers;
+  int readers;
+  int items;
+};
+
+std::string sanitize(std::string_view name) {
+  std::string out(name);
+  for (char& c : out) {
+    if (c == '-') c = '_';
+  }
+  return out;
+}
+
+std::string param_name(const ::testing::TestParamInfo<StressParam>& info) {
+  return sanitize(to_string(info.param.kind)) + "_w" +
+         std::to_string(info.param.writers) + "_r" +
+         std::to_string(info.param.readers) + "_n" +
+         std::to_string(info.param.items);
+}
+
+class CounterStress : public ::testing::TestWithParam<StressParam> {};
+
+// Property: with W incrementing threads each adding `items` ones, every
+// reader's Check(level) for level <= W*items eventually passes, and no
+// Check passes before the counter could have reached its level.
+TEST_P(CounterStress, ChecksPassExactlyWhenReachable) {
+  const auto p = GetParam();
+  auto counter = make_counter(p.kind);
+  const counter_value_t total =
+      static_cast<counter_value_t>(p.writers) * p.items;
+
+  std::atomic<std::uint64_t> increments_issued{0};
+  std::vector<std::function<void()>> bodies;
+  for (int w = 0; w < p.writers; ++w) {
+    bodies.emplace_back([&] {
+      for (int i = 0; i < p.items; ++i) {
+        increments_issued.fetch_add(1, std::memory_order_relaxed);
+        counter->Increment(1);
+      }
+    });
+  }
+  for (int r = 0; r < p.readers; ++r) {
+    bodies.emplace_back([&, r] {
+      // Each reader sweeps a different stride of levels.
+      for (counter_value_t level = static_cast<counter_value_t>(r) + 1;
+           level <= total; level += p.readers) {
+        counter->Check(level);
+        // The check can only pass once at least `level` unit
+        // increments were issued (the issue counter is bumped before
+        // each Increment, so issued >= value always).
+        EXPECT_GE(increments_issued.load(std::memory_order_relaxed), level);
+      }
+    });
+  }
+  multithreaded(std::move(bodies), Execution::kMultithreaded);
+  counter->Check(total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CounterStress,
+    ::testing::Values(
+        StressParam{CounterKind::kList, 1, 1, 2000},
+        StressParam{CounterKind::kList, 1, 4, 1000},
+        StressParam{CounterKind::kList, 4, 4, 500},
+        StressParam{CounterKind::kList, 8, 8, 200},
+        StressParam{CounterKind::kListNoPool, 4, 4, 500},
+        StressParam{CounterKind::kSingleCv, 1, 4, 1000},
+        StressParam{CounterKind::kSingleCv, 4, 4, 500},
+        StressParam{CounterKind::kFutex, 1, 4, 1000},
+        StressParam{CounterKind::kFutex, 4, 4, 500},
+        StressParam{CounterKind::kSpin, 1, 2, 500},
+        StressParam{CounterKind::kSpin, 2, 2, 500},
+        StressParam{CounterKind::kHybrid, 1, 4, 1000},
+        StressParam{CounterKind::kHybrid, 4, 4, 500},
+        StressParam{CounterKind::kHybrid, 8, 8, 200}),
+    param_name);
+
+struct LevelShapeParam {
+  CounterKind kind;
+  int waiters;
+  int distinct_levels;
+};
+
+std::string shape_name(
+    const ::testing::TestParamInfo<LevelShapeParam>& info) {
+  return sanitize(to_string(info.param.kind)) + "_t" +
+         std::to_string(info.param.waiters) + "_l" +
+         std::to_string(info.param.distinct_levels);
+}
+
+class LevelShapes : public ::testing::TestWithParam<LevelShapeParam> {};
+
+// Property: waiters spread over D distinct levels are all released by
+// a single Increment that covers every level, regardless of how many
+// waiters share each level.
+TEST_P(LevelShapes, OneIncrementReleasesEveryCoveredLevel) {
+  const auto p = GetParam();
+  auto counter = make_counter(p.kind);
+  std::atomic<int> released{0};
+
+  std::vector<std::function<void()>> bodies;
+  for (int w = 0; w < p.waiters; ++w) {
+    const counter_value_t level = (w % p.distinct_levels) + 1;
+    bodies.emplace_back([&, level] {
+      counter->Check(level);
+      released.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  bodies.emplace_back([&] {
+    // Wait until every waiter has suspended (structurally: all checks
+    // either suspended or still arriving), then release all at once.
+    while (counter->stats().checks <
+           static_cast<std::uint64_t>(p.waiters)) {
+      std::this_thread::yield();
+    }
+    counter->Increment(static_cast<counter_value_t>(p.distinct_levels));
+  });
+  multithreaded(std::move(bodies), Execution::kMultithreaded);
+  EXPECT_EQ(released.load(), p.waiters);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LevelShapes,
+    ::testing::Values(LevelShapeParam{CounterKind::kList, 16, 1},
+                      LevelShapeParam{CounterKind::kList, 16, 4},
+                      LevelShapeParam{CounterKind::kList, 16, 16},
+                      LevelShapeParam{CounterKind::kList, 32, 8},
+                      LevelShapeParam{CounterKind::kListNoPool, 16, 4},
+                      LevelShapeParam{CounterKind::kSingleCv, 16, 4},
+                      LevelShapeParam{CounterKind::kFutex, 16, 4},
+                      LevelShapeParam{CounterKind::kSpin, 8, 4},
+                      LevelShapeParam{CounterKind::kHybrid, 16, 4},
+                      LevelShapeParam{CounterKind::kHybrid, 32, 8}),
+    shape_name);
+
+// Mixed increment amounts: the counter must behave as the running sum.
+TEST(CounterProperty, RandomAmountsMatchRunningSum) {
+  Xoshiro256 rng(2026);
+  for (int trial = 0; trial < 20; ++trial) {
+    Counter c;
+    counter_value_t sum = 0;
+    for (int op = 0; op < 200; ++op) {
+      const counter_value_t amount = rng.uniform(0, 10);
+      c.Increment(amount);
+      sum += amount;
+      c.Check(sum);  // never blocks: value == sum
+      EXPECT_EQ(c.debug_snapshot().value, sum);
+    }
+  }
+}
+
+// The §7 storage claim under churn: many distinct levels over the
+// counter's lifetime, few at any instant.
+TEST(CounterProperty, LifetimeLevelsFarExceedLiveLevels) {
+  Counter c;
+  constexpr int kPhases = 100;
+  std::jthread walker([&c] {
+    for (int k = 1; k <= kPhases; ++k) {
+      c.Check(static_cast<counter_value_t>(k));
+    }
+  });
+  for (int k = 1; k <= kPhases; ++k) c.Increment(1);
+  walker.join();
+  auto s = c.stats();
+  EXPECT_LE(s.max_live_nodes, 1u);
+  EXPECT_EQ(s.live_nodes, 0u);
+}
+
+}  // namespace
+}  // namespace monotonic

@@ -1,0 +1,403 @@
+// counter_test.cpp — semantics of all counter implementations.
+//
+// Typed tests run the §2 contract against every implementation (the
+// paper's wait-list Counter plus the ablation baselines); Counter-only
+// tests cover the §7 structure (nodes, pooling, snapshots) and the
+// extensions (Reset, timed Check).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "monotonic/core/any_counter.hpp"
+#include "monotonic/core/broadcast_counter.hpp"
+#include "monotonic/core/counter.hpp"
+#include "monotonic/core/counter_concept.hpp"
+#include "monotonic/core/futex_counter.hpp"
+#include "monotonic/core/spin_counter.hpp"
+#include "monotonic/threads/structured.hpp"
+
+namespace monotonic {
+namespace {
+
+using namespace std::chrono_literals;
+
+static_assert(CounterLike<Counter>);
+static_assert(CounterLike<SingleCvCounter>);
+static_assert(CounterLike<FutexCounter>);
+static_assert(CounterLike<SpinCounter>);
+static_assert(CounterLike<HybridCounter>);
+
+template <typename C>
+class CounterSemantics : public ::testing::Test {
+ protected:
+  C counter_;
+};
+
+using AllCounterTypes =
+    ::testing::Types<Counter, SingleCvCounter, FutexCounter, SpinCounter,
+                     HybridCounter>;
+TYPED_TEST_SUITE(CounterSemantics, AllCounterTypes);
+
+TYPED_TEST(CounterSemantics, CheckZeroNeverBlocks) {
+  // §2: initial value is zero, so Check(0) is satisfied immediately.
+  this->counter_.Check(0);
+}
+
+TYPED_TEST(CounterSemantics, CheckAtOrBelowValueReturnsImmediately) {
+  this->counter_.Increment(5);
+  this->counter_.Check(5);
+  this->counter_.Check(3);
+  this->counter_.Check(0);
+}
+
+TYPED_TEST(CounterSemantics, IncrementAccumulates) {
+  this->counter_.Increment(2);
+  this->counter_.Increment(3);
+  this->counter_.Check(5);  // would hang if increments did not accumulate
+}
+
+TYPED_TEST(CounterSemantics, IncrementZeroIsNoOp) {
+  this->counter_.Increment(0);
+  this->counter_.Increment(0);
+  this->counter_.Increment(1);
+  this->counter_.Check(1);
+}
+
+TYPED_TEST(CounterSemantics, CheckBlocksUntilLevelReached) {
+  std::atomic<bool> passed{false};
+  std::jthread waiter([&] {
+    this->counter_.Check(3);
+    passed.store(true);
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(passed.load());
+  this->counter_.Increment(2);
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(passed.load()) << "woke below the requested level";
+  this->counter_.Increment(1);
+  waiter.join();
+  EXPECT_TRUE(passed.load());
+}
+
+TYPED_TEST(CounterSemantics, SingleIncrementWakesAllLevelsReached) {
+  // One big Increment must release waiters at several distinct levels.
+  std::atomic<int> released{0};
+  std::vector<std::jthread> waiters;
+  for (counter_value_t level : {1u, 2u, 3u, 4u}) {
+    waiters.emplace_back([&, level] {
+      this->counter_.Check(level);
+      released.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(released.load(), 0);
+  this->counter_.Increment(10);
+  waiters.clear();  // join
+  EXPECT_EQ(released.load(), 4);
+}
+
+TYPED_TEST(CounterSemantics, ManyWaitersAtSameLevelAllWake) {
+  constexpr int kWaiters = 8;
+  std::atomic<int> released{0};
+  {
+    std::vector<std::jthread> waiters;
+    for (int i = 0; i < kWaiters; ++i) {
+      waiters.emplace_back([&] {
+        this->counter_.Check(7);
+        released.fetch_add(1);
+      });
+    }
+    std::this_thread::sleep_for(20ms);
+    this->counter_.Increment(7);
+  }
+  EXPECT_EQ(released.load(), kWaiters);
+}
+
+TYPED_TEST(CounterSemantics, WriterReaderHandoff) {
+  // §5.3's per-item broadcast, single reader: data written before the
+  // Increment must be visible after the corresponding Check.
+  constexpr int kItems = 200;
+  std::vector<int> data(kItems, -1);
+  multithreaded_block(
+      [&] {  // writer
+        for (int i = 0; i < kItems; ++i) {
+          data[i] = i * i;
+          this->counter_.Increment(1);
+        }
+      },
+      [&] {  // reader
+        for (int i = 0; i < kItems; ++i) {
+          this->counter_.Check(static_cast<counter_value_t>(i) + 1);
+          EXPECT_EQ(data[i], i * i);
+        }
+      });
+}
+
+TYPED_TEST(CounterSemantics, ConcurrentIncrementsAllCounted) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  multithreaded_for(0, kThreads, 1, [&](int) {
+    for (int i = 0; i < kPerThread; ++i) this->counter_.Increment(1);
+  });
+  this->counter_.Check(kThreads * kPerThread);  // hangs if any were lost
+}
+
+TYPED_TEST(CounterSemantics, LargeAmountsAndLevels) {
+  const counter_value_t big = counter_value_t{1} << 40;
+  this->counter_.Increment(big);
+  this->counter_.Check(big);
+  this->counter_.Increment(big);
+  this->counter_.Check(2 * big);
+}
+
+TYPED_TEST(CounterSemantics, OverflowIsRejected) {
+  // HybridCounter spends one bit on its waiters flag, so its range is
+  // half of the plain implementations'.
+  const counter_value_t max = std::is_same_v<TypeParam, HybridCounter>
+                                  ? HybridCounter::kMaxValue
+                                  : ~counter_value_t{0};
+  this->counter_.Increment(max);
+  EXPECT_THROW(this->counter_.Increment(1), std::invalid_argument);
+}
+
+TYPED_TEST(CounterSemantics, StatsCountOperations) {
+  this->counter_.Increment(1);
+  this->counter_.Increment(1);
+  this->counter_.Check(1);
+  auto s = this->counter_.stats();
+  EXPECT_EQ(s.increments, 2u);
+  EXPECT_EQ(s.checks, 1u);
+  EXPECT_EQ(s.fast_checks, 1u);
+  EXPECT_EQ(s.suspensions, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Counter (paper §7 implementation) specifics.
+
+TEST(CounterStructure, SnapshotInitiallyEmpty) {
+  Counter c;
+  auto snap = c.debug_snapshot();
+  EXPECT_EQ(snap.value, 0u);
+  EXPECT_TRUE(snap.wait_levels.empty());
+}
+
+TEST(CounterStructure, NodePerDistinctLevelNotPerWaiter) {
+  // §7: "storage ... proportional to the number of different levels on
+  // which threads are waiting, not to the total number of waiting
+  // threads."
+  Counter c;
+  std::vector<std::jthread> waiters;
+  for (int i = 0; i < 6; ++i) {
+    waiters.emplace_back([&c] { c.Check(10); });  // six waiters, one level
+  }
+  for (int i = 0; i < 2; ++i) {
+    waiters.emplace_back([&c] { c.Check(20); });  // two waiters, one level
+  }
+  // Wait until all eight are suspended.
+  while (true) {
+    auto snap = c.debug_snapshot();
+    std::size_t total = 0;
+    for (auto& wl : snap.wait_levels) total += wl.waiters;
+    if (total == 8) break;
+    std::this_thread::sleep_for(1ms);
+  }
+  auto snap = c.debug_snapshot();
+  ASSERT_EQ(snap.wait_levels.size(), 2u);
+  EXPECT_EQ(snap.wait_levels[0].level, 10u);
+  EXPECT_EQ(snap.wait_levels[0].waiters, 6u);
+  EXPECT_EQ(snap.wait_levels[1].level, 20u);
+  EXPECT_EQ(snap.wait_levels[1].waiters, 2u);
+  EXPECT_EQ(c.stats().max_live_nodes, 2u);
+  c.Increment(20);
+  waiters.clear();
+  EXPECT_TRUE(c.debug_snapshot().wait_levels.empty());
+}
+
+TEST(CounterStructure, WaitListStaysSortedAscending) {
+  Counter c;
+  std::vector<std::jthread> waiters;
+  for (counter_value_t level : {50u, 10u, 30u, 20u, 40u}) {
+    waiters.emplace_back([&c, level] { c.Check(level); });
+  }
+  while (c.debug_snapshot().wait_levels.size() < 5) {
+    std::this_thread::sleep_for(1ms);
+  }
+  auto snap = c.debug_snapshot();
+  ASSERT_EQ(snap.wait_levels.size(), 5u);
+  for (std::size_t i = 1; i < snap.wait_levels.size(); ++i) {
+    EXPECT_LT(snap.wait_levels[i - 1].level, snap.wait_levels[i].level);
+  }
+  c.Increment(50);
+  waiters.clear();
+}
+
+TEST(CounterStructure, PartialReleaseRemovesOnlyReachedLevels) {
+  Counter c;
+  std::vector<std::jthread> waiters;
+  for (counter_value_t level : {5u, 9u}) {
+    waiters.emplace_back([&c, level] { c.Check(level); });
+  }
+  while (c.debug_snapshot().wait_levels.size() < 2) {
+    std::this_thread::sleep_for(1ms);
+  }
+  c.Increment(7);  // releases level 5, leaves level 9 (Figure 2 step e/f)
+  while (c.debug_snapshot().wait_levels.size() > 1) {
+    std::this_thread::sleep_for(1ms);
+  }
+  auto snap = c.debug_snapshot();
+  EXPECT_EQ(snap.value, 7u);
+  ASSERT_EQ(snap.wait_levels.size(), 1u);
+  EXPECT_EQ(snap.wait_levels[0].level, 9u);
+  c.Increment(2);
+  waiters.clear();
+}
+
+TEST(CounterStructure, NodePoolReusesNodes) {
+  Counter c;  // pooling on by default
+  for (int round = 0; round < 5; ++round) {
+    std::jthread waiter(
+        [&c, round] { c.Check(static_cast<counter_value_t>(round) + 1); });
+    while (c.debug_snapshot().wait_levels.empty()) {
+      std::this_thread::sleep_for(1ms);
+    }
+    c.Increment(1);
+  }
+  auto s = c.stats();
+  EXPECT_EQ(s.nodes_allocated, 5u);
+  EXPECT_GE(s.nodes_pooled, 4u) << "later rounds should reuse pooled nodes";
+  EXPECT_EQ(s.live_nodes, 0u);
+}
+
+TEST(CounterStructure, NoPoolOptionAllocatesFresh) {
+  Counter::Options opts;
+  opts.pool_nodes = false;
+  Counter c(opts);
+  for (int round = 0; round < 3; ++round) {
+    std::jthread waiter(
+        [&c, round] { c.Check(static_cast<counter_value_t>(round) + 1); });
+    while (c.debug_snapshot().wait_levels.empty()) {
+      std::this_thread::sleep_for(1ms);
+    }
+    c.Increment(1);
+  }
+  auto s = c.stats();
+  EXPECT_EQ(s.nodes_allocated, 3u);
+  EXPECT_EQ(s.nodes_pooled, 0u);
+}
+
+TEST(CounterReset, ResetRestartsFromZero) {
+  Counter c;
+  c.Increment(42);
+  c.Reset();
+  auto snap = c.debug_snapshot();
+  EXPECT_EQ(snap.value, 0u);
+  // Reusable for a new phase (§2's motivation for Reset).
+  std::jthread waiter([&c] { c.Check(2); });
+  std::this_thread::sleep_for(10ms);
+  c.Increment(2);
+}
+
+TEST(CounterReset, ResetWithWaitersIsAnError) {
+  Counter c;
+  std::jthread waiter([&c] { c.Check(1); });
+  while (c.debug_snapshot().wait_levels.empty()) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_THROW(c.Reset(), std::invalid_argument);
+  c.Increment(1);
+}
+
+TEST(CounterTimed, CheckForTimesOutBelowLevel) {
+  Counter c;
+  c.Increment(3);
+  EXPECT_FALSE(c.CheckFor(10, 20ms));
+  // The timed-out waiter must have removed its node (storage bound).
+  EXPECT_TRUE(c.debug_snapshot().wait_levels.empty());
+}
+
+TEST(CounterTimed, CheckForSucceedsImmediatelyAtLevel) {
+  Counter c;
+  c.Increment(10);
+  EXPECT_TRUE(c.CheckFor(10, 1ms));
+}
+
+TEST(CounterTimed, CheckForSucceedsWhenIncrementArrives) {
+  Counter c;
+  std::jthread incrementer([&c] {
+    std::this_thread::sleep_for(10ms);
+    c.Increment(5);
+  });
+  EXPECT_TRUE(c.CheckFor(5, 5s));
+}
+
+TEST(CounterTimed, TimedWaiterSharingNodeDoesNotStrandOthers) {
+  Counter c;
+  std::atomic<bool> passed{false};
+  std::jthread persistent([&] {
+    c.Check(5);
+    passed.store(true);
+  });
+  while (c.debug_snapshot().wait_levels.empty()) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_FALSE(c.CheckFor(5, 10ms));  // joins then abandons the same node
+  auto snap = c.debug_snapshot();
+  ASSERT_EQ(snap.wait_levels.size(), 1u);
+  EXPECT_EQ(snap.wait_levels[0].waiters, 1u);
+  c.Increment(5);
+  persistent.join();
+  EXPECT_TRUE(passed.load());
+}
+
+TEST(CounterTimed, CheckUntilRespectsDeadline) {
+  Counter c;
+  const auto deadline = std::chrono::steady_clock::now() + 20ms;
+  EXPECT_FALSE(c.CheckUntil(1, deadline));
+}
+
+// ---------------------------------------------------------------------
+// AnyCounter factory.
+
+TEST(AnyCounter, FactoryProducesEveryKind) {
+  for (CounterKind kind : all_counter_kinds()) {
+    auto c = make_counter(kind);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->kind(), kind);
+    c->Increment(3);
+    c->Check(3);
+    EXPECT_EQ(c->stats().increments, 1u);
+    c->Reset();
+    c->Check(0);
+  }
+}
+
+TEST(AnyCounter, KindNamesRoundTrip) {
+  for (CounterKind kind : all_counter_kinds()) {
+    EXPECT_EQ(counter_kind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW(counter_kind_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(AnyCounter, BlocksAndWakesThroughInterface) {
+  for (CounterKind kind : all_counter_kinds()) {
+    auto c = make_counter(kind);
+    std::atomic<bool> passed{false};
+    std::jthread waiter([&] {
+      c->Check(2);
+      passed.store(true);
+    });
+    std::this_thread::sleep_for(5ms);
+    EXPECT_FALSE(passed.load()) << to_string(kind);
+    c->Increment(2);
+    waiter.join();
+    EXPECT_TRUE(passed.load()) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace monotonic

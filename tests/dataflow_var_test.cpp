@@ -1,0 +1,156 @@
+// dataflow_var_test.cpp — write-once cells and cell groups built on
+// counters: blocking gets, timed gets, and async continuations.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "monotonic/core/multi.hpp"
+#include "monotonic/patterns/dataflow_var.hpp"
+#include "monotonic/threads/structured.hpp"
+
+namespace monotonic {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(DataflowVarTest, GetBlocksUntilSet) {
+  DataflowVar<int> cell;
+  std::atomic<int> got{0};
+  std::jthread reader([&] { got.store(cell.get()); });
+  std::this_thread::sleep_for(10ms);
+  EXPECT_EQ(got.load(), 0);
+  cell.set(99);
+  reader.join();
+  EXPECT_EQ(got.load(), 99);
+}
+
+TEST(DataflowVarTest, GetAfterSetIsImmediate) {
+  DataflowVar<std::string> cell;
+  cell.set(std::string("ready"));
+  EXPECT_EQ(cell.get(), "ready");
+  EXPECT_EQ(cell.ready().stats().suspensions, 0u);
+}
+
+TEST(DataflowVarTest, DoubleSetRejected) {
+  DataflowVar<int> cell;
+  cell.set(1);
+  EXPECT_THROW(cell.set(2), std::invalid_argument);
+}
+
+TEST(DataflowVarTest, TimedGet) {
+  DataflowVar<int> cell;
+  EXPECT_EQ(cell.get_for(10ms), nullptr);
+  cell.set(5);
+  const int* v = cell.get_for(10ms);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(DataflowVarTest, ThenAfterSetRunsImmediately) {
+  DataflowVar<int> cell;
+  cell.set(3);
+  int seen = 0;
+  cell.then([&](const int& v) { seen = v; });
+  EXPECT_EQ(seen, 3);
+}
+
+TEST(DataflowVarTest, ThenBeforeSetRunsInSetterThread) {
+  DataflowVar<int> cell;
+  std::atomic<int> seen{0};
+  cell.then([&](const int& v) { seen = v * 10; });
+  EXPECT_EQ(seen.load(), 0);
+  std::jthread setter([&] { cell.set(7); });
+  setter.join();
+  EXPECT_EQ(seen.load(), 70);
+}
+
+TEST(DataflowVarTest, ContinuationChain) {
+  // then() can set another var: dataflow composition with no thread
+  // ever parked.
+  DataflowVar<int> a, b, c;
+  a.then([&](const int& v) { b.set(v + 1); });
+  b.then([&](const int& v) { c.set(v * 2); });
+  a.set(10);
+  EXPECT_EQ(c.get(), 22);
+}
+
+TEST(DataflowVarTest, ManyReadersOneWriter) {
+  DataflowVar<int> cell;
+  std::atomic<int> total{0};
+  {
+    std::vector<std::jthread> readers;
+    for (int i = 0; i < 4; ++i) {
+      readers.emplace_back([&] { total += cell.get(); });
+    }
+    std::this_thread::sleep_for(5ms);
+    cell.set(25);
+  }
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(DataflowVarTest, ComposesWithCheckAll) {
+  DataflowVar<int> x, y;
+  std::atomic<int> sum{0};
+  std::jthread joiner([&] {
+    check_all<Counter>({{&x.ready(), 1}, {&y.ready(), 1}});
+    sum.store(x.get() + y.get());
+  });
+  x.set(40);
+  std::this_thread::sleep_for(5ms);
+  y.set(2);
+  joiner.join();
+  EXPECT_EQ(sum.load(), 42);
+}
+
+// ------------------------------------------------------- DataflowGroup
+
+TEST(DataflowGroupTest, CellsReadableInPublicationOrder) {
+  DataflowGroup<int> group(5);
+  multithreaded_block(
+      [&] {
+        for (int i = 0; i < 5; ++i) group.set_next(i * 11);
+      },
+      [&] {
+        for (std::size_t i = 0; i < 5; ++i) {
+          EXPECT_EQ(group.get(i), static_cast<int>(i) * 11);
+        }
+      });
+}
+
+TEST(DataflowGroupTest, OneCounterForAllCells) {
+  DataflowGroup<int> group(100);
+  for (int i = 0; i < 100; ++i) group.set_next(i);
+  EXPECT_EQ(group.ready().stats().increments, 100u);
+  EXPECT_EQ(group.get(99), 99);
+}
+
+TEST(DataflowGroupTest, ThenOnLaterCell) {
+  DataflowGroup<int> group(3);
+  std::vector<int> fired;
+  group.then(2, [&](const int& v) { fired.push_back(v); });
+  group.set_next(1);
+  group.set_next(2);
+  EXPECT_TRUE(fired.empty());
+  group.set_next(3);
+  EXPECT_EQ(fired, (std::vector<int>{3}));
+}
+
+TEST(DataflowGroupTest, OverfillRejected) {
+  DataflowGroup<int> group(1);
+  group.set_next(1);
+  EXPECT_THROW(group.set_next(2), std::invalid_argument);
+}
+
+TEST(DataflowGroupTest, OutOfRangeRejected) {
+  DataflowGroup<int> group(2);
+  EXPECT_THROW(group.get(2), std::invalid_argument);
+  EXPECT_THROW(group.then(5, [](const int&) {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace monotonic

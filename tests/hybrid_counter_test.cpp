@@ -1,0 +1,156 @@
+// hybrid_counter_test.cpp — targeted tests for HybridCounter's tricky
+// paths: the lock-free fast paths, the waiters-flag protocol, stack
+// wait-node lifetime with co-waiters, and missed-wakeup hammering.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "monotonic/core/hybrid_counter.hpp"
+#include "monotonic/threads/structured.hpp"
+
+namespace monotonic {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(HybridCounter_, FastPathsNeverSuspend) {
+  HybridCounter c;
+  for (int i = 0; i < 1000; ++i) c.Increment(1);
+  for (counter_value_t l = 0; l <= 1000; l += 100) c.Check(l);
+  const auto s = c.stats();
+  EXPECT_EQ(s.suspensions, 0u);
+  EXPECT_EQ(s.fast_checks, 11u);
+  EXPECT_EQ(c.debug_value(), 1000u);
+}
+
+TEST(HybridCounter_, SlowPathWakesWaiter) {
+  HybridCounter c;
+  std::atomic<bool> passed{false};
+  std::jthread waiter([&] {
+    c.Check(10);
+    passed.store(true);
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(passed.load());
+  c.Increment(10);
+  waiter.join();
+  EXPECT_TRUE(passed.load());
+  EXPECT_EQ(c.stats().suspensions, 1u);
+}
+
+TEST(HybridCounter_, CoWaitersOnOneStackNode) {
+  // Several threads wait at the SAME level: they share the first
+  // arriver's stack node; the owner must outlive every co-waiter.
+  HybridCounter c;
+  constexpr int kWaiters = 8;
+  std::atomic<int> released{0};
+  {
+    std::vector<std::jthread> waiters;
+    for (int i = 0; i < kWaiters; ++i) {
+      waiters.emplace_back([&] {
+        c.Check(5);
+        released.fetch_add(1);
+      });
+    }
+    std::this_thread::sleep_for(30ms);  // let them pile onto one node
+    EXPECT_EQ(released.load(), 0);
+    c.Increment(5);
+  }
+  EXPECT_EQ(released.load(), kWaiters);
+}
+
+TEST(HybridCounter_, DistinctLevelsDistinctNodes) {
+  HybridCounter c;
+  std::atomic<int> released{0};
+  {
+    std::vector<std::jthread> waiters;
+    for (counter_value_t level : {3u, 1u, 4u, 1u, 5u, 9u, 2u, 6u}) {
+      waiters.emplace_back([&c, &released, level] {
+        c.Check(level);
+        released.fetch_add(1);
+      });
+    }
+    std::this_thread::sleep_for(30ms);
+    c.Increment(9);  // one wave covers all levels
+  }
+  EXPECT_EQ(released.load(), 8);
+}
+
+TEST(HybridCounter_, FlagClearsAfterDrain) {
+  // After all waiters drain, increments must return to the fast path:
+  // notifies stop growing.
+  HybridCounter c;
+  {
+    std::jthread waiter([&] { c.Check(1); });
+    std::this_thread::sleep_for(10ms);
+    c.Increment(1);
+  }
+  const auto notifies_after_drain = c.stats().notifies;
+  for (int i = 0; i < 100; ++i) c.Increment(1);
+  EXPECT_EQ(c.stats().notifies, notifies_after_drain)
+      << "post-drain increments must not take the slow path";
+}
+
+TEST(HybridCounter_, MissedWakeupHammer) {
+  // Tight races between Check's park decision and Increment's fast
+  // path: any missed wakeup hangs this test (gtest timeout).
+  for (int round = 0; round < 200; ++round) {
+    HybridCounter c;
+    multithreaded_block(
+        [&] { c.Check(1); },
+        [&] { c.Increment(1); });
+  }
+}
+
+TEST(HybridCounter_, StaggeredProducersAndLevels) {
+  for (int round = 0; round < 20; ++round) {
+    HybridCounter c;
+    constexpr counter_value_t kTotal = 300;
+    std::atomic<int> done{0};
+    multithreaded(
+        {[&] {
+           for (counter_value_t i = 0; i < kTotal / 2; ++i) c.Increment(1);
+         },
+         [&] {
+           for (counter_value_t i = 0; i < kTotal / 2; ++i) c.Increment(1);
+         },
+         [&] {
+           for (counter_value_t l = 10; l <= kTotal; l += 10) c.Check(l);
+           done.fetch_add(1);
+         },
+         [&] {
+           for (counter_value_t l = 7; l <= kTotal; l += 13) c.Check(l);
+           done.fetch_add(1);
+         }},
+        Execution::kMultithreaded);
+    ASSERT_EQ(done.load(), 2);
+    ASSERT_EQ(c.debug_value(), kTotal);
+  }
+}
+
+TEST(HybridCounter_, RangeChecks) {
+  HybridCounter c;
+  EXPECT_THROW(c.Increment(HybridCounter::kMaxValue + 1),
+               std::invalid_argument);
+  EXPECT_THROW(c.Check(HybridCounter::kMaxValue + 1), std::invalid_argument);
+  c.Increment(HybridCounter::kMaxValue);
+  EXPECT_THROW(c.Increment(1), std::invalid_argument);
+  c.Check(HybridCounter::kMaxValue);
+}
+
+TEST(HybridCounter_, ResetForPhaseReuse) {
+  HybridCounter c;
+  c.Increment(42);
+  c.Reset();
+  EXPECT_EQ(c.debug_value(), 0u);
+  std::jthread waiter([&] { c.Check(2); });
+  std::this_thread::sleep_for(5ms);
+  c.Increment(2);
+}
+
+}  // namespace
+}  // namespace monotonic

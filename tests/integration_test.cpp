@@ -1,0 +1,160 @@
+// integration_test.cpp — cross-module scenarios: checked workloads,
+// counters alongside traditional mechanisms, phase reuse with Reset,
+// and end-to-end determinism sweeps.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "monotonic/algos/floyd_warshall.hpp"
+#include "monotonic/algos/graph.hpp"
+#include "monotonic/algos/heat1d.hpp"
+#include "monotonic/determinacy/checked.hpp"
+#include "monotonic/determinacy/recorder.hpp"
+#include "monotonic/determinacy/tracked_counter.hpp"
+#include "monotonic/patterns/broadcast.hpp"
+#include "monotonic/patterns/sequencer.hpp"
+#include "monotonic/sync/barrier.hpp"
+#include "monotonic/sync/semaphore.hpp"
+#include "monotonic/threads/structured.hpp"
+
+namespace monotonic {
+namespace {
+
+// The §5.2 accumulation run under the §6 checker: clean by construction.
+TEST(Integration, CheckedOrderedAccumulationIsRaceFree) {
+  RaceDetector detector;
+  TrackedCounter<> turn(detector);
+  Checked<double> result(detector, "result", 0.0);
+  constexpr int kN = 16;
+
+  multithreaded_for(0, kN, 1, [&](int i) {
+    const double subresult = 1.0 / (1 + i);
+    turn.Check(static_cast<counter_value_t>(i));
+    result.update([&](double r) { return r + subresult; });
+    turn.Increment(1);
+  });
+
+  EXPECT_EQ(detector.race_count(), 0u);
+  double expected = 0.0;
+  for (int i = 0; i < kN; ++i) expected += 1.0 / (1 + i);
+  EXPECT_DOUBLE_EQ(result.unchecked(), expected);
+}
+
+// The same program with the Check/Increment pair removed must be
+// flagged — the checker catches the broken variant, not just blessed
+// ones.
+TEST(Integration, CheckedUnorderedAccumulationIsFlagged) {
+  RaceDetector detector;
+  Checked<double> result(detector, "result", 0.0);
+  multithreaded_for(0, 8, 1, [&](int i) {
+    result.update([&](double r) { return r + i; });
+  });
+  EXPECT_GT(detector.race_count(), 0u);
+}
+
+// Counter + barrier in one program: phases inside a step use a counter,
+// steps are delimited by a barrier.
+TEST(Integration, CounterinsideBarrierPhases) {
+  constexpr std::size_t kThreads = 4;
+  constexpr int kSteps = 20;
+  CentralBarrier barrier(kThreads);
+  std::vector<Counter> step_counter(kSteps);
+  std::atomic<int> total{0};
+
+  multithreaded_for(
+      std::size_t{0}, kThreads, std::size_t{1},
+      [&](std::size_t t) {
+        for (int s = 0; s < kSteps; ++s) {
+          // In-step pipeline: thread t waits for t predecessors.
+          step_counter[s].Check(t);
+          total.fetch_add(1);
+          step_counter[s].Increment(1);
+          barrier.Pass();
+        }
+      },
+      Execution::kMultithreaded);
+
+  EXPECT_EQ(total.load(), static_cast<int>(kThreads) * kSteps);
+  EXPECT_EQ(barrier.stat_rounds(), static_cast<std::uint64_t>(kSteps));
+}
+
+// Reset-based phase reuse (§2): one counter serving consecutive phases.
+TEST(Integration, ResetBetweenAlgorithmPhases) {
+  Counter c;
+  for (int phase = 0; phase < 10; ++phase) {
+    multithreaded_block(
+        [&] {
+          for (int i = 0; i < 5; ++i) c.Increment(1);
+        },
+        [&] { c.Check(5); });
+    c.Reset();
+    auto snap = c.debug_snapshot();
+    ASSERT_EQ(snap.value, 0u);
+    ASSERT_TRUE(snap.wait_levels.empty());
+  }
+}
+
+// Producer gates a broadcast channel with a semaphore-paced source:
+// counters and semaphores composing in one program.
+TEST(Integration, SemaphorePacedBroadcast) {
+  constexpr std::size_t kItems = 64;
+  BroadcastChannel<int> channel(kItems);
+  Semaphore budget(8);  // producer may run at most 8 items ahead of ack
+  std::atomic<long long> seen_sum{0};
+
+  multithreaded_block(
+      [&] {
+        auto writer = channel.writer(1);
+        for (std::size_t i = 0; i < kItems; ++i) {
+          budget.acquire();
+          writer.publish(static_cast<int>(i));
+        }
+      },
+      [&] {
+        auto reader = channel.reader(1);
+        reader.for_each([&](std::size_t, const int& item) {
+          seen_sum += item;
+          budget.release();
+        });
+      });
+
+  EXPECT_EQ(seen_sum.load(),
+            static_cast<long long>(kItems) * (kItems - 1) / 2);
+}
+
+// End-to-end determinism sweep across the two flagship workloads with
+// scheduling perturbation: results must be identical on every run.
+TEST(Integration, FlagshipWorkloadsAreScheduleInvariant) {
+  const auto edges = random_graph(24, {.seed = 2026});
+  const auto rod = [] {
+    std::vector<double> s(10);
+    std::iota(s.begin(), s.end(), 0.0);
+    return s;
+  }();
+
+  FwOptions fw_options;
+  fw_options.num_threads = 3;
+  HeatOptions heat_options{.steps = 20, .cell_hook = {}};
+
+  const auto fw_first = fw_counter(edges, fw_options);
+  const auto heat_first = heat_ragged(rod, heat_options);
+  for (int run = 0; run < 5; ++run) {
+    FwOptions noisy = fw_options;
+    noisy.iteration_hook = [run](std::size_t t, std::size_t k) {
+      if ((t + k + static_cast<std::size_t>(run)) % 2) {
+        std::this_thread::yield();
+      }
+    };
+    ASSERT_EQ(fw_counter(edges, noisy), fw_first);
+    ASSERT_EQ(heat_ragged(rod, heat_options), heat_first);
+  }
+  EXPECT_EQ(fw_first, fw_sequential(edges));
+  EXPECT_EQ(heat_first, heat_sequential(rod, heat_options));
+}
+
+}  // namespace
+}  // namespace monotonic

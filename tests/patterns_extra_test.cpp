@@ -1,0 +1,188 @@
+// patterns_extra_test.cpp — the counter-built barrier, increment
+// batching, and the 2-D ragged strips protocol in isolation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "monotonic/core/batching_counter.hpp"
+#include "monotonic/core/broadcast_counter.hpp"
+#include "monotonic/patterns/counter_barrier.hpp"
+#include "monotonic/patterns/ragged_grid.hpp"
+#include "monotonic/threads/structured.hpp"
+
+namespace monotonic {
+namespace {
+
+// Same harness shape as barrier_test: nobody may pass round r before
+// all parties arrived at round r.
+TEST(CounterBarrierTest, SynchronizesEveryRound) {
+  constexpr std::size_t kParties = 4;
+  constexpr std::size_t kRounds = 25;
+  CounterBarrier<> barrier(kParties);
+  std::vector<std::atomic<std::size_t>> arrivals(kRounds);
+
+  multithreaded_for(
+      std::size_t{0}, kParties, std::size_t{1},
+      [&](std::size_t) {
+        auto participant = barrier.participant();
+        for (std::size_t r = 0; r < kRounds; ++r) {
+          arrivals[r].fetch_add(1, std::memory_order_relaxed);
+          participant.Pass();
+          EXPECT_EQ(arrivals[r].load(std::memory_order_relaxed), kParties);
+        }
+        EXPECT_EQ(participant.rounds(), kRounds);
+      },
+      Execution::kMultithreaded);
+
+  // One counter carries the whole history: N*rounds arrivals.
+  barrier.counter().Check(kParties * kRounds);
+}
+
+TEST(CounterBarrierTest, SinglePartyNeverBlocks) {
+  CounterBarrier<> barrier(1);
+  auto participant = barrier.participant();
+  for (int i = 0; i < 1000; ++i) participant.Pass();
+  EXPECT_EQ(participant.rounds(), 1000u);
+}
+
+TEST(CounterBarrierTest, ManyRoundsOneSyncObject) {
+  // The §8 pitch: a sense-reversing barrier resets per round; the
+  // counter barrier's value monotonically encodes every round, so the
+  // structure after 100 rounds is just "value == parties*100".
+  constexpr std::size_t kParties = 3;
+  CounterBarrier<> barrier(kParties);
+  multithreaded_for(
+      std::size_t{0}, kParties, std::size_t{1},
+      [&](std::size_t) {
+        auto p = barrier.participant();
+        for (int r = 0; r < 100; ++r) p.Pass();
+      },
+      Execution::kMultithreaded);
+  auto snap = barrier.counter().debug_snapshot();
+  EXPECT_EQ(snap.value, 300u);
+  EXPECT_TRUE(snap.wait_levels.empty());
+}
+
+TEST(CounterBarrierTest, WorksWithAnyCounterImplementation) {
+  CounterBarrier<SingleCvCounter> barrier(2);
+  multithreaded_block(
+      [&] {
+        auto p = barrier.participant();
+        p.Pass();
+        p.Pass();
+      },
+      [&] {
+        auto p = barrier.participant();
+        p.Pass();
+        p.Pass();
+      });
+}
+
+TEST(CounterBarrierTest, ZeroPartiesRejected) {
+  EXPECT_THROW(CounterBarrier<> b(0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ batching
+
+TEST(BatchingIncrementerTest, PushesInBatches) {
+  Counter counter;
+  {
+    BatchingIncrementer<> inc(counter, 10);
+    for (int i = 0; i < 25; ++i) inc.Increment(1);
+    EXPECT_EQ(counter.debug_snapshot().value, 20u);  // two full batches
+    EXPECT_EQ(inc.pending(), 5u);
+  }  // destructor flushes the remainder
+  EXPECT_EQ(counter.debug_snapshot().value, 25u);
+  EXPECT_EQ(counter.stats().increments, 3u);  // 10 + 10 + 5
+}
+
+TEST(BatchingIncrementerTest, LargeAmountsFlushImmediately) {
+  Counter counter;
+  BatchingIncrementer<> inc(counter, 8);
+  inc.Increment(100);  // >= batch: flushed at once
+  EXPECT_EQ(counter.debug_snapshot().value, 100u);
+  EXPECT_EQ(inc.pending(), 0u);
+}
+
+TEST(BatchingIncrementerTest, ManualFlush) {
+  Counter counter;
+  BatchingIncrementer<> inc(counter, 1000);
+  inc.Increment(3);
+  EXPECT_EQ(counter.debug_snapshot().value, 0u);
+  inc.flush();
+  EXPECT_EQ(counter.debug_snapshot().value, 3u);
+}
+
+TEST(BatchingIncrementerTest, WakesWaitersOnFlush) {
+  Counter counter;
+  std::atomic<bool> passed{false};
+  std::jthread waiter([&] {
+    counter.Check(5);
+    passed.store(true);
+  });
+  BatchingIncrementer<> inc(counter, 5);
+  for (int i = 0; i < 4; ++i) inc.Increment(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(passed.load());
+  inc.Increment(1);  // completes the batch -> flush -> wake
+  waiter.join();
+  EXPECT_TRUE(passed.load());
+}
+
+TEST(BatchingIncrementerTest, PerProducerBatching) {
+  // Two producers, each with its own incrementer and batch size; the
+  // shared counter sees the exact total.
+  Counter counter;
+  multithreaded_block(
+      [&] {
+        BatchingIncrementer<> inc(counter, 7);
+        for (int i = 0; i < 100; ++i) inc.Increment(1);
+      },
+      [&] {
+        BatchingIncrementer<> inc(counter, 31);
+        for (int i = 0; i < 100; ++i) inc.Increment(1);
+      });
+  counter.Check(200);  // hangs if anything was lost
+  EXPECT_EQ(counter.debug_snapshot().value, 200u);
+}
+
+// --------------------------------------------------------- RaggedStrips
+
+TEST(RaggedStripsTest, ProtocolLevelsAreCorrect) {
+  RaggedStrips<> sync(3);
+  // Strip 1's neighbours are 0 and 2.  Drive strip 0 and 2 through a
+  // full step so strip 1's waits at t=1 are satisfied.
+  sync.done_reading(0);   // c[0] = 1
+  sync.done_writing(0);   // c[0] = 2
+  sync.done_reading(2);   // c[2] = 1
+  sync.done_writing(2);   // c[2] = 2
+  sync.wait_neighbours_written(1, 2);  // needs c >= 2: passes
+  sync.wait_neighbours_read(1, 1);     // needs c >= 1: passes
+}
+
+TEST(RaggedStripsTest, EdgeStripsSkipMissingNeighbours) {
+  RaggedStrips<> sync(2);
+  // Strip 0 has no left neighbour; only strip 1's counter matters.
+  sync.done_reading(1);
+  sync.done_writing(1);
+  sync.wait_neighbours_written(0, 2);  // would hang if it waited on -1
+}
+
+TEST(RaggedStripsTest, PreloadConstantCoversAllSteps) {
+  RaggedStrips<> sync(3);
+  sync.preload_constant(0, 50);
+  sync.preload_constant(2, 50);
+  for (std::size_t t = 1; t <= 50; ++t) {
+    sync.wait_neighbours_written(1, t);
+    sync.done_reading(1);
+    sync.wait_neighbours_read(1, t);
+    sync.done_writing(1);
+  }
+}
+
+}  // namespace
+}  // namespace monotonic

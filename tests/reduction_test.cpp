@@ -1,0 +1,98 @@
+// reduction_test.cpp — deterministic parallel tree reduction: fixed
+// parenthesization, schedule invariance, non-associative payloads.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "monotonic/algos/accumulate.hpp"
+#include "monotonic/patterns/reduction.hpp"
+#include "monotonic/support/rng.hpp"
+
+namespace monotonic {
+namespace {
+
+TEST(TreeReduceSequential, KnownParenthesization) {
+  // String concatenation makes the tree shape visible:
+  // ((a b)(c d))((e f) g)
+  const std::vector<std::string> v = {"a", "b", "c", "d", "e", "f", "g"};
+  const auto out = tree_reduce_sequential(
+      v, [](const std::string& a, const std::string& b) {
+        return "(" + a + b + ")";
+      });
+  EXPECT_EQ(out, "(((ab)(cd))((ef)g))");
+}
+
+TEST(TreeReduceSequential, SingleElement) {
+  EXPECT_EQ(tree_reduce_sequential(std::vector<int>{42}, std::plus<>{}), 42);
+}
+
+TEST(TreeReduceSequential, IntegerSumMatchesFold) {
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  EXPECT_EQ(tree_reduce_sequential(v, std::plus<>{}), 4950);
+}
+
+TEST(TreeReduce, MatchesSequentialTreeExactly) {
+  const auto values = order_sensitive_values(97);  // odd length: tail paths
+  const double expected =
+      tree_reduce_sequential(values, std::plus<double>{});
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    EXPECT_EQ(tree_reduce(values, std::plus<double>{}, threads), expected)
+        << threads << " threads";
+  }
+}
+
+TEST(TreeReduce, DeterministicAcrossRuns) {
+  const auto values = order_sensitive_values(64);
+  const double first = tree_reduce(values, std::plus<double>{}, 4);
+  for (int run = 0; run < 10; ++run) {
+    ASSERT_EQ(tree_reduce(values, std::plus<double>{}, 4), first);
+  }
+}
+
+TEST(TreeReduce, TreeOrderDiffersFromLeftFoldButIsFixed) {
+  // For order-sensitive doubles the tree sum generally differs from the
+  // left fold — that is fine; determinism is about being FIXED, not
+  // about matching a particular order.
+  const auto values = order_sensitive_values(128);
+  const double tree = tree_reduce(values, std::plus<double>{}, 4);
+  const double fold = sum_sequential(values);
+  // They may coincide; what must hold is tree == tree on every config.
+  EXPECT_EQ(tree, tree_reduce(values, std::plus<double>{}, 1));
+  (void)fold;
+}
+
+TEST(TreeReduce, NonCommutativeOperationKeepsArgumentOrder) {
+  const std::vector<std::string> v = {"x", "y", "z"};
+  const auto combine = [](const std::string& a, const std::string& b) {
+    return a + b;
+  };
+  EXPECT_EQ(tree_reduce(v, combine, 3), "xyz");
+  EXPECT_EQ(tree_reduce(v, combine, 3),
+            tree_reduce_sequential(v, combine));
+}
+
+TEST(TreeReduce, PowerOfTwoAndOddSizes) {
+  for (std::size_t n : {1u, 2u, 3u, 5u, 8u, 13u, 64u, 100u}) {
+    std::vector<long long> v(n);
+    long long expected = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = static_cast<long long>(i * i);
+      expected += v[i];
+    }
+    EXPECT_EQ(tree_reduce(v, std::plus<long long>{}, 4), expected)
+        << "n=" << n;
+  }
+}
+
+TEST(TreeReduce, EmptyRejected) {
+  EXPECT_THROW(tree_reduce(std::vector<int>{}, std::plus<>{}, 2),
+               std::invalid_argument);
+  EXPECT_THROW(tree_reduce_sequential(std::vector<int>{}, std::plus<>{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace monotonic

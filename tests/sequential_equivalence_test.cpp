@@ -1,0 +1,144 @@
+// sequential_equivalence_test.cpp — experiment E8: §6's claim that
+// (for the patterns where sequential execution does not deadlock)
+// "multithreaded execution ... will always be equivalent to sequential
+// execution".
+//
+// The paper scopes the guarantee precisely: "the programs for mutual
+// exclusion with sequential ordering in section 5.2 and single-writer
+// [multiple]-reader broadcast in section 5.3 have equivalent
+// multithreaded and sequential execution."  The §4.5/§5.1 programs are
+// deterministic but *not* sequentially executable (a thread can wait on
+// data owned by a not-yet-run thread); those are covered by the
+// determinism tests instead, and a canary here documents why.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "monotonic/algos/accumulate.hpp"
+#include "monotonic/algos/compositions.hpp"
+#include "monotonic/core/counter.hpp"
+#include "monotonic/patterns/broadcast.hpp"
+#include "monotonic/patterns/sequencer.hpp"
+#include "monotonic/threads/structured.hpp"
+
+namespace monotonic {
+namespace {
+
+// §5.2 mutual exclusion with sequential ordering.
+TEST(SequentialEquivalence, OrderedSumMatchesUnderBothPolicies) {
+  const auto values = order_sensitive_values(64);
+
+  AccumulateOptions options;
+  options.num_threads = 4;
+  const double multithreaded = sum_ordered(values, options);
+
+  // Sequential execution of the same program text (§3: ignore the
+  // multithreaded keyword): iterations in order, counter ops inline.
+  double sequential_result = 0.0;
+  {
+    Sequencer<> seq;
+    multithreaded_for(
+        std::size_t{0}, values.size(), std::size_t{1},
+        [&](std::size_t i) {
+          seq.run_in_order(i, [&] { sequential_result += values[i]; });
+        },
+        Execution::kSequential);
+  }
+  EXPECT_EQ(multithreaded, sequential_result);
+  EXPECT_EQ(sequential_result, sum_sequential(values));
+}
+
+// §6's two-statement program under both policies.
+TEST(SequentialEquivalence, Section6ProgramBothPolicies) {
+  auto run = [](Execution policy) {
+    Counter c;
+    int x = 3;
+    multithreaded(
+        {[&] {
+           c.Check(0);
+           x = x + 1;
+           c.Increment(1);
+         },
+         [&] {
+           c.Check(1);
+           x = x * 2;
+           c.Increment(1);
+         }},
+        policy);
+    return x;
+  };
+  EXPECT_EQ(run(Execution::kSequential), 8);
+  EXPECT_EQ(run(Execution::kMultithreaded), 8);
+}
+
+// §5.3 single-writer multiple-reader broadcast: with the writer listed
+// first, sequential execution publishes everything and the readers'
+// Checks all pass immediately — same results as multithreaded.
+TEST(SequentialEquivalence, BroadcastBothPolicies) {
+  auto run = [](Execution policy) {
+    constexpr std::size_t kItems = 100;
+    BroadcastChannel<int> channel(kItems);
+    std::vector<long long> sums(3, 0);
+    std::vector<std::function<void()>> bodies;
+    bodies.emplace_back([&] {
+      auto writer = channel.writer(8);
+      for (std::size_t i = 0; i < kItems; ++i) {
+        writer.publish(static_cast<int>(i * 3));
+      }
+    });
+    for (int r = 0; r < 3; ++r) {
+      bodies.emplace_back([&, r] {
+        auto reader = channel.reader(r + 1);
+        reader.for_each(
+            [&](std::size_t, const int& item) { sums[r] += item; });
+      });
+    }
+    multithreaded(std::move(bodies), policy);
+    return sums;
+  };
+  const auto seq = run(Execution::kSequential);
+  const auto par = run(Execution::kMultithreaded);
+  EXPECT_EQ(seq, par);
+  EXPECT_EQ(seq[0], seq[1]);
+  EXPECT_EQ(seq[1], seq[2]);
+}
+
+// The composition pipeline reads strictly earlier stages, so it is
+// sequentially executable too.
+TEST(SequentialEquivalence, PipelineBothPolicies) {
+  const auto seq = compositions_pipeline(10, 3, 4, Execution::kSequential);
+  const auto par = compositions_pipeline(10, 3, 4, Execution::kMultithreaded);
+  EXPECT_EQ(seq, par);
+  EXPECT_EQ(seq, compositions_sequential(10, 3));
+}
+
+// Canary: §4.5-style programs are NOT sequentially executable — the
+// first thread would wait for a row owned by a later thread.  Document
+// the boundary with a timed check instead of a deadlock.
+TEST(SequentialEquivalence, DataflowAcrossThreadsNeedsConcurrency) {
+  Counter c;
+  bool second_ran = false;
+  // Sequential order runs statement 0 first; statement 0 needs
+  // statement 1's increment.  With CheckFor instead of Check this
+  // documents the §6 scoping without hanging the suite.
+  multithreaded(
+      {[&] {
+         EXPECT_FALSE(c.CheckFor(1, std::chrono::milliseconds(50)))
+             << "sequential execution cannot satisfy a forward dependency";
+       },
+       [&] {
+         c.Increment(1);
+         second_ran = true;
+       }},
+      Execution::kSequential);
+  EXPECT_TRUE(second_ran);
+  // Multithreaded execution of the same program completes normally.
+  Counter c2;
+  multithreaded(
+      {[&] { c2.Check(1); }, [&] { c2.Increment(1); }},
+      Execution::kMultithreaded);
+}
+
+}  // namespace
+}  // namespace monotonic

@@ -1,0 +1,149 @@
+// soak_test.cpp — long-running randomized stress, environment-gated.
+//
+// By default each scenario runs a quick slice (~200ms) so the suite
+// stays fast; set MONOTONIC_SOAK_SECONDS=<n> to stretch every scenario
+// to n seconds for soak runs (tools/run_tsan.sh + soak is the
+// recommended pre-release gate).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "monotonic/core/any_counter.hpp"
+#include "monotonic/patterns/broadcast.hpp"
+#include "monotonic/patterns/task_graph.hpp"
+#include "monotonic/support/rng.hpp"
+#include "monotonic/support/stopwatch.hpp"
+#include "monotonic/threads/structured.hpp"
+
+namespace monotonic {
+namespace {
+
+std::chrono::milliseconds scenario_budget() {
+  if (const char* env = std::getenv("MONOTONIC_SOAK_SECONDS")) {
+    const long seconds = std::atol(env);
+    if (seconds > 0) return std::chrono::seconds(seconds);
+  }
+  return std::chrono::milliseconds(200);
+}
+
+// Scenario 1: mixed random traffic against every implementation.
+// Invariant: after each round, Check(total issued) never hangs and the
+// structural stats stay consistent.
+TEST(Soak, RandomTrafficAllKinds) {
+  const auto budget = scenario_budget();
+  for (CounterKind kind : all_counter_kinds()) {
+    Stopwatch clock;
+    Xoshiro256 rng(0xC0FFEE ^ static_cast<std::uint64_t>(kind));
+    std::uint64_t rounds = 0;
+    while (clock.elapsed() < budget / all_counter_kinds().size()) {
+      auto counter = make_counter(kind);
+      const int producers = 1 + rng.uniform(0, 2);
+      const int consumers = 1 + rng.uniform(0, 2);
+      const counter_value_t per_producer = 50 + rng.uniform(0, 200);
+      const counter_value_t total = producers * per_producer;
+
+      std::vector<std::function<void()>> bodies;
+      for (int p = 0; p < producers; ++p) {
+        bodies.emplace_back([&] {
+          for (counter_value_t i = 0; i < per_producer; ++i) {
+            counter->Increment(1);
+          }
+        });
+      }
+      for (int c = 0; c < consumers; ++c) {
+        const std::uint64_t salt = rng();
+        bodies.emplace_back([&, salt] {
+          Xoshiro256 local(salt);
+          for (int i = 0; i < 20; ++i) {
+            counter->Check(local.uniform(1, total));
+          }
+        });
+      }
+      multithreaded(std::move(bodies), Execution::kMultithreaded);
+      counter->Check(total);
+      ++rounds;
+    }
+    EXPECT_GT(rounds, 0u) << to_string(kind);
+  }
+}
+
+// Scenario 2: broadcast channel churn with mixed block sizes; every
+// reader must observe every item of every round.
+TEST(Soak, BroadcastChurn) {
+  const auto budget = scenario_budget();
+  Stopwatch clock;
+  Xoshiro256 rng(0xBEEF);
+  std::uint64_t rounds = 0;
+  while (clock.elapsed() < budget) {
+    const std::size_t items = 64 + rng.uniform(0, 512);
+    BroadcastChannel<std::uint64_t> channel(items);
+    const std::size_t writer_block = 1 + rng.uniform(0, 32);
+    std::atomic<std::uint64_t> total{0};
+    std::uint64_t expected_each = 0;
+    for (std::size_t i = 0; i < items; ++i) expected_each += i * 3;
+
+    std::vector<std::function<void()>> bodies;
+    bodies.emplace_back([&] {
+      auto writer = channel.writer(writer_block);
+      for (std::size_t i = 0; i < items; ++i) writer.publish(i * 3);
+    });
+    const int readers = 1 + rng.uniform(0, 3);
+    for (int r = 0; r < readers; ++r) {
+      const std::size_t block = 1 + rng.uniform(0, 64);
+      bodies.emplace_back([&, block] {
+        auto reader = channel.reader(block);
+        std::uint64_t sum = 0;
+        reader.for_each(
+            [&](std::size_t, const std::uint64_t& v) { sum += v; });
+        total += sum;
+      });
+    }
+    multithreaded(std::move(bodies), Execution::kMultithreaded);
+    ASSERT_EQ(total.load(), expected_each * readers);
+    ++rounds;
+  }
+  EXPECT_GT(rounds, 0u);
+}
+
+// Scenario 3: random task DAGs; every run must honour dependencies
+// (checked inside the tasks) and terminate.
+TEST(Soak, RandomTaskGraphs) {
+  const auto budget = scenario_budget();
+  Stopwatch clock;
+  Xoshiro256 rng(0xDA6);
+  std::uint64_t rounds = 0;
+  while (clock.elapsed() < budget) {
+    TaskGraph<> graph;
+    const std::size_t tasks = 10 + rng.uniform(0, 80);
+    std::vector<std::atomic<bool>> done(tasks);
+    std::vector<std::vector<std::size_t>> deps(tasks);
+    for (std::size_t i = 0; i < tasks; ++i) {
+      if (i > 0) {
+        const std::size_t count = rng.uniform(0, 2);
+        for (std::size_t d = 0; d < count; ++d) {
+          deps[i].push_back(rng.uniform(0, i - 1));
+        }
+      }
+      graph.add_task(
+          [&, i] {
+            for (std::size_t dep : deps[i]) {
+              ASSERT_TRUE(done[dep].load());
+            }
+            done[i].store(true);
+          },
+          deps[i]);
+    }
+    graph.run(1 + rng.uniform(0, 5));
+    for (std::size_t i = 0; i < tasks; ++i) ASSERT_TRUE(done[i].load());
+    ++rounds;
+  }
+  EXPECT_GT(rounds, 0u);
+}
+
+}  // namespace
+}  // namespace monotonic

@@ -1,0 +1,203 @@
+// support_test.cpp — support substrate: RNG determinism, statistics,
+// histograms, tables, spin-wait escalation, affinity.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "monotonic/support/affinity.hpp"
+#include "monotonic/support/cache.hpp"
+#include "monotonic/support/histogram.hpp"
+#include "monotonic/support/rng.hpp"
+#include "monotonic/support/spin_wait.hpp"
+#include "monotonic/support/stats.hpp"
+#include "monotonic/support/stopwatch.hpp"
+#include "monotonic/support/table.hpp"
+
+namespace monotonic {
+namespace {
+
+TEST(Rng, SplitMixIsDeterministic) {
+  SplitMix64 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, XoshiroIsDeterministicAndSeedSensitive) {
+  Xoshiro256 a(1), b(1), c(2);
+  bool differs = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    if (va != c()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Xoshiro256 rng(4);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, HashIndexIsStable) {
+  EXPECT_EQ(hash_index(1, 2), hash_index(1, 2));
+  EXPECT_NE(hash_index(1, 2), hash_index(1, 3));
+  EXPECT_NE(hash_index(1, 2), hash_index(2, 2));
+}
+
+TEST(Stats, RunningStatsMatchClosedForm) {
+  RunningStats rs;
+  for (int i = 1; i <= 100; ++i) rs.add(i);
+  EXPECT_EQ(rs.count(), 100u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 100.0);
+  // Sample variance of 1..100 is 841.6666...
+  EXPECT_NEAR(rs.variance(), 841.6667, 1e-3);
+}
+
+TEST(Stats, SummaryPercentiles) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 1000; ++i) samples.push_back(i);
+  const auto s = summarize(samples);
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_NEAR(s.p50, 500.5, 1.0);
+  EXPECT_NEAR(s.p90, 900.1, 1.5);
+  EXPECT_NEAR(s.p99, 990.01, 1.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+}
+
+TEST(Stats, EmptySummaryIsZero) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  EXPECT_EQ(Log2Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_of(1), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_of(2), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_of(3), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_of(4), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_of(1023), 9u);
+  EXPECT_EQ(Log2Histogram::bucket_of(1024), 10u);
+}
+
+TEST(Histogram, CountsAndMean) {
+  Log2Histogram h;
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 6u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Histogram, MergeAccumulates) {
+  Log2Histogram a, b;
+  a.add(10);
+  b.add(20);
+  b.add(30);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 60u);
+}
+
+TEST(Histogram, QuantileBoundIsMonotone) {
+  Log2Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.add(v);
+  EXPECT_LE(h.quantile_bound(0.5), h.quantile_bound(0.99));
+  EXPECT_GE(h.quantile_bound(0.99), 512u);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, WideRowsAreRejected) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.add_row({"x", "y"}), std::invalid_argument);
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(cell(3.14159, 2), "3.14");
+  EXPECT_EQ(cell(42), "42");
+  EXPECT_EQ(cell(std::uint64_t{7}), "7");
+}
+
+TEST(SpinWaitTest, EscalatesThroughPhases) {
+  SpinWait spinner;
+  for (std::uint32_t i = 0;
+       i < SpinWait::kPauseIterations + SpinWait::kYieldIterations + 2; ++i) {
+    spinner.once();
+  }
+  EXPECT_GT(spinner.spins(), SpinWait::kPauseIterations);
+  spinner.reset();
+  EXPECT_EQ(spinner.spins(), 0u);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(sw.elapsed_ms(), 9.0);
+  const auto lap = sw.lap();
+  EXPECT_GT(lap.count(), 0);
+  EXPECT_LT(sw.elapsed_ms(), 9.0);  // restarted
+}
+
+TEST(Affinity, NumCpusIsPositive) { EXPECT_GE(num_cpus(), 1u); }
+
+TEST(Affinity, PinAndNameDoNotCrash) {
+  pin_this_thread(0);
+  name_this_thread("mc-test-thread-with-long-name");
+}
+
+TEST(Cache, CacheAlignedSeparatesElements) {
+  CacheAligned<int> pair[2];
+  const auto a = reinterpret_cast<std::uintptr_t>(&pair[0]);
+  const auto b = reinterpret_cast<std::uintptr_t>(&pair[1]);
+  EXPECT_GE(b - a, kCacheLineSize);
+  EXPECT_EQ(a % kCacheLineSize, 0u);
+  *pair[0] = 7;
+  EXPECT_EQ(pair[0].value, 7);
+}
+
+}  // namespace
+}  // namespace monotonic

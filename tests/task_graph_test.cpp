@@ -1,0 +1,161 @@
+// task_graph_test.cpp — counter-scheduled task DAGs: dependency
+// correctness on hand-built and randomized graphs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "monotonic/core/broadcast_counter.hpp"
+#include "monotonic/patterns/task_graph.hpp"
+#include "monotonic/support/rng.hpp"
+
+namespace monotonic {
+namespace {
+
+TEST(TaskGraphTest, LinearChainRunsInOrder) {
+  TaskGraph<> graph;
+  std::vector<int> order;
+  std::mutex m;
+  for (int i = 0; i < 10; ++i) {
+    std::vector<std::size_t> deps;
+    if (i > 0) deps.push_back(static_cast<std::size_t>(i - 1));
+    graph.add_task(
+        [&, i] {
+          std::scoped_lock lock(m);
+          order.push_back(i);
+        },
+        deps);
+  }
+  graph.run(4);
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(TaskGraphTest, DiamondJoinSeesBothBranches) {
+  TaskGraph<> graph;
+  std::atomic<int> a{0}, b{0}, joined{0};
+  const auto source = graph.add_task([] {});
+  const auto left = graph.add_task([&] { a = 1; }, {source});
+  const auto right = graph.add_task([&] { b = 2; }, {source});
+  graph.add_task([&] { joined = a + b; }, {left, right});
+  graph.run(3);
+  EXPECT_EQ(joined.load(), 3);
+}
+
+TEST(TaskGraphTest, IndependentTasksAllRun) {
+  TaskGraph<> graph;
+  std::atomic<int> count{0};
+  for (int i = 0; i < 32; ++i) {
+    graph.add_task([&] { count.fetch_add(1); });
+  }
+  graph.run(8);
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(TaskGraphTest, FanOutBroadcastsOneCounter) {
+  // One producer, many dependents: all successors wait on the SAME
+  // counter — the §1 broadcast framing.
+  TaskGraph<> graph;
+  std::atomic<int> produced{0};
+  std::atomic<int> consumers_ok{0};
+  const auto producer = graph.add_task([&] { produced = 42; });
+  for (int i = 0; i < 10; ++i) {
+    graph.add_task(
+        [&] {
+          if (produced.load() == 42) consumers_ok.fetch_add(1);
+        },
+        {producer});
+  }
+  graph.run(4);
+  EXPECT_EQ(consumers_ok.load(), 10);
+}
+
+TEST(TaskGraphTest, RandomDagsHonourAllDependencies) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Xoshiro256 rng(seed * 1000003);
+    TaskGraph<> graph;
+    constexpr std::size_t kTasks = 60;
+    std::vector<std::atomic<bool>> finished(kTasks);
+    std::vector<std::vector<std::size_t>> deps_of(kTasks);
+
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      // Up to 3 random dependencies on earlier tasks.
+      if (i > 0) {
+        const std::size_t num_deps = rng.uniform(0, 3);
+        for (std::size_t d = 0; d < num_deps; ++d) {
+          deps_of[i].push_back(rng.uniform(0, i - 1));
+        }
+      }
+      graph.add_task(
+          [&, i] {
+            for (std::size_t dep : deps_of[i]) {
+              // A dependency must be complete before we start.
+              EXPECT_TRUE(finished[dep].load()) << "task " << i
+                                                << " dep " << dep;
+            }
+            finished[i].store(true);
+          },
+          deps_of[i]);
+    }
+    graph.run(1 + seed % 6);
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      EXPECT_TRUE(finished[i].load());
+    }
+  }
+}
+
+TEST(TaskGraphTest, ForwardDependencyRejected) {
+  TaskGraph<> graph;
+  graph.add_task([] {});
+  EXPECT_THROW(graph.add_task([] {}, {5}), std::invalid_argument);
+  EXPECT_THROW(graph.add_task([] {}, {1}), std::invalid_argument);  // self
+}
+
+TEST(TaskGraphTest, EmptyGraphRuns) {
+  TaskGraph<> graph;
+  graph.run(4);
+}
+
+TEST(TaskGraphTest, SecondRunRejected) {
+  TaskGraph<> graph;
+  graph.add_task([] {});
+  graph.run(1);
+  EXPECT_THROW(graph.run(1), std::invalid_argument);
+}
+
+TEST(TaskGraphTest, ExternalConsumersViaDoneCounter) {
+  TaskGraph<> graph;
+  std::atomic<int> value{0};
+  const auto id = graph.add_task([&] { value = 7; });
+  std::jthread external([&] {
+    graph.done_counter(id).Check(1);
+    EXPECT_EQ(value.load(), 7);
+  });
+  graph.run(2);
+}
+
+TEST(TaskGraphTest, WorksWithAnyCounterImplementation) {
+  TaskGraph<SingleCvCounter> graph;
+  std::atomic<int> total{0};
+  const auto a = graph.add_task([&] { total += 1; });
+  graph.add_task([&] { total += 10; }, {a});
+  graph.run(2);
+  EXPECT_EQ(total.load(), 11);
+}
+
+TEST(TaskGraphTest, MoreWorkersThanTasksClamps) {
+  TaskGraph<> graph;
+  std::atomic<int> count{0};
+  for (int i = 0; i < 3; ++i) graph.add_task([&] { count.fetch_add(1); });
+  graph.run(64);
+  EXPECT_EQ(count.load(), 3);
+}
+
+}  // namespace
+}  // namespace monotonic

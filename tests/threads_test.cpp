@@ -1,0 +1,231 @@
+// threads_test.cpp — the multithreaded block/for constructs (§3),
+// execution policies, exception aggregation, and ThreadTeam.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "monotonic/threads/multi_error.hpp"
+#include "monotonic/threads/pool.hpp"
+#include "monotonic/threads/structured.hpp"
+
+namespace monotonic {
+namespace {
+
+TEST(MultithreadedBlock, RunsEveryStatement) {
+  std::atomic<int> ran{0};
+  multithreaded_block([&] { ran += 1; }, [&] { ran += 10; },
+                      [&] { ran += 100; });
+  EXPECT_EQ(ran.load(), 111);
+}
+
+TEST(MultithreadedBlock, JoinsBeforeContinuing) {
+  // §3: "Execution does not continue past the multithreaded block until
+  // all the threads have individually terminated."
+  std::atomic<bool> slow_done{false};
+  multithreaded_block(
+      [&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        slow_done.store(true);
+      },
+      [] {});
+  EXPECT_TRUE(slow_done.load());
+}
+
+TEST(MultithreadedBlock, StatementsRunConcurrently) {
+  // Two statements that each wait for the other would deadlock if the
+  // block were secretly sequential.
+  std::atomic<int> stage{0};
+  multithreaded_block(
+      [&] {
+        stage.fetch_add(1);
+        while (stage.load() < 2) std::this_thread::yield();
+      },
+      [&] {
+        stage.fetch_add(1);
+        while (stage.load() < 2) std::this_thread::yield();
+      });
+  EXPECT_EQ(stage.load(), 2);
+}
+
+TEST(MultithreadedBlock, EmptyBlockIsFine) {
+  multithreaded(std::vector<std::function<void()>>{});
+}
+
+TEST(MultithreadedFor, IteratesExactRange) {
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<int> count{0};
+  multithreaded_for(3, 11, 2, [&](int i) {  // 3,5,7,9
+    sum += static_cast<std::uint64_t>(i);
+    count += 1;
+  });
+  EXPECT_EQ(count.load(), 4);
+  EXPECT_EQ(sum.load(), 24u);
+}
+
+TEST(MultithreadedFor, NegativeStepCountsDown) {
+  std::vector<int> seen(5, 0);
+  multithreaded_for(4, -1, -1, [&](int i) { seen[i] = 1; });
+  EXPECT_EQ(std::accumulate(seen.begin(), seen.end(), 0), 5);
+}
+
+TEST(MultithreadedFor, EachIterationHasPrivateControlVariable) {
+  // §3: "each thread has a local copy of the loop control-variable".
+  std::mutex m;
+  std::set<int> values;
+  multithreaded_for(0, 8, 1, [&](int i) {
+    std::this_thread::yield();
+    std::scoped_lock lock(m);
+    values.insert(i);
+  });
+  EXPECT_EQ(values.size(), 8u);
+}
+
+TEST(MultithreadedFor, CountConvenienceForm) {
+  std::atomic<int> count{0};
+  multithreaded_for(6, [&](int) { count += 1; });
+  EXPECT_EQ(count.load(), 6);
+}
+
+TEST(MultithreadedFor, ZeroStepIsRejected) {
+  EXPECT_THROW(multithreaded_for(0, 4, 0, [](int) {}),
+               std::invalid_argument);
+}
+
+TEST(MultithreadedFor, EmptyRangeRunsNothing) {
+  std::atomic<int> count{0};
+  multithreaded_for(5, 5, 1, [&](int) { count += 1; });
+  multithreaded_for(5, 3, 1, [&](int) { count += 1; });
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(MultithreadedNesting, BlocksAndLoopsNest) {
+  std::atomic<int> leaves{0};
+  multithreaded_for(0, 3, 1, [&](int) {
+    multithreaded_block([&] { leaves += 1; }, [&] { leaves += 1; });
+  });
+  EXPECT_EQ(leaves.load(), 6);
+}
+
+TEST(SequentialPolicy, RunsInProgramOrder) {
+  std::vector<int> order;
+  multithreaded(
+      {[&] { order.push_back(0); }, [&] { order.push_back(1); },
+       [&] { order.push_back(2); }},
+      Execution::kSequential);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SequentialPolicy, ForLoopRunsAscending) {
+  std::vector<int> order;
+  multithreaded_for(0, 5, 1, [&](int i) { order.push_back(i); },
+                    Execution::kSequential);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SequentialPolicy, DefaultPolicyIsScoped) {
+  EXPECT_EQ(default_execution(), Execution::kMultithreaded);
+  {
+    ScopedExecution scope(Execution::kSequential);
+    EXPECT_EQ(default_execution(), Execution::kSequential);
+    std::vector<int> order;
+    multithreaded_for(0, 3, 1, [&](int i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  }
+  EXPECT_EQ(default_execution(), Execution::kMultithreaded);
+}
+
+TEST(Exceptions, SingleFailureSurfacesAsMultiError) {
+  EXPECT_THROW(
+      multithreaded_block([] { throw std::runtime_error("boom"); }, [] {}),
+      MultiError);
+}
+
+TEST(Exceptions, AllThreadsStillJoinOnFailure) {
+  std::atomic<bool> other_finished{false};
+  try {
+    multithreaded_block(
+        [] { throw std::runtime_error("boom"); },
+        [&] {
+          std::this_thread::sleep_for(std::chrono::milliseconds(30));
+          other_finished.store(true);
+        });
+    FAIL() << "expected MultiError";
+  } catch (const MultiError& e) {
+    EXPECT_EQ(e.size(), 1u);
+    EXPECT_TRUE(other_finished.load())
+        << "the failing statement must not abandon its siblings";
+  }
+}
+
+TEST(Exceptions, MultipleFailuresAggregateInStatementOrder) {
+  try {
+    multithreaded_block([] { throw std::runtime_error("first"); },
+                        [] {},
+                        [] { throw std::logic_error("third"); });
+    FAIL() << "expected MultiError";
+  } catch (const MultiError& e) {
+    ASSERT_EQ(e.size(), 2u);
+    EXPECT_THROW(std::rethrow_exception(e.errors()[0]), std::runtime_error);
+    EXPECT_THROW(std::rethrow_exception(e.errors()[1]), std::logic_error);
+    EXPECT_NE(std::string(e.what()).find("first"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("third"), std::string::npos);
+  }
+}
+
+TEST(Exceptions, SequentialPolicyPropagatesDirectly) {
+  std::vector<int> order;
+  EXPECT_THROW(multithreaded({[&] { order.push_back(0); },
+                              [] { throw std::runtime_error("x"); },
+                              [&] { order.push_back(2); }},
+                             Execution::kSequential),
+               std::runtime_error);
+  // Sequential semantics: later statements do not run after a throw.
+  EXPECT_EQ(order, (std::vector<int>{0}));
+}
+
+TEST(ThreadTeamTest, RunsBodyOnEveryWorker) {
+  ThreadTeam team(4);
+  std::atomic<std::uint64_t> mask{0};
+  team.run([&](std::size_t tid) { mask |= (1ull << tid); });
+  EXPECT_EQ(mask.load(), 0b1111u);
+}
+
+TEST(ThreadTeamTest, ReusableAcrossRegions) {
+  ThreadTeam team(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    team.run([&](std::size_t) { total += 1; });
+  }
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(ThreadTeamTest, WorkerExceptionsAggregate) {
+  ThreadTeam team(2);
+  EXPECT_THROW(team.run([](std::size_t tid) {
+    if (tid == 1) throw std::runtime_error("worker failed");
+  }),
+               MultiError);
+  // The team survives a failing region.
+  std::atomic<int> ok{0};
+  team.run([&](std::size_t) { ok += 1; });
+  EXPECT_EQ(ok.load(), 2);
+}
+
+TEST(ThreadTeamTest, SingleWorkerTeam) {
+  ThreadTeam team(1);
+  int x = 0;
+  team.run([&](std::size_t tid) {
+    EXPECT_EQ(tid, 0u);
+    x = 42;
+  });
+  EXPECT_EQ(x, 42);
+}
+
+}  // namespace
+}  // namespace monotonic

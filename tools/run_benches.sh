@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Runs every experiment bench and collects their tables into one file.
+#
+#   tools/run_benches.sh [build-dir] [output-file]
+#
+# Defaults: build/ and bench_output.txt in the repo root.
+set -u
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_file="${2:-$repo_root/bench_output.txt}"
+
+if [ ! -d "$build_dir/bench" ]; then
+  echo "error: $build_dir/bench not found — build first:" >&2
+  echo "  cmake -B build -G Ninja && cmake --build build" >&2
+  exit 1
+fi
+
+: > "$out_file"
+status=0
+for b in "$build_dir"/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "### $(basename "$b")" | tee -a "$out_file"
+  if ! "$b" >> "$out_file" 2>&1; then
+    echo "FAILED: $b" | tee -a "$out_file"
+    status=1
+  fi
+  echo >> "$out_file"
+done
+echo "wrote $out_file"
+exit $status

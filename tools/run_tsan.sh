@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite under ThreadSanitizer (CP.9: validate
+# concurrent code with tools).
+#
+#   tools/run_tsan.sh [build-dir]
+set -eu
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-tsan}"
+
+cmake -B "$build_dir" -G Ninja \
+  -DMONOTONIC_SANITIZE_THREAD=ON \
+  -DMONOTONIC_BUILD_BENCH=OFF \
+  -DMONOTONIC_BUILD_EXAMPLES=OFF \
+  "$repo_root"
+cmake --build "$build_dir"
+ctest --test-dir "$build_dir" --output-on-failure
