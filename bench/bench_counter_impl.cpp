@@ -8,6 +8,8 @@
 // oversubscribed (threads >> cores); futex tracks single-CV but with
 // cheaper uncontended ops.
 
+#include <atomic>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <thread>
@@ -18,6 +20,11 @@
 #include "monotonic/algos/graph.hpp"
 #include "monotonic/algos/heat1d.hpp"
 #include "monotonic/core/any_counter.hpp"
+#include "monotonic/core/broadcast_counter.hpp"
+#include "monotonic/core/counter.hpp"
+#include "monotonic/core/futex_counter.hpp"
+#include "monotonic/core/hybrid_counter.hpp"
+#include "monotonic/core/spin_counter.hpp"
 #include "monotonic/threads/structured.hpp"
 
 namespace monotonic {
@@ -123,6 +130,61 @@ void handoff_ablation() {
   bench::print(table);
 }
 
+void decorator_sweep() {
+  banner("E10.d", "composed decorators: 4 writers x 50k increments");
+  note("Every row is built from its spec string via make_counter(spec);\n"
+       "the reader drives the type-erased CheckFor until the total lands.");
+  TextTable table({"spec", "ms", "increments", "notifies", "suspensions"});
+  constexpr int kWriters = 4;
+  constexpr counter_value_t kPerWriter = 50000;
+  constexpr counter_value_t kTotal = kWriters * kPerWriter;
+  const std::vector<std::string> specs = {
+      "list",
+      "list+traced",
+      "hybrid",
+      "hybrid+batching,batch=64",
+      "list+broadcast,shards=4",
+      "hybrid+batching,batch=64+traced",
+  };
+  for (const std::string& spec : specs) {
+    auto probe = make_counter(spec);
+    const double ms = median_ms(kReps, [&] {
+      auto c = make_counter(spec);
+      std::atomic<bool> reached{false};
+      c->OnReach(kTotal, [&reached] {
+        reached.store(true, std::memory_order_relaxed);
+      });
+      std::vector<std::function<void()>> bodies;
+      for (int w = 0; w < kWriters; ++w) {
+        bodies.emplace_back([&] {
+          for (counter_value_t i = 0; i < kPerWriter; ++i) c->Increment(1);
+        });
+      }
+      bodies.emplace_back([&] {
+        while (!c->CheckFor(kTotal, std::chrono::milliseconds(50))) {
+        }
+      });
+      multithreaded(std::move(bodies), Execution::kMultithreaded);
+    });
+    // One instrumented run for the structural columns.
+    {
+      std::vector<std::function<void()>> bodies;
+      for (int w = 0; w < kWriters; ++w) {
+        bodies.emplace_back([&] {
+          for (counter_value_t i = 0; i < kPerWriter; ++i)
+            probe->Increment(1);
+        });
+      }
+      bodies.emplace_back([&] { probe->Check(kTotal); });
+      multithreaded(std::move(bodies), Execution::kMultithreaded);
+    }
+    const auto s = probe->stats();
+    table.add_row({probe->spec(), cell(ms), cell(s.increments),
+                   cell(s.notifies), cell(s.suspensions)});
+  }
+  bench::print(table);
+}
+
 }  // namespace
 }  // namespace monotonic
 
@@ -130,5 +192,6 @@ int main() {
   monotonic::fw_ablation();
   monotonic::heat_ablation();
   monotonic::handoff_ablation();
+  monotonic::decorator_sweep();
   return 0;
 }

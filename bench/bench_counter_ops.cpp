@@ -8,12 +8,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <thread>
 #include <vector>
 
 #include "monotonic/core/any_counter.hpp"
 #include "monotonic/core/broadcast_counter.hpp"
 #include "monotonic/core/counter.hpp"
+#include "monotonic/core/counter_decorator.hpp"
 #include "monotonic/core/futex_counter.hpp"
 #include "monotonic/core/hybrid_counter.hpp"
 #include "monotonic/core/spin_counter.hpp"
@@ -35,6 +37,11 @@ BENCHMARK_TEMPLATE(BM_IncrementUncontended, SingleCvCounter);
 BENCHMARK_TEMPLATE(BM_IncrementUncontended, FutexCounter);
 BENCHMARK_TEMPLATE(BM_IncrementUncontended, SpinCounter);
 BENCHMARK_TEMPLATE(BM_IncrementUncontended, HybridCounter);
+// Decorated compositions ride the same template matrix: the overhead of
+// a layer is directly readable against its base row.
+BENCHMARK_TEMPLATE(BM_IncrementUncontended, Traced<Counter>);
+BENCHMARK_TEMPLATE(BM_IncrementUncontended, Batching<HybridCounter>);
+BENCHMARK_TEMPLATE(BM_IncrementUncontended, Broadcasting<Counter>);
 
 template <typename C>
 void BM_CheckFastPath(benchmark::State& state) {
@@ -51,6 +58,26 @@ BENCHMARK_TEMPLATE(BM_CheckFastPath, SingleCvCounter);
 BENCHMARK_TEMPLATE(BM_CheckFastPath, FutexCounter);
 BENCHMARK_TEMPLATE(BM_CheckFastPath, SpinCounter);
 BENCHMARK_TEMPLATE(BM_CheckFastPath, HybridCounter);
+BENCHMARK_TEMPLATE(BM_CheckFastPath, Traced<Counter>);
+BENCHMARK_TEMPLATE(BM_CheckFastPath, Batching<HybridCounter>);
+BENCHMARK_TEMPLATE(BM_CheckFastPath, Broadcasting<Counter>);
+
+// Timed probe latency through the shared engine (CheckFor is now
+// uniform across implementations, so one template serves all).
+template <typename C>
+void BM_CheckForFastPath(benchmark::State& state) {
+  C counter;
+  counter.Increment(1u << 20);
+  counter_value_t level = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        counter.CheckFor(level++ & 1023, std::chrono::nanoseconds(0)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_TEMPLATE(BM_CheckForFastPath, Counter);
+BENCHMARK_TEMPLATE(BM_CheckForFastPath, FutexCounter);
+BENCHMARK_TEMPLATE(BM_CheckForFastPath, HybridCounter);
 
 // §7's bound: Increment wakes W waiters spread over L levels with L
 // notify_all calls (one per released node).  counters.wakeups / notifies

@@ -1,0 +1,285 @@
+// any_counter.cpp — kind names and the spec-string factory.
+//
+// The recursive builder is the interesting part: every decorator layer
+// wraps the layer beneath it through AnyHandle, so the same generic
+// templates (Traced<C>, Batching<C>, Broadcasting<C>) serve both
+// compile-time composition and runtime spec strings.  A broadcast
+// layer re-runs the builder once per shard, giving each shard its own
+// private copy of the inner stack.
+
+#include "monotonic/core/any_counter.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "monotonic/core/broadcast_counter.hpp"
+#include "monotonic/core/counter.hpp"
+#include "monotonic/core/counter_decorator.hpp"
+#include "monotonic/core/futex_counter.hpp"
+#include "monotonic/core/hybrid_counter.hpp"
+#include "monotonic/core/spin_counter.hpp"
+#include "monotonic/support/trace.hpp"
+
+namespace monotonic {
+
+std::string_view to_string(CounterKind kind) {
+  switch (kind) {
+    case CounterKind::kList:
+      return "list";
+    case CounterKind::kListNoPool:
+      return "list-nopool";
+    case CounterKind::kSingleCv:
+      return "single-cv";
+    case CounterKind::kFutex:
+      return "futex";
+    case CounterKind::kSpin:
+      return "spin";
+    case CounterKind::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+CounterKind counter_kind_from_string(std::string_view name) {
+  for (CounterKind k : all_counter_kinds()) {
+    if (to_string(k) == name) return k;
+  }
+  MC_REQUIRE(false, "unknown counter kind");
+  return CounterKind::kList;  // unreachable
+}
+
+const std::vector<CounterKind>& all_counter_kinds() {
+  static const std::vector<CounterKind> kinds = {
+      CounterKind::kList,  CounterKind::kListNoPool, CounterKind::kSingleCv,
+      CounterKind::kFutex, CounterKind::kSpin,       CounterKind::kHybrid};
+  return kinds;
+}
+
+std::string_view counter_spec_help() {
+  return "kind[,opt=val...][+decorator[,opt=val...]]... — kinds: list, "
+         "list-nopool, single-cv, futex, spin, hybrid; base opts: pool=0|1, "
+         "pool_size=N; decorators: traced, batching[,batch=N], "
+         "broadcast[,shards=N]";
+}
+
+namespace {
+
+struct SpecPart {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> options;
+};
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(trim(s.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<SpecPart> parse_spec(std::string_view spec) {
+  std::vector<SpecPart> parts;
+  for (const std::string& chunk : split(spec, '+')) {
+    const std::vector<std::string> tokens = split(chunk, ',');
+    MC_REQUIRE(!tokens.empty() && !tokens.front().empty(),
+               "empty component in counter spec");
+    SpecPart part;
+    part.name = tokens.front();
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const std::string& tok = tokens[i];
+      const std::size_t eq = tok.find('=');
+      MC_REQUIRE(eq != std::string::npos && eq > 0 && eq + 1 < tok.size(),
+                 "counter spec options must be key=value");
+      part.options.emplace_back(trim(tok.substr(0, eq)),
+                                trim(tok.substr(eq + 1)));
+    }
+    parts.push_back(std::move(part));
+  }
+  return parts;
+}
+
+std::uint64_t parse_uint(const std::string& key, const std::string& value) {
+  std::uint64_t out = 0;
+  MC_REQUIRE(!value.empty(), "counter spec option value must be numeric");
+  for (char c : value) {
+    MC_REQUIRE(c >= '0' && c <= '9',
+               "counter spec option value must be numeric");
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  (void)key;
+  return out;
+}
+
+struct BaseConfig {
+  CounterKind kind;
+  WaitListOptions options;
+};
+
+BaseConfig parse_base(const SpecPart& part) {
+  BaseConfig cfg;
+  cfg.kind = counter_kind_from_string(part.name);
+  if (cfg.kind == CounterKind::kListNoPool) cfg.options.pool_nodes = false;
+  for (const auto& [key, value] : part.options) {
+    if (key == "pool") {
+      cfg.options.pool_nodes = parse_uint(key, value) != 0;
+    } else if (key == "pool_size") {
+      cfg.options.max_pool_size = parse_uint(key, value);
+    } else {
+      MC_REQUIRE(false, "unknown counter option");
+    }
+  }
+  // "list,pool=0" and "list-nopool" are the same configuration; fold to
+  // the named kind so canonical specs are unique.
+  if (cfg.kind == CounterKind::kList && !cfg.options.pool_nodes) {
+    cfg.kind = CounterKind::kListNoPool;
+  } else if (cfg.kind == CounterKind::kListNoPool && cfg.options.pool_nodes) {
+    cfg.kind = CounterKind::kList;
+  }
+  return cfg;
+}
+
+std::string canonical_base(const BaseConfig& cfg) {
+  std::string out{to_string(cfg.kind)};
+  const bool default_pool = cfg.kind != CounterKind::kListNoPool;
+  if (cfg.options.pool_nodes != default_pool) {
+    out += cfg.options.pool_nodes ? ",pool=1" : ",pool=0";
+  }
+  if (cfg.options.max_pool_size != WaitListOptions{}.max_pool_size) {
+    out += ",pool_size=" + std::to_string(cfg.options.max_pool_size);
+  }
+  return out;
+}
+
+std::unique_ptr<AnyCounter> make_base(const BaseConfig& cfg,
+                                      std::string spec) {
+  using detail::CounterModel;
+  switch (cfg.kind) {
+    case CounterKind::kList:
+    case CounterKind::kListNoPool:
+      return std::make_unique<CounterModel<Counter>>(cfg.kind, std::move(spec),
+                                                     cfg.options);
+    case CounterKind::kSingleCv:
+      return std::make_unique<CounterModel<SingleCvCounter>>(
+          cfg.kind, std::move(spec), cfg.options);
+    case CounterKind::kFutex:
+      return std::make_unique<CounterModel<FutexCounter>>(
+          cfg.kind, std::move(spec), cfg.options);
+    case CounterKind::kSpin:
+      return std::make_unique<CounterModel<SpinCounter>>(
+          cfg.kind, std::move(spec), cfg.options);
+    case CounterKind::kHybrid:
+      return std::make_unique<CounterModel<HybridCounter>>(
+          cfg.kind, std::move(spec), cfg.options);
+  }
+  MC_REQUIRE(false, "unknown counter kind");
+  return nullptr;  // unreachable
+}
+
+/// Builds the base plus the first `layers` decorators of the parsed
+/// spec.  `canonical` is the canonical spec up to and including that
+/// layer (what the returned counter reports from spec()).
+std::unique_ptr<AnyCounter> build_layers(const std::vector<SpecPart>& parts,
+                                         const BaseConfig& base,
+                                         std::size_t layers);
+
+std::string canonical_layers(const std::vector<SpecPart>& parts,
+                             const BaseConfig& base, std::size_t layers) {
+  std::string spec = canonical_base(base);
+  for (std::size_t i = 1; i <= layers; ++i) {
+    const SpecPart& part = parts[i];
+    spec += '+';
+    if (part.name == "traced") {
+      spec += "traced";
+    } else if (part.name == "batching") {
+      counter_value_t batch = 64;
+      for (const auto& [key, value] : part.options) {
+        MC_REQUIRE(key == "batch", "unknown batching option");
+        batch = parse_uint(key, value);
+      }
+      spec += batch == 64 ? std::string("batching")
+                          : "batching,batch=" + std::to_string(batch);
+    } else if (part.name == "broadcast") {
+      std::uint64_t shards = Broadcasting<Counter>::kDefaultShards;
+      for (const auto& [key, value] : part.options) {
+        MC_REQUIRE(key == "shards", "unknown broadcast option");
+        shards = parse_uint(key, value);
+      }
+      spec += shards == Broadcasting<Counter>::kDefaultShards
+                  ? std::string("broadcast")
+                  : "broadcast,shards=" + std::to_string(shards);
+    } else {
+      MC_REQUIRE(false, "unknown counter decorator");
+    }
+  }
+  return spec;
+}
+
+std::unique_ptr<AnyCounter> build_layers(const std::vector<SpecPart>& parts,
+                                         const BaseConfig& base,
+                                         std::size_t layers) {
+  std::string spec = canonical_layers(parts, base, layers);
+  if (layers == 0) return make_base(base, std::move(spec));
+
+  using detail::CounterModel;
+  const SpecPart& part = parts[layers];
+  if (part.name == "traced") {
+    return std::make_unique<CounterModel<Traced<AnyHandle>>>(
+        base.kind, std::move(spec), "counter", Tracer::global(), inner_args,
+        AnyHandle(build_layers(parts, base, layers - 1)));
+  }
+  if (part.name == "batching") {
+    counter_value_t batch = 64;
+    for (const auto& [key, value] : part.options) {
+      MC_REQUIRE(key == "batch", "unknown batching option");
+      batch = parse_uint(key, value);
+    }
+    return std::make_unique<CounterModel<Batching<AnyHandle>>>(
+        base.kind, std::move(spec), batch, inner_args,
+        AnyHandle(build_layers(parts, base, layers - 1)));
+  }
+  if (part.name == "broadcast") {
+    std::uint64_t shards = Broadcasting<Counter>::kDefaultShards;
+    for (const auto& [key, value] : part.options) {
+      MC_REQUIRE(key == "shards", "unknown broadcast option");
+      shards = parse_uint(key, value);
+    }
+    MC_REQUIRE(shards >= 1, "broadcast requires at least one shard");
+    return std::make_unique<CounterModel<Broadcasting<AnyHandle>>>(
+        base.kind, std::move(spec), static_cast<std::size_t>(shards),
+        [&](std::size_t) {
+          return std::make_unique<AnyHandle>(
+              build_layers(parts, base, layers - 1));
+        });
+  }
+  MC_REQUIRE(false, "unknown counter decorator");
+  return nullptr;  // unreachable
+}
+
+}  // namespace
+
+std::unique_ptr<AnyCounter> make_counter(CounterKind kind) {
+  BaseConfig cfg;
+  cfg.kind = kind;
+  if (kind == CounterKind::kListNoPool) cfg.options.pool_nodes = false;
+  return make_base(cfg, std::string(to_string(kind)));
+}
+
+std::unique_ptr<AnyCounter> make_counter(std::string_view spec) {
+  const std::vector<SpecPart> parts = parse_spec(spec);
+  const BaseConfig base = parse_base(parts.front());
+  return build_layers(parts, base, parts.size() - 1);
+}
+
+}  // namespace monotonic

@@ -1,22 +1,41 @@
-// any_counter.hpp — runtime-polymorphic counter handle.
+// any_counter.hpp — runtime-polymorphic counter handle + spec factory.
 //
 // Benches and examples select an implementation by name on the command
-// line; AnyCounter type-erases the four implementations behind one
-// virtual interface.  Hot paths in the library itself stay templated on
+// line; AnyCounter type-erases the implementations behind one virtual
+// interface.  Hot paths in the library itself stay templated on
 // CounterLike — this wrapper exists only at harness boundaries.
+//
+// Since the policy-based refactor every implementation supports the
+// full BasicCounter surface, so the virtual interface carries the
+// timed/async operations and introspection too, and make_counter grew
+// a *spec-string* overload for composed decorator stacks:
+//
+//   spec     := base ('+' decorator)*
+//   base     := kind (',' key '=' value)*          e.g. "list,pool=0"
+//   decorator:= name (',' key '=' value)*          e.g. "batching,batch=64"
+//
+//   kinds:      list, list-nopool, single-cv, futex, spin, hybrid
+//   base opts:  pool=0|1, pool_size=N              (wait-node pooling)
+//   decorators: traced                             (Tracer events)
+//               batching  [batch=N, default 64]    (amortized Increment)
+//               broadcast [shards=N, default 4]    (sharded wait lists)
+//
+// Decorators apply left-to-right, innermost first: "hybrid+traced"
+// is Traced<hybrid>; "list+batching,batch=8+traced" is
+// Traced<Batching<list>>.  A broadcast decorator rebuilds everything to
+// its left once per shard.  spec() returns the canonical form, so
+// bench tables are self-describing and specs round-trip.
 #pragma once
 
+#include <chrono>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
-#include "monotonic/core/broadcast_counter.hpp"
-#include "monotonic/core/counter.hpp"
 #include "monotonic/core/counter_stats.hpp"
-#include "monotonic/core/futex_counter.hpp"
-#include "monotonic/core/hybrid_counter.hpp"
-#include "monotonic/core/spin_counter.hpp"
+#include "monotonic/core/wait_list.hpp"
 #include "monotonic/support/assert.hpp"
 #include "monotonic/support/config.hpp"
 
@@ -40,104 +59,133 @@ CounterKind counter_kind_from_string(std::string_view name);
 /// All kinds, in a stable order, for sweeps.
 const std::vector<CounterKind>& all_counter_kinds();
 
-/// Type-erased counter.
+/// Type-erased counter carrying the full BasicCounter surface.
 class AnyCounter {
  public:
   virtual ~AnyCounter() = default;
   virtual void Increment(counter_value_t amount) = 0;
   virtual void Check(counter_value_t level) = 0;
+  /// Timed Check; true iff the level was reached before the timeout.
+  virtual bool CheckFor(counter_value_t level,
+                        std::chrono::nanoseconds timeout) = 0;
+  /// Async Check; see BasicCounter::OnReach for the execution contract.
+  virtual void OnReach(counter_value_t level, std::function<void()> fn) = 0;
   virtual void Reset() = 0;
+  virtual CounterDebugSnapshot debug_snapshot() const = 0;
+  virtual counter_value_t debug_value() const = 0;
   virtual CounterStatsSnapshot stats() const = 0;
   virtual void stats_reset() = 0;
+  /// Kind of the innermost (base) implementation.
   virtual CounterKind kind() const = 0;
+  /// Canonical spec string ("hybrid+traced"); round-trips through
+  /// make_counter(spec).
+  virtual const std::string& spec() const = 0;
 };
 
-/// Creates a counter of the given kind.
+/// Creates an undecorated counter of the given kind.
 std::unique_ptr<AnyCounter> make_counter(CounterKind kind);
+
+/// Creates a counter (possibly a decorator stack) from a spec string —
+/// see the grammar in the header comment.  Throws std::invalid_argument
+/// on malformed specs, unknown kinds/decorators/options.
+std::unique_ptr<AnyCounter> make_counter(std::string_view spec);
+
+/// One-line usage string for CLIs (--counter=SPEC help text).
+std::string_view counter_spec_help();
+
+/// Owning CounterLike view over a type-erased counter, so the generic
+/// decorators (Traced<C>, Batching<C>, Broadcasting<C>) and anything
+/// else templated on CounterLike can wrap a runtime-selected stack.
+class AnyHandle {
+ public:
+  explicit AnyHandle(std::unique_ptr<AnyCounter> inner)
+      : inner_(std::move(inner)) {
+    MC_REQUIRE(inner_ != nullptr, "AnyHandle requires a counter");
+  }
+  AnyHandle(AnyHandle&&) noexcept = default;
+  AnyHandle& operator=(AnyHandle&&) noexcept = default;
+
+  void Increment(counter_value_t amount = 1) { inner_->Increment(amount); }
+  void Check(counter_value_t level) { inner_->Check(level); }
+
+  template <typename Rep, typename Period>
+  bool CheckFor(counter_value_t level,
+                std::chrono::duration<Rep, Period> timeout) {
+    return inner_->CheckFor(
+        level, std::chrono::duration_cast<std::chrono::nanoseconds>(timeout));
+  }
+
+  template <typename Clock, typename Duration>
+  bool CheckUntil(counter_value_t level,
+                  std::chrono::time_point<Clock, Duration> deadline) {
+    const auto remaining = deadline - Clock::now();
+    return inner_->CheckFor(
+        level, remaining.count() > 0
+                   ? std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         remaining)
+                   : std::chrono::nanoseconds{0});
+  }
+
+  void OnReach(counter_value_t level, std::function<void()> fn) {
+    inner_->OnReach(level, std::move(fn));
+  }
+
+  void Reset() { inner_->Reset(); }
+  CounterDebugSnapshot debug_snapshot() const {
+    return inner_->debug_snapshot();
+  }
+  counter_value_t debug_value() const { return inner_->debug_value(); }
+  CounterStatsSnapshot stats() const { return inner_->stats(); }
+  void stats_reset() { inner_->stats_reset(); }
+  CounterKind kind() const { return inner_->kind(); }
+  const std::string& spec() const { return inner_->spec(); }
+
+  AnyCounter& erased() { return *inner_; }
+
+ private:
+  std::unique_ptr<AnyCounter> inner_;
+};
 
 namespace detail {
 
-template <typename C, CounterKind K>
+/// Adapts a concrete counter (or decorator stack) to AnyCounter.  Kind
+/// and spec are runtime data so one template serves every composition.
+template <typename C>
 class CounterModel final : public AnyCounter {
  public:
-  CounterModel() = default;
   template <typename... Args>
-  explicit CounterModel(Args&&... args) : impl_(std::forward<Args>(args)...) {}
+  CounterModel(CounterKind kind, std::string spec, Args&&... args)
+      : kind_(kind),
+        spec_(std::move(spec)),
+        impl_(std::forward<Args>(args)...) {}
 
   void Increment(counter_value_t amount) override { impl_.Increment(amount); }
   void Check(counter_value_t level) override { impl_.Check(level); }
+  bool CheckFor(counter_value_t level,
+                std::chrono::nanoseconds timeout) override {
+    return impl_.CheckFor(level, timeout);
+  }
+  void OnReach(counter_value_t level, std::function<void()> fn) override {
+    impl_.OnReach(level, std::move(fn));
+  }
   void Reset() override { impl_.Reset(); }
+  CounterDebugSnapshot debug_snapshot() const override {
+    return impl_.debug_snapshot();
+  }
+  counter_value_t debug_value() const override { return impl_.debug_value(); }
   CounterStatsSnapshot stats() const override { return impl_.stats(); }
   void stats_reset() override { impl_.stats_reset(); }
-  CounterKind kind() const override { return K; }
+  CounterKind kind() const override { return kind_; }
+  const std::string& spec() const override { return spec_; }
 
   C& impl() { return impl_; }
 
  private:
+  CounterKind kind_;
+  std::string spec_;
   C impl_;
 };
 
 }  // namespace detail
-
-inline std::string_view to_string(CounterKind kind) {
-  switch (kind) {
-    case CounterKind::kList:
-      return "list";
-    case CounterKind::kListNoPool:
-      return "list-nopool";
-    case CounterKind::kSingleCv:
-      return "single-cv";
-    case CounterKind::kFutex:
-      return "futex";
-    case CounterKind::kSpin:
-      return "spin";
-    case CounterKind::kHybrid:
-      return "hybrid";
-  }
-  return "?";
-}
-
-inline CounterKind counter_kind_from_string(std::string_view name) {
-  for (CounterKind k : all_counter_kinds()) {
-    if (to_string(k) == name) return k;
-  }
-  MC_REQUIRE(false, "unknown counter kind");
-  return CounterKind::kList;  // unreachable
-}
-
-inline const std::vector<CounterKind>& all_counter_kinds() {
-  static const std::vector<CounterKind> kinds = {
-      CounterKind::kList,  CounterKind::kListNoPool, CounterKind::kSingleCv,
-      CounterKind::kFutex, CounterKind::kSpin,       CounterKind::kHybrid};
-  return kinds;
-}
-
-inline std::unique_ptr<AnyCounter> make_counter(CounterKind kind) {
-  switch (kind) {
-    case CounterKind::kList:
-      return std::make_unique<
-          detail::CounterModel<Counter, CounterKind::kList>>();
-    case CounterKind::kListNoPool: {
-      Counter::Options opts;
-      opts.pool_nodes = false;
-      return std::make_unique<
-          detail::CounterModel<Counter, CounterKind::kListNoPool>>(opts);
-    }
-    case CounterKind::kSingleCv:
-      return std::make_unique<
-          detail::CounterModel<SingleCvCounter, CounterKind::kSingleCv>>();
-    case CounterKind::kFutex:
-      return std::make_unique<
-          detail::CounterModel<FutexCounter, CounterKind::kFutex>>();
-    case CounterKind::kSpin:
-      return std::make_unique<
-          detail::CounterModel<SpinCounter, CounterKind::kSpin>>();
-    case CounterKind::kHybrid:
-      return std::make_unique<
-          detail::CounterModel<HybridCounter, CounterKind::kHybrid>>();
-  }
-  MC_REQUIRE(false, "unknown counter kind");
-  return nullptr;  // unreachable
-}
 
 }  // namespace monotonic

@@ -1,0 +1,409 @@
+// basic_counter.hpp — the monotonic counter (the paper's primary
+// contribution), as ONE engine with swappable waiting policies.
+//
+//   "A counter object has three basic attributes: (i) a nonnegative
+//    integer value, (ii) an Increment operation, and (iii) a Check
+//    operation.  The initial value of the counter is zero.  Increment
+//    atomically increases the value of the counter by a specified
+//    amount.  Check suspends the calling thread until the value of the
+//    counter is greater than or equal to a specified level."  (§1)
+//
+// BasicCounter<WaitPolicy> owns everything the policies share — the
+// value, the §7 ordered wait list (wait_list.hpp), the OnReach
+// callback list, node pooling, stats, Reset, timed checks and
+// debug_snapshot() — and delegates exactly two decisions to the policy
+// (wait_policy.hpp): whether the fast paths are lock-free, and how a
+// parked thread sleeps / a released node wakes.  The five historical
+// implementations are aliases:
+//
+//   Counter         = BasicCounter<BlockingWait>   (§7 reference)
+//   SingleCvCounter = BasicCounter<SingleCvWait>   (broadcast baseline)
+//   FutexCounter    = BasicCounter<FutexWait>
+//   SpinCounter     = BasicCounter<SpinWait>
+//   HybridCounter   = BasicCounter<HybridWait>
+//
+// so every implementation uniformly supports CheckFor/CheckUntil,
+// OnReach, Reset, pooled wait nodes and Figure-2 introspection, with
+// identical checked-usage semantics.
+//
+// Deliberate API omissions, per §2:
+//   * no Decrement — the value is monotone, so an enabled Check can
+//     never become disabled; this is what makes counter synchronization
+//     race-free and deterministic (§6);
+//   * no Probe / value getter — a branch on the instantaneous value
+//     would reintroduce timing-dependent behaviour.  Tests and benches
+//     use debug_snapshot()/debug_value(), named so misuse is
+//     conspicuous.
+//
+// Lock-free fast paths (FutexWait, SpinWait, HybridWait) use the
+// attention-bit protocol: the value lives in one atomic word with bit 0
+// flagging "a slow-path pass is required" (parked waiters and/or
+// pending callbacks).  The classic lost-wakeup hazard (value rises
+// between the waiter's check and its enqueue) is closed by re-reading
+// the value *after* setting the bit while holding the mutex: either the
+// racing Increment sees the bit (and will take the mutex, which we hold
+// first) or the waiter sees the new value (and doesn't sleep).  The
+// cost: the logical value is capped at 2^63-1 (one bit spent on the
+// flag), and increments during a waiter's residency each pay the lock.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <type_traits>
+#include <utility>
+
+#include "monotonic/core/counter_stats.hpp"
+#include "monotonic/core/wait_list.hpp"
+#include "monotonic/core/wait_policy.hpp"
+#include "monotonic/support/assert.hpp"
+#include "monotonic/support/config.hpp"
+
+namespace monotonic {
+
+namespace detail {
+
+/// Value representation: a plain word guarded by the counter mutex
+/// (locking policies) or an atomic word with the attention bit
+/// (lock-free policies).
+template <bool LockFree>
+struct CounterValueRep {
+  counter_value_t value = 0;  // guarded by the counter mutex
+};
+
+template <>
+struct CounterValueRep<true> {
+  std::atomic<counter_value_t> word{0};  // (value << 1) | attention
+};
+
+/// Converts an arbitrary-clock deadline to the steady clock the wait
+/// engine runs on.  time_point_cast only converts the duration type,
+/// not the epoch, so casting e.g. a system_clock deadline directly
+/// would mis-time by the (enormous) epoch difference — instead convert
+/// via a now()-delta against both clocks.
+template <typename Clock, typename Duration>
+std::chrono::steady_clock::time_point to_steady_deadline(
+    std::chrono::time_point<Clock, Duration> deadline) {
+  if constexpr (std::is_same_v<Clock, std::chrono::steady_clock>) {
+    return std::chrono::time_point_cast<std::chrono::steady_clock::duration>(
+        deadline);
+  } else {
+    const auto delta = deadline - Clock::now();
+    return std::chrono::steady_clock::now() +
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               delta);
+  }
+}
+
+}  // namespace detail
+
+/// Monotonic counter per Thornley & Chandy, generic over the waiting
+/// policy (see wait_policy.hpp for the policy contract).
+template <typename Policy>
+class BasicCounter {
+ public:
+  using WaitPolicy = Policy;
+  using Options = WaitListOptions;
+  using DebugWaitLevel = monotonic::DebugWaitLevel;
+  using DebugSnapshot = CounterDebugSnapshot;
+
+  /// True when uncontended Increment / satisfied Check are lock-free.
+  static constexpr bool kLockFreeFastPath = Policy::kLockFreeFastPath;
+
+  /// Maximum representable value.  Lock-free policies spend bit 0 of
+  /// the word on the attention flag, halving the range.
+  static constexpr counter_value_t kMaxValue =
+      kLockFreeFastPath ? (std::numeric_limits<counter_value_t>::max() >> 1)
+                        : std::numeric_limits<counter_value_t>::max();
+
+  BasicCounter() : BasicCounter(Options{}) {}
+  explicit BasicCounter(const Options& options)
+      : options_(options), list_(options_, stats_) {}
+
+  /// Destroys the counter.  Precondition: no thread is suspended in
+  /// Check() (checked; destruction with waiters aborts rather than
+  /// corrupting them).  Unreached OnReach callbacks are dropped, not
+  /// run: running "reached level L" callbacks for a level that was
+  /// never reached would be a lie.
+  ~BasicCounter() {
+    std::scoped_lock lock(m_);
+    MC_CHECK(list_.empty(), "counter destroyed with suspended waiters");
+  }
+
+  BasicCounter(const BasicCounter&) = delete;
+  BasicCounter& operator=(const BasicCounter&) = delete;
+
+  /// Atomically increases the value by `amount`, waking every thread
+  /// suspended on a level <= the new value.  Increment(0) is a no-op.
+  /// Overflow past kMaxValue is a checked usage error.
+  void Increment(counter_value_t amount = 1) {
+    if constexpr (kLockFreeFastPath) {
+      stats_.on_increment();
+      if (amount == 0) return;
+      // Overflow is checked BEFORE the fetch_add: a wrapped word would
+      // corrupt the flag bit and cannot be rolled back.  The check is
+      // optimistic (concurrent increments could still overflow between
+      // the load and the add) — like any checked usage error, racing
+      // into the boundary is a caller bug; the check catches the
+      // deterministic case.
+      MC_REQUIRE(amount <= kMaxValue &&
+                     (rep_.word.load(std::memory_order_relaxed) >> 1) <=
+                         kMaxValue - amount,
+                 "counter value overflow");
+      const counter_value_t prev =
+          rep_.word.fetch_add(amount << 1, std::memory_order_release);
+      if ((prev & kAttentionBit) == 0) return;  // fast path: nobody parked
+      CallbackList::Node* reached = nullptr;
+      {
+        std::unique_lock lock(m_);
+        reached = release_reached_locked();
+      }
+      // Callbacks run outside the lock (CP.22): they may re-enter this
+      // counter or any other.
+      CallbackList::run_chain(reached);
+    } else {
+      CallbackList::Node* reached = nullptr;
+      {
+        std::unique_lock lock(m_);
+        stats_.on_increment();
+        if (amount == 0) return;
+        MC_REQUIRE(rep_.value <= kMaxValue - amount, "counter value overflow");
+        rep_.value += amount;
+        const bool had_waiters = !list_.empty();
+        list_.release_prefix(
+            rep_.value, [&](Node& node) { policy_.on_release(node, stats_); });
+        policy_.on_increment_locked(had_waiters, stats_);
+        reached = callbacks_.detach_reached(rep_.value);
+      }
+      policy_.on_increment_unlocked(false);
+      CallbackList::run_chain(reached);
+    }
+  }
+
+  /// Suspends the calling thread until value >= level.  Returns
+  /// immediately if the level has already been reached.
+  void Check(counter_value_t level) {
+    stats_.on_check();
+    if constexpr (kLockFreeFastPath) {
+      MC_REQUIRE(level <= kMaxValue, "level exceeds counter range");
+      if ((rep_.word.load(std::memory_order_acquire) >> 1) >= level) {
+        stats_.on_fast_check();  // lock-free success
+        return;
+      }
+      std::unique_lock lock(m_);
+      if (!announce_waiter_locked(level)) {
+        stats_.on_fast_check();
+        return;
+      }
+      park(lock, level);
+    } else {
+      std::unique_lock lock(m_);
+      // Fast path (§7): "Check with a level less than or equal to the
+      // current counter value returns immediately."
+      if (rep_.value >= level) {
+        stats_.on_fast_check();
+        return;
+      }
+      park(lock, level);
+    }
+  }
+
+  /// Timed Check (extension): returns true if the level was reached,
+  /// false on timeout.  A timed-out waiter unlinks itself; if it was
+  /// the last waiter at its level the node is freed, preserving the
+  /// O(live levels) storage bound.
+  template <typename Rep, typename Period>
+  bool CheckFor(counter_value_t level,
+                std::chrono::duration<Rep, Period> timeout) {
+    return check_until_steady(level,
+                              std::chrono::steady_clock::now() + timeout);
+  }
+
+  /// Timed Check against an absolute deadline on any clock.  Non-steady
+  /// clocks are converted via a now()-delta (see to_steady_deadline).
+  template <typename Clock, typename Duration>
+  bool CheckUntil(counter_value_t level,
+                  std::chrono::time_point<Clock, Duration> deadline) {
+    return check_until_steady(level, detail::to_steady_deadline(deadline));
+  }
+
+  /// Asynchronous Check (extension): registers `fn` to run exactly once
+  /// when the value reaches `level`.  If the level has already been
+  /// reached, fn runs immediately in the calling thread; otherwise it
+  /// runs in the thread whose Increment reaches the level, *after* that
+  /// Increment has released the waiting threads and dropped the
+  /// internal lock (so fn may freely call back into this or any other
+  /// counter — C++ Core Guidelines CP.22).  Callbacks for one level run
+  /// in registration order; across levels, in level order.
+  ///
+  /// This turns a counter into a dataflow trigger without parking a
+  /// thread per dependency — the async analogue of Check.
+  void OnReach(counter_value_t level, std::function<void()> fn) {
+    if constexpr (kLockFreeFastPath) {
+      MC_REQUIRE(level <= kMaxValue, "level exceeds counter range");
+      {
+        std::unique_lock lock(m_);
+        if (announce_waiter_locked(level)) {
+          callbacks_.insert(level, std::move(fn));
+          return;
+        }
+      }
+    } else {
+      {
+        std::unique_lock lock(m_);
+        if (rep_.value < level) {
+          callbacks_.insert(level, std::move(fn));
+          return;
+        }
+      }
+    }
+    // Level already reached: run here, outside the lock.
+    fn();
+  }
+
+  /// Resets the value to zero for reuse between algorithm phases (§2).
+  /// Must not be called concurrently with any other operation on this
+  /// counter; calling it while threads are suspended or callbacks are
+  /// pending is a checked error.
+  void Reset() {
+    std::scoped_lock lock(m_);
+    MC_REQUIRE(list_.empty(),
+               "Reset called while threads are suspended (§2: Reset must not "
+               "run concurrently with other operations)");
+    MC_REQUIRE(callbacks_.empty(),
+               "Reset called with pending OnReach callbacks");
+    if constexpr (kLockFreeFastPath) {
+      rep_.word.store(0, std::memory_order_release);
+    } else {
+      rep_.value = 0;
+    }
+  }
+
+  /// Structural snapshot for tests and benches (Figure 2 reproduction).
+  /// Application code must not branch on this — see the no-probe rule.
+  DebugSnapshot debug_snapshot() const {
+    std::scoped_lock lock(m_);
+    DebugSnapshot snap;
+    snap.value = value_locked();
+    list_.snapshot_into(snap.wait_levels);
+    callbacks_.snapshot_into(snap.callback_levels);
+    return snap;
+  }
+
+  /// The instantaneous value, for tests/benches only (no-probe rule).
+  counter_value_t debug_value() const {
+    if constexpr (kLockFreeFastPath) {
+      return rep_.word.load(std::memory_order_acquire) >> 1;
+    } else {
+      std::scoped_lock lock(m_);
+      return rep_.value;
+    }
+  }
+
+  /// Structural statistics since construction (or stats_reset()).
+  CounterStatsSnapshot stats() const noexcept { return stats_.snapshot(); }
+  void stats_reset() noexcept { stats_.reset(); }
+
+ private:
+  using Signal = typename Policy::Signal;
+  using List = WaitList<Signal>;
+  using Node = typename List::Node;
+
+  static constexpr counter_value_t kAttentionBit = 1;
+
+  // Requires m_ (meaningless for locking policies, whose value is only
+  // ever read under m_ anyway).
+  counter_value_t value_locked() const {
+    if constexpr (kLockFreeFastPath) {
+      return rep_.word.load(std::memory_order_acquire) >> 1;
+    } else {
+      return rep_.value;
+    }
+  }
+
+  // Lock-free policies only; requires m_.  Publishes intent to sleep
+  // (or to register a callback), then re-checks: any Increment that
+  // races past the flag-set either sees the flag (and will queue behind
+  // m_) or happened before our re-read (and we see its value).  Returns
+  // true when the caller should proceed to park/register; false when
+  // the level turned out to be reached already.
+  bool announce_waiter_locked(counter_value_t level) {
+    rep_.word.fetch_or(kAttentionBit, std::memory_order_relaxed);
+    if ((rep_.word.load(std::memory_order_acquire) >> 1) >= level) {
+      maybe_clear_attention_locked();
+      return false;
+    }
+    return true;
+  }
+
+  // Lock-free policies only; requires m_.  Allows future increments
+  // back onto the fast path once nothing needs a slow-path pass.
+  void maybe_clear_attention_locked() {
+    if (list_.empty() && callbacks_.empty()) {
+      rep_.word.fetch_and(~kAttentionBit, std::memory_order_relaxed);
+    }
+  }
+
+  // Lock-free policies only; requires m_.  Releases every reached wait
+  // node, detaches reached callbacks (run them after unlocking).
+  CallbackList::Node* release_reached_locked() {
+    const counter_value_t value =
+        rep_.word.load(std::memory_order_acquire) >> 1;
+    list_.release_prefix(
+        value, [&](Node& node) { policy_.on_release(node, stats_); });
+    CallbackList::Node* reached = callbacks_.detach_reached(value);
+    maybe_clear_attention_locked();
+    return reached;
+  }
+
+  void park(std::unique_lock<std::mutex>& lock, counter_value_t level) {
+    Node* node = list_.acquire(level);
+    stats_.on_suspend();
+    policy_.wait(lock, *node, stats_);
+    stats_.on_resume();
+    list_.leave(node);
+    if constexpr (kLockFreeFastPath) maybe_clear_attention_locked();
+  }
+
+  bool check_until_steady(counter_value_t level,
+                          std::chrono::steady_clock::time_point deadline) {
+    stats_.on_check();
+    std::unique_lock<std::mutex> lock(m_, std::defer_lock);
+    if constexpr (kLockFreeFastPath) {
+      MC_REQUIRE(level <= kMaxValue, "level exceeds counter range");
+      if ((rep_.word.load(std::memory_order_acquire) >> 1) >= level) {
+        stats_.on_fast_check();
+        return true;
+      }
+      lock.lock();
+      if (!announce_waiter_locked(level)) {
+        stats_.on_fast_check();
+        return true;
+      }
+    } else {
+      lock.lock();
+      if (rep_.value >= level) {
+        stats_.on_fast_check();
+        return true;
+      }
+    }
+    Node* node = list_.acquire(level);
+    stats_.on_suspend();
+    const bool reached = policy_.wait_until(lock, *node, deadline, stats_);
+    stats_.on_resume();
+    list_.leave(node);
+    if constexpr (kLockFreeFastPath) maybe_clear_attention_locked();
+    return reached;
+  }
+
+  const Options options_;
+  CounterStats stats_;  // declared before list_ (list_ references it)
+  mutable std::mutex m_;
+  detail::CounterValueRep<kLockFreeFastPath> rep_;
+  [[no_unique_address]] Policy policy_;
+  List list_;
+  CallbackList callbacks_;
+};
+
+}  // namespace monotonic

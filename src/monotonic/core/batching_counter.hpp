@@ -12,10 +12,16 @@
 // total by < batch_size until flushed) but preserves monotonicity and
 // therefore all of §6's determinism machinery — a Check still can't
 // observe a value that later decreases.
+//
+// Related: Batching<C> (counter_decorator.hpp) is the decorator form —
+// a thread-safe counter that owns its wrapped implementation and
+// batches internally, composable via the spec factory.  This class is
+// the per-thread front-end sharing one counter reference.
 #pragma once
 
 #include "monotonic/core/counter.hpp"
 #include "monotonic/core/counter_concept.hpp"
+#include "monotonic/core/counter_decorator.hpp"
 #include "monotonic/support/assert.hpp"
 #include "monotonic/support/config.hpp"
 

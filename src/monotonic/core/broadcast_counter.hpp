@@ -1,79 +1,27 @@
 // broadcast_counter.hpp — the naive single-condition-variable counter.
 //
 // The obvious implementation the paper's §7 design is measured against:
-// one mutex, one condition variable, notify_all on every Increment.
-// Functionally identical to Counter, but every Increment wakes *every*
-// waiter regardless of level, so threads waiting on far-away levels eat
-// a spurious wakeup per Increment — O(total waiters) work per operation
-// instead of O(released levels).  E5/E10 quantify the difference.
+// one mutex, one shared condition variable, notify_all on every
+// Increment.  Functionally identical to Counter, but every Increment
+// wakes *every* waiter regardless of level, so threads waiting on
+// far-away levels eat a spurious wakeup per Increment — O(total
+// waiters) work per operation instead of O(released levels).  E5/E10
+// quantify the difference.
+//
+// Since the policy-based refactor this is the SingleCvWait
+// instantiation of BasicCounter: the wait list is still maintained (so
+// the baseline gains Figure 2 introspection, timed waits and OnReach
+// for free), but releases are signalled only by the shared broadcast —
+// keeping the ablation property intact inside the common engine.
+// Full API documentation is on BasicCounter.
 #pragma once
 
-#include <condition_variable>
-#include <limits>
-#include <mutex>
-
-#include "monotonic/core/counter_stats.hpp"
-#include "monotonic/support/assert.hpp"
-#include "monotonic/support/config.hpp"
+#include "monotonic/core/basic_counter.hpp"
+#include "monotonic/core/wait_policy.hpp"
 
 namespace monotonic {
 
 /// Counter with a single shared suspension queue (ablation baseline).
-class SingleCvCounter {
- public:
-  SingleCvCounter() = default;
-  SingleCvCounter(const SingleCvCounter&) = delete;
-  SingleCvCounter& operator=(const SingleCvCounter&) = delete;
-
-  void Increment(counter_value_t amount = 1) {
-    {
-      std::scoped_lock lock(m_);
-      stats_.on_increment();
-      if (amount == 0) return;
-      MC_REQUIRE(
-          value_ <= std::numeric_limits<counter_value_t>::max() - amount,
-          "counter value overflow");
-      value_ += amount;
-      stats_.on_notify();
-    }
-    cv_.notify_all();
-  }
-
-  void Check(counter_value_t level) {
-    std::unique_lock lock(m_);
-    stats_.on_check();
-    if (value_ >= level) {
-      stats_.on_fast_check();
-      return;
-    }
-    stats_.on_suspend();
-    while (value_ < level) {
-      cv_.wait(lock);
-      // Any wakeup that leaves us below the level was structural waste;
-      // this is precisely the cost §7's wait-list design eliminates.
-      if (value_ < level) stats_.on_spurious_wakeup();
-    }
-    stats_.on_resume();
-  }
-
-  void Reset() {
-    std::scoped_lock lock(m_);
-    value_ = 0;
-  }
-
-  counter_value_t debug_value() const {
-    std::scoped_lock lock(m_);
-    return value_;
-  }
-
-  CounterStatsSnapshot stats() const noexcept { return stats_.snapshot(); }
-  void stats_reset() noexcept { stats_.reset(); }
-
- private:
-  mutable std::mutex m_;
-  std::condition_variable cv_;
-  counter_value_t value_ = 0;
-  CounterStats stats_;
-};
+using SingleCvCounter = BasicCounter<SingleCvWait>;
 
 }  // namespace monotonic

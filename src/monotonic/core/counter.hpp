@@ -1,179 +1,24 @@
-// counter.hpp — the monotonic counter (the paper's primary contribution).
+// counter.hpp — the §7 reference implementation of the monotonic
+// counter: a mutex, the value, and the ordered per-level wait list,
+// with one condition variable per wait node.  Increment unlinks and
+// broadcasts the prefix of nodes whose level is now reached; the last
+// waiter to leave a node frees it.  Storage and the cost of both
+// operations are therefore proportional to the number of distinct
+// levels with live waiters, not to the number of waiting threads (the
+// property benched in E5/E6).
 //
-//   "A counter object has three basic attributes: (i) a nonnegative
-//    integer value, (ii) an Increment operation, and (iii) a Check
-//    operation.  The initial value of the counter is zero.  Increment
-//    atomically increases the value of the counter by a specified
-//    amount.  Check suspends the calling thread until the value of the
-//    counter is greater than or equal to a specified level."  (§1)
-//
-// This class is the §7 reference implementation: a mutex, the value,
-// and a dynamically-sized *ordered list of wait nodes* — one node per
-// distinct level on which at least one thread is suspended, each node
-// holding {level, waiter count, condition variable, link}.  Increment
-// unlinks and broadcasts the prefix of nodes whose level is now
-// reached; the last waiter to leave a node frees it.  Storage and the
-// cost of both operations are therefore proportional to the number of
-// distinct levels with live waiters, not to the number of waiting
-// threads (the property benched in E5/E6).
-//
-// Deliberate API omissions, per §2:
-//   * no Decrement — the value is monotone, so an enabled Check can
-//     never become disabled; this is what makes counter synchronization
-//     race-free and deterministic (§6);
-//   * no Probe / value getter — a branch on the instantaneous value
-//     would reintroduce timing-dependent behaviour.  Tests and benches
-//     use debug_snapshot(), which is named so misuse is conspicuous.
-//
-// Extensions beyond the paper (each documented at its declaration):
-// Reset() (mentioned in §2 as a practical convenience), timed
-// CheckFor/CheckUntil, n-ary IncrementAndCheck fusion, and a wait-node
-// pool (ablatable via Options).
+// Since the policy-based refactor the machinery lives in
+// basic_counter.hpp (engine) + wait_list.hpp (ordered list) +
+// wait_policy.hpp (BlockingWait); `Counter` is the BlockingWait
+// instantiation.  Full API documentation is on BasicCounter.
 #pragma once
 
-#include <chrono>
-#include <condition_variable>
-#include <cstddef>
-#include <functional>
-#include <mutex>
-#include <utility>
-#include <vector>
-
-#include "monotonic/core/counter_stats.hpp"
-#include "monotonic/support/config.hpp"
+#include "monotonic/core/basic_counter.hpp"
+#include "monotonic/core/wait_policy.hpp"
 
 namespace monotonic {
 
 /// Monotonic counter per Thornley & Chandy §7 (lock + ordered wait list).
-class Counter {
- public:
-  struct Options {
-    /// Reuse freed wait nodes through an internal free list instead of
-    /// returning them to the allocator.  On by default; the E5 bench
-    /// ablates it.
-    bool pool_nodes = true;
-    /// Maximum nodes retained in the pool (0 = unbounded).
-    std::size_t max_pool_size = 64;
-  };
-
-  Counter() : Counter(Options{}) {}
-  explicit Counter(const Options& options);
-
-  /// Destroys the counter.  Precondition: no thread is suspended in
-  /// Check() (checked; destruction with waiters aborts rather than
-  /// corrupting them).
-  ~Counter();
-
-  Counter(const Counter&) = delete;
-  Counter& operator=(const Counter&) = delete;
-
-  /// Atomically increases the value by `amount`, waking every thread
-  /// suspended on a level <= the new value.  Increment(0) is a no-op.
-  /// Overflow past 2^64-1 is a checked usage error.
-  void Increment(counter_value_t amount = 1);
-
-  /// Suspends the calling thread until value >= level.  Returns
-  /// immediately if the level has already been reached.
-  void Check(counter_value_t level);
-
-  /// Timed Check (extension): returns true if the level was reached,
-  /// false on timeout.  A timed-out waiter unlinks itself; if it was
-  /// the last waiter at its level the node is freed, preserving the
-  /// O(live levels) storage bound.
-  template <typename Rep, typename Period>
-  bool CheckFor(counter_value_t level,
-                std::chrono::duration<Rep, Period> timeout) {
-    return check_until(level, std::chrono::steady_clock::now() + timeout);
-  }
-
-  template <typename Clock, typename Duration>
-  bool CheckUntil(counter_value_t level,
-                  std::chrono::time_point<Clock, Duration> deadline) {
-    return check_until(
-        level, std::chrono::time_point_cast<std::chrono::steady_clock::duration>(
-                   deadline));
-  }
-
-  /// Asynchronous Check (extension): registers `fn` to run exactly once
-  /// when the value reaches `level`.  If the level has already been
-  /// reached, fn runs immediately in the calling thread; otherwise it
-  /// runs in the thread whose Increment reaches the level, *after* that
-  /// Increment has released the waiting threads and dropped the
-  /// internal lock (so fn may freely call back into this or any other
-  /// counter — C++ Core Guidelines CP.22).  Callbacks for one level run
-  /// in registration order; across levels, in level order.
-  ///
-  /// This turns a counter into a dataflow trigger without parking a
-  /// thread per dependency — the async analogue of Check.
-  void OnReach(counter_value_t level, std::function<void()> fn);
-
-  /// Resets the value to zero for reuse between algorithm phases (§2).
-  /// Must not be called concurrently with any other operation on this
-  /// counter; calling it while threads are suspended or callbacks are
-  /// pending is a checked error.
-  void Reset();
-
-  /// One ordered (level, waiters) pair per live wait node.
-  struct DebugWaitLevel {
-    counter_value_t level;
-    std::size_t waiters;
-  };
-
-  /// Structural snapshot for tests and benches (Figure 2 reproduction).
-  /// Application code must not branch on this — see the no-probe rule.
-  struct DebugSnapshot {
-    counter_value_t value;
-    std::vector<DebugWaitLevel> wait_levels;     // ascending by level
-    std::vector<counter_value_t> callback_levels;  // ascending
-  };
-  DebugSnapshot debug_snapshot() const;
-
-  /// Structural statistics since construction (or stats_reset()).
-  CounterStatsSnapshot stats() const noexcept { return stats_.snapshot(); }
-  void stats_reset() noexcept { stats_.reset(); }
-
- private:
-  // One node per distinct level with waiters (§7 / Figure 2):
-  // {level, count, condition variable ("signal"), link}.
-  struct WaitNode {
-    counter_value_t level = 0;
-    std::size_t waiters = 0;
-    bool released = false;  // set by Increment when level is reached
-    std::condition_variable cv;
-    WaitNode* next = nullptr;
-  };
-
-  // One node per level with registered callbacks; same ordering
-  // discipline as WaitNode, but released nodes are carried out of the
-  // lock and executed there (CP.22).
-  struct CallbackNode {
-    counter_value_t level = 0;
-    std::vector<std::function<void()>> callbacks;
-    CallbackNode* next = nullptr;
-  };
-
-  bool check_until(counter_value_t level,
-                   std::chrono::steady_clock::time_point deadline);
-
-  // Requires m_.  Detaches the prefix of callback nodes with
-  // level <= value_ and returns it (caller runs them after unlocking).
-  CallbackNode* detach_reached_callbacks();
-  static void run_callback_chain(CallbackNode* chain);
-
-  // All four helpers require m_ to be held.
-  WaitNode* acquire_node(counter_value_t level);
-  void release_node(WaitNode* node);
-  WaitNode** find_insert_position(counter_value_t level);
-  void drain_pool();
-
-  const Options options_;
-  mutable std::mutex m_;
-  counter_value_t value_ = 0;
-  WaitNode* waiting_ = nullptr;    // ascending by level; levels > value_
-  WaitNode* free_list_ = nullptr;  // node pool (options_.pool_nodes)
-  std::size_t pool_size_ = 0;
-  CallbackNode* callbacks_ = nullptr;  // ascending by level; levels > value_
-  CounterStats stats_;
-};
+using Counter = BasicCounter<BlockingWait>;
 
 }  // namespace monotonic

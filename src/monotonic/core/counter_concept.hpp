@@ -1,9 +1,16 @@
-// counter_concept.hpp — the compile-time interface all counter
-// implementations share, for generic algorithms and typed tests.
+// counter_concept.hpp — the compile-time interfaces counter
+// implementations share, for generic algorithms, decorators and typed
+// tests.  Split in three tiers so a component can demand exactly what
+// it uses: the patterns layer mostly needs CounterLike, timed helpers
+// need TimedCounterLike, and the Figure-2 tests need
+// IntrospectableCounter.
 #pragma once
 
+#include <chrono>
 #include <concepts>
+#include <functional>
 
+#include "monotonic/core/wait_list.hpp"
 #include "monotonic/support/config.hpp"
 
 namespace monotonic {
@@ -16,5 +23,29 @@ concept CounterLike = requires(C c, counter_value_t v) {
   { c.Increment(v) };
   { c.Check(v) };
 };
+
+/// CounterLike plus the timed and asynchronous check extensions.
+/// Every BasicCounter instantiation (and every decorator over one)
+/// models this since the policy-based refactor.
+template <typename C>
+concept TimedCounterLike =
+    CounterLike<C> &&
+    requires(C c, counter_value_t v, std::chrono::milliseconds d,
+             std::chrono::steady_clock::time_point tp,
+             std::function<void()> fn) {
+      { c.CheckFor(v, d) } -> std::convertible_to<bool>;
+      { c.CheckUntil(v, tp) } -> std::convertible_to<bool>;
+      { c.OnReach(v, fn) };
+    };
+
+/// A counter whose internal wait-list structure can be observed — what
+/// the Figure 2 reproduction tests and the stats-driven benches demand.
+template <typename C>
+concept IntrospectableCounter =
+    CounterLike<C> && requires(const C c) {
+      { c.debug_snapshot() } -> std::convertible_to<CounterDebugSnapshot>;
+      { c.debug_value() } -> std::convertible_to<counter_value_t>;
+      { c.stats() };
+    };
 
 }  // namespace monotonic

@@ -1,49 +1,27 @@
-// futex_counter.hpp — counter on raw Linux futexes.
+// futex_counter.hpp — counter sleeping on raw Linux futexes.
 //
 // A modern-OS implementation the paper could not have written in 2000:
-// Increment is an atomic add plus one FUTEX_WAKE broadcast on a
-// notification word; Check sleeps in the kernel with FUTEX_WAIT, no
-// user-space queue at all.  Like SingleCvCounter it wakes all waiters
-// per Increment (the kernel hashes waiters by address, and all waiters
-// share one address), so it trades §7's O(released levels) wakeups for
-// a syscall-thin fast path.  E10 measures the trade.
+// lock-free fast paths, and parked threads sleep in the kernel with
+// FUTEX_WAIT on their wait-list node's 32-bit word — no condition
+// variables.  Since the policy-based refactor this is the FutexWait
+// instantiation of BasicCounter, which improves on the original
+// free-standing version: waiters used to share one global notification
+// word (so every Increment woke every sleeper); now each released
+// *level* gets its own FUTEX_WAKE, restoring §7's O(released levels)
+// wakeup bound while keeping the syscall-thin fast path.  E10 measures
+// the remaining trade.
 //
-// On non-Linux platforms this header still compiles but the class
-// degrades to the SingleCvCounter strategy via std::atomic wait/notify.
+// On non-Linux platforms the futex shims degrade to std::atomic
+// wait/notify (see wait_policy.hpp); the header still compiles.
+// Full API documentation is on BasicCounter.
 #pragma once
 
-#include <atomic>
-#include <cstdint>
-
-#include "monotonic/core/counter_stats.hpp"
-#include "monotonic/support/config.hpp"
+#include "monotonic/core/basic_counter.hpp"
+#include "monotonic/core/wait_policy.hpp"
 
 namespace monotonic {
 
 /// Futex-backed counter (Linux) / atomic-wait counter (portable fallback).
-class FutexCounter {
- public:
-  FutexCounter() = default;
-  FutexCounter(const FutexCounter&) = delete;
-  FutexCounter& operator=(const FutexCounter&) = delete;
-
-  void Increment(counter_value_t amount = 1);
-  void Check(counter_value_t level);
-  void Reset();
-
-  counter_value_t debug_value() const {
-    return value_.load(std::memory_order_acquire);
-  }
-
-  CounterStatsSnapshot stats() const noexcept { return stats_.snapshot(); }
-  void stats_reset() noexcept { stats_.reset(); }
-
- private:
-  std::atomic<counter_value_t> value_{0};
-  // 32-bit notification word: bumped on every Increment; waiters sleep
-  // on it so a 64-bit value works with the 32-bit futex interface.
-  std::atomic<std::uint32_t> notify_seq_{0};
-  CounterStats stats_;
-};
+using FutexCounter = BasicCounter<FutexWait>;
 
 }  // namespace monotonic

@@ -8,79 +8,31 @@
 // threads are (or may be) suspended:
 //
 //   * the value lives in one atomic word, with bit 0 reserved as the
-//     HAS_WAITERS flag (logical value = word >> 1);
-//   * Increment: fetch_add(2).  If the previous word had HAS_WAITERS
-//     set, take the mutex and release reached wait nodes;
+//     attention flag (logical value = word >> 1);
+//   * Increment: fetch_add(2).  If the previous word had the flag set,
+//     take the mutex and release reached wait nodes;
 //   * Check: if the loaded value already covers the level — return,
-//     no lock.  Otherwise take the mutex, set HAS_WAITERS, re-check,
-//     and park on a per-level node exactly like Counter.
+//     no lock.  Otherwise take the mutex, set the flag, re-check, and
+//     park on a per-level node exactly like Counter.
 //
-// The classic lost-wakeup hazard (value rises between the waiter's
-// check and its enqueue) is closed by re-reading the value *after*
-// setting HAS_WAITERS while holding the mutex: either the racing
-// Increment sees the flag (and will take the mutex, which we hold
-// first) or the waiter sees the new value (and doesn't sleep).
-//
-// Trade-off vs Counter: Increment must leave HAS_WAITERS set until a
-// mutex-holding pass confirms the list is empty, so bursts of
+// Trade-off vs Counter: Increment must leave the flag set until a
+// mutex-holding pass confirms nothing needs attention, so bursts of
 // increments during a waiter's residency each pay the lock; and the
 // logical value is capped at 2^63-1 (one bit spent on the flag).
+//
+// Since the policy-based refactor the protocol above lives in
+// BasicCounter itself (shared with FutexCounter and SpinCounter);
+// HybridCounter is the HybridWait instantiation — lock-free fast paths
+// + BlockingWait's per-node condition variables on the slow path.
+// Full API documentation is on BasicCounter.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
-#include <cstddef>
-#include <limits>
-#include <mutex>
-
-#include "monotonic/core/counter_stats.hpp"
-#include "monotonic/support/assert.hpp"
-#include "monotonic/support/config.hpp"
+#include "monotonic/core/basic_counter.hpp"
+#include "monotonic/core/wait_policy.hpp"
 
 namespace monotonic {
 
 /// Counter with lock-free uncontended paths (production-style hybrid).
-class HybridCounter {
- public:
-  /// Maximum representable value (bit 0 of the word is the flag).
-  static constexpr counter_value_t kMaxValue =
-      std::numeric_limits<counter_value_t>::max() >> 1;
-
-  HybridCounter() = default;
-  ~HybridCounter();
-  HybridCounter(const HybridCounter&) = delete;
-  HybridCounter& operator=(const HybridCounter&) = delete;
-
-  void Increment(counter_value_t amount = 1);
-  void Check(counter_value_t level);
-  void Reset();
-
-  counter_value_t debug_value() const {
-    return word_.load(std::memory_order_acquire) >> 1;
-  }
-
-  CounterStatsSnapshot stats() const noexcept { return stats_.snapshot(); }
-  void stats_reset() noexcept { stats_.reset(); }
-
- private:
-  static constexpr counter_value_t kWaitersBit = 1;
-
-  struct WaitNode {
-    counter_value_t level = 0;
-    std::size_t waiters = 0;
-    bool released = false;
-    std::condition_variable cv;
-    WaitNode* next = nullptr;
-  };
-
-  // Requires m_.  Releases every node whose level is covered and
-  // clears the waiters bit when the list empties.
-  void release_reached_locked();
-
-  std::atomic<counter_value_t> word_{0};  // (value << 1) | HAS_WAITERS
-  std::mutex m_;
-  WaitNode* waiting_ = nullptr;  // ascending by level; guarded by m_
-  CounterStats stats_;
-};
+using HybridCounter = BasicCounter<HybridWait>;
 
 }  // namespace monotonic

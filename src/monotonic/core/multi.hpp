@@ -55,11 +55,12 @@ void check_both(C& a, counter_value_t level_a, C& b,
   b.Check(level_b);
 }
 
-/// Timed conjunction on the wait-list Counter: true iff every level was
-/// reached before the deadline.  On timeout, counters already checked
-/// stay satisfied (monotonicity), so retrying is cheap.
-template <typename Rep, typename Period>
-bool check_all_for(std::span<const CounterCondition<Counter>> conditions,
+/// Timed conjunction: true iff every level was reached before the
+/// deadline.  On timeout, counters already checked stay satisfied
+/// (monotonicity), so retrying is cheap.  Works with any implementation
+/// since the policy-based refactor made CheckUntil universal.
+template <TimedCounterLike C, typename Rep, typename Period>
+bool check_all_for(std::span<const CounterCondition<C>> conditions,
                    std::chrono::duration<Rep, Period> timeout) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   for (const auto& cond : conditions) {

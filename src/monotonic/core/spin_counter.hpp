@@ -1,62 +1,23 @@
-// spin_counter.hpp — lock-free busy-waiting counter.
+// spin_counter.hpp — busy-waiting counter.
 //
-// Increment is a single fetch_add; Check spins (with adaptive backoff)
-// on an atomic load.  No kernel suspension at all, so it wins when
-// waits are short and cores are plentiful, and loses badly when
-// oversubscribed — the crossover is part of the E10 ablation.
+// Lock-free fast paths; a parked thread polls its wait-list node's
+// atomic flag (with adaptive backoff) instead of suspending in the
+// kernel.  Wins when waits are short and cores are plentiful, loses
+// badly when oversubscribed — the crossover is part of the E10
+// ablation.  Since the policy-based refactor this is the SpinWait
+// instantiation of BasicCounter, so unlike the original fetch-add-only
+// version it carries the §7 wait list too (registered waiters, Figure 2
+// introspection, timed unlink) — only the *sleeping* is replaced by
+// polling.  Full API documentation is on BasicCounter.
 #pragma once
 
-#include <atomic>
-#include <limits>
-
-#include "monotonic/core/counter_stats.hpp"
-#include "monotonic/support/assert.hpp"
-#include "monotonic/support/config.hpp"
-#include "monotonic/support/spin_wait.hpp"
+#include "monotonic/core/basic_counter.hpp"
+#include "monotonic/core/wait_policy.hpp"
 
 namespace monotonic {
 
-/// Busy-wait counter.  Monotonic-counter semantics, zero queues (§8's
-/// taxonomy breaks down here: waiters poll instead of suspending).
-class SpinCounter {
- public:
-  SpinCounter() = default;
-  SpinCounter(const SpinCounter&) = delete;
-  SpinCounter& operator=(const SpinCounter&) = delete;
-
-  void Increment(counter_value_t amount = 1) {
-    stats_.on_increment();
-    if (amount == 0) return;
-    const counter_value_t prev =
-        value_.fetch_add(amount, std::memory_order_release);
-    MC_REQUIRE(prev <= std::numeric_limits<counter_value_t>::max() - amount,
-               "counter value overflow");
-  }
-
-  void Check(counter_value_t level) {
-    stats_.on_check();
-    if (value_.load(std::memory_order_acquire) >= level) {
-      stats_.on_fast_check();
-      return;
-    }
-    stats_.on_suspend();
-    SpinWait spinner;
-    while (value_.load(std::memory_order_acquire) < level) spinner.once();
-    stats_.on_resume();
-  }
-
-  void Reset() { value_.store(0, std::memory_order_release); }
-
-  counter_value_t debug_value() const {
-    return value_.load(std::memory_order_acquire);
-  }
-
-  CounterStatsSnapshot stats() const noexcept { return stats_.snapshot(); }
-  void stats_reset() noexcept { stats_.reset(); }
-
- private:
-  std::atomic<counter_value_t> value_{0};
-  CounterStats stats_;
-};
+/// Busy-wait counter: monotonic-counter semantics, waiters poll
+/// instead of suspending.
+using SpinCounter = BasicCounter<SpinWait>;
 
 }  // namespace monotonic

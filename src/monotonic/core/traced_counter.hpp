@@ -1,53 +1,16 @@
-// traced_counter.hpp — counter wrapper emitting Tracer events.
+// traced_counter.hpp — back-compat shim for the Traced<C> decorator.
 //
-// Same layering as TrackedCounter (the determinacy wrapper): the core
-// counter stays hook-free; observability composes from the outside.
-// Wraps any CounterLike and records increment / fast-check / suspend /
-// resume events with the counter's (static) name.
+// The tracer-instrumented wrapper now lives in counter_decorator.hpp
+// alongside the other generic decorators; this header keeps the
+// original TracedCounter spelling alive for existing includes.
 #pragma once
 
-#include "monotonic/core/counter.hpp"
-#include "monotonic/core/counter_concept.hpp"
-#include "monotonic/support/config.hpp"
-#include "monotonic/support/trace.hpp"
+#include "monotonic/core/counter_decorator.hpp"
 
 namespace monotonic {
 
-/// Tracer-instrumented counter.  `name` must have static storage
-/// duration (string literal).
+/// Pre-refactor name for Traced<C>.
 template <CounterLike C = Counter>
-class TracedCounter {
- public:
-  explicit TracedCounter(const char* name, Tracer& tracer = Tracer::global())
-      : name_(name), tracer_(tracer) {}
-  TracedCounter(const TracedCounter&) = delete;
-  TracedCounter& operator=(const TracedCounter&) = delete;
-
-  void Increment(counter_value_t amount = 1) {
-    tracer_.record(TraceEventKind::kIncrement, name_, amount);
-    impl_.Increment(amount);
-  }
-
-  void Check(counter_value_t level) {
-    // Distinguish fast and slow paths by the stats delta — the wrapped
-    // counter already classifies them.
-    const auto before = impl_.stats().suspensions;
-    impl_.Check(level);
-    if (impl_.stats().suspensions != before) {
-      // We were parked (approximately: another thread's suspension in
-      // the same window can misattribute; good enough for a lens).
-      tracer_.record(TraceEventKind::kResume, name_, level);
-    } else {
-      tracer_.record(TraceEventKind::kCheckFast, name_, level);
-    }
-  }
-
-  C& impl() noexcept { return impl_; }
-
- private:
-  const char* name_;
-  Tracer& tracer_;
-  C impl_;
-};
+using TracedCounter = Traced<C>;
 
 }  // namespace monotonic

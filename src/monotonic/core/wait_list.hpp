@@ -1,0 +1,290 @@
+// wait_list.hpp — the shared wait-engine underneath every counter
+// implementation.
+//
+// §7 describes one data structure: "an ordered linked list of
+// dynamically allocated nodes representing the counter levels on which
+// threads are waiting".  Historically each counter implementation
+// (list, single-cv, futex, spin, hybrid) re-implemented that list — or
+// skipped it, losing introspection and timed waits.  This header
+// factors the machinery out once:
+//
+//   * WaitList<Signal>   — the ordered per-level node list: join-or-
+//     create, prefix release, timed-waiter unlink, node pooling, and
+//     the structural stats (§7's O(live levels) storage bound).  The
+//     `Signal` type parameter is the per-node wake primitive a waiting
+//     policy plugs in (a condition variable, a futex word, a spin
+//     flag); the list itself never blocks or wakes anybody.
+//
+//   * CallbackList       — the OnReach async-check analogue: one node
+//     per level with registered callbacks, same ordering discipline,
+//     released prefixes carried out of the lock and run there (CP.22).
+//
+// Every member function that touches list state requires the owning
+// counter's mutex to be held; the classes are lock-agnostic on purpose
+// (the hybrid/futex/spin policies only take that mutex on slow paths).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "monotonic/core/counter_stats.hpp"
+#include "monotonic/support/assert.hpp"
+#include "monotonic/support/config.hpp"
+
+namespace monotonic {
+
+/// One ordered (level, waiters) pair per live wait node — the shape
+/// Figure 2 draws, shared by every implementation's debug_snapshot().
+struct DebugWaitLevel {
+  counter_value_t level;
+  std::size_t waiters;
+};
+
+/// Structural snapshot for tests and benches (Figure 2 reproduction).
+/// Application code must not branch on this — see the no-probe rule.
+struct CounterDebugSnapshot {
+  counter_value_t value;
+  std::vector<DebugWaitLevel> wait_levels;       // ascending by level
+  std::vector<counter_value_t> callback_levels;  // ascending
+};
+
+/// Node-pooling knobs, common to every policy.
+struct WaitListOptions {
+  /// Reuse freed wait nodes through an internal free list instead of
+  /// returning them to the allocator.  On by default; the E5 bench
+  /// ablates it.
+  bool pool_nodes = true;
+  /// Maximum nodes retained in the pool (0 = unbounded).
+  std::size_t max_pool_size = 64;
+};
+
+/// The §7 ordered wait list.  `Signal` is the per-node wake primitive
+/// supplied by the waiting policy; the list requires only that it is
+/// default-constructible and has a `reset()` hook called on reuse.
+template <typename Signal>
+class WaitList {
+ public:
+  // One node per distinct level with waiters (§7 / Figure 2):
+  // {level, count, signal, link}.
+  struct Node {
+    counter_value_t level = 0;
+    std::size_t waiters = 0;
+    bool released = false;  // set by Increment when level is reached
+    Signal signal;
+    Node* next = nullptr;
+  };
+
+  WaitList(const WaitListOptions& options, CounterStats& stats)
+      : options_(options), stats_(stats) {}
+
+  /// Precondition: no live nodes (the owning counter checks and reports
+  /// the misuse; reaching this dtor with waiters would be UB anyway).
+  ~WaitList() { drain_pool(); }
+
+  WaitList(const WaitList&) = delete;
+  WaitList& operator=(const WaitList&) = delete;
+
+  bool empty() const noexcept { return head_ == nullptr; }
+
+  /// Joins the queue for `level`, creating and splicing in a node if
+  /// this is the first waiter at that level.  Registers the caller
+  /// (++waiters) so the node cannot be freed underneath it.
+  Node* acquire(counter_value_t level) {
+    Node** pos = find_insert_position(level);
+    Node* node;
+    if (*pos != nullptr && (*pos)->level == level) {
+      node = *pos;  // join the existing queue for this level
+    } else {
+      node = allocate_node(level);
+      node->next = *pos;
+      *pos = node;
+    }
+    ++node->waiters;
+    return node;
+  }
+
+  /// Deregisters a waiter.  The last waiter to leave frees the node
+  /// (§7: "The thread that decrements the count to zero deallocates
+  /// the node").  A released node was already unlinked by
+  /// release_prefix; a timed-out waiter's node is still linked, so the
+  /// last leaver unlinks it here — preserving the O(live levels)
+  /// storage bound under timeouts.
+  void leave(Node* node) {
+    MC_ASSERT(node->waiters > 0, "leave() without matching acquire()");
+    if (--node->waiters > 0) return;
+    if (!node->released) unlink(node);
+    recycle(node);
+  }
+
+  /// §7: "removes all nodes with levels less than or equal to the new
+  /// counter value from the waiting list."  The list is ascending, so
+  /// the released nodes are exactly a prefix — this touches O(released
+  /// levels) nodes, never the whole list and never individual waiters.
+  /// `on_release(Node&)` is the policy's wake hook, called once per
+  /// node with the owning lock still held (a released node may only be
+  /// freed by its last waiter, and waiters cannot run until the lock
+  /// drops, so the node is guaranteed alive inside the hook).
+  template <typename OnRelease>
+  void release_prefix(counter_value_t value, OnRelease&& on_release) {
+    while (head_ != nullptr && head_->level <= value) {
+      Node* node = head_;
+      head_ = node->next;
+      node->released = true;
+      stats_.on_wakeups(node->waiters);
+      on_release(*node);
+    }
+  }
+
+  /// Appends one (level, waiters) entry per live node, ascending.
+  void snapshot_into(std::vector<DebugWaitLevel>& out) const {
+    for (Node* node = head_; node != nullptr; node = node->next) {
+      out.push_back(DebugWaitLevel{node->level, node->waiters});
+    }
+  }
+
+ private:
+  Node** find_insert_position(counter_value_t level) {
+    Node** pos = &head_;
+    while (*pos != nullptr && (*pos)->level < level) pos = &(*pos)->next;
+    return pos;
+  }
+
+  Node* allocate_node(counter_value_t level) {
+    Node* node;
+    bool from_pool = false;
+    if (free_list_ != nullptr) {
+      node = free_list_;
+      free_list_ = node->next;
+      --pool_size_;
+      from_pool = true;
+    } else {
+      node = new Node();
+    }
+    node->level = level;
+    node->waiters = 0;
+    node->released = false;
+    node->signal.reset();
+    node->next = nullptr;
+    stats_.on_node_allocated(from_pool);
+    return node;
+  }
+
+  void unlink(Node* node) {
+    Node** pos = &head_;
+    while (*pos != node) pos = &(*pos)->next;
+    *pos = node->next;
+  }
+
+  void recycle(Node* node) {
+    stats_.on_node_freed();
+    if (options_.pool_nodes &&
+        (options_.max_pool_size == 0 || pool_size_ < options_.max_pool_size)) {
+      node->next = free_list_;
+      free_list_ = node;
+      ++pool_size_;
+    } else {
+      delete node;
+    }
+  }
+
+  void drain_pool() {
+    while (free_list_ != nullptr) {
+      Node* node = free_list_;
+      free_list_ = node->next;
+      delete node;
+    }
+    pool_size_ = 0;
+  }
+
+  const WaitListOptions options_;
+  CounterStats& stats_;
+  Node* head_ = nullptr;       // ascending by level; levels > value
+  Node* free_list_ = nullptr;  // node pool (options_.pool_nodes)
+  std::size_t pool_size_ = 0;
+};
+
+/// One node per level with registered OnReach callbacks; same ordering
+/// discipline as WaitList, but released nodes are detached under the
+/// lock and executed outside it (CP.22: callbacks may re-enter this or
+/// any other counter).
+class CallbackList {
+ public:
+  struct Node {
+    counter_value_t level = 0;
+    std::vector<std::function<void()>> callbacks;
+    Node* next = nullptr;
+  };
+
+  CallbackList() = default;
+
+  /// Unreached callbacks are dropped, not run: running "reached level
+  /// L" callbacks for a level that was never reached would be a lie.
+  ~CallbackList() {
+    while (head_ != nullptr) {
+      Node* node = head_;
+      head_ = node->next;
+      delete node;
+    }
+  }
+
+  CallbackList(const CallbackList&) = delete;
+  CallbackList& operator=(const CallbackList&) = delete;
+
+  bool empty() const noexcept { return head_ == nullptr; }
+
+  /// Inserts into the ascending callback list, joining an existing
+  /// level node if present (mirrors the wait list).
+  void insert(counter_value_t level, std::function<void()> fn) {
+    Node** pos = &head_;
+    while (*pos != nullptr && (*pos)->level < level) pos = &(*pos)->next;
+    if (*pos != nullptr && (*pos)->level == level) {
+      (*pos)->callbacks.push_back(std::move(fn));
+    } else {
+      auto* node = new Node();
+      node->level = level;
+      node->callbacks.push_back(std::move(fn));
+      node->next = *pos;
+      *pos = node;
+    }
+  }
+
+  /// Detaches the prefix of nodes with level <= value and returns it;
+  /// the caller runs the chain after dropping the lock.
+  Node* detach_reached(counter_value_t value) {
+    Node* head = nullptr;
+    Node** tail = &head;
+    while (head_ != nullptr && head_->level <= value) {
+      Node* node = head_;
+      head_ = node->next;
+      node->next = nullptr;
+      *tail = node;
+      tail = &node->next;
+    }
+    return head;
+  }
+
+  /// Runs and frees a detached chain.  Must be called with no counter
+  /// lock held.  Callbacks for one level run in registration order;
+  /// across levels, in level order.
+  static void run_chain(Node* chain) {
+    while (chain != nullptr) {
+      Node* node = chain;
+      chain = node->next;
+      for (auto& fn : node->callbacks) fn();
+      delete node;
+    }
+  }
+
+  void snapshot_into(std::vector<counter_value_t>& out) const {
+    for (Node* node = head_; node != nullptr; node = node->next) {
+      out.push_back(node->level);
+    }
+  }
+
+ private:
+  Node* head_ = nullptr;  // ascending by level; levels > value
+};
+
+}  // namespace monotonic

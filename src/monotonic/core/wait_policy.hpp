@@ -1,0 +1,329 @@
+// wait_policy.hpp — swappable waiting policies for BasicCounter.
+//
+// A policy decides two things and nothing else:
+//
+//   1. whether the *fast paths* (uncontended Increment, already-
+//      satisfied Check) are lock-free (`kLockFreeFastPath`) — lock-free
+//      policies pack the value into an atomic word with bit 0 as a
+//      "slow-path attention" flag, exactly the HybridCounter protocol;
+//      locking policies keep a plain value under the counter mutex,
+//      the paper's §7 discipline;
+//
+//   2. how a waiter parked on a wait-list node sleeps and how a
+//      released node's waiters are woken (`Signal`, `wait`,
+//      `wait_until`, `on_release`).
+//
+// The §7 reference is BlockingWait (mutex + per-node condition
+// variable).  The design space the repo ablates (E10) is just the
+// cross product {locked, lock-free} x {per-node cv, shared cv, futex
+// word, spin flag}:
+//
+//   policy        fast path   per-node signal       wake granularity
+//   BlockingWait  locked      condition variable    released levels
+//   SingleCvWait  locked      shared condvar        every waiter (!)
+//   FutexWait     lock-free   32-bit futex word     released levels
+//   SpinWait      lock-free   atomic flag (poll)    released levels
+//   HybridWait    lock-free   condition variable    released levels
+//
+// SingleCvWait deliberately broadcasts on every Increment — it is the
+// naive baseline whose O(total waiters) spurious wakeups the paper's
+// wait-list design eliminates; keeping it inside the same engine is
+// what makes the E5/E10 comparisons structurally honest.
+//
+// All wait/wait_until hooks are entered and exited with the counter
+// mutex held; policies that sleep outside the lock (futex, spin) drop
+// and re-take it themselves.  The node cannot disappear while a policy
+// waits on it: the caller holds a registration (waiters > 0).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "monotonic/core/counter_stats.hpp"
+#include "monotonic/core/wait_list.hpp"
+#include "monotonic/support/config.hpp"
+#include "monotonic/support/spin_wait.hpp"
+
+#if defined(__linux__)
+#include <climits>
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+#endif
+
+namespace monotonic {
+
+namespace detail {
+
+#if defined(__linux__)
+
+inline void futex_wait(std::atomic<std::uint32_t>* addr,
+                       std::uint32_t expected) {
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
+          FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
+}
+
+/// Returns false iff the wait gave up because the deadline passed.
+inline bool futex_wait_until(std::atomic<std::uint32_t>* addr,
+                             std::uint32_t expected,
+                             std::chrono::steady_clock::time_point deadline) {
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= deadline) return false;
+  const auto rel =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(deadline - now);
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(rel.count() / 1000000000);
+  ts.tv_nsec = static_cast<long>(rel.count() % 1000000000);
+  const long rc =
+      syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
+              FUTEX_WAIT_PRIVATE, expected, &ts, nullptr, 0);
+  return !(rc == -1 && errno == ETIMEDOUT);
+}
+
+inline void futex_wake_all(std::atomic<std::uint32_t>* addr) {
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
+          FUTEX_WAKE_PRIVATE, INT_MAX, nullptr, nullptr, 0);
+}
+
+#else  // portable fallback: std::atomic wait/notify (no timed variant)
+
+inline void futex_wait(std::atomic<std::uint32_t>* addr,
+                       std::uint32_t expected) {
+  addr->wait(expected, std::memory_order_acquire);
+}
+
+inline bool futex_wait_until(std::atomic<std::uint32_t>* addr,
+                             std::uint32_t expected,
+                             std::chrono::steady_clock::time_point deadline) {
+  // std::atomic has no timed wait; poll in short sleeps.
+  while (addr->load(std::memory_order_acquire) == expected) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return true;
+}
+
+inline void futex_wake_all(std::atomic<std::uint32_t>* addr) {
+  addr->notify_all();
+}
+
+#endif
+
+}  // namespace detail
+
+/// §7 reference policy: every operation takes the counter mutex; each
+/// wait-list node carries its own condition variable, so a release
+/// wave over L levels issues exactly L notify_all calls however many
+/// threads are waiting (the E5 claim).
+struct BlockingWait {
+  static constexpr bool kLockFreeFastPath = false;
+
+  struct Signal {
+    std::condition_variable cv;
+    void reset() noexcept {}
+  };
+  using Node = WaitList<Signal>::Node;
+
+  /// Per released node, counter mutex held.  notify_all is issued
+  /// under the lock: the node may only be freed by its last waiter,
+  /// and waiters cannot resume until the lock drops, so the node is
+  /// guaranteed alive here (a spuriously-woken waiter observing
+  /// released==true could otherwise free it mid-notify).
+  void on_release(Node& node, CounterStats& stats) {
+    stats.on_notify();
+    node.signal.cv.notify_all();
+  }
+
+  /// Per Increment, mutex held / dropped — nothing extra to do.
+  void on_increment_locked(bool /*had_waiters*/, CounterStats&) {}
+  void on_increment_unlocked(bool /*had_waiters*/) {}
+
+  // Wait on the node's sticky `released` flag rather than re-deriving
+  // value >= level, so the predicate stays correct even across a
+  // (misused) Reset.
+  bool wait(std::unique_lock<std::mutex>& lock, Node& node,
+            CounterStats& stats) {
+    while (!node.released) {
+      node.signal.cv.wait(lock);
+      if (!node.released) stats.on_spurious_wakeup();
+    }
+    return true;
+  }
+
+  bool wait_until(std::unique_lock<std::mutex>& lock, Node& node,
+                  std::chrono::steady_clock::time_point deadline,
+                  CounterStats& stats) {
+    while (!node.released) {
+      if (node.signal.cv.wait_until(lock, deadline) ==
+          std::cv_status::timeout) {
+        return node.released;  // released at the wire: count as success
+      }
+      if (!node.released) stats.on_spurious_wakeup();
+    }
+    return true;
+  }
+};
+
+/// The naive broadcast baseline: one shared condition variable,
+/// notify_all on EVERY Increment.  Waiters at unreached levels eat a
+/// spurious wakeup per Increment — O(total waiters) work per operation
+/// instead of O(released levels); E5/E10 quantify the difference.
+struct SingleCvWait {
+  static constexpr bool kLockFreeFastPath = false;
+
+  struct Signal {
+    void reset() noexcept {}
+  };
+  using Node = WaitList<Signal>::Node;
+
+  void on_release(Node&, CounterStats&) {}  // the broadcast covers it
+
+  void on_increment_locked(bool /*had_waiters*/, CounterStats& stats) {
+    stats.on_notify();
+  }
+  /// The shared cv outlives all nodes, so (unlike per-node signals) the
+  /// broadcast can be issued after the lock is dropped — cheaper.
+  void on_increment_unlocked(bool /*had_waiters*/) { cv_.notify_all(); }
+
+  bool wait(std::unique_lock<std::mutex>& lock, Node& node,
+            CounterStats& stats) {
+    while (!node.released) {
+      cv_.wait(lock);
+      // Any wakeup that leaves us below the level is structural waste;
+      // this is precisely the cost §7's wait-list design eliminates.
+      if (!node.released) stats.on_spurious_wakeup();
+    }
+    return true;
+  }
+
+  bool wait_until(std::unique_lock<std::mutex>& lock, Node& node,
+                  std::chrono::steady_clock::time_point deadline,
+                  CounterStats& stats) {
+    while (!node.released) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        return node.released;
+      }
+      if (!node.released) stats.on_spurious_wakeup();
+    }
+    return true;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Kernel-queue policy: waiters sleep in FUTEX_WAIT on their node's
+/// 32-bit word; a released node's word flips 0 -> 1 and is woken with
+/// one FUTEX_WAKE.  Unlike the pre-engine FutexCounter (which woke
+/// every sleeper on every Increment), wakeups are now targeted at
+/// released levels only — the engine's list is what buys that.
+struct FutexWait {
+  static constexpr bool kLockFreeFastPath = true;
+
+  struct Signal {
+    std::atomic<std::uint32_t> word{0};
+    void reset() noexcept { word.store(0, std::memory_order_relaxed); }
+  };
+  using Node = WaitList<Signal>::Node;
+
+  void on_release(Node& node, CounterStats& stats) {
+    stats.on_notify();
+    node.signal.word.store(1, std::memory_order_release);
+    detail::futex_wake_all(&node.signal.word);
+  }
+
+  void on_increment_locked(bool /*had_waiters*/, CounterStats&) {}
+  void on_increment_unlocked(bool /*had_waiters*/) {}
+
+  bool wait(std::unique_lock<std::mutex>& lock, Node& node,
+            CounterStats& stats) {
+    while (!node.released) {
+      lock.unlock();
+      // If the release lands between unlock and the syscall, the word
+      // is already 1 and FUTEX_WAIT returns immediately (EAGAIN) — no
+      // lost wakeup.
+      detail::futex_wait(&node.signal.word, 0);
+      lock.lock();
+      if (!node.released) stats.on_spurious_wakeup();
+    }
+    return true;
+  }
+
+  bool wait_until(std::unique_lock<std::mutex>& lock, Node& node,
+                  std::chrono::steady_clock::time_point deadline,
+                  CounterStats& stats) {
+    while (!node.released) {
+      lock.unlock();
+      const bool awoken =
+          detail::futex_wait_until(&node.signal.word, 0, deadline);
+      lock.lock();
+      if (node.released) return true;
+      if (!awoken || std::chrono::steady_clock::now() >= deadline) {
+        return false;
+      }
+      stats.on_spurious_wakeup();
+    }
+    return true;
+  }
+};
+
+/// Busy-wait policy: a parked thread polls its node's atomic flag with
+/// adaptive backoff — no kernel suspension at all, so it wins when
+/// waits are short and cores are plentiful, and loses badly when
+/// oversubscribed (the E10 crossover).
+struct SpinWait {
+  static constexpr bool kLockFreeFastPath = true;
+
+  struct Signal {
+    std::atomic<bool> ready{false};
+    void reset() noexcept { ready.store(false, std::memory_order_relaxed); }
+  };
+  using Node = WaitList<Signal>::Node;
+
+  void on_release(Node& node, CounterStats& stats) {
+    stats.on_notify();
+    node.signal.ready.store(true, std::memory_order_release);
+  }
+
+  void on_increment_locked(bool /*had_waiters*/, CounterStats&) {}
+  void on_increment_unlocked(bool /*had_waiters*/) {}
+
+  bool wait(std::unique_lock<std::mutex>& lock, Node& node, CounterStats&) {
+    std::atomic<bool>& ready = node.signal.ready;
+    lock.unlock();
+    SpinBackoff spinner;
+    while (!ready.load(std::memory_order_acquire)) spinner.once();
+    lock.lock();
+    return true;
+  }
+
+  bool wait_until(std::unique_lock<std::mutex>& lock, Node& node,
+                  std::chrono::steady_clock::time_point deadline,
+                  CounterStats&) {
+    std::atomic<bool>& ready = node.signal.ready;
+    lock.unlock();
+    SpinBackoff spinner;
+    while (!ready.load(std::memory_order_acquire)) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        lock.lock();
+        return node.released;  // released at the wire: success
+      }
+      spinner.once();
+    }
+    lock.lock();
+    return true;
+  }
+};
+
+/// Production-style hybrid: lock-free fast paths (the atomic-word
+/// attention-bit protocol) + the §7 mutex/cv wait list on slow paths.
+/// Identical signalling to BlockingWait; only the fast path differs.
+struct HybridWait : BlockingWait {
+  static constexpr bool kLockFreeFastPath = true;
+};
+
+}  // namespace monotonic

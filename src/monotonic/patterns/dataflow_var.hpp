@@ -23,13 +23,16 @@
 #include <vector>
 
 #include "monotonic/core/counter.hpp"
+#include "monotonic/core/counter_concept.hpp"
 #include "monotonic/support/assert.hpp"
 #include "monotonic/support/config.hpp"
 
 namespace monotonic {
 
-/// Write-once dataflow cell on a counter.
-template <typename T>
+/// Write-once dataflow cell on a counter.  Generic over the counter
+/// implementation — any TimedCounterLike works since the policy-based
+/// refactor made CheckFor/OnReach universal.
+template <typename T, TimedCounterLike C = Counter>
 class DataflowVar {
  public:
   DataflowVar() = default;
@@ -69,17 +72,17 @@ class DataflowVar {
 
   /// The underlying readiness counter (level 1 == set), for composing
   /// with check_all or external waits.
-  Counter& ready() const noexcept { return ready_; }
+  C& ready() const noexcept { return ready_; }
 
  private:
-  mutable Counter ready_;
+  mutable C ready_;
   std::optional<T> slot_;
 };
 
 /// N write-once cells gated by ONE counter: cell i is readable once
 /// i+1 values have been published (publication order is the index
 /// order) — §5.3's broadcast array with future-style access.
-template <typename T>
+template <typename T, TimedCounterLike C = Counter>
 class DataflowGroup {
  public:
   explicit DataflowGroup(std::size_t size) : slots_(size) {
@@ -117,10 +120,10 @@ class DataflowGroup {
     });
   }
 
-  Counter& ready() const noexcept { return ready_; }
+  C& ready() const noexcept { return ready_; }
 
  private:
-  mutable Counter ready_;
+  mutable C ready_;
   std::vector<std::optional<T>> slots_;
   std::size_t next_ = 0;  // single writer, per §5.3
 };

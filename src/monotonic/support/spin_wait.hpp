@@ -1,9 +1,13 @@
 // spin_wait.hpp — adaptive busy-wait helper.
 //
-// SpinWait escalates from CPU pause instructions to std::this_thread::yield
-// to a short sleep, so spin-based primitives (SpinCounter, AtomicBarrier,
-// SpinLock) behave tolerably even when oversubscribed — which on the
-// single-core reproduction machine is the common case.
+// SpinBackoff escalates from CPU pause instructions to
+// std::this_thread::yield to a short sleep, so spin-based primitives
+// (the SpinWait counter policy, AtomicBarrier, SpinLock) behave
+// tolerably even when oversubscribed — which on the single-core
+// reproduction machine is the common case.
+//
+// (Formerly named SpinWait; renamed so the busy-wait *counter policy*
+// in core/wait_policy.hpp can carry the paper-facing name.)
 #pragma once
 
 #include <chrono>
@@ -32,7 +36,7 @@ inline void cpu_relax() noexcept {
 ///   - first kPauseIterations calls: exponentially more pause instructions;
 ///   - next kYieldIterations calls: sched yield;
 ///   - afterwards: 100us sleeps (the waiter is clearly long-term).
-class SpinWait {
+class SpinBackoff {
  public:
   static constexpr std::uint32_t kPauseIterations = 10;  // up to 2^10 pauses
   static constexpr std::uint32_t kYieldIterations = 20;

@@ -57,7 +57,7 @@ void AtomicBarrier::Pass() {
     sense_.store(!my_sense, std::memory_order_release);
     return;
   }
-  SpinWait spinner;
+  SpinBackoff spinner;
   while (sense_.load(std::memory_order_acquire) == my_sense) spinner.once();
 }
 

@@ -18,7 +18,7 @@ class SpinLock {
   SpinLock& operator=(const SpinLock&) = delete;
 
   void lock() noexcept {
-    SpinWait spinner;
+    SpinBackoff spinner;
     for (;;) {
       // Test first to avoid bouncing the line in exclusive state.
       while (locked_.load(std::memory_order_relaxed)) spinner.once();

@@ -22,7 +22,7 @@ class TicketLock {
 
   void lock() noexcept {
     const std::uint64_t my = next_.fetch_add(1, std::memory_order_relaxed);
-    SpinWait spinner;
+    SpinBackoff spinner;
     while (serving_.load(std::memory_order_acquire) != my) spinner.once();
   }
 

@@ -1,0 +1,169 @@
+// counter_spec_test.cpp — the make_counter(spec) factory grammar.
+//
+// Every supported spec must round-trip: make_counter(spec)->spec()
+// yields the canonical form, and feeding the canonical form back in
+// reproduces it (a fixed point).  Behavior is spot-checked through the
+// type-erased interface so a wrong wiring of a decorator layer (e.g.
+// batching that never flushes) fails here rather than in a bench.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "monotonic/core/any_counter.hpp"
+
+namespace monotonic {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------
+// Canonicalization: input spec -> expected canonical spec() string.
+
+struct SpecCase {
+  const char* input;
+  const char* canonical;
+};
+
+class SpecRoundTrip : public ::testing::TestWithParam<SpecCase> {};
+
+TEST_P(SpecRoundTrip, CanonicalFormIsAFixedPoint) {
+  const auto p = GetParam();
+  auto c = make_counter(p.input);
+  EXPECT_EQ(c->spec(), p.canonical);
+
+  // Feeding the canonical spec back in must be stable.
+  auto c2 = make_counter(c->spec());
+  EXPECT_EQ(c2->spec(), p.canonical);
+  EXPECT_EQ(c2->kind(), c->kind());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grammar, SpecRoundTrip,
+    ::testing::Values(
+        // Bare kinds.
+        SpecCase{"list", "list"}, SpecCase{"single-cv", "single-cv"},
+        SpecCase{"futex", "futex"}, SpecCase{"spin", "spin"},
+        SpecCase{"hybrid", "hybrid"},
+        // Pooling options fold onto the named kinds.
+        SpecCase{"list-nopool", "list-nopool"},
+        SpecCase{"list,pool=0", "list-nopool"},
+        SpecCase{"list-nopool,pool=1", "list"},
+        SpecCase{"list,pool=1", "list"},
+        SpecCase{"list,pool_size=8", "list,pool_size=8"},
+        SpecCase{"list,pool_size=64", "list"},  // 64 is the default
+        // Whitespace is insignificant.
+        SpecCase{" hybrid , pool_size = 64 ", "hybrid"},
+        // Decorators, defaults elided.
+        SpecCase{"hybrid+traced", "hybrid+traced"},
+        SpecCase{"hybrid+batching", "hybrid+batching"},
+        SpecCase{"hybrid+batching,batch=64", "hybrid+batching"},
+        SpecCase{"hybrid+batching,batch=16", "hybrid+batching,batch=16"},
+        SpecCase{"list+broadcast", "list+broadcast"},
+        SpecCase{"list+broadcast,shards=4", "list+broadcast"},
+        SpecCase{"list+broadcast,shards=2", "list+broadcast,shards=2"},
+        // Stacked layers keep their order.
+        SpecCase{"futex+batching,batch=8+traced",
+                 "futex+batching,batch=8+traced"},
+        SpecCase{"list,pool=0+traced+broadcast,shards=2",
+                 "list-nopool+traced+broadcast,shards=2"}));
+
+// Every enumerated kind round-trips through its kind string.
+TEST(SpecFactory, EveryKindRoundTrips) {
+  for (CounterKind kind : all_counter_kinds()) {
+    auto by_kind = make_counter(kind);
+    EXPECT_EQ(by_kind->kind(), kind);
+    EXPECT_EQ(by_kind->spec(), to_string(kind));
+    auto by_spec = make_counter(to_string(kind));
+    EXPECT_EQ(by_spec->kind(), kind);
+    EXPECT_EQ(by_spec->spec(), to_string(kind));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Malformed specs are rejected with invalid_argument (MC_REQUIRE).
+
+class SpecRejects : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SpecRejects, ThrowsInvalidArgument) {
+  EXPECT_THROW((void)make_counter(std::string_view(GetParam())),
+               std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grammar, SpecRejects,
+    ::testing::Values("", "bogus", "list+bogus", "list,bogus=1",
+                      "list,pool", "list,pool=x", "list+batching,shards=2",
+                      "list+broadcast,batch=2", "list+broadcast,shards=0",
+                      "list+", "+traced"));
+
+// ---------------------------------------------------------------------
+// Behavior through the erased interface, per composed spec.
+
+void exercise(const std::string& spec) {
+  SCOPED_TRACE(spec);
+  auto c = make_counter(spec);
+
+  // Timed probe below the level fails fast, then an increment lands.
+  EXPECT_FALSE(c->CheckFor(3, 0ms));
+  std::atomic<bool> fired{false};
+  c->OnReach(3, [&fired] { fired.store(true); });
+  c->Increment(2);
+  c->Increment(1);
+  EXPECT_TRUE(c->CheckFor(3, 0ms));
+  c->Check(3);
+  EXPECT_TRUE(fired.load());
+  EXPECT_EQ(c->debug_value(), 3u);
+
+  // A parked waiter is woken through however many layers the spec has.
+  std::jthread waiter([&c] { c->Check(5); });
+  std::this_thread::sleep_for(1ms);
+  c->Increment(2);
+  waiter.join();
+  EXPECT_TRUE(c->debug_snapshot().wait_levels.empty());
+  EXPECT_GE(c->stats().increments, 3u);
+}
+
+TEST(SpecBehavior, ComposedSpecsIncrementAndWake) {
+  for (const char* spec :
+       {"list", "list-nopool", "single-cv", "futex", "spin", "hybrid",
+        "hybrid+traced", "list+batching,batch=2",
+        "hybrid+broadcast,shards=2", "futex+batching,batch=2+traced",
+        "list+traced+broadcast,shards=2"}) {
+    exercise(spec);
+  }
+}
+
+// Batching really batches: increments below the batch threshold stay
+// pending until a flush point (a Check-family call) forces them down.
+TEST(SpecBehavior, BatchingDefersUntilFlush) {
+  auto c = make_counter("list+batching,batch=100");
+  for (int i = 0; i < 99; ++i) c->Increment(1);
+  // A timed probe flushes before sampling, so the 99 pending land now.
+  EXPECT_TRUE(c->CheckFor(99, 0ms));
+  EXPECT_EQ(c->debug_value(), 99u);
+  c->Increment(1);  // 1 pending again
+  c->Check(100);    // flush + wait
+  EXPECT_EQ(c->debug_value(), 100u);
+}
+
+// Broadcast replicates increments into every shard; the merged snapshot
+// and normalized stats must still look like ONE logical counter.
+TEST(SpecBehavior, BroadcastActsAsOneLogicalCounter) {
+  auto c = make_counter("list+broadcast,shards=3");
+  c->Increment(7);
+  EXPECT_EQ(c->debug_value(), 7u);
+  EXPECT_EQ(c->stats().increments, 1u) << "per-shard fanout is normalized";
+  c->Check(7);
+  c->Reset();
+  EXPECT_EQ(c->debug_value(), 0u);
+}
+
+}  // namespace
+}  // namespace monotonic

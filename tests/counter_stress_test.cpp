@@ -5,12 +5,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
 #include "monotonic/core/any_counter.hpp"
+#include "monotonic/core/counter.hpp"
 #include "monotonic/support/rng.hpp"
 #include "monotonic/threads/structured.hpp"
 

@@ -1,14 +1,19 @@
 // counter_test.cpp — semantics of all counter implementations.
 //
-// Typed tests run the §2 contract against every implementation (the
-// paper's wait-list Counter plus the ablation baselines); Counter-only
-// tests cover the §7 structure (nodes, pooling, snapshots) and the
-// extensions (Reset, timed Check).
+// The typed conformance suite runs the §2 contract — plus the timed,
+// async and introspection extensions every implementation gained from
+// the policy-based engine — against all five BasicCounter
+// instantiations AND decorated compositions (Traced<Counter>,
+// Batching<HybridCounter>, Broadcasting<Counter>), so a decorator
+// cannot silently weaken counter semantics.  Counter-only tests cover
+// the §7 structure (nodes, pooling, snapshots) and the AnyCounter
+// factory surface.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -17,7 +22,9 @@
 #include "monotonic/core/broadcast_counter.hpp"
 #include "monotonic/core/counter.hpp"
 #include "monotonic/core/counter_concept.hpp"
+#include "monotonic/core/counter_decorator.hpp"
 #include "monotonic/core/futex_counter.hpp"
+#include "monotonic/core/hybrid_counter.hpp"
 #include "monotonic/core/spin_counter.hpp"
 #include "monotonic/threads/structured.hpp"
 
@@ -26,11 +33,29 @@ namespace {
 
 using namespace std::chrono_literals;
 
+// Every implementation and every decorator models the full concept
+// ladder since the refactor.
 static_assert(CounterLike<Counter>);
 static_assert(CounterLike<SingleCvCounter>);
 static_assert(CounterLike<FutexCounter>);
 static_assert(CounterLike<SpinCounter>);
 static_assert(CounterLike<HybridCounter>);
+static_assert(TimedCounterLike<Counter>);
+static_assert(TimedCounterLike<SingleCvCounter>);
+static_assert(TimedCounterLike<FutexCounter>);
+static_assert(TimedCounterLike<SpinCounter>);
+static_assert(TimedCounterLike<HybridCounter>);
+static_assert(IntrospectableCounter<Counter>);
+static_assert(IntrospectableCounter<SingleCvCounter>);
+static_assert(IntrospectableCounter<FutexCounter>);
+static_assert(IntrospectableCounter<SpinCounter>);
+static_assert(IntrospectableCounter<HybridCounter>);
+static_assert(TimedCounterLike<Traced<Counter>>);
+static_assert(TimedCounterLike<Batching<HybridCounter>>);
+static_assert(TimedCounterLike<Broadcasting<Counter>>);
+static_assert(IntrospectableCounter<Traced<Counter>>);
+static_assert(IntrospectableCounter<Batching<HybridCounter>>);
+static_assert(IntrospectableCounter<Broadcasting<Counter>>);
 
 template <typename C>
 class CounterSemantics : public ::testing::Test {
@@ -38,10 +63,31 @@ class CounterSemantics : public ::testing::Test {
   C counter_;
 };
 
+// Five bare implementations + three decorated compositions.  Batching
+// is instantiated with batch=1 (its default), which must behave as an
+// exact pass-through.
 using AllCounterTypes =
     ::testing::Types<Counter, SingleCvCounter, FutexCounter, SpinCounter,
-                     HybridCounter>;
-TYPED_TEST_SUITE(CounterSemantics, AllCounterTypes);
+                     HybridCounter, Traced<Counter>, Batching<HybridCounter>,
+                     Broadcasting<Counter>>;
+
+struct CounterTypeNames {
+  template <typename T>
+  static std::string GetName(int) {
+    if constexpr (std::is_same_v<T, Counter>) return "list";
+    if constexpr (std::is_same_v<T, SingleCvCounter>) return "single_cv";
+    if constexpr (std::is_same_v<T, FutexCounter>) return "futex";
+    if constexpr (std::is_same_v<T, SpinCounter>) return "spin";
+    if constexpr (std::is_same_v<T, HybridCounter>) return "hybrid";
+    if constexpr (std::is_same_v<T, Traced<Counter>>) return "list_traced";
+    if constexpr (std::is_same_v<T, Batching<HybridCounter>>)
+      return "hybrid_batching";
+    if constexpr (std::is_same_v<T, Broadcasting<Counter>>)
+      return "list_broadcast";
+  }
+};
+
+TYPED_TEST_SUITE(CounterSemantics, AllCounterTypes, CounterTypeNames);
 
 TYPED_TEST(CounterSemantics, CheckZeroNeverBlocks) {
   // §2: initial value is zero, so Check(0) is satisfied immediately.
@@ -156,11 +202,10 @@ TYPED_TEST(CounterSemantics, LargeAmountsAndLevels) {
 }
 
 TYPED_TEST(CounterSemantics, OverflowIsRejected) {
-  // HybridCounter spends one bit on its waiters flag, so its range is
-  // half of the plain implementations'.
-  const counter_value_t max = std::is_same_v<TypeParam, HybridCounter>
-                                  ? HybridCounter::kMaxValue
-                                  : ~counter_value_t{0};
+  // Lock-free policies spend one bit on the attention flag, so their
+  // range is half of the locked implementations'; every type (including
+  // decorators) advertises its bound as kMaxValue.
+  const counter_value_t max = TypeParam::kMaxValue;
   this->counter_.Increment(max);
   EXPECT_THROW(this->counter_.Increment(1), std::invalid_argument);
 }
@@ -174,6 +219,121 @@ TYPED_TEST(CounterSemantics, StatsCountOperations) {
   EXPECT_EQ(s.checks, 1u);
   EXPECT_EQ(s.fast_checks, 1u);
   EXPECT_EQ(s.suspensions, 0u);
+}
+
+TYPED_TEST(CounterSemantics, SnapshotTracksValueAndWaiters) {
+  // Every implementation exposes the Figure 2 structural shape now that
+  // the wait list lives in the shared engine.
+  auto snap = this->counter_.debug_snapshot();
+  EXPECT_EQ(snap.value, 0u);
+  EXPECT_TRUE(snap.wait_levels.empty());
+
+  this->counter_.Increment(3);
+  std::jthread waiter([&] { this->counter_.Check(10); });
+  for (;;) {
+    snap = this->counter_.debug_snapshot();
+    std::size_t waiting = 0;
+    for (const auto& wl : snap.wait_levels) waiting += wl.waiters;
+    if (waiting == 1) break;
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(snap.wait_levels.size(), 1u);
+  EXPECT_EQ(snap.value, 3u);
+  EXPECT_EQ(snap.wait_levels[0].level, 10u);
+  EXPECT_EQ(snap.wait_levels[0].waiters, 1u);
+  this->counter_.Increment(7);
+  waiter.join();
+  EXPECT_TRUE(this->counter_.debug_snapshot().wait_levels.empty());
+}
+
+// ---------------------------------------------------------------------
+// Timed checks — uniform across policies since the engine owns the
+// timed-unlink machinery.
+
+TYPED_TEST(CounterSemantics, CheckForTimesOutBelowLevelAndUnlinks) {
+  this->counter_.Increment(3);
+  EXPECT_FALSE(this->counter_.CheckFor(10, 20ms));
+  // The timed-out waiter must have removed its node (storage bound).
+  EXPECT_TRUE(this->counter_.debug_snapshot().wait_levels.empty());
+}
+
+TYPED_TEST(CounterSemantics, CheckForSucceedsImmediatelyAtLevel) {
+  this->counter_.Increment(10);
+  EXPECT_TRUE(this->counter_.CheckFor(10, 1ms));
+}
+
+TYPED_TEST(CounterSemantics, CheckForSucceedsWhenIncrementArrives) {
+  std::jthread incrementer([&] {
+    std::this_thread::sleep_for(10ms);
+    this->counter_.Increment(5);
+  });
+  EXPECT_TRUE(this->counter_.CheckFor(5, 5s));
+}
+
+TYPED_TEST(CounterSemantics, CheckUntilSteadyClockRespectsDeadline) {
+  const auto deadline = std::chrono::steady_clock::now() + 20ms;
+  EXPECT_FALSE(this->counter_.CheckUntil(1, deadline));
+}
+
+TYPED_TEST(CounterSemantics, CheckUntilSystemClockDeadline) {
+  // Regression: CheckUntil used time_point_cast, which converts only
+  // the duration type, not the clock epoch — a system_clock deadline
+  // (epoch 1970) cast to steady_clock (epoch ~boot) landed decades in
+  // the future, so the timeout below would never fire.  Deadlines on
+  // non-steady clocks are now converted via a now()-delta.
+  const auto past_deadline = std::chrono::system_clock::now() + 20ms;
+  EXPECT_FALSE(this->counter_.CheckUntil(1, past_deadline));
+
+  std::jthread incrementer([&] {
+    std::this_thread::sleep_for(10ms);
+    this->counter_.Increment(2);
+  });
+  EXPECT_TRUE(
+      this->counter_.CheckUntil(2, std::chrono::system_clock::now() + 5s));
+}
+
+// ---------------------------------------------------------------------
+// OnReach — the async Check, now on every implementation.
+
+TYPED_TEST(CounterSemantics, OnReachRunsImmediatelyWhenReached) {
+  this->counter_.Increment(4);
+  bool ran = false;
+  this->counter_.OnReach(3, [&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TYPED_TEST(CounterSemantics, OnReachFiresInLevelThenRegistrationOrder) {
+  std::vector<int> order;
+  this->counter_.OnReach(2, [&] { order.push_back(20); });
+  this->counter_.OnReach(1, [&] { order.push_back(10); });
+  this->counter_.OnReach(1, [&] { order.push_back(11); });
+  EXPECT_TRUE(order.empty());
+  this->counter_.Increment(2);  // releases both levels in one call
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 10);
+  EXPECT_EQ(order[1], 11);
+  EXPECT_EQ(order[2], 20);
+}
+
+TYPED_TEST(CounterSemantics, OnReachMayReenterCounter) {
+  // Callbacks run outside the internal lock (CP.22), so they may call
+  // back into the same counter.
+  bool chained = false;
+  this->counter_.OnReach(1, [&] { this->counter_.Increment(1); });
+  this->counter_.OnReach(2, [&] { chained = true; });
+  this->counter_.Increment(1);
+  EXPECT_TRUE(chained);
+  this->counter_.Check(2);
+}
+
+TYPED_TEST(CounterSemantics, ResetRestartsFromZero) {
+  this->counter_.Increment(42);
+  this->counter_.Reset();
+  EXPECT_EQ(this->counter_.debug_value(), 0u);
+  // Reusable for a new phase (§2's motivation for Reset).
+  std::jthread waiter([&] { this->counter_.Check(2); });
+  std::this_thread::sleep_for(10ms);
+  this->counter_.Increment(2);
 }
 
 // ---------------------------------------------------------------------
@@ -290,18 +450,6 @@ TEST(CounterStructure, NoPoolOptionAllocatesFresh) {
   EXPECT_EQ(s.nodes_pooled, 0u);
 }
 
-TEST(CounterReset, ResetRestartsFromZero) {
-  Counter c;
-  c.Increment(42);
-  c.Reset();
-  auto snap = c.debug_snapshot();
-  EXPECT_EQ(snap.value, 0u);
-  // Reusable for a new phase (§2's motivation for Reset).
-  std::jthread waiter([&c] { c.Check(2); });
-  std::this_thread::sleep_for(10ms);
-  c.Increment(2);
-}
-
 TEST(CounterReset, ResetWithWaitersIsAnError) {
   Counter c;
   std::jthread waiter([&c] { c.Check(1); });
@@ -312,27 +460,12 @@ TEST(CounterReset, ResetWithWaitersIsAnError) {
   c.Increment(1);
 }
 
-TEST(CounterTimed, CheckForTimesOutBelowLevel) {
+TEST(CounterReset, ResetWithPendingCallbacksIsAnError) {
   Counter c;
-  c.Increment(3);
-  EXPECT_FALSE(c.CheckFor(10, 20ms));
-  // The timed-out waiter must have removed its node (storage bound).
-  EXPECT_TRUE(c.debug_snapshot().wait_levels.empty());
-}
-
-TEST(CounterTimed, CheckForSucceedsImmediatelyAtLevel) {
-  Counter c;
-  c.Increment(10);
-  EXPECT_TRUE(c.CheckFor(10, 1ms));
-}
-
-TEST(CounterTimed, CheckForSucceedsWhenIncrementArrives) {
-  Counter c;
-  std::jthread incrementer([&c] {
-    std::this_thread::sleep_for(10ms);
-    c.Increment(5);
-  });
-  EXPECT_TRUE(c.CheckFor(5, 5s));
+  c.OnReach(5, [] {});
+  EXPECT_THROW(c.Reset(), std::invalid_argument);
+  c.Increment(5);  // run the callback so the counter can wind down
+  c.Reset();
 }
 
 TEST(CounterTimed, TimedWaiterSharingNodeDoesNotStrandOthers) {
@@ -354,23 +487,19 @@ TEST(CounterTimed, TimedWaiterSharingNodeDoesNotStrandOthers) {
   EXPECT_TRUE(passed.load());
 }
 
-TEST(CounterTimed, CheckUntilRespectsDeadline) {
-  Counter c;
-  const auto deadline = std::chrono::steady_clock::now() + 20ms;
-  EXPECT_FALSE(c.CheckUntil(1, deadline));
-}
-
 // ---------------------------------------------------------------------
-// AnyCounter factory.
+// AnyCounter factory (kind-based; spec strings in counter_spec_test).
 
 TEST(AnyCounter, FactoryProducesEveryKind) {
   for (CounterKind kind : all_counter_kinds()) {
     auto c = make_counter(kind);
     ASSERT_NE(c, nullptr);
     EXPECT_EQ(c->kind(), kind);
+    EXPECT_EQ(c->spec(), std::string(to_string(kind)));
     c->Increment(3);
     c->Check(3);
     EXPECT_EQ(c->stats().increments, 1u);
+    EXPECT_EQ(c->debug_value(), 3u);
     c->Reset();
     c->Check(0);
   }
@@ -396,6 +525,24 @@ TEST(AnyCounter, BlocksAndWakesThroughInterface) {
     c->Increment(2);
     waiter.join();
     EXPECT_TRUE(passed.load()) << to_string(kind);
+  }
+}
+
+TEST(AnyCounter, TimedAndAsyncThroughInterface) {
+  // The virtual interface carries CheckFor and OnReach now that every
+  // implementation supports them.
+  for (CounterKind kind : all_counter_kinds()) {
+    auto c = make_counter(kind);
+    EXPECT_FALSE(c->CheckFor(1, std::chrono::nanoseconds(2ms)))
+        << to_string(kind);
+    bool ran = false;
+    c->OnReach(2, [&] { ran = true; });
+    c->Increment(2);
+    EXPECT_TRUE(ran) << to_string(kind);
+    EXPECT_TRUE(c->CheckFor(2, std::chrono::nanoseconds(1ms)))
+        << to_string(kind);
+    EXPECT_EQ(c->debug_value(), 2u) << to_string(kind);
+    EXPECT_TRUE(c->debug_snapshot().wait_levels.empty()) << to_string(kind);
   }
 }
 

@@ -163,12 +163,12 @@ TEST(Table, CellFormatting) {
 }
 
 TEST(SpinWaitTest, EscalatesThroughPhases) {
-  SpinWait spinner;
+  SpinBackoff spinner;
   for (std::uint32_t i = 0;
-       i < SpinWait::kPauseIterations + SpinWait::kYieldIterations + 2; ++i) {
+       i < SpinBackoff::kPauseIterations + SpinBackoff::kYieldIterations + 2; ++i) {
     spinner.once();
   }
-  EXPECT_GT(spinner.spins(), SpinWait::kPauseIterations);
+  EXPECT_GT(spinner.spins(), SpinBackoff::kPauseIterations);
   spinner.reset();
   EXPECT_EQ(spinner.spins(), 0u);
 }

@@ -1,11 +1,9 @@
 #!/usr/bin/env bash
-# Builds and runs the test suite under ThreadSanitizer (CP.9: validate
-# concurrent code with tools).
+# Builds and runs the test suite under AddressSanitizer + UBSan.
 #
-#   tools/run_tsan.sh [build-dir] [-R <regex>]
+#   tools/run_asan.sh [build-dir] [-R <regex>]
 #
-# -R narrows the ctest run to tests matching <regex> (passed through),
-# e.g. `tools/run_tsan.sh -R 'counter.*'` for a quick counter-only run.
+# -R narrows the ctest run to tests matching <regex> (passed through).
 set -eu
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
@@ -25,10 +23,10 @@ while [ $# -gt 0 ]; do
       ;;
   esac
 done
-build_dir="${build_dir:-$repo_root/build-tsan}"
+build_dir="${build_dir:-$repo_root/build-asan}"
 
 cmake -B "$build_dir" -G Ninja \
-  -DMONOTONIC_SANITIZE_THREAD=ON \
+  -DMONOTONIC_SANITIZE_ADDRESS=ON \
   -DMONOTONIC_BUILD_BENCH=OFF \
   -DMONOTONIC_BUILD_EXAMPLES=OFF \
   "$repo_root"
