@@ -8,10 +8,13 @@
 // oversubscribed (threads >> cores); futex tracks single-CV but with
 // cheaper uncontended ops.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -185,6 +188,65 @@ void decorator_sweep() {
   bench::print(table);
 }
 
+void poison_wake_latency() {
+  banner("E10.e", "poison wake latency: Poison() -> last waiter resumed");
+  note("Waiters park at distinct levels the counter never reaches; the\n"
+       "controller poisons and the clock stops when the last waiter has\n"
+       "unwound with CounterPoisonedError.  The failure path inherits\n"
+       "each implementation's wake mechanism, so the ordering should\n"
+       "track E10.c: spin resumes by polling, futex/cv pay a syscall\n"
+       "per released level, single-cv broadcasts once.");
+  TextTable table({"impl", "waiters=1", "w=4", "w=16", "w=64"});
+  constexpr int kWaiterCounts[] = {1, 4, 16, 64};
+  for (CounterKind kind : all_counter_kinds()) {
+    std::vector<std::string> row{std::string(to_string(kind))};
+    for (const int waiters : kWaiterCounts) {
+      // Unlike the other rows the interval of interest starts inside
+      // the rep (after all waiters are parked), so each rep clocks
+      // itself and we take the median of the returned samples.
+      std::vector<double> samples;
+      samples.reserve(kReps);
+      for (int rep = 0; rep < kReps; ++rep) {
+        auto c = make_counter(kind);
+        std::atomic<int> parked{0};
+        std::atomic<int> unwound{0};
+        std::vector<std::thread> threads;
+        threads.reserve(waiters);
+        for (int w = 0; w < waiters; ++w) {
+          threads.emplace_back([&, w] {
+            parked.fetch_add(1, std::memory_order_relaxed);
+            try {
+              c->Check(static_cast<counter_value_t>(1 + w % 8));
+            } catch (const CounterPoisonedError&) {
+              unwound.fetch_add(1, std::memory_order_relaxed);
+            }
+          });
+        }
+        // Wait until every waiter is structurally suspended, so the
+        // measurement is wake latency, not thread-spawn latency.
+        while (c->stats().suspensions <
+               static_cast<std::uint64_t>(waiters)) {
+          std::this_thread::yield();
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        c->Poison(std::make_exception_ptr(
+            std::runtime_error("bench poison")));
+        while (unwound.load(std::memory_order_relaxed) < waiters) {
+          std::this_thread::yield();
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        for (auto& t : threads) t.join();
+        samples.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+      std::sort(samples.begin(), samples.end());
+      row.push_back(cell(samples[samples.size() / 2], 3));
+    }
+    table.add_row(std::move(row));
+  }
+  bench::print(table);
+}
+
 }  // namespace
 }  // namespace monotonic
 
@@ -193,5 +255,6 @@ int main() {
   monotonic::heat_ablation();
   monotonic::handoff_ablation();
   monotonic::decorator_sweep();
+  monotonic::poison_wake_latency();
   return 0;
 }

@@ -28,12 +28,16 @@
 #pragma once
 
 #include <chrono>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <stop_token>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "monotonic/core/counter_error.hpp"
 #include "monotonic/core/counter_stats.hpp"
 #include "monotonic/core/wait_list.hpp"
 #include "monotonic/support/assert.hpp"
@@ -68,8 +72,16 @@ class AnyCounter {
   /// Timed Check; true iff the level was reached before the timeout.
   virtual bool CheckFor(counter_value_t level,
                         std::chrono::nanoseconds timeout) = 0;
+  /// Cancellable Check; see BasicCounter::Check(level, stop_token).
+  virtual bool Check(counter_value_t level, std::stop_token stop) = 0;
   /// Async Check; see BasicCounter::OnReach for the execution contract.
   virtual void OnReach(counter_value_t level, std::function<void()> fn) = 0;
+  /// Async Check with a poison-delivery callback.
+  virtual void OnReach(counter_value_t level, std::function<void()> fn,
+                       std::function<void(std::exception_ptr)> on_error) = 0;
+  /// Failure model; see BasicCounter::Poison / poisoned().
+  virtual void Poison(std::exception_ptr cause) = 0;
+  virtual bool poisoned() const = 0;
   virtual void Reset() = 0;
   virtual CounterDebugSnapshot debug_snapshot() const = 0;
   virtual counter_value_t debug_value() const = 0;
@@ -126,9 +138,26 @@ class AnyHandle {
                    : std::chrono::nanoseconds{0});
   }
 
-  void OnReach(counter_value_t level, std::function<void()> fn) {
-    inner_->OnReach(level, std::move(fn));
+  bool Check(counter_value_t level, std::stop_token stop) {
+    return inner_->Check(level, std::move(stop));
   }
+
+  void OnReach(counter_value_t level, std::function<void()> fn,
+               std::function<void(std::exception_ptr)> on_error = {}) {
+    if (on_error) {
+      inner_->OnReach(level, std::move(fn), std::move(on_error));
+    } else {
+      inner_->OnReach(level, std::move(fn));
+    }
+  }
+
+  void Poison(std::exception_ptr cause) { inner_->Poison(std::move(cause)); }
+  /// Reason-string convenience mirroring BasicCounter::Poison(reason).
+  void Poison(std::string_view reason) {
+    inner_->Poison(
+        std::make_exception_ptr(CounterPoisonedError(std::string(reason))));
+  }
+  bool poisoned() const { return inner_->poisoned(); }
 
   void Reset() { inner_->Reset(); }
   CounterDebugSnapshot debug_snapshot() const {
@@ -165,9 +194,20 @@ class CounterModel final : public AnyCounter {
                 std::chrono::nanoseconds timeout) override {
     return impl_.CheckFor(level, timeout);
   }
+  bool Check(counter_value_t level, std::stop_token stop) override {
+    return impl_.Check(level, std::move(stop));
+  }
   void OnReach(counter_value_t level, std::function<void()> fn) override {
     impl_.OnReach(level, std::move(fn));
   }
+  void OnReach(counter_value_t level, std::function<void()> fn,
+               std::function<void(std::exception_ptr)> on_error) override {
+    impl_.OnReach(level, std::move(fn), std::move(on_error));
+  }
+  void Poison(std::exception_ptr cause) override {
+    impl_.Poison(std::move(cause));
+  }
+  bool poisoned() const override { return impl_.poisoned(); }
   void Reset() override { impl_.Reset(); }
   CounterDebugSnapshot debug_snapshot() const override {
     return impl_.debug_snapshot();

@@ -45,15 +45,47 @@
 // first) or the waiter sees the new value (and doesn't sleep).  The
 // cost: the logical value is capped at 2^63-1 (one bit spent on the
 // flag), and increments during a waiter's residency each pay the lock.
+//
+// Failure model (engine extension — see counter_error.hpp).  §6's
+// determinism argument assumes every awaited Increment eventually
+// happens; when a producer dies it never will, and without help every
+// consumer parks forever.  Three escape hatches, uniform across all
+// policies:
+//
+//   * Poison(cause) freezes the value, wakes every parked waiter with
+//     an "aborted" (not "reached") cause, and turns any Check above the
+//     frozen value — resumed or future — into a CounterPoisonedError
+//     carrying the producer's exception.  OnReach callbacks above the
+//     frozen value are delivered to their optional error callback.
+//     First poison wins; Increment on a poisoned counter is a counted
+//     drop.  The frozen value is authoritative: on lock-free policies a
+//     racing fetch_add can still inflate the atomic word after the
+//     freeze, so every poisoned-path decision consults frozen_, never
+//     the word.
+//   * Check(level, stop_token) parks cancellably: a triggered token
+//     nudges the policy (wake_waiters) and the call returns false
+//     instead of sleeping on.
+//   * The stall watchdog (Options::stall_report_after) re-arms an
+//     internal timed wait under untimed Checks and surfaces a
+//     CounterStallReport — value, wanted level, wait duration, full
+//     wait-list shape — through Options::on_stall, so a lost Increment
+//     is a diagnosable report instead of a silent hang.
 #pragma once
 
 #include <chrono>
+#include <cstdio>
+#include <exception>
 #include <functional>
 #include <limits>
 #include <mutex>
+#include <stop_token>
+#include <string>
+#include <string_view>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
+#include "monotonic/core/counter_error.hpp"
 #include "monotonic/core/counter_stats.hpp"
 #include "monotonic/core/wait_list.hpp"
 #include "monotonic/core/wait_policy.hpp"
@@ -123,12 +155,25 @@ class BasicCounter {
 
   /// Destroys the counter.  Precondition: no thread is suspended in
   /// Check() (checked; destruction with waiters aborts rather than
-  /// corrupting them).  Unreached OnReach callbacks are dropped, not
-  /// run: running "reached level L" callbacks for a level that was
-  /// never reached would be a lie.
+  /// corrupting them).  The fatal message includes a wait-list snapshot
+  /// — value plus each stranded (level, waiters) pair — so the abort
+  /// names who was left behind instead of just that somebody was.
+  /// Unreached OnReach callbacks are dropped, not run: running "reached
+  /// level L" callbacks for a level that was never reached would be a
+  /// lie.
   ~BasicCounter() {
     std::scoped_lock lock(m_);
-    MC_CHECK(list_.empty(), "counter destroyed with suspended waiters");
+    if (list_.empty()) return;
+    std::string msg =
+        "counter destroyed with suspended waiters: value=" +
+        std::to_string(value_locked());
+    std::vector<DebugWaitLevel> levels;
+    list_.snapshot_into(levels);
+    for (const auto& entry : levels) {
+      msg += ", level " + std::to_string(entry.level) + " x" +
+             std::to_string(entry.waiters);
+    }
+    detail::assert_fail("list_.empty()", __FILE__, __LINE__, msg.c_str());
   }
 
   BasicCounter(const BasicCounter&) = delete;
@@ -136,8 +181,16 @@ class BasicCounter {
 
   /// Atomically increases the value by `amount`, waking every thread
   /// suspended on a level <= the new value.  Increment(0) is a no-op.
-  /// Overflow past kMaxValue is a checked usage error.
+  /// Overflow past kMaxValue is a checked usage error.  On a poisoned
+  /// counter the increment is a silently-counted drop (never a throw:
+  /// producers flushing buffered work during unwind must not die
+  /// again), and a drop racing the freeze itself is benign — see the
+  /// failure-model note in the header.
   void Increment(counter_value_t amount = 1) {
+    if (poisoned_.load(std::memory_order_acquire)) {
+      stats_.on_dropped_increment();
+      return;
+    }
     if constexpr (kLockFreeFastPath) {
       stats_.on_increment();
       if (amount == 0) return;
@@ -166,6 +219,12 @@ class BasicCounter {
       CallbackList::Node* reached = nullptr;
       {
         std::unique_lock lock(m_);
+        // Locking policies mutate under m_, same as Poison: re-check so
+        // increment-vs-poison is fully linearized (no frozen drift).
+        if (poisoned_.load(std::memory_order_relaxed)) {
+          stats_.on_dropped_increment();
+          return;
+        }
         stats_.on_increment();
         if (amount == 0) return;
         MC_REQUIRE(rep_.value <= kMaxValue - amount, "counter value overflow");
@@ -182,16 +241,20 @@ class BasicCounter {
   }
 
   /// Suspends the calling thread until value >= level.  Returns
-  /// immediately if the level has already been reached.
+  /// immediately if the level has already been reached.  Throws
+  /// CounterPoisonedError if the counter is (or becomes) poisoned with
+  /// its frozen value below `level`.
   void Check(counter_value_t level) {
     stats_.on_check();
     if constexpr (kLockFreeFastPath) {
       MC_REQUIRE(level <= kMaxValue, "level exceeds counter range");
-      if ((rep_.word.load(std::memory_order_acquire) >> 1) >= level) {
+      if ((rep_.word.load(std::memory_order_acquire) >> 1) >= level &&
+          !poisoned_.load(std::memory_order_acquire)) {
         stats_.on_fast_check();  // lock-free success
         return;
       }
       std::unique_lock lock(m_);
+      if (check_poisoned_locked(level)) return;
       if (!announce_waiter_locked(level)) {
         stats_.on_fast_check();
         return;
@@ -199,6 +262,7 @@ class BasicCounter {
       park(lock, level);
     } else {
       std::unique_lock lock(m_);
+      if (check_poisoned_locked(level)) return;
       // Fast path (§7): "Check with a level less than or equal to the
       // current counter value returns immediately."
       if (rep_.value >= level) {
@@ -207,6 +271,74 @@ class BasicCounter {
       }
       park(lock, level);
     }
+  }
+
+  /// Cancellable Check (extension): parks like Check, but a triggered
+  /// `stop` wakes this thread and makes the call return false (level
+  /// not reached) instead of sleeping on.  Returns true when the level
+  /// was reached — including when the release races the cancellation.
+  /// Throws CounterPoisonedError exactly like Check.
+  bool Check(counter_value_t level, std::stop_token stop) {
+    stats_.on_check();
+    std::unique_lock<std::mutex> lock(m_, std::defer_lock);
+    if constexpr (kLockFreeFastPath) {
+      MC_REQUIRE(level <= kMaxValue, "level exceeds counter range");
+      if ((rep_.word.load(std::memory_order_acquire) >> 1) >= level &&
+          !poisoned_.load(std::memory_order_acquire)) {
+        stats_.on_fast_check();
+        return true;
+      }
+      lock.lock();
+      if (check_poisoned_locked(level)) return true;
+      if (!announce_waiter_locked(level)) {
+        stats_.on_fast_check();
+        return true;
+      }
+    } else {
+      lock.lock();
+      if (check_poisoned_locked(level)) return true;
+      if (rep_.value >= level) {
+        stats_.on_fast_check();
+        return true;
+      }
+    }
+    if (stop.stop_requested()) {  // pre-cancelled: don't even enqueue
+      if constexpr (kLockFreeFastPath) maybe_clear_attention_locked();
+      stats_.on_cancelled_check();
+      return false;
+    }
+    Node* node = list_.acquire(level);
+    stats_.on_suspend();
+    lock.unlock();
+    {
+      // The nudge callback takes m_, so the std::stop_callback must be
+      // constructed AND destroyed while m_ is NOT held: construction
+      // runs the callback inline when the token already fired, and
+      // destruction blocks on an in-flight invocation.  The node stays
+      // alive throughout — our registration (leave below) is still
+      // outstanding.
+      std::stop_callback nudge(stop, [this, node] {
+        std::scoped_lock wake_lock(m_);
+        if (!node->released) policy_.wake_waiters(*node);
+      });
+      lock.lock();
+      policy_.wait_cancellable(lock, *node, stop, stats_);
+      lock.unlock();
+    }
+    lock.lock();
+    stats_.on_resume();
+    // Re-read the wake cause under the final lock: a release or poison
+    // may have landed while the callback was being torn down.
+    const bool aborted = node->aborted;
+    const bool released = node->released;
+    list_.leave(node);
+    if constexpr (kLockFreeFastPath) maybe_clear_attention_locked();
+    if (aborted) throw_poisoned(level);
+    if (!released) {
+      stats_.on_cancelled_check();
+      return false;
+    }
+    return true;
   }
 
   /// Timed Check (extension): returns true if the level was reached,
@@ -239,33 +371,78 @@ class BasicCounter {
   ///
   /// This turns a counter into a dataflow trigger without parking a
   /// thread per dependency — the async analogue of Check.
-  void OnReach(counter_value_t level, std::function<void()> fn) {
+  ///
+  /// `on_error` is the poison analogue of fn: if the counter is (or
+  /// becomes) poisoned with the frozen value below `level`, on_error
+  /// receives the poison cause instead of fn running.  Registering on
+  /// an already-poisoned counter with no on_error throws, mirroring
+  /// Check; registered entries without one are dropped at poison time.
+  void OnReach(counter_value_t level, std::function<void()> fn,
+               std::function<void(std::exception_ptr)> on_error = {}) {
     if constexpr (kLockFreeFastPath) {
       MC_REQUIRE(level <= kMaxValue, "level exceeds counter range");
-      {
-        std::unique_lock lock(m_);
-        if (announce_waiter_locked(level)) {
-          callbacks_.insert(level, std::move(fn));
-          return;
+    }
+    std::exception_ptr poison;
+    {
+      std::unique_lock lock(m_);
+      if (poisoned_.load(std::memory_order_relaxed)) {
+        if (frozen_ < level) {
+          if (!on_error) throw_poisoned(level);
+          poison = poison_cause_or_error();
         }
-      }
-    } else {
-      {
-        std::unique_lock lock(m_);
-        if (rep_.value < level) {
-          callbacks_.insert(level, std::move(fn));
+        // frozen_ >= level: the level WAS reached; fn runs below.
+      } else {
+        bool unreached;
+        if constexpr (kLockFreeFastPath) {
+          unreached = announce_waiter_locked(level);
+        } else {
+          unreached = rep_.value < level;
+        }
+        if (unreached) {
+          callbacks_.insert(level, std::move(fn), std::move(on_error));
           return;
         }
       }
     }
-    // Level already reached: run here, outside the lock.
-    fn();
+    // Callbacks run here, outside the lock (CP.22).
+    if (poison) {
+      on_error(poison);
+    } else {
+      fn();
+    }
+  }
+
+  /// Poisons the counter with the exception a producer failed with:
+  /// freezes the value where it stands, wakes every parked waiter
+  /// (their Checks throw CounterPoisonedError carrying `cause`), fails
+  /// pending OnReach registrations into their error callbacks, and
+  /// makes all future operations observe the failure (Checks at or
+  /// below the frozen value still succeed — that work WAS done).
+  /// Idempotent: the first poison wins, later ones are no-ops.  Safe to
+  /// call from any thread, including concurrently with every other
+  /// operation.
+  void Poison(std::exception_ptr cause) {
+    poison_impl(std::move(cause), "counter poisoned");
+  }
+
+  /// Poison with a bare reason when there is no exception in flight
+  /// (e.g. an orderly shutdown path).  Checks above the frozen value
+  /// throw CounterPoisonedError with this reason and a null cause().
+  void Poison(std::string_view reason) { poison_impl(nullptr, reason); }
+
+  /// True once Poison has taken effect.  Diagnostic only — racing a
+  /// poisoned() probe against Check is exactly the timing-dependent
+  /// branch the no-probe rule exists to prevent.
+  bool poisoned() const noexcept {
+    return poisoned_.load(std::memory_order_acquire);
   }
 
   /// Resets the value to zero for reuse between algorithm phases (§2).
   /// Must not be called concurrently with any other operation on this
   /// counter; calling it while threads are suspended or callbacks are
-  /// pending is a checked error.
+  /// pending is a checked error.  Reset also clears poison: the §2
+  /// phase-reuse story is the one sanctioned way to bring a poisoned
+  /// counter back into service.
   void Reset() {
     std::scoped_lock lock(m_);
     MC_REQUIRE(list_.empty(),
@@ -273,6 +450,10 @@ class BasicCounter {
                "run concurrently with other operations)");
     MC_REQUIRE(callbacks_.empty(),
                "Reset called with pending OnReach callbacks");
+    poisoned_.store(false, std::memory_order_release);
+    poison_cause_ = nullptr;
+    poison_reason_.clear();
+    frozen_ = 0;
     if constexpr (kLockFreeFastPath) {
       rep_.word.store(0, std::memory_order_release);
     } else {
@@ -292,7 +473,12 @@ class BasicCounter {
   }
 
   /// The instantaneous value, for tests/benches only (no-probe rule).
+  /// On a poisoned counter this is the frozen value, not the (possibly
+  /// drifted) lock-free word.
   counter_value_t debug_value() const {
+    if (poisoned_.load(std::memory_order_acquire)) {
+      return frozen_;  // stable after the release-store of poisoned_
+    }
     if constexpr (kLockFreeFastPath) {
       return rep_.word.load(std::memory_order_acquire) >> 1;
     } else {
@@ -313,13 +499,79 @@ class BasicCounter {
   static constexpr counter_value_t kAttentionBit = 1;
 
   // Requires m_ (meaningless for locking policies, whose value is only
-  // ever read under m_ anyway).
+  // ever read under m_ anyway).  frozen_ is authoritative once
+  // poisoned: the lock-free word may have drifted past the freeze.
   counter_value_t value_locked() const {
+    if (poisoned_.load(std::memory_order_relaxed)) return frozen_;
     if constexpr (kLockFreeFastPath) {
       return rep_.word.load(std::memory_order_acquire) >> 1;
     } else {
       return rep_.value;
     }
+  }
+
+  // Requires m_.  Returns true when the caller should return success
+  // (level at or below the frozen value); throws when the level can
+  // never be reached; returns false on a healthy counter.
+  bool check_poisoned_locked(counter_value_t level) {
+    if (!poisoned_.load(std::memory_order_relaxed)) return false;
+    if (frozen_ >= level) {
+      stats_.on_fast_check();
+      return true;
+    }
+    throw_poisoned(level);
+  }
+
+  // Requires poisoned_ observed true (under m_ or via acquire load):
+  // frozen_ / poison_reason_ / poison_cause_ are immutable from the
+  // release-store of poisoned_ until a (non-concurrent) Reset.
+  [[noreturn]] void throw_poisoned(counter_value_t level) const {
+    throw CounterPoisonedError(
+        poison_reason_ + ": Check(" + std::to_string(level) +
+            ") can never complete, value frozen at " + std::to_string(frozen_),
+        poison_cause_);
+  }
+
+  // Same precondition as throw_poisoned.  The exception delivered to
+  // OnReach error callbacks: the producer's own exception when there is
+  // one, a synthesized CounterPoisonedError otherwise.
+  std::exception_ptr poison_cause_or_error() const {
+    if (poison_cause_) return poison_cause_;
+    return std::make_exception_ptr(CounterPoisonedError(poison_reason_));
+  }
+
+  void poison_impl(std::exception_ptr cause, std::string_view reason) {
+    CallbackList::Node* orphaned = nullptr;
+    std::exception_ptr delivered;
+    {
+      std::unique_lock lock(m_);
+      if (poisoned_.load(std::memory_order_relaxed)) return;  // first wins
+      frozen_ = value_locked();
+      poison_cause_ = std::move(cause);
+      poison_reason_ = std::string(reason);
+      // Release-store AFTER the freeze state is in place: an acquire
+      // load of poisoned_ licenses lock-free reads of frozen_ & co.
+      poisoned_.store(true, std::memory_order_release);
+      if constexpr (kLockFreeFastPath) {
+        // Pin the attention bit (never cleared again — see
+        // maybe_clear_attention_locked) so in-flight incrementers that
+        // passed the poison pre-check drain through the locked slow
+        // path instead of racing the frozen value on the fast one.
+        rep_.word.fetch_or(kAttentionBit, std::memory_order_relaxed);
+      }
+      stats_.on_poison();
+      const bool had_waiters = !list_.empty();
+      list_.abort_all([&](Node& node) { policy_.on_release(node, stats_); });
+      // Mirror Increment's release sequence: policies whose wake lives
+      // in the increment hooks rather than on_release (SingleCvWait's
+      // shared-cv broadcast) must fire here too, or poisoned waiters
+      // sleep forever.
+      policy_.on_increment_locked(had_waiters, stats_);
+      orphaned = callbacks_.detach_all();
+      if (orphaned != nullptr) delivered = poison_cause_or_error();
+    }
+    policy_.on_increment_unlocked(false);
+    CallbackList::run_chain_error(orphaned, delivered);
   }
 
   // Lock-free policies only; requires m_.  Publishes intent to sleep
@@ -338,8 +590,11 @@ class BasicCounter {
   }
 
   // Lock-free policies only; requires m_.  Allows future increments
-  // back onto the fast path once nothing needs a slow-path pass.
+  // back onto the fast path once nothing needs a slow-path pass.  A
+  // poisoned counter keeps the bit forever: the fast path must stay
+  // closed so frozen_ (not the drifted word) decides everything.
   void maybe_clear_attention_locked() {
+    if (poisoned_.load(std::memory_order_relaxed)) return;
     if (list_.empty() && callbacks_.empty()) {
       rep_.word.fetch_and(~kAttentionBit, std::memory_order_relaxed);
     }
@@ -360,10 +615,57 @@ class BasicCounter {
   void park(std::unique_lock<std::mutex>& lock, counter_value_t level) {
     Node* node = list_.acquire(level);
     stats_.on_suspend();
-    policy_.wait(lock, *node, stats_);
+    if (options_.stall_report_after.count() > 0) {
+      wait_with_watchdog(lock, *node, level);
+    } else {
+      policy_.wait(lock, *node, stats_);
+    }
     stats_.on_resume();
+    const bool aborted = node->aborted;
     list_.leave(node);
     if constexpr (kLockFreeFastPath) maybe_clear_attention_locked();
+    if (aborted) throw_poisoned(level);
+  }
+
+  // Untimed park with the stall watchdog armed: sleep in stall-sized
+  // quanta; each elapsed quantum with the node still unreleased builds
+  // a CounterStallReport under the lock and delivers it outside (the
+  // sink may log, allocate, or poke other counters).  Our wait-list
+  // registration is still outstanding across the unlocked window, so
+  // the node cannot be freed; `released` is re-read after relocking.
+  void wait_with_watchdog(std::unique_lock<std::mutex>& lock, Node& node,
+                          counter_value_t level) {
+    const auto started = std::chrono::steady_clock::now();
+    while (!node.released) {
+      const auto quantum_end =
+          std::chrono::steady_clock::now() + options_.stall_report_after;
+      if (policy_.wait_until(lock, node, quantum_end, stats_)) return;
+      if (node.released) return;
+      CounterStallReport report;
+      report.value = value_locked();
+      report.level = level;
+      report.waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - started);
+      list_.snapshot_into(report.wait_levels);
+      stats_.on_stall_report();
+      lock.unlock();
+      deliver_stall(report);
+      lock.lock();
+    }
+  }
+
+  void deliver_stall(const CounterStallReport& report) const {
+    if (options_.on_stall) {
+      options_.on_stall(report);
+      return;
+    }
+    std::fprintf(stderr,
+                 "monotonic: counter stall: Check(%llu) parked %lld ms at "
+                 "value %llu with %zu live wait level(s)\n",
+                 static_cast<unsigned long long>(report.level),
+                 static_cast<long long>(report.waited.count()),
+                 static_cast<unsigned long long>(report.value),
+                 report.wait_levels.size());
   }
 
   bool check_until_steady(counter_value_t level,
@@ -372,28 +674,39 @@ class BasicCounter {
     std::unique_lock<std::mutex> lock(m_, std::defer_lock);
     if constexpr (kLockFreeFastPath) {
       MC_REQUIRE(level <= kMaxValue, "level exceeds counter range");
-      if ((rep_.word.load(std::memory_order_acquire) >> 1) >= level) {
+      if ((rep_.word.load(std::memory_order_acquire) >> 1) >= level &&
+          !poisoned_.load(std::memory_order_acquire)) {
         stats_.on_fast_check();
         return true;
       }
       lock.lock();
+      if (check_poisoned_locked(level)) return true;
       if (!announce_waiter_locked(level)) {
         stats_.on_fast_check();
         return true;
       }
     } else {
       lock.lock();
+      if (check_poisoned_locked(level)) return true;
       if (rep_.value >= level) {
         stats_.on_fast_check();
         return true;
       }
     }
+    // Zero or already-expired deadline: a pure reached-yet probe.  Skip
+    // the wait-node acquire entirely — no node churn, no policy sleep.
+    if (std::chrono::steady_clock::now() >= deadline) {
+      if constexpr (kLockFreeFastPath) maybe_clear_attention_locked();
+      return false;
+    }
     Node* node = list_.acquire(level);
     stats_.on_suspend();
     const bool reached = policy_.wait_until(lock, *node, deadline, stats_);
     stats_.on_resume();
+    const bool aborted = node->aborted;
     list_.leave(node);
     if constexpr (kLockFreeFastPath) maybe_clear_attention_locked();
+    if (aborted) throw_poisoned(level);
     return reached;
   }
 
@@ -404,6 +717,15 @@ class BasicCounter {
   [[no_unique_address]] Policy policy_;
   List list_;
   CallbackList callbacks_;
+
+  // Poison state.  The three payload fields are written under m_
+  // strictly before the release-store of poisoned_ and never mutated
+  // again (Reset excepted, which is documented non-concurrent), so an
+  // acquire load of poisoned_ licenses reading them without the lock.
+  std::atomic<bool> poisoned_{false};
+  counter_value_t frozen_ = 0;
+  std::exception_ptr poison_cause_;
+  std::string poison_reason_;
 };
 
 }  // namespace monotonic

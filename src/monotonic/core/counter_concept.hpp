@@ -8,7 +8,9 @@
 
 #include <chrono>
 #include <concepts>
+#include <exception>
 #include <functional>
+#include <stop_token>
 
 #include "monotonic/core/wait_list.hpp"
 #include "monotonic/support/config.hpp"
@@ -36,6 +38,21 @@ concept TimedCounterLike =
       { c.CheckFor(v, d) } -> std::convertible_to<bool>;
       { c.CheckUntil(v, tp) } -> std::convertible_to<bool>;
       { c.OnReach(v, fn) };
+    };
+
+/// CounterLike plus the failure model (see counter_error.hpp): poison
+/// with a cause, observe the poisoned state, and park cancellably.
+/// Every BasicCounter instantiation and every shipped decorator models
+/// this; the patterns layer (pipeline, broadcast, structured scopes)
+/// requires it to unwind instead of hanging when a producer dies.
+template <typename C>
+concept FailureAwareCounter =
+    CounterLike<C> &&
+    requires(C c, counter_value_t v, std::exception_ptr ep,
+             std::stop_token st) {
+      { c.Poison(ep) };
+      { c.poisoned() } -> std::convertible_to<bool>;
+      { c.Check(v, st) } -> std::convertible_to<bool>;
     };
 
 /// A counter whose internal wait-list structure can be observed — what

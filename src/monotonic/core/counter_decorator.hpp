@@ -21,9 +21,12 @@
 
 #include <chrono>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <limits>
 #include <memory>
+#include <stop_token>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -76,6 +79,9 @@ class CounterDecoratorBase {
 
   void Increment(counter_value_t amount = 1) { impl_.Increment(amount); }
   void Check(counter_value_t level) { impl_.Check(level); }
+  bool Check(counter_value_t level, std::stop_token stop) {
+    return impl_.Check(level, std::move(stop));
+  }
 
   template <typename Rep, typename Period>
   bool CheckFor(counter_value_t level,
@@ -89,9 +95,14 @@ class CounterDecoratorBase {
     return impl_.CheckUntil(level, deadline);
   }
 
-  void OnReach(counter_value_t level, std::function<void()> fn) {
-    impl_.OnReach(level, std::move(fn));
+  void OnReach(counter_value_t level, std::function<void()> fn,
+               std::function<void(std::exception_ptr)> on_error = {}) {
+    impl_.OnReach(level, std::move(fn), std::move(on_error));
   }
+
+  void Poison(std::exception_ptr cause) { impl_.Poison(std::move(cause)); }
+  void Poison(std::string_view reason) { impl_.Poison(reason); }
+  bool poisoned() const { return impl_.poisoned(); }
 
   void Reset() { impl_.Reset(); }
 
@@ -130,6 +141,8 @@ class Traced : public CounterDecoratorBase<C> {
     this->impl_.Increment(amount);
   }
 
+  using CounterDecoratorBase<C>::Check;  // keep the cancellable overload
+
   void Check(counter_value_t level) {
     // Distinguish fast and slow paths by the stats delta — the wrapped
     // counter already classifies them.
@@ -142,6 +155,16 @@ class Traced : public CounterDecoratorBase<C> {
     } else {
       tracer_.record(TraceEventKind::kCheckFast, name_, level);
     }
+  }
+
+  void Poison(std::exception_ptr cause) {
+    tracer_.record(TraceEventKind::kPoison, name_, 0);
+    this->impl_.Poison(std::move(cause));
+  }
+
+  void Poison(std::string_view reason) {
+    tracer_.record(TraceEventKind::kPoison, name_, 0);
+    this->impl_.Poison(reason);
   }
 
   /// Back-compat accessor (pre-refactor TracedCounter name).
@@ -195,6 +218,11 @@ class Batching : public CounterDecoratorBase<C> {
     this->impl_.Check(level);
   }
 
+  bool Check(counter_value_t level, std::stop_token stop) {
+    flush();
+    return this->impl_.Check(level, std::move(stop));
+  }
+
   template <typename Rep, typename Period>
   bool CheckFor(counter_value_t level,
                 std::chrono::duration<Rep, Period> timeout) {
@@ -209,9 +237,24 @@ class Batching : public CounterDecoratorBase<C> {
     return this->impl_.CheckUntil(level, deadline);
   }
 
-  void OnReach(counter_value_t level, std::function<void()> fn) {
+  void OnReach(counter_value_t level, std::function<void()> fn,
+               std::function<void(std::exception_ptr)> on_error = {}) {
     flush();
-    this->impl_.OnReach(level, std::move(fn));
+    this->impl_.OnReach(level, std::move(fn), std::move(on_error));
+  }
+
+  /// Flush-then-poison: buffered increments represent work that DID
+  /// happen before the failure, so they are published first — the
+  /// frozen value reflects completed work, and only the future is cut
+  /// off.  (Flushing after the poison would silently drop them.)
+  void Poison(std::exception_ptr cause) {
+    flush();
+    this->impl_.Poison(std::move(cause));
+  }
+
+  void Poison(std::string_view reason) {
+    flush();
+    this->impl_.Poison(reason);
   }
 
   /// Applies buffered increments, then resets the wrapped counter.
@@ -279,6 +322,10 @@ class Broadcasting {
 
   void Check(counter_value_t level) { local_shard().Check(level); }
 
+  bool Check(counter_value_t level, std::stop_token stop) {
+    return local_shard().Check(level, std::move(stop));
+  }
+
   template <typename Rep, typename Period>
   bool CheckFor(counter_value_t level,
                 std::chrono::duration<Rep, Period> timeout) {
@@ -293,9 +340,24 @@ class Broadcasting {
 
   /// Callbacks register on shard 0 (every shard sees every increment,
   /// so shard 0's trigger times equal any other's).
-  void OnReach(counter_value_t level, std::function<void()> fn) {
-    shards_.front()->OnReach(level, std::move(fn));
+  void OnReach(counter_value_t level, std::function<void()> fn,
+               std::function<void(std::exception_ptr)> on_error = {}) {
+    shards_.front()->OnReach(level, std::move(fn), std::move(on_error));
   }
+
+  /// Poison fans out to every shard, in shard order, so waiters parked
+  /// on any shard are woken.  A Check racing the fan-out on a not-yet-
+  /// poisoned shard simply parks and is woken when the wave reaches it.
+  void Poison(std::exception_ptr cause) {
+    for (auto& shard : shards_) shard->Poison(cause);
+  }
+
+  void Poison(std::string_view reason) {
+    for (auto& shard : shards_) shard->Poison(reason);
+  }
+
+  /// Shard 0 is poisoned first, so it answers for the ensemble.
+  bool poisoned() const { return shards_.front()->poisoned(); }
 
   void Reset() {
     for (auto& shard : shards_) shard->Reset();
@@ -336,8 +398,17 @@ class Broadcasting {
       sum.max_live_nodes += s.max_live_nodes;
       sum.max_live_waiters += s.max_live_waiters;
       sum.spurious_wakeups += s.spurious_wakeups;
+      sum.poisons += s.poisons;
+      sum.aborted_wakeups += s.aborted_wakeups;
+      sum.cancelled_checks += s.cancelled_checks;
+      sum.dropped_increments += s.dropped_increments;
+      sum.stall_reports += s.stall_reports;
     }
     sum.increments /= shards_.size();
+    // Replicated per shard, like increments: one logical Poison (or
+    // dropped Increment) touched every shard.
+    sum.poisons /= shards_.size();
+    sum.dropped_increments /= shards_.size();
     return sum;
   }
   void stats_reset() {

@@ -1,0 +1,49 @@
+// counter_error.hpp — the failure-model error taxonomy.
+//
+// The paper's monotonicity argument (§6) assumes every Increment a
+// Check waits on eventually happens.  Production producers crash,
+// throw, and get cancelled, so the engine carries a first-class
+// failure model (see basic_counter.hpp):
+//
+//   * Poison(cause)    — freezes the counter at its current value,
+//     wakes every parked waiter, and turns every Check above the
+//     frozen value into a CounterPoisonedError carrying the producer's
+//     original exception;
+//   * Check(level, stop_token) — cooperative cancellation: returns
+//     false instead of parking forever when the token is triggered;
+//   * the stall watchdog (WaitListOptions::stall_report_after) —
+//     surfaces a wait-list snapshot when a waiter is stuck past a
+//     threshold, instead of a silent hang.
+//
+// This header holds only the exception type so patterns can build
+// their own vocabulary on top (BrokenChannelError is a
+// CounterPoisonedError).
+#pragma once
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace monotonic {
+
+/// Thrown by Check/CheckFor/CheckUntil on a poisoned counter when the
+/// requested level lies above the frozen value — i.e. the Increment
+/// this thread was waiting on can never happen.  `cause()` is the
+/// exception the producer failed with (null when the counter was
+/// poisoned with a bare reason string).
+class CounterPoisonedError : public std::runtime_error {
+ public:
+  explicit CounterPoisonedError(const std::string& what,
+                                std::exception_ptr cause = {})
+      : std::runtime_error(what), cause_(std::move(cause)) {}
+
+  /// The producer's original exception, if the counter was poisoned
+  /// with one; null otherwise.
+  const std::exception_ptr& cause() const noexcept { return cause_; }
+
+ private:
+  std::exception_ptr cause_;
+};
+
+}  // namespace monotonic

@@ -17,6 +17,11 @@ CounterStatsSnapshot CounterStats::snapshot() const noexcept {
   s.max_live_nodes = max_live_nodes_.load(std::memory_order_relaxed);
   s.max_live_waiters = max_live_waiters_.load(std::memory_order_relaxed);
   s.spurious_wakeups = spurious_wakeups_.load(std::memory_order_relaxed);
+  s.poisons = poisons_.load(std::memory_order_relaxed);
+  s.aborted_wakeups = aborted_wakeups_.load(std::memory_order_relaxed);
+  s.cancelled_checks = cancelled_checks_.load(std::memory_order_relaxed);
+  s.dropped_increments = dropped_increments_.load(std::memory_order_relaxed);
+  s.stall_reports = stall_reports_.load(std::memory_order_relaxed);
 #endif
   return s;
 }
@@ -37,6 +42,11 @@ void CounterStats::reset() noexcept {
   max_live_waiters_.store(live_waiters_.load(std::memory_order_relaxed),
                           std::memory_order_relaxed);
   spurious_wakeups_.store(0, std::memory_order_relaxed);
+  poisons_.store(0, std::memory_order_relaxed);
+  aborted_wakeups_.store(0, std::memory_order_relaxed);
+  cancelled_checks_.store(0, std::memory_order_relaxed);
+  dropped_increments_.store(0, std::memory_order_relaxed);
+  stall_reports_.store(0, std::memory_order_relaxed);
 #endif
 }
 

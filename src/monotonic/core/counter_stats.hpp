@@ -29,6 +29,11 @@ struct CounterStatsSnapshot {
   std::uint64_t max_live_nodes = 0;   ///< high-water mark of live_nodes
   std::uint64_t max_live_waiters = 0; ///< high-water mark of sleeping threads
   std::uint64_t spurious_wakeups = 0; ///< woken with predicate still false
+  std::uint64_t poisons = 0;          ///< Poison() calls that took effect
+  std::uint64_t aborted_wakeups = 0;  ///< waiters woken by Poison, not reached
+  std::uint64_t cancelled_checks = 0; ///< Check(level, stop) cancelled returns
+  std::uint64_t dropped_increments = 0; ///< increments on a poisoned counter
+  std::uint64_t stall_reports = 0;    ///< watchdog reports emitted
 };
 
 /// Thread-safe accumulator.  All mutators are relaxed: these are
@@ -40,9 +45,21 @@ class CounterStats {
   void on_fast_check() noexcept { bump(fast_checks_); }
   void on_spurious_wakeup() noexcept { bump(spurious_wakeups_); }
   void on_notify() noexcept { bump(notifies_); }
+  void on_poison() noexcept { bump(poisons_); }
+  void on_cancelled_check() noexcept { bump(cancelled_checks_); }
+  void on_dropped_increment() noexcept { bump(dropped_increments_); }
+  void on_stall_report() noexcept { bump(stall_reports_); }
   void on_wakeups(std::uint64_t n) noexcept {
 #if MONOTONIC_ENABLE_STATS
     wakeups_.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+  void on_aborted_wakeups(std::uint64_t n) noexcept {
+#if MONOTONIC_ENABLE_STATS
+    wakeups_.fetch_add(n, std::memory_order_relaxed);
+    aborted_wakeups_.fetch_add(n, std::memory_order_relaxed);
 #else
     (void)n;
 #endif
@@ -113,6 +130,11 @@ class CounterStats {
   std::atomic<std::uint64_t> live_waiters_{0};
   std::atomic<std::uint64_t> max_live_waiters_{0};
   std::atomic<std::uint64_t> spurious_wakeups_{0};
+  std::atomic<std::uint64_t> poisons_{0};
+  std::atomic<std::uint64_t> aborted_wakeups_{0};
+  std::atomic<std::uint64_t> cancelled_checks_{0};
+  std::atomic<std::uint64_t> dropped_increments_{0};
+  std::atomic<std::uint64_t> stall_reports_{0};
 };
 
 }  // namespace monotonic

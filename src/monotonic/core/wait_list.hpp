@@ -24,7 +24,9 @@
 // (the hybrid/futex/spin policies only take that mutex on slow paths).
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <utility>
 #include <vector>
@@ -50,7 +52,17 @@ struct CounterDebugSnapshot {
   std::vector<counter_value_t> callback_levels;  // ascending
 };
 
-/// Node-pooling knobs, common to every policy.
+/// Diagnostic snapshot handed to the stall watchdog: which level the
+/// stuck waiter wants, how long it has been parked, and the full
+/// wait-list shape at the moment of the report.
+struct CounterStallReport {
+  counter_value_t value;                    ///< current counter value
+  counter_value_t level;                    ///< level the waiter wants
+  std::chrono::milliseconds waited;         ///< how long it has waited
+  std::vector<DebugWaitLevel> wait_levels;  ///< ascending, like Figure 2
+};
+
+/// Node-pooling and failure-diagnostic knobs, common to every policy.
 struct WaitListOptions {
   /// Reuse freed wait nodes through an internal free list instead of
   /// returning them to the allocator.  On by default; the E5 bench
@@ -58,6 +70,15 @@ struct WaitListOptions {
   bool pool_nodes = true;
   /// Maximum nodes retained in the pool (0 = unbounded).
   std::size_t max_pool_size = 64;
+  /// Stall watchdog: when > 0, an untimed Check parked longer than
+  /// this emits a CounterStallReport through `on_stall` (and again
+  /// every further interval), so a lost Increment surfaces as a
+  /// diagnosable report instead of a silent hang.  Timed checks have
+  /// their own deadlines and are exempt.
+  std::chrono::milliseconds stall_report_after{0};
+  /// Stall sink.  Called outside the counter lock; may log, alloc, or
+  /// touch other counters.  Empty = a stderr one-liner.
+  std::function<void(const CounterStallReport&)> on_stall;
 };
 
 /// The §7 ordered wait list.  `Signal` is the per-node wake primitive
@@ -71,7 +92,8 @@ class WaitList {
   struct Node {
     counter_value_t level = 0;
     std::size_t waiters = 0;
-    bool released = false;  // set by Increment when level is reached
+    bool released = false;  // set when the node's waiters may resume
+    bool aborted = false;   // wake cause: true = poisoned, not reached
     Signal signal;
     Node* next = nullptr;
   };
@@ -137,6 +159,22 @@ class WaitList {
     }
   }
 
+  /// Poison path: unlinks and wakes EVERY node regardless of level,
+  /// marking each `aborted` so resuming waiters can tell "reached"
+  /// from "the Increment you were waiting on is never coming".  Same
+  /// locking discipline and `on_release` wake hook as release_prefix.
+  template <typename OnRelease>
+  void abort_all(OnRelease&& on_release) {
+    while (head_ != nullptr) {
+      Node* node = head_;
+      head_ = node->next;
+      node->released = true;
+      node->aborted = true;
+      stats_.on_aborted_wakeups(node->waiters);
+      on_release(*node);
+    }
+  }
+
   /// Appends one (level, waiters) entry per live node, ascending.
   void snapshot_into(std::vector<DebugWaitLevel>& out) const {
     for (Node* node = head_; node != nullptr; node = node->next) {
@@ -165,6 +203,7 @@ class WaitList {
     node->level = level;
     node->waiters = 0;
     node->released = false;
+    node->aborted = false;
     node->signal.reset();
     node->next = nullptr;
     stats_.on_node_allocated(from_pool);
@@ -211,9 +250,17 @@ class WaitList {
 /// any other counter).
 class CallbackList {
  public:
+  /// One registered OnReach: the success callback plus an optional
+  /// error callback that receives the poison cause when the counter is
+  /// poisoned below the entry's level.
+  struct Entry {
+    std::function<void()> fn;
+    std::function<void(std::exception_ptr)> on_error;
+  };
+
   struct Node {
     counter_value_t level = 0;
-    std::vector<std::function<void()>> callbacks;
+    std::vector<Entry> callbacks;
     Node* next = nullptr;
   };
 
@@ -221,6 +268,8 @@ class CallbackList {
 
   /// Unreached callbacks are dropped, not run: running "reached level
   /// L" callbacks for a level that was never reached would be a lie.
+  /// (Poisoning, by contrast, detaches them and delivers the error —
+  /// see detach_all / run_chain_error.)
   ~CallbackList() {
     while (head_ != nullptr) {
       Node* node = head_;
@@ -236,15 +285,16 @@ class CallbackList {
 
   /// Inserts into the ascending callback list, joining an existing
   /// level node if present (mirrors the wait list).
-  void insert(counter_value_t level, std::function<void()> fn) {
+  void insert(counter_value_t level, std::function<void()> fn,
+              std::function<void(std::exception_ptr)> on_error = {}) {
     Node** pos = &head_;
     while (*pos != nullptr && (*pos)->level < level) pos = &(*pos)->next;
     if (*pos != nullptr && (*pos)->level == level) {
-      (*pos)->callbacks.push_back(std::move(fn));
+      (*pos)->callbacks.push_back(Entry{std::move(fn), std::move(on_error)});
     } else {
       auto* node = new Node();
       node->level = level;
-      node->callbacks.push_back(std::move(fn));
+      node->callbacks.push_back(Entry{std::move(fn), std::move(on_error)});
       node->next = *pos;
       *pos = node;
     }
@@ -265,6 +315,15 @@ class CallbackList {
     return head;
   }
 
+  /// Poison path: detaches every remaining node (all have level >
+  /// value by invariant, so none was reached).  The caller delivers
+  /// the chain to run_chain_error after dropping the lock.
+  Node* detach_all() {
+    Node* head = head_;
+    head_ = nullptr;
+    return head;
+  }
+
   /// Runs and frees a detached chain.  Must be called with no counter
   /// lock held.  Callbacks for one level run in registration order;
   /// across levels, in level order.
@@ -272,7 +331,21 @@ class CallbackList {
     while (chain != nullptr) {
       Node* node = chain;
       chain = node->next;
-      for (auto& fn : node->callbacks) fn();
+      for (auto& entry : node->callbacks) entry.fn();
+      delete node;
+    }
+  }
+
+  /// Frees a detached chain of never-reached callbacks, delivering
+  /// `cause` to each entry's error callback (entries without one are
+  /// dropped).  Must be called with no counter lock held.
+  static void run_chain_error(Node* chain, const std::exception_ptr& cause) {
+    while (chain != nullptr) {
+      Node* node = chain;
+      chain = node->next;
+      for (auto& entry : node->callbacks) {
+        if (entry.on_error) entry.on_error(cause);
+      }
       delete node;
     }
   }

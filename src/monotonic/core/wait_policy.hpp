@@ -34,6 +34,18 @@
 // mutex held; policies that sleep outside the lock (futex, spin) drop
 // and re-take it themselves.  The node cannot disappear while a policy
 // waits on it: the caller holds a registration (waiters > 0).
+//
+// Failure-model hooks (engine poisoning / cancellation):
+//
+//   * a node released by Poison is marked `aborted` as well as
+//     `released`, so the same on_release wake path covers both wake
+//     causes and waiters classify on resume;
+//   * `wake_waiters(node)` wakes a node's sleepers WITHOUT marking it
+//     released — the cancellation nudge.  Woken waiters re-check their
+//     own stop_token and re-sleep if it wasn't for them;
+//   * `wait_cancellable(lock, node, stop)` is `wait` that also exits
+//     when `stop` is triggered (SpinWait polls the token directly and
+//     needs no nudge).
 #pragma once
 
 #include <atomic>
@@ -41,6 +53,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <stop_token>
 
 #include "monotonic/core/counter_stats.hpp"
 #include "monotonic/core/wait_list.hpp"
@@ -142,9 +155,14 @@ struct BlockingWait {
   void on_increment_locked(bool /*had_waiters*/, CounterStats&) {}
   void on_increment_unlocked(bool /*had_waiters*/) {}
 
+  /// Cancellation nudge: wake the node's sleepers without marking it
+  /// released.  Counter mutex held.
+  void wake_waiters(Node& node) { node.signal.cv.notify_all(); }
+
   // Wait on the node's sticky `released` flag rather than re-deriving
   // value >= level, so the predicate stays correct even across a
-  // (misused) Reset.
+  // (misused) Reset.  (An aborted node is released too — the caller
+  // classifies the wake cause from node.aborted.)
   bool wait(std::unique_lock<std::mutex>& lock, Node& node,
             CounterStats& stats) {
     while (!node.released) {
@@ -165,6 +183,19 @@ struct BlockingWait {
       if (!node.released) stats.on_spurious_wakeup();
     }
     return true;
+  }
+
+  /// wait() that also exits (without the node released) once `stop` is
+  /// triggered.  The engine nudges sleepers via wake_waiters from a
+  /// stop_callback, so a wakeup with the token set is not spurious.
+  void wait_cancellable(std::unique_lock<std::mutex>& lock, Node& node,
+                        const std::stop_token& stop, CounterStats& stats) {
+    while (!node.released && !stop.stop_requested()) {
+      node.signal.cv.wait(lock);
+      if (!node.released && !stop.stop_requested()) {
+        stats.on_spurious_wakeup();
+      }
+    }
   }
 };
 
@@ -189,6 +220,10 @@ struct SingleCvWait {
   /// broadcast can be issued after the lock is dropped — cheaper.
   void on_increment_unlocked(bool /*had_waiters*/) { cv_.notify_all(); }
 
+  /// Cancellation nudge: everyone sleeps on the shared cv, so the nudge
+  /// is a broadcast (the cancelled waiter sorts itself out on resume).
+  void wake_waiters(Node& /*node*/) { cv_.notify_all(); }
+
   bool wait(std::unique_lock<std::mutex>& lock, Node& node,
             CounterStats& stats) {
     while (!node.released) {
@@ -212,15 +247,34 @@ struct SingleCvWait {
     return true;
   }
 
+  void wait_cancellable(std::unique_lock<std::mutex>& lock, Node& node,
+                        const std::stop_token& stop, CounterStats& stats) {
+    while (!node.released && !stop.stop_requested()) {
+      cv_.wait(lock);
+      if (!node.released && !stop.stop_requested()) {
+        stats.on_spurious_wakeup();
+      }
+    }
+  }
+
  private:
   std::condition_variable cv_;
 };
 
 /// Kernel-queue policy: waiters sleep in FUTEX_WAIT on their node's
-/// 32-bit word; a released node's word flips 0 -> 1 and is woken with
-/// one FUTEX_WAKE.  Unlike the pre-engine FutexCounter (which woke
-/// every sleeper on every Increment), wakeups are now targeted at
-/// released levels only — the engine's list is what buys that.
+/// 32-bit word.  Unlike the pre-engine FutexCounter (which woke every
+/// sleeper on every Increment), wakeups are targeted at released levels
+/// only — the engine's list is what buys that.
+///
+/// Word protocol (every mutation happens under the counter mutex):
+///   bit 0        — released (set once, by on_release);
+///   bits 1..31   — wake generation, bumped by each cancellation nudge.
+/// A waiter snapshots the word under the mutex, drops it, and sleeps in
+/// FUTEX_WAIT against that snapshot.  Any concurrent release or nudge
+/// changes the word first, so the syscall returns EAGAIN instead of
+/// sleeping through the wake — the classic lost-wakeup race cannot
+/// happen.  The generation bits are why a nudge cannot simply re-store
+/// the same value: sleepers must observe a *different* word.
 struct FutexWait {
   static constexpr bool kLockFreeFastPath = true;
 
@@ -232,21 +286,29 @@ struct FutexWait {
 
   void on_release(Node& node, CounterStats& stats) {
     stats.on_notify();
-    node.signal.word.store(1, std::memory_order_release);
+    node.signal.word.fetch_or(1, std::memory_order_release);
     detail::futex_wake_all(&node.signal.word);
   }
 
   void on_increment_locked(bool /*had_waiters*/, CounterStats&) {}
   void on_increment_unlocked(bool /*had_waiters*/) {}
 
+  /// Cancellation nudge: bump the generation and broadcast.  Counter
+  /// mutex held, so the bump is ordered against every waiter snapshot.
+  void wake_waiters(Node& node) {
+    node.signal.word.fetch_add(2, std::memory_order_release);
+    detail::futex_wake_all(&node.signal.word);
+  }
+
   bool wait(std::unique_lock<std::mutex>& lock, Node& node,
             CounterStats& stats) {
     while (!node.released) {
+      // Snapshot under the mutex: released (bit 0) is still clear here,
+      // and any release/nudge after the unlock changes the word.
+      const std::uint32_t expected =
+          node.signal.word.load(std::memory_order_relaxed);
       lock.unlock();
-      // If the release lands between unlock and the syscall, the word
-      // is already 1 and FUTEX_WAIT returns immediately (EAGAIN) — no
-      // lost wakeup.
-      detail::futex_wait(&node.signal.word, 0);
+      detail::futex_wait(&node.signal.word, expected);
       lock.lock();
       if (!node.released) stats.on_spurious_wakeup();
     }
@@ -257,9 +319,11 @@ struct FutexWait {
                   std::chrono::steady_clock::time_point deadline,
                   CounterStats& stats) {
     while (!node.released) {
+      const std::uint32_t expected =
+          node.signal.word.load(std::memory_order_relaxed);
       lock.unlock();
       const bool awoken =
-          detail::futex_wait_until(&node.signal.word, 0, deadline);
+          detail::futex_wait_until(&node.signal.word, expected, deadline);
       lock.lock();
       if (node.released) return true;
       if (!awoken || std::chrono::steady_clock::now() >= deadline) {
@@ -268,6 +332,22 @@ struct FutexWait {
       stats.on_spurious_wakeup();
     }
     return true;
+  }
+
+  void wait_cancellable(std::unique_lock<std::mutex>& lock, Node& node,
+                        const std::stop_token& stop, CounterStats& stats) {
+    while (!node.released && !stop.stop_requested()) {
+      const std::uint32_t expected =
+          node.signal.word.load(std::memory_order_relaxed);
+      lock.unlock();
+      // If the nudge already landed, stop_requested() was set before it
+      // and the word differs from our snapshot — FUTEX_WAIT returns.
+      detail::futex_wait(&node.signal.word, expected);
+      lock.lock();
+      if (!node.released && !stop.stop_requested()) {
+        stats.on_spurious_wakeup();
+      }
+    }
   }
 };
 
@@ -291,6 +371,9 @@ struct SpinWait {
 
   void on_increment_locked(bool /*had_waiters*/, CounterStats&) {}
   void on_increment_unlocked(bool /*had_waiters*/) {}
+
+  /// Spinners poll their stop_token directly — no nudge needed.
+  void wake_waiters(Node& /*node*/) {}
 
   bool wait(std::unique_lock<std::mutex>& lock, Node& node, CounterStats&) {
     std::atomic<bool>& ready = node.signal.ready;
@@ -316,6 +399,17 @@ struct SpinWait {
     }
     lock.lock();
     return true;
+  }
+
+  void wait_cancellable(std::unique_lock<std::mutex>& lock, Node& node,
+                        const std::stop_token& stop, CounterStats&) {
+    std::atomic<bool>& ready = node.signal.ready;
+    lock.unlock();
+    SpinBackoff spinner;
+    while (!ready.load(std::memory_order_acquire) && !stop.stop_requested()) {
+      spinner.once();
+    }
+    lock.lock();
   }
 };
 

@@ -19,13 +19,15 @@
 #pragma once
 
 #include <algorithm>
-#include <atomic>
 #include <cstddef>
-#include <stdexcept>
+#include <exception>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "monotonic/core/counter.hpp"
 #include "monotonic/core/counter_concept.hpp"
+#include "monotonic/core/counter_error.hpp"
 #include "monotonic/support/assert.hpp"
 #include "monotonic/support/config.hpp"
 #include "monotonic/sync/event.hpp"
@@ -33,18 +35,29 @@
 namespace monotonic {
 
 /// Thrown by Reader::get when the producer failed before publishing
-/// the requested item (the channel was poisoned).
-class BrokenChannelError : public std::runtime_error {
+/// the requested item (the channel was poisoned).  A specialization of
+/// CounterPoisonedError: cause() carries the producer's original
+/// exception when the channel was poisoned with one.
+class BrokenChannelError : public CounterPoisonedError {
  public:
-  BrokenChannelError()
-      : std::runtime_error(
+  explicit BrokenChannelError(std::exception_ptr cause = {})
+      : CounterPoisonedError(
             "broadcast channel poisoned: the producer failed before "
-            "publishing the requested item") {}
+            "publishing the requested item",
+            std::move(cause)) {}
 };
 
 /// Single-writer multiple-reader broadcast over a fixed-size array,
 /// synchronized by one monotonic counter.
-template <typename T, CounterLike C = Counter>
+///
+/// Failure handling rides the counter's own failure model: poisoning
+/// the channel IS poisoning the counter (no side flag, no sentinel
+/// increments — both earlier designs this replaced could strand a
+/// reader between the flag store and the counter release).  The frozen
+/// counter value is exactly the number of published-and-announced
+/// items, so "readable" and "throws BrokenChannelError" partition the
+/// index space with no race window.
+template <typename T, FailureAwareCounter C = Counter>
 class BroadcastChannel {
  public:
   /// Channel carrying exactly `capacity` items per run.
@@ -77,7 +90,6 @@ class BroadcastChannel {
       MC_REQUIRE(next_ < ch_.capacity(), "published past channel capacity");
       ch_.data_[next_] = std::move(item);
       ++next_;
-      ch_.published_.store(next_, std::memory_order_release);
       if (next_ % block_ == 0 || next_ == ch_.capacity()) {
         ch_.count_.Increment(next_ - announced_);
         announced_ = next_;
@@ -93,18 +105,19 @@ class BroadcastChannel {
     }
 
     /// Marks the channel broken and releases every reader: items
-    /// published so far stay readable, reads past them throw
-    /// BrokenChannelError instead of blocking forever on a producer
+    /// published so far stay readable (the partial block is flushed
+    /// first), reads past them throw BrokenChannelError — carrying
+    /// `cause` when given — instead of blocking forever on a producer
     /// that will never come back.  Call from the producer's failure
-    /// path (Pipeline does this automatically).
-    void poison() {
+    /// path with std::current_exception() (Pipeline does this
+    /// automatically).
+    void poison(std::exception_ptr cause = {}) {
       flush();
-      ch_.poisoned_.store(true, std::memory_order_release);
-      // Raise the counter to capacity so every current and future
-      // Check passes; the poisoned flag (set first, published by the
-      // counter's release operation) redirects them to the throw path.
-      ch_.count_.Increment(ch_.capacity() - announced_);
-      announced_ = ch_.capacity();
+      if (cause) {
+        ch_.count_.Poison(std::move(cause));
+      } else {
+        ch_.count_.Poison(std::string_view("broadcast producer failed"));
+      }
     }
 
     std::size_t published() const noexcept { return next_; }
@@ -129,18 +142,29 @@ class BroadcastChannel {
 
     /// Blocks until item i is published, then returns it.  Items must
     /// be requested in nondecreasing order for block batching to apply;
-    /// random access is allowed but checks per item.
+    /// random access is allowed but checks per item.  Throws
+    /// BrokenChannelError when the producer failed before publishing
+    /// item i (already-published items stay readable).
     const T& get(std::size_t i) {
       MC_REQUIRE(i < ch_.capacity(), "read past channel capacity");
       if (i >= synced_) {
         const std::size_t target =
             std::min(i - (i % block_) + block_, ch_.capacity());
-        ch_.count_.Check(target);
-        synced_ = target;
-      }
-      if (ch_.poisoned_.load(std::memory_order_acquire) &&
-          i >= ch_.published_.load(std::memory_order_acquire)) {
-        throw BrokenChannelError();
+        try {
+          ch_.count_.Check(target);
+          synced_ = target;
+        } catch (const CounterPoisonedError&) {
+          // Block batching over-asked (target can exceed i + 1); the
+          // frozen value may still cover item i itself.  Re-check the
+          // exact requirement: success below the freeze, or the real
+          // verdict — translated into the channel's vocabulary.
+          try {
+            ch_.count_.Check(i + 1);
+            synced_ = i + 1;
+          } catch (const CounterPoisonedError& e) {
+            throw BrokenChannelError(e.cause());
+          }
+        }
       }
       return ch_.data_[i];
     }
@@ -160,16 +184,12 @@ class BroadcastChannel {
   Writer writer(std::size_t block_size = 1) { return Writer(*this, block_size); }
   Reader reader(std::size_t block_size = 1) { return Reader(*this, block_size); }
 
-  /// True once a producer failed (poison()).
-  bool poisoned() const noexcept {
-    return poisoned_.load(std::memory_order_acquire);
-  }
+  /// True once a producer failed (poison()) — the counter's own state.
+  bool poisoned() const { return count_.poisoned(); }
 
  private:
   std::vector<T> data_;
   C count_;
-  std::atomic<std::size_t> published_{0};  // items actually written
-  std::atomic<bool> poisoned_{false};
 };
 
 /// Traditional-mechanism baseline: one Condition per item (bench E4).

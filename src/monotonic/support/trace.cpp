@@ -17,6 +17,8 @@ const char* to_string(TraceEventKind kind) {
       return "suspend";
     case TraceEventKind::kResume:
       return "resume";
+    case TraceEventKind::kPoison:
+      return "poison";
     case TraceEventKind::kSpanBegin:
       return "span-begin";
     case TraceEventKind::kSpanEnd:

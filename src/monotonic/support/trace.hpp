@@ -34,6 +34,7 @@ enum class TraceEventKind : std::uint8_t {
   kCheckFast,   ///< Check satisfied without suspending (arg = level)
   kSuspend,     ///< Check parked (arg = level)
   kResume,      ///< parked Check woke (arg = level)
+  kPoison,      ///< counter poisoned (arg unused)
   kSpanBegin,   ///< user phase begin
   kSpanEnd,     ///< user phase end
   kInstant,     ///< user marker

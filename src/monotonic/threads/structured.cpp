@@ -17,14 +17,22 @@ std::atomic<Execution>& default_execution_atomic() noexcept {
 }  // namespace
 
 void run_block(std::vector<std::function<void()>> statements,
-               Execution policy) {
+               Execution policy, FailureDomain* domain) {
   if (statements.empty()) return;
 
   if (policy == Execution::kSequential) {
     // §6: execution ignoring the multithreaded keyword — program order,
     // calling thread, first exception propagates directly (wrapped for
-    // a uniform catch surface).
-    for (auto& stmt : statements) stmt();
+    // a uniform catch surface).  The domain is still poisoned: later
+    // statements never run, so their increments are never coming.
+    for (auto& stmt : statements) {
+      try {
+        stmt();
+      } catch (...) {
+        if (domain != nullptr) domain->poison_all(std::current_exception());
+        throw;
+      }
+    }
     return;
   }
 
@@ -42,6 +50,13 @@ void run_block(std::vector<std::function<void()>> statements,
         } catch (...) {
           errors[i] = std::current_exception();
           any_error.store(true, std::memory_order_release);
+          // Poison before (not after) the join: siblings parked on a
+          // domain counter can only unwind — and thus join — once the
+          // poison wave reaches them.  Idempotent across multiple
+          // failing statements (each counter's first poison wins).
+          if (domain != nullptr) {
+            domain->poison_all(errors[i]);
+          }
         }
       });
     }

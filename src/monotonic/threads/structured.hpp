@@ -23,23 +23,88 @@
 // Exceptions: if any thread throws, the block still joins every thread
 // (structure is never abandoned), then rethrows a MultiError carrying
 // all captured exceptions, in statement order.
+//
+// Failure domains: the join-before-rethrow guarantee has a failure
+// mode of its own — if statement A throws while statement B is parked
+// in Check() on a level only A would have incremented, the join never
+// completes.  A FailureDomain closes the loop: register the counters a
+// block synchronizes through, pass the domain to multithreaded(), and
+// the first failing statement poisons every registered counter —
+// parked siblings unwind with CounterPoisonedError, the join
+// completes, and the block throws one MultiError carrying both the
+// original failure and the induced ones.
 #pragma once
 
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "monotonic/core/counter_concept.hpp"
 #include "monotonic/support/assert.hpp"
 #include "monotonic/threads/multi_error.hpp"
 #include "monotonic/threads/policy.hpp"
 
 namespace monotonic {
 
+/// The set of counters a multithreaded block synchronizes through,
+/// poisoned as one unit when any statement in the block throws.
+/// References registered via watch() must outlive the domain.  Thread-
+/// safe; poison_all is idempotent per counter (first poison wins) and
+/// noexcept (it runs on failure paths).
+class FailureDomain {
+ public:
+  FailureDomain() = default;
+  FailureDomain(const FailureDomain&) = delete;
+  FailureDomain& operator=(const FailureDomain&) = delete;
+
+  /// Registers a counter for poison-on-failure.
+  template <FailureAwareCounter C>
+  void watch(C& counter) {
+    std::scoped_lock lock(m_);
+    sinks_.push_back(
+        [&counter](std::exception_ptr cause) { counter.Poison(cause); });
+  }
+
+  /// Poisons every watched counter with `cause`.  Safe to call from
+  /// multiple failing threads at once.
+  void poison_all(std::exception_ptr cause) noexcept {
+    std::vector<std::function<void(std::exception_ptr)>> sinks;
+    {
+      std::scoped_lock lock(m_);
+      failed_ = true;
+      sinks = sinks_;  // run the sinks outside the lock (CP.22)
+    }
+    for (auto& sink : sinks) {
+      try {
+        sink(cause);
+      } catch (...) {
+        // Poison must not throw; a sink that does is swallowed here so
+        // the remaining counters are still released.
+      }
+    }
+  }
+
+  /// True once poison_all has run (diagnostics only).
+  bool failed() const noexcept {
+    std::scoped_lock lock(m_);
+    return failed_;
+  }
+
+ private:
+  mutable std::mutex m_;
+  std::vector<std::function<void(std::exception_ptr)>> sinks_;
+  bool failed_ = false;
+};
+
 namespace detail {
 
-/// Runs `statements` per `policy`; joins all before returning.
+/// Runs `statements` per `policy`; joins all before returning.  When a
+/// domain is given, the first failure poisons its counters.
 void run_block(std::vector<std::function<void()>> statements,
-               Execution policy);
+               Execution policy, FailureDomain* domain = nullptr);
 
 }  // namespace detail
 
@@ -51,6 +116,20 @@ inline void multithreaded(std::vector<std::function<void()>> statements,
 
 inline void multithreaded(std::vector<std::function<void()>> statements) {
   detail::run_block(std::move(statements), default_execution());
+}
+
+/// Multithreaded block bound to a failure domain: if any statement
+/// throws, every counter registered with the domain is poisoned before
+/// the join, so siblings parked on those counters unwind instead of
+/// deadlocking the block.
+inline void multithreaded(std::vector<std::function<void()>> statements,
+                          FailureDomain& domain, Execution policy) {
+  detail::run_block(std::move(statements), policy, &domain);
+}
+
+inline void multithreaded(std::vector<std::function<void()>> statements,
+                          FailureDomain& domain) {
+  detail::run_block(std::move(statements), default_execution(), &domain);
 }
 
 /// Variadic convenience: multithreaded_block(fn0, fn1, fn2).

@@ -4,9 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <numeric>
+#include <stdexcept>
+#include <stop_token>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -14,6 +19,7 @@
 
 #include "monotonic/core/any_counter.hpp"
 #include "monotonic/core/counter.hpp"
+#include "monotonic/core/counter_error.hpp"
 #include "monotonic/support/rng.hpp"
 #include "monotonic/threads/structured.hpp"
 
@@ -172,6 +178,120 @@ TEST(CounterProperty, RandomAmountsMatchRunningSum) {
     }
   }
 }
+
+// Chaos round: writers, blocking checkers, and cancellable checkers
+// storm one counter while a controller randomly cancels and/or poisons
+// mid-storm.  The property under test is the failure model's central
+// guarantee: WHATEVER the interleaving, no thread is left permanently
+// parked — the block always joins — and every checker exits through
+// one of exactly three doors: completed, cancelled, or
+// CounterPoisonedError.
+class ChaosRound : public ::testing::TestWithParam<const char*> {};
+
+std::string chaos_name(const ::testing::TestParamInfo<const char*>& info) {
+  std::string out(info.param);
+  for (char& c : out) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return out;
+}
+
+TEST_P(ChaosRound, RandomPoisonAndCancelLeaveNoThreadParked) {
+  const std::string_view spec = GetParam();
+  Xoshiro256 rng(0xC4A05u ^ std::hash<std::string_view>{}(spec));
+  constexpr int kTrials = 8;
+  constexpr int kWriters = 2;
+  constexpr int kCheckers = 3;
+  constexpr int kCancellable = 2;
+  constexpr counter_value_t kTotal = 1800;
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto counter = make_counter(spec);
+    std::stop_source cancel;
+    const bool do_cancel = rng.uniform(0, 1) == 1;
+    const bool do_poison = rng.uniform(0, 3) != 0;  // 3 in 4 trials
+    const auto writer_pause = std::chrono::microseconds(rng.uniform(0, 40));
+    const auto chaos_delay = std::chrono::microseconds(rng.uniform(0, 1500));
+
+    std::atomic<int> completed{0};
+    std::atomic<int> cancelled{0};
+    std::atomic<int> poisoned_exits{0};
+    {
+      std::vector<std::jthread> threads;
+      threads.reserve(kWriters + kCheckers + kCancellable + 1);
+      for (int w = 0; w < kWriters; ++w) {
+        threads.emplace_back([&] {
+          // Increment never throws — a poisoned counter counts drops.
+          for (counter_value_t i = 0; i < kTotal / kWriters; ++i) {
+            counter->Increment(1);
+            if (writer_pause.count() > 0 && i % 256 == 0) {
+              std::this_thread::sleep_for(writer_pause);
+            }
+          }
+          // A check-side call publishes any tail the spec buffered
+          // (Batching flushes on every Check-family entry; level 0 is
+          // always reached, so this never blocks or throws).
+          counter->Check(0);
+        });
+      }
+      for (int r = 0; r < kCheckers; ++r) {
+        threads.emplace_back([&, r] {
+          try {
+            for (counter_value_t level = static_cast<counter_value_t>(r) + 1;
+                 level <= kTotal; level += kCheckers) {
+              counter->Check(level);
+            }
+            completed.fetch_add(1, std::memory_order_relaxed);
+          } catch (const CounterPoisonedError&) {
+            poisoned_exits.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      }
+      for (int c = 0; c < kCancellable; ++c) {
+        threads.emplace_back([&, token = cancel.get_token()] {
+          try {
+            for (counter_value_t level = 1; level <= kTotal; level += 7) {
+              if (!counter->Check(level, token)) {
+                cancelled.fetch_add(1, std::memory_order_relaxed);
+                return;
+              }
+            }
+            completed.fetch_add(1, std::memory_order_relaxed);
+          } catch (const CounterPoisonedError&) {
+            poisoned_exits.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      }
+      threads.emplace_back([&] {  // the chaos controller
+        std::this_thread::sleep_for(chaos_delay);
+        if (do_cancel) cancel.request_stop();
+        if (do_poison) {
+          counter->Poison(
+              std::make_exception_ptr(std::runtime_error("chaos strike")));
+        }
+      });
+    }  // jthread join: the no-thread-left-parked assertion itself
+
+    EXPECT_EQ(completed.load() + cancelled.load() + poisoned_exits.load(),
+              kCheckers + kCancellable)
+        << spec << " trial " << trial;
+    EXPECT_EQ(counter->poisoned(), do_poison) << spec << " trial " << trial;
+    if (!do_poison) {
+      EXPECT_EQ(poisoned_exits.load(), 0) << spec << " trial " << trial;
+      // No poison: the full total was published, so plain checkers all
+      // ran to completion.
+      EXPECT_GE(completed.load(), kCheckers) << spec << " trial " << trial;
+      counter->Check(kTotal);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Chaos, ChaosRound,
+    ::testing::Values("list", "single-cv", "futex", "spin", "hybrid",
+                      "hybrid+batching,batch=4", "list+broadcast,shards=2",
+                      "hybrid+traced"),
+    chaos_name);
 
 // The §7 storage claim under churn: many distinct levels over the
 // counter's lifetime, few at any instant.

@@ -31,4 +31,7 @@ cmake -B "$build_dir" -G Ninja \
   -DMONOTONIC_BUILD_EXAMPLES=OFF \
   "$repo_root"
 cmake --build "$build_dir"
-ctest --test-dir "$build_dir" --output-on-failure ${ctest_args[@]+"${ctest_args[@]}"}
+# --timeout: a hung test (stranded waiter) fails fast instead of
+# stalling the whole sanitizer run.
+ctest --test-dir "$build_dir" --output-on-failure --timeout 120 \
+  ${ctest_args[@]+"${ctest_args[@]}"}
