@@ -39,6 +39,11 @@ using bench::note;
 
 constexpr int kReps = 3;
 
+// --quick (CI's bench-smoke job) shrinks workloads and skips the
+// slowest ablations; --json records machine-readable rows.
+bool g_quick = false;
+bench::JsonlWriter g_json;
+
 template <typename C>
 void fw_row(TextTable& table, const std::string& name,
             const SquareMatrix& edges, const FwOptions& options,
@@ -76,6 +81,8 @@ void fw_ablation() {
                       [] { return new SpinCounter(); });
   fw_row<HybridCounter>(table, "hybrid", edges, options,
                         [] { return new HybridCounter(); });
+  fw_row<ShardedHybridCounter>(table, "sharded+hybrid", edges, options,
+                               [] { return new ShardedHybridCounter(); });
   bench::print(table);
 }
 
@@ -106,29 +113,39 @@ void heat_ablation() {
 }
 
 void handoff_ablation() {
-  banner("E10.c", "1:1 handoff chain latency (10k handoffs)");
+  const counter_value_t handoffs = g_quick ? 2000 : 10000;
+  banner("E10.c", "1:1 handoff chain latency (" +
+                      std::to_string(handoffs) + " handoffs)");
   TextTable table({"impl", "ms", "us/handoff"});
-  constexpr counter_value_t kHandoffs = 10000;
+  std::vector<std::string> specs;
   for (CounterKind kind : all_counter_kinds()) {
-    const double ms = median_ms(kReps, [&] {
-      auto ping = make_counter(kind);
-      auto pong = make_counter(kind);
+    specs.emplace_back(to_string(kind));
+  }
+  specs.emplace_back("sharded+hybrid");
+  for (const std::string& spec : specs) {
+    const double ms = median_ms(g_quick ? 1 : kReps, [&] {
+      auto ping = make_counter(std::string_view(spec));
+      auto pong = make_counter(std::string_view(spec));
       multithreaded_block(
           [&] {
-            for (counter_value_t i = 1; i <= kHandoffs; ++i) {
+            for (counter_value_t i = 1; i <= handoffs; ++i) {
               ping->Increment(1);
               pong->Check(i);
             }
           },
           [&] {
-            for (counter_value_t i = 1; i <= kHandoffs; ++i) {
+            for (counter_value_t i = 1; i <= handoffs; ++i) {
               ping->Check(i);
               pong->Increment(1);
             }
           });
     });
-    table.add_row({std::string(to_string(kind)), cell(ms),
-                   cell(ms * 1000.0 / static_cast<double>(kHandoffs), 2)});
+    table.add_row({spec, cell(ms),
+                   cell(ms * 1000.0 / static_cast<double>(handoffs), 2)});
+    const auto probe = make_counter(std::string_view(spec));
+    g_json.record("handoff", spec, 2,
+                  ms * 1e6 / static_cast<double>(handoffs),
+                  probe->stripe_count());
   }
   bench::print(table);
 }
@@ -139,8 +156,8 @@ void decorator_sweep() {
        "the reader drives the type-erased CheckFor until the total lands.");
   TextTable table({"spec", "ms", "increments", "notifies", "suspensions"});
   constexpr int kWriters = 4;
-  constexpr counter_value_t kPerWriter = 50000;
-  constexpr counter_value_t kTotal = kWriters * kPerWriter;
+  const counter_value_t kPerWriter = g_quick ? 5000 : 50000;
+  const counter_value_t kTotal = kWriters * kPerWriter;
   const std::vector<std::string> specs = {
       "list",
       "list+traced",
@@ -148,10 +165,12 @@ void decorator_sweep() {
       "hybrid+batching,batch=64",
       "list+broadcast,shards=4",
       "hybrid+batching,batch=64+traced",
+      "sharded+hybrid",
+      "sharded:8+hybrid+traced",
   };
   for (const std::string& spec : specs) {
     auto probe = make_counter(spec);
-    const double ms = median_ms(kReps, [&] {
+    const double ms = median_ms(g_quick ? 1 : kReps, [&] {
       auto c = make_counter(spec);
       std::atomic<bool> reached{false};
       c->OnReach(kTotal, [&reached] {
@@ -184,6 +203,9 @@ void decorator_sweep() {
     const auto s = probe->stats();
     table.add_row({probe->spec(), cell(ms), cell(s.increments),
                    cell(s.notifies), cell(s.suspensions)});
+    g_json.record("decorator_sweep", probe->spec(), kWriters + 1,
+                  ms * 1e6 / static_cast<double>(kTotal),
+                  probe->stripe_count());
   }
   bench::print(table);
 }
@@ -250,11 +272,19 @@ void poison_wake_latency() {
 }  // namespace
 }  // namespace monotonic
 
-int main() {
-  monotonic::fw_ablation();
-  monotonic::heat_ablation();
+int main(int argc, char** argv) {
+  const auto cli = monotonic::bench::consume_common_flags(&argc, argv);
+  monotonic::g_quick = cli.quick;
+  monotonic::g_json = monotonic::bench::JsonlWriter(cli.json_path);
+  if (!monotonic::g_quick) {
+    // The slowest ablations add nothing to the smoke signal.
+    monotonic::fw_ablation();
+    monotonic::heat_ablation();
+  }
   monotonic::handoff_ablation();
   monotonic::decorator_sweep();
-  monotonic::poison_wake_latency();
+  if (!monotonic::g_quick) {
+    monotonic::poison_wake_latency();
+  }
   return 0;
 }

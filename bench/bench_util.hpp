@@ -8,6 +8,7 @@
 // on for a single-core host (DESIGN.md §3).
 #pragma once
 
+#include <cstddef>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -17,6 +18,64 @@
 #include "monotonic/support/table.hpp"
 
 namespace monotonic::bench {
+
+/// Machine-readable bench output: one JSON object per line (JSONL),
+/// appended to the path given via --json.  tools/run_bench.sh merges
+/// the lines from all bench binaries into one BENCH_counter.json
+/// array.  With an empty path every call is a no-op, so benches can
+/// record unconditionally.
+class JsonlWriter {
+ public:
+  JsonlWriter() = default;
+  explicit JsonlWriter(std::string path) : path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Records one measurement row.  `op` is the workload name, `impl`
+  /// the counter spec, `threads` the producer thread count, and
+  /// `stripes` the value-plane stripe count (1 for unsharded).
+  void record(const std::string& op, const std::string& impl, int threads,
+              double ns_per_op, std::size_t stripes) const {
+    if (path_.empty()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "a");
+    if (f == nullptr) return;
+    std::fprintf(f,
+                 "{\"op\":\"%s\",\"impl\":\"%s\",\"threads\":%d,"
+                 "\"ns_per_op\":%.2f,\"stripes\":%zu}\n",
+                 op.c_str(), impl.c_str(), threads, ns_per_op, stripes);
+    std::fclose(f);
+  }
+
+ private:
+  std::string path_;
+};
+
+/// Pulls `--json <path>` / `--json=<path>` and `--quick` out of argv
+/// (compacting it in place) so bench mains can hand the remainder to
+/// their own flag parsing (e.g. google-benchmark's Initialize).
+struct BenchCliOptions {
+  std::string json_path;
+  bool quick = false;
+};
+
+inline BenchCliOptions consume_common_flags(int* argc, char** argv) {
+  BenchCliOptions out;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      out.quick = true;
+    } else if (arg == "--json" && i + 1 < *argc) {
+      out.json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      out.json_path = arg.substr(7);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  return out;
+}
 
 /// Median wall time (milliseconds) of `reps` runs of fn().
 template <typename Fn>

@@ -17,9 +17,11 @@
 #include <exception>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "monotonic/core/any_counter.hpp"
+#include "monotonic/core/counter_stats.hpp"
 #include "monotonic/support/cli.hpp"
 #include "monotonic/threads/structured.hpp"
 
@@ -72,15 +74,15 @@ int run(int argc, char** argv) {
   multithreaded(std::move(bodies), Execution::kMultithreaded);
 
   counter->Check(total);  // plain blocking Check: passes immediately now
-  const auto s = counter->stats();
-  std::printf(
-      "value %llu, milestones %d, increments %llu, fast checks %llu, "
-      "suspensions %llu, notifies %llu\n",
-      static_cast<unsigned long long>(counter->debug_value()),
-      milestones_fired.load(), static_cast<unsigned long long>(s.increments),
-      static_cast<unsigned long long>(s.fast_checks),
-      static_cast<unsigned long long>(s.suspensions),
-      static_cast<unsigned long long>(s.notifies));
+  std::printf("value %llu, milestones %d\n",
+              static_cast<unsigned long long>(counter->debug_value()),
+              milestones_fired.load());
+  // Auto-width stats table: columns line up at any magnitude, and the
+  // stripe columns appear only when the spec is sharded.
+  std::printf("%s", counter_stats_table(
+                        {{counter->spec(), counter->stats()}})
+                        .to_string()
+                        .c_str());
   return 0;
 }
 

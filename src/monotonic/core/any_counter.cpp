@@ -6,9 +6,23 @@
 // compile-time composition and runtime spec strings.  A broadcast
 // layer re-runs the builder once per shard, giving each shard its own
 // private copy of the inner stack.
+//
+// A "sharded[:N]" prefix is not a decorator: it selects the striped
+// value plane *inside* the base counter (BasicCounter<Policy,
+// StripedPlane>), so it is parsed off the front before the base and
+// re-printed first in the canonical spec.  An explicit ":N" is always
+// printed; the auto stripe count (sized from hardware_concurrency) is
+// never printed, so canonical specs stay machine-independent.
+//
+// Spec errors throw std::invalid_argument with a message naming the
+// offending token — "hybrid+traced+traced" reports the duplicated
+// 'traced', not a generic parse failure — because specs arrive from
+// command lines and config files where "something was wrong" is
+// useless.
 
 #include "monotonic/core/any_counter.hpp"
 
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -45,8 +59,8 @@ CounterKind counter_kind_from_string(std::string_view name) {
   for (CounterKind k : all_counter_kinds()) {
     if (to_string(k) == name) return k;
   }
-  MC_REQUIRE(false, "unknown counter kind");
-  return CounterKind::kList;  // unreachable
+  throw std::invalid_argument("unknown counter kind '" + std::string(name) +
+                              "'");
 }
 
 const std::vector<CounterKind>& all_counter_kinds() {
@@ -57,13 +71,22 @@ const std::vector<CounterKind>& all_counter_kinds() {
 }
 
 std::string_view counter_spec_help() {
-  return "kind[,opt=val...][+decorator[,opt=val...]]... — kinds: list, "
-         "list-nopool, single-cv, futex, spin, hybrid; base opts: pool=0|1, "
-         "pool_size=N; decorators: traced, batching[,batch=N], "
-         "broadcast[,shards=N]";
+  return "[sharded[:N]+]kind[,opt=val...][+decorator[,opt=val...]]... — "
+         "kinds: list, list-nopool, single-cv, futex, spin, hybrid; "
+         "sharded[:N] stripes the value plane (bare 'sharded' = "
+         "sharded+hybrid); base opts: pool=0|1, pool_size=N; decorators: "
+         "traced, batching[,batch=N], broadcast[,shards=N] (each at most "
+         "once)";
 }
 
 namespace {
+
+/// All spec diagnostics funnel through here so every failure names the
+/// token that caused it and carries the same exception type as
+/// MC_REQUIRE (std::invalid_argument).
+[[noreturn]] void spec_error(const std::string& msg) {
+  throw std::invalid_argument("counter spec: " + msg);
+}
 
 struct SpecPart {
   std::string name;
@@ -93,15 +116,17 @@ std::vector<SpecPart> parse_spec(std::string_view spec) {
   std::vector<SpecPart> parts;
   for (const std::string& chunk : split(spec, '+')) {
     const std::vector<std::string> tokens = split(chunk, ',');
-    MC_REQUIRE(!tokens.empty() && !tokens.front().empty(),
-               "empty component in counter spec");
+    if (tokens.empty() || tokens.front().empty()) {
+      spec_error("empty component in '" + std::string(spec) + "'");
+    }
     SpecPart part;
     part.name = tokens.front();
     for (std::size_t i = 1; i < tokens.size(); ++i) {
       const std::string& tok = tokens[i];
       const std::size_t eq = tok.find('=');
-      MC_REQUIRE(eq != std::string::npos && eq > 0 && eq + 1 < tok.size(),
-                 "counter spec options must be key=value");
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= tok.size()) {
+        spec_error("option '" + tok + "' must be key=value");
+      }
       part.options.emplace_back(trim(tok.substr(0, eq)),
                                 trim(tok.substr(eq + 1)));
     }
@@ -111,25 +136,87 @@ std::vector<SpecPart> parse_spec(std::string_view spec) {
 }
 
 std::uint64_t parse_uint(const std::string& key, const std::string& value) {
+  if (value.empty()) spec_error("option '" + key + "' needs a numeric value");
   std::uint64_t out = 0;
-  MC_REQUIRE(!value.empty(), "counter spec option value must be numeric");
   for (char c : value) {
-    MC_REQUIRE(c >= '0' && c <= '9',
-               "counter spec option value must be numeric");
+    if (c < '0' || c > '9') {
+      spec_error("option '" + key + "' value '" + value + "' is not numeric");
+    }
     out = out * 10 + static_cast<std::uint64_t>(c - '0');
   }
-  (void)key;
   return out;
+}
+
+bool is_shard_token(const std::string& name) {
+  return name == "sharded" || name.rfind("sharded:", 0) == 0;
+}
+
+struct ShardPrefix {
+  bool sharded = false;
+  std::size_t stripes = 0;  ///< 0 = auto (hardware_concurrency)
+};
+
+/// Consumes a leading "sharded" / "sharded:N" component.  Bare
+/// "sharded" with nothing after it means "sharded+hybrid", so a hybrid
+/// base part is synthesized in that case.
+ShardPrefix take_shard_prefix(std::vector<SpecPart>& parts) {
+  ShardPrefix out;
+  if (parts.empty() || !is_shard_token(parts.front().name)) return out;
+  const SpecPart part = std::move(parts.front());
+  parts.erase(parts.begin());
+  out.sharded = true;
+  if (!part.options.empty()) {
+    spec_error(
+        "'sharded' takes no key=value options; fix the stripe count "
+        "with 'sharded:N'");
+  }
+  if (part.name != "sharded") {
+    const std::string digits =
+        part.name.substr(std::string("sharded:").size());
+    const std::uint64_t n = parse_uint("sharded:N", digits);
+    if (n < 1) spec_error("'" + part.name + "' needs at least one stripe");
+    out.stripes = static_cast<std::size_t>(n);
+  }
+  if (parts.empty()) {
+    SpecPart hybrid;
+    hybrid.name = "hybrid";
+    parts.push_back(std::move(hybrid));
+  }
+  return out;
+}
+
+/// Satellite check run before any layer is built: every decorator must
+/// be a known name and appear at most once, and 'sharded' cannot ride
+/// in decorator position.  Reported by token so "hybrid+traced+traced"
+/// and "hybrid+tarced" both say exactly what's wrong.
+void validate_decorators(const std::vector<SpecPart>& parts) {
+  std::vector<std::string> seen;
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::string& name = parts[i].name;
+    if (is_shard_token(name)) {
+      spec_error("'" + name + "' must be the first component of a spec");
+    }
+    if (name != "traced" && name != "batching" && name != "broadcast") {
+      spec_error("unknown decorator '" + name + "'");
+    }
+    for (const std::string& s : seen) {
+      if (s == name) spec_error("duplicate decorator '" + name + "'");
+    }
+    seen.push_back(name);
+  }
 }
 
 struct BaseConfig {
   CounterKind kind;
+  bool sharded = false;
   WaitListOptions options;
 };
 
-BaseConfig parse_base(const SpecPart& part) {
+BaseConfig parse_base(const SpecPart& part, const ShardPrefix& shard) {
   BaseConfig cfg;
   cfg.kind = counter_kind_from_string(part.name);
+  cfg.sharded = shard.sharded;
+  cfg.options.stripes = shard.stripes;
   if (cfg.kind == CounterKind::kListNoPool) cfg.options.pool_nodes = false;
   for (const auto& [key, value] : part.options) {
     if (key == "pool") {
@@ -137,7 +224,7 @@ BaseConfig parse_base(const SpecPart& part) {
     } else if (key == "pool_size") {
       cfg.options.max_pool_size = parse_uint(key, value);
     } else {
-      MC_REQUIRE(false, "unknown counter option");
+      spec_error("unknown option '" + key + "' for base '" + part.name + "'");
     }
   }
   // "list,pool=0" and "list-nopool" are the same configuration; fold to
@@ -151,7 +238,17 @@ BaseConfig parse_base(const SpecPart& part) {
 }
 
 std::string canonical_base(const BaseConfig& cfg) {
-  std::string out{to_string(cfg.kind)};
+  std::string out;
+  if (cfg.sharded) {
+    out += "sharded";
+    // Explicit stripe counts always print; the auto count never does,
+    // so canonical specs are identical across machines.
+    if (cfg.options.stripes != 0) {
+      out += ':' + std::to_string(cfg.options.stripes);
+    }
+    out += '+';
+  }
+  out += to_string(cfg.kind);
   const bool default_pool = cfg.kind != CounterKind::kListNoPool;
   if (cfg.options.pool_nodes != default_pool) {
     out += cfg.options.pool_nodes ? ",pool=1" : ",pool=0";
@@ -165,6 +262,26 @@ std::string canonical_base(const BaseConfig& cfg) {
 std::unique_ptr<AnyCounter> make_base(const BaseConfig& cfg,
                                       std::string spec) {
   using detail::CounterModel;
+  if (cfg.sharded) {
+    switch (cfg.kind) {
+      case CounterKind::kList:
+      case CounterKind::kListNoPool:
+        return std::make_unique<CounterModel<ShardedCounter>>(
+            cfg.kind, std::move(spec), cfg.options);
+      case CounterKind::kSingleCv:
+        return std::make_unique<CounterModel<ShardedSingleCvCounter>>(
+            cfg.kind, std::move(spec), cfg.options);
+      case CounterKind::kFutex:
+        return std::make_unique<CounterModel<ShardedFutexCounter>>(
+            cfg.kind, std::move(spec), cfg.options);
+      case CounterKind::kSpin:
+        return std::make_unique<CounterModel<ShardedSpinCounter>>(
+            cfg.kind, std::move(spec), cfg.options);
+      case CounterKind::kHybrid:
+        return std::make_unique<CounterModel<ShardedHybridCounter>>(
+            cfg.kind, std::move(spec), cfg.options);
+    }
+  }
   switch (cfg.kind) {
     case CounterKind::kList:
     case CounterKind::kListNoPool:
@@ -205,7 +322,9 @@ std::string canonical_layers(const std::vector<SpecPart>& parts,
     } else if (part.name == "batching") {
       counter_value_t batch = 64;
       for (const auto& [key, value] : part.options) {
-        MC_REQUIRE(key == "batch", "unknown batching option");
+        if (key != "batch") {
+          spec_error("unknown option '" + key + "' for decorator 'batching'");
+        }
         batch = parse_uint(key, value);
       }
       spec += batch == 64 ? std::string("batching")
@@ -213,14 +332,16 @@ std::string canonical_layers(const std::vector<SpecPart>& parts,
     } else if (part.name == "broadcast") {
       std::uint64_t shards = Broadcasting<Counter>::kDefaultShards;
       for (const auto& [key, value] : part.options) {
-        MC_REQUIRE(key == "shards", "unknown broadcast option");
+        if (key != "shards") {
+          spec_error("unknown option '" + key + "' for decorator 'broadcast'");
+        }
         shards = parse_uint(key, value);
       }
       spec += shards == Broadcasting<Counter>::kDefaultShards
                   ? std::string("broadcast")
                   : "broadcast,shards=" + std::to_string(shards);
     } else {
-      MC_REQUIRE(false, "unknown counter decorator");
+      spec_error("unknown decorator '" + part.name + "'");
     }
   }
   return spec;
@@ -242,7 +363,9 @@ std::unique_ptr<AnyCounter> build_layers(const std::vector<SpecPart>& parts,
   if (part.name == "batching") {
     counter_value_t batch = 64;
     for (const auto& [key, value] : part.options) {
-      MC_REQUIRE(key == "batch", "unknown batching option");
+      if (key != "batch") {
+        spec_error("unknown option '" + key + "' for decorator 'batching'");
+      }
       batch = parse_uint(key, value);
     }
     return std::make_unique<CounterModel<Batching<AnyHandle>>>(
@@ -252,10 +375,12 @@ std::unique_ptr<AnyCounter> build_layers(const std::vector<SpecPart>& parts,
   if (part.name == "broadcast") {
     std::uint64_t shards = Broadcasting<Counter>::kDefaultShards;
     for (const auto& [key, value] : part.options) {
-      MC_REQUIRE(key == "shards", "unknown broadcast option");
+      if (key != "shards") {
+        spec_error("unknown option '" + key + "' for decorator 'broadcast'");
+      }
       shards = parse_uint(key, value);
     }
-    MC_REQUIRE(shards >= 1, "broadcast requires at least one shard");
+    if (shards < 1) spec_error("'broadcast' requires at least one shard");
     return std::make_unique<CounterModel<Broadcasting<AnyHandle>>>(
         base.kind, std::move(spec), static_cast<std::size_t>(shards),
         [&](std::size_t) {
@@ -263,8 +388,7 @@ std::unique_ptr<AnyCounter> build_layers(const std::vector<SpecPart>& parts,
               build_layers(parts, base, layers - 1));
         });
   }
-  MC_REQUIRE(false, "unknown counter decorator");
-  return nullptr;  // unreachable
+  spec_error("unknown decorator '" + part.name + "'");
 }
 
 }  // namespace
@@ -277,8 +401,10 @@ std::unique_ptr<AnyCounter> make_counter(CounterKind kind) {
 }
 
 std::unique_ptr<AnyCounter> make_counter(std::string_view spec) {
-  const std::vector<SpecPart> parts = parse_spec(spec);
-  const BaseConfig base = parse_base(parts.front());
+  std::vector<SpecPart> parts = parse_spec(spec);
+  const ShardPrefix shard = take_shard_prefix(parts);
+  validate_decorators(parts);
+  const BaseConfig base = parse_base(parts.front(), shard);
   return build_layers(parts, base, parts.size() - 1);
 }
 

@@ -10,11 +10,15 @@
 // timed/async operations and introspection too, and make_counter grew
 // a *spec-string* overload for composed decorator stacks:
 //
-//   spec     := base ('+' decorator)*
+//   spec     := ['sharded'[':'N] '+'] base ('+' decorator)*
 //   base     := kind (',' key '=' value)*          e.g. "list,pool=0"
 //   decorator:= name (',' key '=' value)*          e.g. "batching,batch=64"
 //
 //   kinds:      list, list-nopool, single-cv, futex, spin, hybrid
+//   sharded:    stripes the *value plane* (striped_cells.hpp) under the
+//               chosen base; ":N" fixes the stripe count, otherwise it
+//               is sized from hardware_concurrency.  Bare "sharded" is
+//               shorthand for "sharded+hybrid".
 //   base opts:  pool=0|1, pool_size=N              (wait-node pooling)
 //   decorators: traced                             (Tracer events)
 //               batching  [batch=N, default 64]    (amortized Increment)
@@ -24,10 +28,14 @@
 // is Traced<hybrid>; "list+batching,batch=8+traced" is
 // Traced<Batching<list>>.  A broadcast decorator rebuilds everything to
 // its left once per shard.  spec() returns the canonical form, so
-// bench tables are self-describing and specs round-trip.
+// bench tables are self-describing and specs round-trip.  Malformed
+// specs — unknown kinds/decorators, a duplicated decorator, options on
+// the wrong component — throw std::invalid_argument naming the bad
+// token ("hybrid+traced+traced" → "duplicate decorator 'traced' ...").
 #pragma once
 
 #include <chrono>
+#include <cstddef>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -37,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "monotonic/core/counter_concept.hpp"
 #include "monotonic/core/counter_error.hpp"
 #include "monotonic/core/counter_stats.hpp"
 #include "monotonic/core/wait_list.hpp"
@@ -87,6 +96,9 @@ class AnyCounter {
   virtual counter_value_t debug_value() const = 0;
   virtual CounterStatsSnapshot stats() const = 0;
   virtual void stats_reset() = 0;
+  /// Value-plane stripes of the innermost implementation (1 when
+  /// unsharded; >1 only for "sharded[:N]+..." specs).
+  virtual std::size_t stripe_count() const = 0;
   /// Kind of the innermost (base) implementation.
   virtual CounterKind kind() const = 0;
   /// Canonical spec string ("hybrid+traced"); round-trips through
@@ -166,6 +178,7 @@ class AnyHandle {
   counter_value_t debug_value() const { return inner_->debug_value(); }
   CounterStatsSnapshot stats() const { return inner_->stats(); }
   void stats_reset() { inner_->stats_reset(); }
+  std::size_t stripe_count() const { return inner_->stripe_count(); }
   CounterKind kind() const { return inner_->kind(); }
   const std::string& spec() const { return inner_->spec(); }
 
@@ -215,6 +228,9 @@ class CounterModel final : public AnyCounter {
   counter_value_t debug_value() const override { return impl_.debug_value(); }
   CounterStatsSnapshot stats() const override { return impl_.stats(); }
   void stats_reset() override { impl_.stats_reset(); }
+  std::size_t stripe_count() const override {
+    return detail::stripe_count_of(impl_);
+  }
   CounterKind kind() const override { return kind_; }
   const std::string& spec() const override { return spec_; }
 

@@ -8,13 +8,23 @@
 //    amount.  Check suspends the calling thread until the value of the
 //    counter is greater than or equal to a specified level."  (§1)
 //
-// BasicCounter<WaitPolicy> owns everything the policies share — the
-// value, the §7 ordered wait list (wait_list.hpp), the OnReach
-// callback list, node pooling, stats, Reset, timed checks and
-// debug_snapshot() — and delegates exactly two decisions to the policy
-// (wait_policy.hpp): whether the fast paths are lock-free, and how a
-// parked thread sleeps / a released node wakes.  The five historical
-// implementations are aliases:
+// BasicCounter<WaitPolicy, ValuePlane> is two cooperating planes:
+//
+//   * the VALUE PLANE (second template parameter, value_plane.hpp /
+//     striped_cells.hpp) owns the monotone value — how Increment
+//     publishes into it, and when an incrementer must divert to the
+//     locked slow path (the attention bit or the lowest-armed-level
+//     watermark);
+//   * the WAIT PLANE — this engine plus the policy — owns waiter
+//     management: the §7 ordered wait list (wait_list.hpp), the
+//     OnReach callback list, node pooling, stats, Reset, timed checks,
+//     poisoning, cancellation, the stall watchdog and
+//     debug_snapshot().  The policy (wait_policy.hpp) decides how a
+//     parked thread sleeps / a released node wakes.
+//
+// The plane defaults to the storage each pre-plane counter used (an
+// atomic word for lock-free policies, a mutex-guarded word for locking
+// ones), so the five historical implementations are aliases:
 //
 //   Counter         = BasicCounter<BlockingWait>   (§7 reference)
 //   SingleCvCounter = BasicCounter<SingleCvWait>   (broadcast baseline)
@@ -22,9 +32,14 @@
 //   SpinCounter     = BasicCounter<SpinWait>
 //   HybridCounter   = BasicCounter<HybridWait>
 //
-// so every implementation uniformly supports CheckFor/CheckUntil,
-// OnReach, Reset, pooled wait nodes and Figure-2 introspection, with
-// identical checked-usage semantics.
+// and each grows a Sharded sibling that swaps in the striped plane
+// (ShardedCounter, ShardedFutexCounter, ShardedSpinCounter,
+// ShardedHybridCounter — see the per-alias headers), under which
+// uncontended Increment is one fetch_add on a private cache line and
+// waiters arm a watermark instead of a global attention bit.  Every
+// instantiation uniformly supports CheckFor/CheckUntil, OnReach,
+// Reset, pooled wait nodes and Figure-2 introspection, with identical
+// checked-usage semantics.
 //
 // Deliberate API omissions, per §2:
 //   * no Decrement — the value is monotone, so an enabled Check can
@@ -35,16 +50,17 @@
 //     use debug_snapshot()/debug_value(), named so misuse is
 //     conspicuous.
 //
-// Lock-free fast paths (FutexWait, SpinWait, HybridWait) use the
-// attention-bit protocol: the value lives in one atomic word with bit 0
-// flagging "a slow-path pass is required" (parked waiters and/or
-// pending callbacks).  The classic lost-wakeup hazard (value rises
-// between the waiter's check and its enqueue) is closed by re-reading
-// the value *after* setting the bit while holding the mutex: either the
-// racing Increment sees the bit (and will take the mutex, which we hold
-// first) or the waiter sees the new value (and doesn't sleep).  The
-// cost: the logical value is capped at 2^63-1 (one bit spent on the
-// flag), and increments during a waiter's residency each pay the lock.
+// Lock-free fast paths (planes with kLockFreeFastPath) follow one
+// arm/re-check discipline, whatever the storage: a waiter arms the
+// plane for its level *under the mutex* (setting the attention bit, or
+// lowering the watermark), then re-checks the collapsed value.  The
+// classic lost-wakeup hazard (value rises between the waiter's check
+// and its enqueue) is closed because a racing Increment either sees
+// the armed plane (and will take the mutex, which we hold first) or
+// happened before our re-check (and we see its value).  The cost: the
+// logical value is capped at 2^63-1 (headroom the planes spend on the
+// flag bit / watermark sentinel), and increments that can cross an
+// armed level each pay the lock.
 //
 // Failure model (engine extension — see counter_error.hpp).  §6's
 // determinism argument assumes every awaited Increment eventually
@@ -72,6 +88,7 @@
 //     is a diagnosable report instead of a silent hang.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <exception>
@@ -87,6 +104,7 @@
 
 #include "monotonic/core/counter_error.hpp"
 #include "monotonic/core/counter_stats.hpp"
+#include "monotonic/core/value_plane.hpp"
 #include "monotonic/core/wait_list.hpp"
 #include "monotonic/core/wait_policy.hpp"
 #include "monotonic/support/assert.hpp"
@@ -95,19 +113,6 @@
 namespace monotonic {
 
 namespace detail {
-
-/// Value representation: a plain word guarded by the counter mutex
-/// (locking policies) or an atomic word with the attention bit
-/// (lock-free policies).
-template <bool LockFree>
-struct CounterValueRep {
-  counter_value_t value = 0;  // guarded by the counter mutex
-};
-
-template <>
-struct CounterValueRep<true> {
-  std::atomic<counter_value_t> word{0};  // (value << 1) | attention
-};
 
 /// Converts an arbitrary-clock deadline to the steady clock the wait
 /// engine runs on.  time_point_cast only converts the duration type,
@@ -131,27 +136,30 @@ std::chrono::steady_clock::time_point to_steady_deadline(
 }  // namespace detail
 
 /// Monotonic counter per Thornley & Chandy, generic over the waiting
-/// policy (see wait_policy.hpp for the policy contract).
-template <typename Policy>
+/// policy (see wait_policy.hpp for the policy contract) and the value
+/// plane (value_plane.hpp / striped_cells.hpp for the plane contract).
+template <typename Policy, typename Plane = detail::DefaultPlane<Policy>>
 class BasicCounter {
  public:
   using WaitPolicy = Policy;
+  using ValuePlane = Plane;
   using Options = WaitListOptions;
   using DebugWaitLevel = monotonic::DebugWaitLevel;
   using DebugSnapshot = CounterDebugSnapshot;
 
-  /// True when uncontended Increment / satisfied Check are lock-free.
-  static constexpr bool kLockFreeFastPath = Policy::kLockFreeFastPath;
+  /// True when uncontended Increment / satisfied Check are lock-free —
+  /// the PLANE's call, not the policy's: a striped plane gives lock-
+  /// free fast paths to a locking policy (ShardedCounter pairs
+  /// BlockingWait with StripedPlane).
+  static constexpr bool kLockFreeFastPath = Plane::kLockFreeFastPath;
 
-  /// Maximum representable value.  Lock-free policies spend bit 0 of
-  /// the word on the attention flag, halving the range.
-  static constexpr counter_value_t kMaxValue =
-      kLockFreeFastPath ? (std::numeric_limits<counter_value_t>::max() >> 1)
-                        : std::numeric_limits<counter_value_t>::max();
+  /// Maximum representable value.  Lock-free planes spend headroom on
+  /// the attention flag / watermark sentinel, halving the range.
+  static constexpr counter_value_t kMaxValue = Plane::kMaxValue;
 
   BasicCounter() : BasicCounter(Options{}) {}
   explicit BasicCounter(const Options& options)
-      : options_(options), list_(options_, stats_) {}
+      : options_(options), plane_(options_, stats_), list_(options_, stats_) {}
 
   /// Destroys the counter.  Precondition: no thread is suspended in
   /// Check() (checked; destruction with waiters aborts rather than
@@ -194,32 +202,28 @@ class BasicCounter {
     if constexpr (kLockFreeFastPath) {
       stats_.on_increment();
       if (amount == 0) return;
-      // Overflow is checked BEFORE the fetch_add: a wrapped word would
-      // corrupt the flag bit and cannot be rolled back.  The check is
-      // optimistic (concurrent increments could still overflow between
-      // the load and the add) — like any checked usage error, racing
-      // into the boundary is a caller bug; the check catches the
-      // deterministic case.
-      MC_REQUIRE(amount <= kMaxValue &&
-                     (rep_.word.load(std::memory_order_relaxed) >> 1) <=
-                         kMaxValue - amount,
-                 "counter value overflow");
-      const counter_value_t prev =
-          rep_.word.fetch_add(amount << 1, std::memory_order_release);
-      if ((prev & kAttentionBit) == 0) return;  // fast path: nobody parked
+      // The plane publishes the add lock-free (overflow-checked) and
+      // reports whether a slow pass is required: the attention bit was
+      // set, or the post-increment sum may cross the armed watermark.
+      if (!plane_.add_fast(amount)) {
+        stats_.on_fast_increment();
+        return;  // fast path: nobody parked below the new value
+      }
       CallbackList::Node* reached = nullptr;
       {
         std::unique_lock lock(m_);
         reached = release_reached_locked();
       }
-      // Callbacks run outside the lock (CP.22): they may re-enter this
-      // counter or any other.
+      // SingleCvWait-style policies broadcast here; the shipped lock-
+      // free policies are no-ops.  Callbacks run outside the lock
+      // (CP.22): they may re-enter this counter or any other.
+      policy_.on_increment_unlocked(false);
       CallbackList::run_chain(reached);
     } else {
       CallbackList::Node* reached = nullptr;
       {
         std::unique_lock lock(m_);
-        // Locking policies mutate under m_, same as Poison: re-check so
+        // Locking planes mutate under m_, same as Poison: re-check so
         // increment-vs-poison is fully linearized (no frozen drift).
         if (poisoned_.load(std::memory_order_relaxed)) {
           stats_.on_dropped_increment();
@@ -227,13 +231,13 @@ class BasicCounter {
         }
         stats_.on_increment();
         if (amount == 0) return;
-        MC_REQUIRE(rep_.value <= kMaxValue - amount, "counter value overflow");
-        rep_.value += amount;
+        plane_.add_locked(amount);
+        const counter_value_t value = plane_.collapse();
         const bool had_waiters = !list_.empty();
         list_.release_prefix(
-            rep_.value, [&](Node& node) { policy_.on_release(node, stats_); });
+            value, [&](Node& node) { policy_.on_release(node, stats_); });
         policy_.on_increment_locked(had_waiters, stats_);
-        reached = callbacks_.detach_reached(rep_.value);
+        reached = callbacks_.detach_reached(value);
       }
       policy_.on_increment_unlocked(false);
       CallbackList::run_chain(reached);
@@ -248,7 +252,7 @@ class BasicCounter {
     stats_.on_check();
     if constexpr (kLockFreeFastPath) {
       MC_REQUIRE(level <= kMaxValue, "level exceeds counter range");
-      if ((rep_.word.load(std::memory_order_acquire) >> 1) >= level &&
+      if (plane_.read_fast() >= level &&
           !poisoned_.load(std::memory_order_acquire)) {
         stats_.on_fast_check();  // lock-free success
         return;
@@ -265,7 +269,7 @@ class BasicCounter {
       if (check_poisoned_locked(level)) return;
       // Fast path (§7): "Check with a level less than or equal to the
       // current counter value returns immediately."
-      if (rep_.value >= level) {
+      if (plane_.read_locked() >= level) {
         stats_.on_fast_check();
         return;
       }
@@ -283,7 +287,7 @@ class BasicCounter {
     std::unique_lock<std::mutex> lock(m_, std::defer_lock);
     if constexpr (kLockFreeFastPath) {
       MC_REQUIRE(level <= kMaxValue, "level exceeds counter range");
-      if ((rep_.word.load(std::memory_order_acquire) >> 1) >= level &&
+      if (plane_.read_fast() >= level &&
           !poisoned_.load(std::memory_order_acquire)) {
         stats_.on_fast_check();
         return true;
@@ -297,13 +301,13 @@ class BasicCounter {
     } else {
       lock.lock();
       if (check_poisoned_locked(level)) return true;
-      if (rep_.value >= level) {
+      if (plane_.read_locked() >= level) {
         stats_.on_fast_check();
         return true;
       }
     }
     if (stop.stop_requested()) {  // pre-cancelled: don't even enqueue
-      if constexpr (kLockFreeFastPath) maybe_clear_attention_locked();
+      if constexpr (kLockFreeFastPath) rearm_locked();
       stats_.on_cancelled_check();
       return false;
     }
@@ -332,7 +336,7 @@ class BasicCounter {
     const bool aborted = node->aborted;
     const bool released = node->released;
     list_.leave(node);
-    if constexpr (kLockFreeFastPath) maybe_clear_attention_locked();
+    if constexpr (kLockFreeFastPath) rearm_locked();
     if (aborted) throw_poisoned(level);
     if (!released) {
       stats_.on_cancelled_check();
@@ -396,7 +400,7 @@ class BasicCounter {
         if constexpr (kLockFreeFastPath) {
           unreached = announce_waiter_locked(level);
         } else {
-          unreached = rep_.value < level;
+          unreached = plane_.read_locked() < level;
         }
         if (unreached) {
           callbacks_.insert(level, std::move(fn), std::move(on_error));
@@ -454,11 +458,7 @@ class BasicCounter {
     poison_cause_ = nullptr;
     poison_reason_.clear();
     frozen_ = 0;
-    if constexpr (kLockFreeFastPath) {
-      rep_.word.store(0, std::memory_order_release);
-    } else {
-      rep_.value = 0;
-    }
+    plane_.reset();
   }
 
   /// Structural snapshot for tests and benches (Figure 2 reproduction).
@@ -480,12 +480,15 @@ class BasicCounter {
       return frozen_;  // stable after the release-store of poisoned_
     }
     if constexpr (kLockFreeFastPath) {
-      return rep_.word.load(std::memory_order_acquire) >> 1;
+      return plane_.read_fast();
     } else {
       std::scoped_lock lock(m_);
-      return rep_.value;
+      return plane_.read_locked();
     }
   }
+
+  /// Number of value-plane stripes (1 for unsharded planes).
+  std::size_t stripe_count() const noexcept { return plane_.stripe_count(); }
 
   /// Structural statistics since construction (or stats_reset()).
   CounterStatsSnapshot stats() const noexcept { return stats_.snapshot(); }
@@ -496,18 +499,12 @@ class BasicCounter {
   using List = WaitList<Signal>;
   using Node = typename List::Node;
 
-  static constexpr counter_value_t kAttentionBit = 1;
-
-  // Requires m_ (meaningless for locking policies, whose value is only
+  // Requires m_ (meaningless for locking planes, whose value is only
   // ever read under m_ anyway).  frozen_ is authoritative once
-  // poisoned: the lock-free word may have drifted past the freeze.
+  // poisoned: the lock-free plane may have drifted past the freeze.
   counter_value_t value_locked() const {
     if (poisoned_.load(std::memory_order_relaxed)) return frozen_;
-    if constexpr (kLockFreeFastPath) {
-      return rep_.word.load(std::memory_order_acquire) >> 1;
-    } else {
-      return rep_.value;
-    }
+    return plane_.read_locked();
   }
 
   // Requires m_.  Returns true when the caller should return success
@@ -553,11 +550,11 @@ class BasicCounter {
       // load of poisoned_ licenses lock-free reads of frozen_ & co.
       poisoned_.store(true, std::memory_order_release);
       if constexpr (kLockFreeFastPath) {
-        // Pin the attention bit (never cleared again — see
-        // maybe_clear_attention_locked) so in-flight incrementers that
-        // passed the poison pre-check drain through the locked slow
-        // path instead of racing the frozen value on the fast one.
-        rep_.word.fetch_or(kAttentionBit, std::memory_order_relaxed);
+        // Pin the plane closed (never rearmed again — see
+        // rearm_locked) so in-flight incrementers that passed the
+        // poison pre-check drain through the locked slow path instead
+        // of racing the frozen value on the fast one.
+        plane_.pin();
       }
       stats_.on_poison();
       const bool had_waiters = !list_.empty();
@@ -574,41 +571,48 @@ class BasicCounter {
     CallbackList::run_chain_error(orphaned, delivered);
   }
 
-  // Lock-free policies only; requires m_.  Publishes intent to sleep
-  // (or to register a callback), then re-checks: any Increment that
-  // races past the flag-set either sees the flag (and will queue behind
-  // m_) or happened before our re-read (and we see its value).  Returns
-  // true when the caller should proceed to park/register; false when
-  // the level turned out to be reached already.
+  // Lock-free planes only; requires m_.  Publishes intent to sleep (or
+  // to register a callback) by arming the plane for `level`, then
+  // re-checks the collapsed value: any Increment that races past the
+  // arming either sees the armed plane (and will queue behind m_) or
+  // happened before our re-read (and we see its value).  Returns true
+  // when the caller should proceed to park/register; false when the
+  // level turned out to be reached already.
   bool announce_waiter_locked(counter_value_t level) {
-    rep_.word.fetch_or(kAttentionBit, std::memory_order_relaxed);
-    if ((rep_.word.load(std::memory_order_acquire) >> 1) >= level) {
-      maybe_clear_attention_locked();
+    policy_.on_publish(level, stats_);
+    if (plane_.arm(level) >= level) {
+      rearm_locked();
       return false;
     }
     return true;
   }
 
-  // Lock-free policies only; requires m_.  Allows future increments
-  // back onto the fast path once nothing needs a slow-path pass.  A
-  // poisoned counter keeps the bit forever: the fast path must stay
-  // closed so frozen_ (not the drifted word) decides everything.
-  void maybe_clear_attention_locked() {
+  // Lock-free planes only; requires m_.  Recomputes the lowest armed
+  // level from the (ascending) wait and callback lists and hands it to
+  // the plane: the word plane reopens its fast path when nothing is
+  // armed; the striped plane raises its watermark so increments below
+  // the remaining waiters go back to skipping the mutex.  A poisoned
+  // counter stays pinned forever: the fast path must stay closed so
+  // frozen_ (not the drifted plane) decides everything.
+  void rearm_locked() {
     if (poisoned_.load(std::memory_order_relaxed)) return;
-    if (list_.empty() && callbacks_.empty()) {
-      rep_.word.fetch_and(~kAttentionBit, std::memory_order_relaxed);
-    }
+    const counter_value_t lowest =
+        std::min(list_.min_level(), callbacks_.min_level());
+    plane_.rearm(lowest);
+    policy_.on_watermark(lowest, stats_);
   }
 
-  // Lock-free policies only; requires m_.  Releases every reached wait
-  // node, detaches reached callbacks (run them after unlocking).
+  // Lock-free planes only; requires m_.  Collapses the plane, releases
+  // every reached wait node, detaches reached callbacks (run them
+  // after unlocking).
   CallbackList::Node* release_reached_locked() {
-    const counter_value_t value =
-        rep_.word.load(std::memory_order_acquire) >> 1;
+    const counter_value_t value = plane_.collapse();
+    const bool had_waiters = !list_.empty();
     list_.release_prefix(
         value, [&](Node& node) { policy_.on_release(node, stats_); });
+    policy_.on_increment_locked(had_waiters, stats_);
     CallbackList::Node* reached = callbacks_.detach_reached(value);
-    maybe_clear_attention_locked();
+    rearm_locked();
     return reached;
   }
 
@@ -623,7 +627,7 @@ class BasicCounter {
     stats_.on_resume();
     const bool aborted = node->aborted;
     list_.leave(node);
-    if constexpr (kLockFreeFastPath) maybe_clear_attention_locked();
+    if constexpr (kLockFreeFastPath) rearm_locked();
     if (aborted) throw_poisoned(level);
   }
 
@@ -674,7 +678,7 @@ class BasicCounter {
     std::unique_lock<std::mutex> lock(m_, std::defer_lock);
     if constexpr (kLockFreeFastPath) {
       MC_REQUIRE(level <= kMaxValue, "level exceeds counter range");
-      if ((rep_.word.load(std::memory_order_acquire) >> 1) >= level &&
+      if (plane_.read_fast() >= level &&
           !poisoned_.load(std::memory_order_acquire)) {
         stats_.on_fast_check();
         return true;
@@ -688,7 +692,7 @@ class BasicCounter {
     } else {
       lock.lock();
       if (check_poisoned_locked(level)) return true;
-      if (rep_.value >= level) {
+      if (plane_.read_locked() >= level) {
         stats_.on_fast_check();
         return true;
       }
@@ -696,7 +700,7 @@ class BasicCounter {
     // Zero or already-expired deadline: a pure reached-yet probe.  Skip
     // the wait-node acquire entirely — no node churn, no policy sleep.
     if (std::chrono::steady_clock::now() >= deadline) {
-      if constexpr (kLockFreeFastPath) maybe_clear_attention_locked();
+      if constexpr (kLockFreeFastPath) rearm_locked();
       return false;
     }
     Node* node = list_.acquire(level);
@@ -705,15 +709,15 @@ class BasicCounter {
     stats_.on_resume();
     const bool aborted = node->aborted;
     list_.leave(node);
-    if constexpr (kLockFreeFastPath) maybe_clear_attention_locked();
+    if constexpr (kLockFreeFastPath) rearm_locked();
     if (aborted) throw_poisoned(level);
     return reached;
   }
 
   const Options options_;
-  CounterStats stats_;  // declared before list_ (list_ references it)
+  CounterStats stats_;  // declared before plane_/list_ (they reference it)
   mutable std::mutex m_;
-  detail::CounterValueRep<kLockFreeFastPath> rep_;
+  Plane plane_;  // the value plane (value_plane.hpp / striped_cells.hpp)
   [[no_unique_address]] Policy policy_;
   List list_;
   CallbackList callbacks_;

@@ -17,11 +17,19 @@
 #pragma once
 
 #include "monotonic/core/basic_counter.hpp"
+#include "monotonic/core/striped_cells.hpp"
 #include "monotonic/core/wait_policy.hpp"
 
 namespace monotonic {
 
 /// Counter with a single shared suspension queue (ablation baseline).
 using SingleCvCounter = BasicCounter<SingleCvWait>;
+
+/// The broadcast baseline over the striped value plane (spec
+/// "sharded+single-cv").  Kept for ablation symmetry: increments that
+/// cross the watermark take the slow pass, whose increment hooks issue
+/// the shared-cv broadcast — increments below the watermark wake
+/// nobody, which is exactly the point of the watermark.
+using ShardedSingleCvCounter = BasicCounter<SingleCvWait, StripedPlane>;
 
 }  // namespace monotonic

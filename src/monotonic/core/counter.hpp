@@ -14,11 +14,19 @@
 #pragma once
 
 #include "monotonic/core/basic_counter.hpp"
+#include "monotonic/core/striped_cells.hpp"
 #include "monotonic/core/wait_policy.hpp"
 
 namespace monotonic {
 
 /// Monotonic counter per Thornley & Chandy §7 (lock + ordered wait list).
 using Counter = BasicCounter<BlockingWait>;
+
+/// Counter with the striped value plane: producers publish into
+/// cache-line-padded per-stripe cells and skip the mutex while nobody
+/// waits below the watermark; waiting and waking stay BlockingWait's
+/// §7 mutex + per-node condition variables.  WaitListOptions::stripes
+/// picks the cell count (0 = hardware default).
+using ShardedCounter = BasicCounter<BlockingWait, StripedPlane>;
 
 }  // namespace monotonic

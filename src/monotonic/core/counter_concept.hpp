@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <concepts>
+#include <cstddef>
 #include <exception>
 #include <functional>
 #include <stop_token>
@@ -16,6 +17,25 @@
 #include "monotonic/support/config.hpp"
 
 namespace monotonic {
+
+namespace detail {
+
+/// Number of value-plane stripes of any counter-like object: its own
+/// stripe_count() when it has one, else 1 (unsharded).  Lets the
+/// decorators and AnyCounter forward stripe metadata without requiring
+/// every CounterLike to grow the accessor.
+template <typename C>
+std::size_t stripe_count_of(const C& c) noexcept {
+  if constexpr (requires {
+                  { c.stripe_count() } -> std::convertible_to<std::size_t>;
+                }) {
+    return c.stripe_count();
+  } else {
+    return 1;
+  }
+}
+
+}  // namespace detail
 
 /// Anything with the paper's two fundamental operations.  The patterns
 /// and algos layers are templated on this, so every experiment can be

@@ -19,6 +19,7 @@
 // lacks, say, OnReach still compiles as long as nothing calls it.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
 #include <exception>
@@ -111,6 +112,11 @@ class CounterDecoratorBase {
   CounterStatsSnapshot stats() const { return impl_.stats(); }
   void stats_reset() { impl_.stats_reset(); }
 
+  /// Value-plane stripes of the wrapped counter (1 when unsharded).
+  std::size_t stripe_count() const noexcept {
+    return detail::stripe_count_of(impl_);
+  }
+
   C& inner() noexcept { return impl_; }
   const C& inner() const noexcept { return impl_; }
 
@@ -137,8 +143,20 @@ class Traced : public CounterDecoratorBase<C> {
         tracer_(tracer) {}
 
   void Increment(counter_value_t amount = 1) {
+    if (!tracer_.enabled()) {  // keep the disabled path one atomic load
+      this->impl_.Increment(amount);
+      return;
+    }
     tracer_.record(TraceEventKind::kIncrement, name_, amount);
+    // Stripe-collapse visibility: when the wrapped counter's collapse
+    // count moved across this Increment, the add crossed the armed
+    // watermark and paid a slow pass — worth a lens event (same
+    // stats-delta approximation as the fast/slow Check split below).
+    const auto before = this->impl_.stats().collapses;
     this->impl_.Increment(amount);
+    if (this->impl_.stats().collapses != before) {
+      tracer_.record(TraceEventKind::kCollapse, name_, amount);
+    }
   }
 
   using CounterDecoratorBase<C>::Check;  // keep the cancellable overload
@@ -403,12 +421,19 @@ class Broadcasting {
       sum.cancelled_checks += s.cancelled_checks;
       sum.dropped_increments += s.dropped_increments;
       sum.stall_reports += s.stall_reports;
+      sum.collapses += s.collapses;
+      sum.fast_path_increments += s.fast_path_increments;
+      // Stripe count is configuration, not a tally: report the widest
+      // shard (they normally agree).
+      sum.stripe_count = std::max(sum.stripe_count, s.stripe_count);
     }
     sum.increments /= shards_.size();
     // Replicated per shard, like increments: one logical Poison (or
-    // dropped Increment) touched every shard.
+    // dropped Increment) touched every shard, and each logical
+    // Increment took one fast-or-slow path per shard.
     sum.poisons /= shards_.size();
     sum.dropped_increments /= shards_.size();
+    sum.fast_path_increments /= shards_.size();
     return sum;
   }
   void stats_reset() {
@@ -417,6 +442,15 @@ class Broadcasting {
 
   std::size_t shard_count() const noexcept { return shards_.size(); }
   C& shard(std::size_t i) { return *shards_[i]; }
+
+  /// Widest value plane across shards (1 when the shards are unsharded).
+  std::size_t stripe_count() const noexcept {
+    std::size_t widest = 1;
+    for (const auto& shard : shards_) {
+      widest = std::max(widest, detail::stripe_count_of(*shard));
+    }
+    return widest;
+  }
 
  private:
   C& local_shard() {

@@ -22,7 +22,12 @@ CounterStatsSnapshot CounterStats::snapshot() const noexcept {
   s.cancelled_checks = cancelled_checks_.load(std::memory_order_relaxed);
   s.dropped_increments = dropped_increments_.load(std::memory_order_relaxed);
   s.stall_reports = stall_reports_.load(std::memory_order_relaxed);
+  s.fast_path_increments =
+      fast_path_increments_.load(std::memory_order_relaxed);
+  s.collapses = collapses_.load(std::memory_order_relaxed);
 #endif
+  // Configuration, not a counter: reported even with stats compiled out.
+  s.stripe_count = stripe_count_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -47,7 +52,38 @@ void CounterStats::reset() noexcept {
   cancelled_checks_.store(0, std::memory_order_relaxed);
   dropped_increments_.store(0, std::memory_order_relaxed);
   stall_reports_.store(0, std::memory_order_relaxed);
+  fast_path_increments_.store(0, std::memory_order_relaxed);
+  collapses_.store(0, std::memory_order_relaxed);
+  // stripe_count_ is configuration, not a counter; it survives reset.
 #endif
+}
+
+TextTable counter_stats_table(
+    const std::vector<std::pair<std::string, CounterStatsSnapshot>>& rows) {
+  bool any_sharded = false;
+  for (const auto& [label, s] : rows) {
+    if (s.stripe_count > 1) any_sharded = true;
+  }
+  std::vector<std::string> header = {"counter",     "increments", "checks",
+                                     "fast checks", "suspensions", "wakeups",
+                                     "notifies",    "spurious"};
+  if (any_sharded) {
+    header.insert(header.end(), {"stripes", "collapses", "fast incs"});
+  }
+  TextTable table(std::move(header));
+  for (const auto& [label, s] : rows) {
+    std::vector<std::string> row = {
+        label,           cell(s.increments), cell(s.checks),
+        cell(s.fast_checks), cell(s.suspensions), cell(s.wakeups),
+        cell(s.notifies), cell(s.spurious_wakeups)};
+    if (any_sharded) {
+      row.push_back(cell(s.stripe_count));
+      row.push_back(cell(s.collapses));
+      row.push_back(cell(s.fast_path_increments));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
 }
 
 }  // namespace monotonic

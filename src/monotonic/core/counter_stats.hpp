@@ -10,8 +10,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "monotonic/support/config.hpp"
+#include "monotonic/support/table.hpp"
 
 namespace monotonic {
 
@@ -34,6 +38,9 @@ struct CounterStatsSnapshot {
   std::uint64_t cancelled_checks = 0; ///< Check(level, stop) cancelled returns
   std::uint64_t dropped_increments = 0; ///< increments on a poisoned counter
   std::uint64_t stall_reports = 0;    ///< watchdog reports emitted
+  std::uint64_t fast_path_increments = 0; ///< increments that skipped the mutex
+  std::uint64_t collapses = 0;        ///< striped-plane sums under the mutex
+  std::uint64_t stripe_count = 1;     ///< value-plane stripes (1 = unsharded)
 };
 
 /// Thread-safe accumulator.  All mutators are relaxed: these are
@@ -49,6 +56,16 @@ class CounterStats {
   void on_cancelled_check() noexcept { bump(cancelled_checks_); }
   void on_dropped_increment() noexcept { bump(dropped_increments_); }
   void on_stall_report() noexcept { bump(stall_reports_); }
+  void on_fast_increment() noexcept { bump(fast_path_increments_); }
+  void on_collapse() noexcept { bump(collapses_); }
+
+  /// Configuration, not a counter: recorded by striped value planes at
+  /// construction so snapshots and printers can tell sharded counters
+  /// apart.  Not gated on MONOTONIC_ENABLE_STATS (it costs nothing
+  /// after construction) and not cleared by reset().
+  void set_stripe_count(std::uint64_t n) noexcept {
+    stripe_count_.store(n, std::memory_order_relaxed);
+  }
   void on_wakeups(std::uint64_t n) noexcept {
 #if MONOTONIC_ENABLE_STATS
     wakeups_.fetch_add(n, std::memory_order_relaxed);
@@ -135,6 +152,18 @@ class CounterStats {
   std::atomic<std::uint64_t> cancelled_checks_{0};
   std::atomic<std::uint64_t> dropped_increments_{0};
   std::atomic<std::uint64_t> stall_reports_{0};
+  std::atomic<std::uint64_t> fast_path_increments_{0};
+  std::atomic<std::uint64_t> collapses_{0};
+  std::atomic<std::uint64_t> stripe_count_{1};
 };
+
+/// Renders labelled snapshots as an aligned table.  Built on TextTable,
+/// whose columns auto-size to their widest cell — counts past 7 digits
+/// (stress runs) widen the column instead of shearing it, which the
+/// old fixed-width printf formats got wrong.  The stripe columns
+/// (stripes / collapses / fast incs) appear only when at least one row
+/// is sharded; unsharded tables keep their familiar shape.
+TextTable counter_stats_table(
+    const std::vector<std::pair<std::string, CounterStatsSnapshot>>& rows);
 
 }  // namespace monotonic

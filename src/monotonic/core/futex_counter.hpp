@@ -17,11 +17,16 @@
 #pragma once
 
 #include "monotonic/core/basic_counter.hpp"
+#include "monotonic/core/striped_cells.hpp"
 #include "monotonic/core/wait_policy.hpp"
 
 namespace monotonic {
 
 /// Futex-backed counter (Linux) / atomic-wait counter (portable fallback).
 using FutexCounter = BasicCounter<FutexWait>;
+
+/// Futex sleeping with the striped value plane (see striped_cells.hpp):
+/// per-stripe increment cells + watermark, FUTEX_WAIT parking.
+using ShardedFutexCounter = BasicCounter<FutexWait, StripedPlane>;
 
 }  // namespace monotonic

@@ -28,11 +28,20 @@
 #pragma once
 
 #include "monotonic/core/basic_counter.hpp"
+#include "monotonic/core/striped_cells.hpp"
 #include "monotonic/core/wait_policy.hpp"
 
 namespace monotonic {
 
 /// Counter with lock-free uncontended paths (production-style hybrid).
 using HybridCounter = BasicCounter<HybridWait>;
+
+/// The hybrid with the striped value plane: the producer-scalable
+/// default (spec alias "sharded+hybrid", or bare "sharded").  The
+/// single atomic word — one cache line all producers fight over — is
+/// replaced by per-stripe padded cells plus the lowest-armed-level
+/// watermark, so uncontended Increment is one fetch_add on a private
+/// line; parked waiters still use the §7 wait list + per-node cvs.
+using ShardedHybridCounter = BasicCounter<HybridWait, StripedPlane>;
 
 }  // namespace monotonic

@@ -12,6 +12,7 @@
 #pragma once
 
 #include "monotonic/core/basic_counter.hpp"
+#include "monotonic/core/striped_cells.hpp"
 #include "monotonic/core/wait_policy.hpp"
 
 namespace monotonic {
@@ -19,5 +20,9 @@ namespace monotonic {
 /// Busy-wait counter: monotonic-counter semantics, waiters poll
 /// instead of suspending.
 using SpinCounter = BasicCounter<SpinWait>;
+
+/// Spin waiting with the striped value plane (see striped_cells.hpp):
+/// per-stripe increment cells + watermark, polling waiters.
+using ShardedSpinCounter = BasicCounter<SpinWait, StripedPlane>;
 
 }  // namespace monotonic

@@ -28,6 +28,7 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -36,6 +37,13 @@
 #include "monotonic/support/config.hpp"
 
 namespace monotonic {
+
+/// Watermark sentinel: "no level is armed".  Strictly above every legal
+/// level (lock-free value planes cap levels at max >> 1, and Check
+/// REQUIREs that), so the engine's `sum >= watermark` test needs no
+/// special case for the empty wait list.
+inline constexpr counter_value_t kNoArmedLevel =
+    std::numeric_limits<counter_value_t>::max();
 
 /// One ordered (level, waiters) pair per live wait node — the shape
 /// Figure 2 draws, shared by every implementation's debug_snapshot().
@@ -79,6 +87,10 @@ struct WaitListOptions {
   /// Stall sink.  Called outside the counter lock; may log, alloc, or
   /// touch other counters.  Empty = a stderr one-liner.
   std::function<void(const CounterStallReport&)> on_stall;
+  /// Striped value planes only: number of per-stripe cells.  0 = pick
+  /// automatically from hardware_concurrency (rounded up to a power of
+  /// two, clamped to [1, 64]).  Ignored by unsharded counters.
+  std::size_t stripes = 0;
 };
 
 /// The §7 ordered wait list.  `Signal` is the per-node wake primitive
@@ -109,6 +121,13 @@ class WaitList {
   WaitList& operator=(const WaitList&) = delete;
 
   bool empty() const noexcept { return head_ == nullptr; }
+
+  /// Lowest level with a parked waiter, or kNoArmedLevel when none —
+  /// the list is ascending, so this is O(1).  Feeds the striped value
+  /// plane's watermark.
+  counter_value_t min_level() const noexcept {
+    return head_ != nullptr ? head_->level : kNoArmedLevel;
+  }
 
   /// Joins the queue for `level`, creating and splicing in a node if
   /// this is the first waiter at that level.  Registers the caller
@@ -282,6 +301,12 @@ class CallbackList {
   CallbackList& operator=(const CallbackList&) = delete;
 
   bool empty() const noexcept { return head_ == nullptr; }
+
+  /// Lowest level with a registered callback, or kNoArmedLevel when
+  /// none (mirrors WaitList::min_level for the watermark computation).
+  counter_value_t min_level() const noexcept {
+    return head_ != nullptr ? head_->level : kNoArmedLevel;
+  }
 
   /// Inserts into the ascending callback list, joining an existing
   /// level node if present (mirrors the wait list).

@@ -155,6 +155,16 @@ struct BlockingWait {
   void on_increment_locked(bool /*had_waiters*/, CounterStats&) {}
   void on_increment_unlocked(bool /*had_waiters*/) {}
 
+  /// Value-plane hooks, counter mutex held.  on_publish fires when a
+  /// waiter (or OnReach registration) arms `level` — the plane's
+  /// watermark is about to drop to it; on_watermark fires when the
+  /// engine recomputes the lowest armed level after list changes
+  /// (kNoArmedLevel = fast path fully reopened).  No policy shipped
+  /// here needs an action — the hooks exist so a policy can piggyback
+  /// bookkeeping on the striped plane's arm/rearm transitions.
+  void on_publish(counter_value_t /*level*/, CounterStats&) {}
+  void on_watermark(counter_value_t /*lowest*/, CounterStats&) {}
+
   /// Cancellation nudge: wake the node's sleepers without marking it
   /// released.  Counter mutex held.
   void wake_waiters(Node& node) { node.signal.cv.notify_all(); }
@@ -219,6 +229,13 @@ struct SingleCvWait {
   /// The shared cv outlives all nodes, so (unlike per-node signals) the
   /// broadcast can be issued after the lock is dropped — cheaper.
   void on_increment_unlocked(bool /*had_waiters*/) { cv_.notify_all(); }
+
+  /// Value-plane hooks (see BlockingWait).  The striped engine calls
+  /// on_increment_locked/unlocked on every slow pass, so the broadcast
+  /// still covers every release even when most increments bypass the
+  /// mutex — no watermark action needed.
+  void on_publish(counter_value_t /*level*/, CounterStats&) {}
+  void on_watermark(counter_value_t /*lowest*/, CounterStats&) {}
 
   /// Cancellation nudge: everyone sleeps on the shared cv, so the nudge
   /// is a broadcast (the cancelled waiter sorts itself out on resume).
@@ -292,6 +309,11 @@ struct FutexWait {
 
   void on_increment_locked(bool /*had_waiters*/, CounterStats&) {}
   void on_increment_unlocked(bool /*had_waiters*/) {}
+
+  /// Value-plane hooks (see BlockingWait): futex wakes are per-node,
+  /// so arm/rearm transitions need no policy action.
+  void on_publish(counter_value_t /*level*/, CounterStats&) {}
+  void on_watermark(counter_value_t /*lowest*/, CounterStats&) {}
 
   /// Cancellation nudge: bump the generation and broadcast.  Counter
   /// mutex held, so the bump is ordered against every waiter snapshot.
@@ -372,6 +394,11 @@ struct SpinWait {
   void on_increment_locked(bool /*had_waiters*/, CounterStats&) {}
   void on_increment_unlocked(bool /*had_waiters*/) {}
 
+  /// Value-plane hooks (see BlockingWait): spinners poll their own
+  /// flag, so arm/rearm transitions need no policy action.
+  void on_publish(counter_value_t /*level*/, CounterStats&) {}
+  void on_watermark(counter_value_t /*lowest*/, CounterStats&) {}
+
   /// Spinners poll their stop_token directly — no nudge needed.
   void wake_waiters(Node& /*node*/) {}
 
@@ -415,7 +442,8 @@ struct SpinWait {
 
 /// Production-style hybrid: lock-free fast paths (the atomic-word
 /// attention-bit protocol) + the §7 mutex/cv wait list on slow paths.
-/// Identical signalling to BlockingWait; only the fast path differs.
+/// Identical signalling to BlockingWait; only the fast path differs
+/// (the value-plane hooks on_publish/on_watermark are inherited too).
 struct HybridWait : BlockingWait {
   static constexpr bool kLockFreeFastPath = true;
 };

@@ -25,9 +25,9 @@
 #include <utility>
 #include <vector>
 
-#include "monotonic/core/counter.hpp"
 #include "monotonic/core/counter_concept.hpp"
 #include "monotonic/core/counter_error.hpp"
+#include "monotonic/core/hybrid_counter.hpp"
 #include "monotonic/support/assert.hpp"
 #include "monotonic/support/config.hpp"
 #include "monotonic/sync/event.hpp"
@@ -57,7 +57,12 @@ class BrokenChannelError : public CounterPoisonedError {
 /// counter value is exactly the number of published-and-announced
 /// items, so "readable" and "throws BrokenChannelError" partition the
 /// index space with no race window.
-template <typename T, FailureAwareCounter C = Counter>
+///
+/// The sequence counter defaults to the sharded hybrid
+/// ("sharded+hybrid"): publishing a block is a stripe fetch_add unless
+/// a reader is parked at a level the block reaches, so a writer running
+/// ahead of its readers never takes the wait-plane mutex.
+template <typename T, FailureAwareCounter C = ShardedHybridCounter>
 class BroadcastChannel {
  public:
   /// Channel carrying exactly `capacity` items per run.

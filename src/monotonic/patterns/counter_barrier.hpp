@@ -19,15 +19,18 @@
 
 #include <cstddef>
 
-#include "monotonic/core/counter.hpp"
 #include "monotonic/core/counter_concept.hpp"
+#include "monotonic/core/hybrid_counter.hpp"
 #include "monotonic/support/assert.hpp"
 #include "monotonic/support/config.hpp"
 
 namespace monotonic {
 
-/// Reusable barrier on a single monotonic counter.
-template <CounterLike C = Counter>
+/// Reusable barrier on a single monotonic counter.  All N parties
+/// increment the same counter every round, so the default is the
+/// sharded hybrid (spec "sharded+hybrid"): arrivals land on private
+/// stripes and only the round-crossing arrival collapses and wakes.
+template <CounterLike C = ShardedHybridCounter>
 class CounterBarrier {
  public:
   explicit CounterBarrier(std::size_t parties) : parties_(parties) {

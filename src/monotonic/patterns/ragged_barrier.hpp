@@ -21,16 +21,20 @@
 
 #include "monotonic/core/counter_stats.hpp"
 
-#include "monotonic/core/counter.hpp"
 #include "monotonic/core/counter_concept.hpp"
+#include "monotonic/core/hybrid_counter.hpp"
 #include "monotonic/support/assert.hpp"
 #include "monotonic/support/cache.hpp"
 #include "monotonic/support/config.hpp"
 
 namespace monotonic {
 
-/// Pairwise-dependency barrier over `parties` participants.
-template <CounterLike C = Counter>
+/// Pairwise-dependency barrier over `parties` participants.  Arrivals
+/// default to the sharded hybrid ("sharded+hybrid") so a party whose
+/// dependents are running ahead ticks its counter without touching the
+/// wait-plane mutex; only ticks that release a parked dependent
+/// collapse the stripes.
+template <CounterLike C = ShardedHybridCounter>
 class RaggedBarrier {
  public:
   explicit RaggedBarrier(std::size_t parties) : counters_(parties) {
@@ -78,10 +82,13 @@ class RaggedBarrier {
       total.notifies += s.notifies;
       total.nodes_allocated += s.nodes_allocated;
       total.spurious_wakeups += s.spurious_wakeups;
+      total.fast_path_increments += s.fast_path_increments;
+      total.collapses += s.collapses;
       total.max_live_nodes =
           std::max(total.max_live_nodes, s.max_live_nodes);
       total.max_live_waiters =
           std::max(total.max_live_waiters, s.max_live_waiters);
+      total.stripe_count = std::max(total.stripe_count, s.stripe_count);
     }
     return total;
   }

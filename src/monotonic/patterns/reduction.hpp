@@ -19,6 +19,7 @@
 #include <functional>
 #include <vector>
 
+#include "monotonic/core/hybrid_counter.hpp"
 #include "monotonic/patterns/task_graph.hpp"
 #include "monotonic/support/assert.hpp"
 
@@ -56,10 +57,13 @@ T tree_reduce(const std::vector<T>& values, Fn&& combine,
   // Slots hold intermediate results; level l's slots are appended
   // after level l-1's, and every combine task depends on the tasks
   // that produced its two inputs — expressed directly in TaskGraph.
+  // Done-counters are the sharded hybrid ("sharded+hybrid"): a combine
+  // whose consumers are still busy finishes with one stripe fetch_add.
+  using Graph = TaskGraph<ShardedHybridCounter>;
   std::vector<T> slots = values;
-  std::vector<TaskGraph<>::TaskId> producer(values.size());
+  std::vector<Graph::TaskId> producer(values.size());
 
-  TaskGraph<> graph;
+  Graph graph;
   // Leaves: trivial tasks so inner nodes have uniform dependencies.
   for (std::size_t i = 0; i < values.size(); ++i) {
     producer[i] = graph.add_task([] {});

@@ -20,14 +20,17 @@
 
 #include <utility>
 
-#include "monotonic/core/counter.hpp"
 #include "monotonic/core/counter_concept.hpp"
+#include "monotonic/core/hybrid_counter.hpp"
 #include "monotonic/support/config.hpp"
 
 namespace monotonic {
 
-/// Orders critical sections by an explicit sequence index.
-template <CounterLike C = Counter>
+/// Orders critical sections by an explicit sequence index.  Every
+/// section's thread increments the shared turn counter, so the default
+/// is the sharded hybrid ("sharded+hybrid"): completions are stripe
+/// fetch_adds unless a successor is already parked at its turn.
+template <CounterLike C = ShardedHybridCounter>
 class Sequencer {
  public:
   Sequencer() = default;

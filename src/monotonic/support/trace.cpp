@@ -19,6 +19,8 @@ const char* to_string(TraceEventKind kind) {
       return "resume";
     case TraceEventKind::kPoison:
       return "poison";
+    case TraceEventKind::kCollapse:
+      return "collapse";
     case TraceEventKind::kSpanBegin:
       return "span-begin";
     case TraceEventKind::kSpanEnd:

@@ -35,6 +35,7 @@ enum class TraceEventKind : std::uint8_t {
   kSuspend,     ///< Check parked (arg = level)
   kResume,      ///< parked Check woke (arg = level)
   kPoison,      ///< counter poisoned (arg unused)
+  kCollapse,    ///< striped plane collapsed on an Increment (arg = amount)
   kSpanBegin,   ///< user phase begin
   kSpanEnd,     ///< user phase end
   kInstant,     ///< user marker

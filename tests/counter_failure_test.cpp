@@ -49,6 +49,9 @@ static_assert(FailureAwareCounter<HybridCounter>);
 static_assert(FailureAwareCounter<Traced<Counter>>);
 static_assert(FailureAwareCounter<Batching<HybridCounter>>);
 static_assert(FailureAwareCounter<Broadcasting<Counter>>);
+static_assert(FailureAwareCounter<ShardedCounter>);
+static_assert(FailureAwareCounter<ShardedHybridCounter>);
+static_assert(FailureAwareCounter<Traced<ShardedHybridCounter>>);
 static_assert(FailureAwareCounter<AnyHandle>);
 
 template <typename C>
@@ -60,7 +63,8 @@ class FailureModel : public ::testing::Test {
 using AllCounterTypes =
     ::testing::Types<Counter, SingleCvCounter, FutexCounter, SpinCounter,
                      HybridCounter, Traced<Counter>, Batching<HybridCounter>,
-                     Broadcasting<Counter>>;
+                     Broadcasting<Counter>, ShardedCounter,
+                     ShardedHybridCounter, Traced<ShardedHybridCounter>>;
 
 struct CounterTypeNames {
   template <typename T>
@@ -75,6 +79,11 @@ struct CounterTypeNames {
       return "hybrid_batching";
     if constexpr (std::is_same_v<T, Broadcasting<Counter>>)
       return "list_broadcast";
+    if constexpr (std::is_same_v<T, ShardedCounter>) return "sharded_list";
+    if constexpr (std::is_same_v<T, ShardedHybridCounter>)
+      return "sharded_hybrid";
+    if constexpr (std::is_same_v<T, Traced<ShardedHybridCounter>>)
+      return "sharded_hybrid_traced";
   }
 };
 

@@ -72,7 +72,21 @@ INSTANTIATE_TEST_SUITE_P(
         SpecCase{"futex+batching,batch=8+traced",
                  "futex+batching,batch=8+traced"},
         SpecCase{"list,pool=0+traced+broadcast,shards=2",
-                 "list-nopool+traced+broadcast,shards=2"}));
+                 "list-nopool+traced+broadcast,shards=2"},
+        // Sharded value plane: bare "sharded" means sharded+hybrid; an
+        // explicit stripe count always prints, the auto count never
+        // does (canonical specs are machine-independent).
+        SpecCase{"sharded", "sharded+hybrid"},
+        SpecCase{"sharded+hybrid", "sharded+hybrid"},
+        SpecCase{"sharded+list", "sharded+list"},
+        SpecCase{"sharded+single-cv", "sharded+single-cv"},
+        SpecCase{"sharded:8+hybrid", "sharded:8+hybrid"},
+        SpecCase{"sharded:4+futex", "sharded:4+futex"},
+        SpecCase{"sharded:1+spin", "sharded:1+spin"},
+        SpecCase{"sharded+list,pool=0", "sharded+list-nopool"},
+        SpecCase{"sharded:2+hybrid+traced", "sharded:2+hybrid+traced"},
+        SpecCase{"sharded+hybrid+batching,batch=16",
+                 "sharded+hybrid+batching,batch=16"}));
 
 // Every enumerated kind round-trips through its kind string.
 TEST(SpecFactory, EveryKindRoundTrips) {
@@ -101,7 +115,37 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("", "bogus", "list+bogus", "list,bogus=1",
                       "list,pool", "list,pool=x", "list+batching,shards=2",
                       "list+broadcast,batch=2", "list+broadcast,shards=0",
-                      "list+", "+traced"));
+                      "list+", "+traced",
+                      // Duplicate decorators and misplaced/malformed
+                      // sharded prefixes.
+                      "hybrid+traced+traced", "list+batching+batching",
+                      "list+broadcast+traced+broadcast", "hybrid+sharded",
+                      "list+sharded:4", "sharded:0+hybrid",
+                      "sharded:x+hybrid", "sharded:+hybrid",
+                      "sharded,stripes=4+hybrid"));
+
+// Satellite requirement: a rejected spec's message names the token
+// that caused the rejection, not just "bad spec".
+TEST(SpecRejects, MessagesNameTheBadToken) {
+  const auto message_of = [](const char* spec) {
+    try {
+      (void)make_counter(std::string_view(spec));
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    ADD_FAILURE() << "spec was accepted: " << spec;
+    return std::string();
+  };
+  EXPECT_NE(message_of("hybrid+traced+traced").find("duplicate"),
+            std::string::npos);
+  EXPECT_NE(message_of("hybrid+traced+traced").find("'traced'"),
+            std::string::npos);
+  EXPECT_NE(message_of("hybrid+tarced").find("'tarced'"), std::string::npos);
+  EXPECT_NE(message_of("bogus").find("'bogus'"), std::string::npos);
+  EXPECT_NE(message_of("hybrid+sharded").find("'sharded'"),
+            std::string::npos);
+  EXPECT_NE(message_of("list,bogus=1").find("'bogus'"), std::string::npos);
+}
 
 // ---------------------------------------------------------------------
 // Behavior through the erased interface, per composed spec.
@@ -135,9 +179,30 @@ TEST(SpecBehavior, ComposedSpecsIncrementAndWake) {
        {"list", "list-nopool", "single-cv", "futex", "spin", "hybrid",
         "hybrid+traced", "list+batching,batch=2",
         "hybrid+broadcast,shards=2", "futex+batching,batch=2+traced",
-        "list+traced+broadcast,shards=2"}) {
+        "list+traced+broadcast,shards=2", "sharded", "sharded:4+hybrid",
+        "sharded+list", "sharded:2+futex", "sharded:2+hybrid+traced"}) {
     exercise(spec);
   }
+}
+
+// Stripe metadata flows through the erased interface: stripe_count()
+// and the stats snapshot agree, and unsharded counters report 1.
+TEST(SpecBehavior, ShardedSpecsExposeStripeMetadata) {
+  auto sharded = make_counter("sharded:4+hybrid");
+  EXPECT_EQ(sharded->stripe_count(), 4u);
+  EXPECT_EQ(sharded->stats().stripe_count, 4u);
+  sharded->Increment(1);  // no waiters → private-stripe fast path
+  EXPECT_EQ(sharded->debug_value(), 1u);
+  EXPECT_GE(sharded->stats().fast_path_increments, 1u);
+
+  auto plain = make_counter("hybrid");
+  EXPECT_EQ(plain->stripe_count(), 1u);
+  EXPECT_EQ(plain->stats().stripe_count, 1u);
+
+  // Auto stripe count: at least one, and consistent across the surface.
+  auto auto_sharded = make_counter("sharded");
+  EXPECT_GE(auto_sharded->stripe_count(), 1u);
+  EXPECT_EQ(auto_sharded->stripe_count(), auto_sharded->stats().stripe_count);
 }
 
 // Batching really batches: increments below the batch threshold stay

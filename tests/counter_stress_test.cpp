@@ -20,6 +20,7 @@
 #include "monotonic/core/any_counter.hpp"
 #include "monotonic/core/counter.hpp"
 #include "monotonic/core/counter_error.hpp"
+#include "monotonic/core/hybrid_counter.hpp"
 #include "monotonic/support/rng.hpp"
 #include "monotonic/threads/structured.hpp"
 
@@ -27,7 +28,7 @@ namespace monotonic {
 namespace {
 
 struct StressParam {
-  CounterKind kind;
+  const char* spec;  // make_counter spec, so sharded variants sweep too
   int writers;
   int readers;
   int items;
@@ -36,13 +37,13 @@ struct StressParam {
 std::string sanitize(std::string_view name) {
   std::string out(name);
   for (char& c : out) {
-    if (c == '-') c = '_';
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
   }
   return out;
 }
 
 std::string param_name(const ::testing::TestParamInfo<StressParam>& info) {
-  return sanitize(to_string(info.param.kind)) + "_w" +
+  return sanitize(info.param.spec) + "_w" +
          std::to_string(info.param.writers) + "_r" +
          std::to_string(info.param.readers) + "_n" +
          std::to_string(info.param.items);
@@ -55,7 +56,7 @@ class CounterStress : public ::testing::TestWithParam<StressParam> {};
 // Check passes before the counter could have reached its level.
 TEST_P(CounterStress, ChecksPassExactlyWhenReachable) {
   const auto p = GetParam();
-  auto counter = make_counter(p.kind);
+  auto counter = make_counter(std::string_view(p.spec));
   const counter_value_t total =
       static_cast<counter_value_t>(p.writers) * p.items;
 
@@ -89,31 +90,38 @@ TEST_P(CounterStress, ChecksPassExactlyWhenReachable) {
 INSTANTIATE_TEST_SUITE_P(
     Sweep, CounterStress,
     ::testing::Values(
-        StressParam{CounterKind::kList, 1, 1, 2000},
-        StressParam{CounterKind::kList, 1, 4, 1000},
-        StressParam{CounterKind::kList, 4, 4, 500},
-        StressParam{CounterKind::kList, 8, 8, 200},
-        StressParam{CounterKind::kListNoPool, 4, 4, 500},
-        StressParam{CounterKind::kSingleCv, 1, 4, 1000},
-        StressParam{CounterKind::kSingleCv, 4, 4, 500},
-        StressParam{CounterKind::kFutex, 1, 4, 1000},
-        StressParam{CounterKind::kFutex, 4, 4, 500},
-        StressParam{CounterKind::kSpin, 1, 2, 500},
-        StressParam{CounterKind::kSpin, 2, 2, 500},
-        StressParam{CounterKind::kHybrid, 1, 4, 1000},
-        StressParam{CounterKind::kHybrid, 4, 4, 500},
-        StressParam{CounterKind::kHybrid, 8, 8, 200}),
+        StressParam{"list", 1, 1, 2000},
+        StressParam{"list", 1, 4, 1000},
+        StressParam{"list", 4, 4, 500},
+        StressParam{"list", 8, 8, 200},
+        StressParam{"list-nopool", 4, 4, 500},
+        StressParam{"single-cv", 1, 4, 1000},
+        StressParam{"single-cv", 4, 4, 500},
+        StressParam{"futex", 1, 4, 1000},
+        StressParam{"futex", 4, 4, 500},
+        StressParam{"spin", 1, 2, 500},
+        StressParam{"spin", 2, 2, 500},
+        StressParam{"hybrid", 1, 4, 1000},
+        StressParam{"hybrid", 4, 4, 500},
+        StressParam{"hybrid", 8, 8, 200},
+        // Striped value plane: same property, but increments land on
+        // stripes and checks observe collapsed sums.
+        StressParam{"sharded:4+hybrid", 4, 4, 500},
+        StressParam{"sharded:4+hybrid", 8, 8, 200},
+        StressParam{"sharded+list", 4, 4, 500},
+        StressParam{"sharded:2+futex", 4, 4, 500},
+        StressParam{"sharded:2+single-cv", 4, 4, 500}),
     param_name);
 
 struct LevelShapeParam {
-  CounterKind kind;
+  const char* spec;
   int waiters;
   int distinct_levels;
 };
 
 std::string shape_name(
     const ::testing::TestParamInfo<LevelShapeParam>& info) {
-  return sanitize(to_string(info.param.kind)) + "_t" +
+  return sanitize(info.param.spec) + "_t" +
          std::to_string(info.param.waiters) + "_l" +
          std::to_string(info.param.distinct_levels);
 }
@@ -125,7 +133,7 @@ class LevelShapes : public ::testing::TestWithParam<LevelShapeParam> {};
 // waiters share each level.
 TEST_P(LevelShapes, OneIncrementReleasesEveryCoveredLevel) {
   const auto p = GetParam();
-  auto counter = make_counter(p.kind);
+  auto counter = make_counter(std::string_view(p.spec));
   std::atomic<int> released{0};
 
   std::vector<std::function<void()>> bodies;
@@ -151,16 +159,19 @@ TEST_P(LevelShapes, OneIncrementReleasesEveryCoveredLevel) {
 
 INSTANTIATE_TEST_SUITE_P(
     Shapes, LevelShapes,
-    ::testing::Values(LevelShapeParam{CounterKind::kList, 16, 1},
-                      LevelShapeParam{CounterKind::kList, 16, 4},
-                      LevelShapeParam{CounterKind::kList, 16, 16},
-                      LevelShapeParam{CounterKind::kList, 32, 8},
-                      LevelShapeParam{CounterKind::kListNoPool, 16, 4},
-                      LevelShapeParam{CounterKind::kSingleCv, 16, 4},
-                      LevelShapeParam{CounterKind::kFutex, 16, 4},
-                      LevelShapeParam{CounterKind::kSpin, 8, 4},
-                      LevelShapeParam{CounterKind::kHybrid, 16, 4},
-                      LevelShapeParam{CounterKind::kHybrid, 32, 8}),
+    ::testing::Values(LevelShapeParam{"list", 16, 1},
+                      LevelShapeParam{"list", 16, 4},
+                      LevelShapeParam{"list", 16, 16},
+                      LevelShapeParam{"list", 32, 8},
+                      LevelShapeParam{"list-nopool", 16, 4},
+                      LevelShapeParam{"single-cv", 16, 4},
+                      LevelShapeParam{"futex", 16, 4},
+                      LevelShapeParam{"spin", 8, 4},
+                      LevelShapeParam{"hybrid", 16, 4},
+                      LevelShapeParam{"hybrid", 32, 8},
+                      LevelShapeParam{"sharded:4+hybrid", 16, 4},
+                      LevelShapeParam{"sharded:4+hybrid", 32, 8},
+                      LevelShapeParam{"sharded+list", 16, 4}),
     shape_name);
 
 // Mixed increment amounts: the counter must behave as the running sum.
@@ -290,8 +301,61 @@ INSTANTIATE_TEST_SUITE_P(
     Chaos, ChaosRound,
     ::testing::Values("list", "single-cv", "futex", "spin", "hybrid",
                       "hybrid+batching,batch=4", "list+broadcast,shards=2",
-                      "hybrid+traced"),
+                      "hybrid+traced", "sharded", "sharded:4+hybrid+traced",
+                      "sharded:2+futex"),
     chaos_name);
+
+// The stripe-collapse handshake, raced on purpose: a waiter arms the
+// watermark (under the mutex) at the same instant incrementers push
+// per-stripe cells across the level.  The seq_cst protocol in
+// striped_cells.hpp promises the level-crossing increment either sees
+// the armed watermark (and takes the locked slow pass that releases
+// the waiter) or happens early enough that the waiter's own collapse
+// already covers it — a lost wakeup would strand the CheckFor below.
+// Run under TSan in CI, where the handshake's orderings are checked,
+// not just its outcome.
+TEST(StripedPlaneRace, ArmConcurrentWithCrossingIncrementsNeverStrands) {
+  constexpr int kTrials = 150;
+  constexpr int kIncrementers = 4;
+  constexpr counter_value_t kPerThread = 2;
+  constexpr counter_value_t kLevel = kIncrementers * kPerThread;
+
+  WaitListOptions options;
+  options.stripes = 4;  // force real striping even on small machines
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    ShardedHybridCounter counter(options);
+    std::atomic<int> ready{0};
+    bool reached = false;
+    {
+      std::vector<std::jthread> threads;
+      threads.reserve(kIncrementers + 1);
+      for (int w = 0; w < kIncrementers; ++w) {
+        threads.emplace_back([&] {
+          ready.fetch_add(1, std::memory_order_relaxed);
+          while (ready.load(std::memory_order_relaxed) <= kIncrementers) {
+            std::this_thread::yield();
+          }
+          for (counter_value_t i = 0; i < kPerThread; ++i) {
+            counter.Increment(1);
+          }
+        });
+      }
+      threads.emplace_back([&] {
+        ready.fetch_add(1, std::memory_order_relaxed);
+        while (ready.load(std::memory_order_relaxed) <= kIncrementers) {
+          std::this_thread::yield();
+        }
+        // Bounded so a lost wakeup fails the assertion instead of
+        // hanging the suite.
+        reached = counter.CheckFor(kLevel, std::chrono::seconds(20));
+      });
+    }
+    ASSERT_TRUE(reached) << "lost wakeup on trial " << trial;
+    EXPECT_EQ(counter.debug_value(), kLevel);
+    EXPECT_EQ(counter.stripe_count(), 4u);
+  }
+}
 
 // The §7 storage claim under churn: many distinct levels over the
 // counter's lifetime, few at any instant.

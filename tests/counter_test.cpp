@@ -56,6 +56,11 @@ static_assert(TimedCounterLike<Broadcasting<Counter>>);
 static_assert(IntrospectableCounter<Traced<Counter>>);
 static_assert(IntrospectableCounter<Batching<HybridCounter>>);
 static_assert(IntrospectableCounter<Broadcasting<Counter>>);
+static_assert(TimedCounterLike<ShardedCounter>);
+static_assert(TimedCounterLike<ShardedHybridCounter>);
+static_assert(IntrospectableCounter<ShardedCounter>);
+static_assert(IntrospectableCounter<ShardedHybridCounter>);
+static_assert(IntrospectableCounter<Traced<ShardedHybridCounter>>);
 
 template <typename C>
 class CounterSemantics : public ::testing::Test {
@@ -63,13 +68,15 @@ class CounterSemantics : public ::testing::Test {
   C counter_;
 };
 
-// Five bare implementations + three decorated compositions.  Batching
-// is instantiated with batch=1 (its default), which must behave as an
-// exact pass-through.
+// Five bare implementations + three decorated compositions + the
+// striped value plane (bare, over a locking policy, and under a
+// decorator).  Batching is instantiated with batch=1 (its default),
+// which must behave as an exact pass-through.
 using AllCounterTypes =
     ::testing::Types<Counter, SingleCvCounter, FutexCounter, SpinCounter,
                      HybridCounter, Traced<Counter>, Batching<HybridCounter>,
-                     Broadcasting<Counter>>;
+                     Broadcasting<Counter>, ShardedCounter,
+                     ShardedHybridCounter, Traced<ShardedHybridCounter>>;
 
 struct CounterTypeNames {
   template <typename T>
@@ -84,6 +91,11 @@ struct CounterTypeNames {
       return "hybrid_batching";
     if constexpr (std::is_same_v<T, Broadcasting<Counter>>)
       return "list_broadcast";
+    if constexpr (std::is_same_v<T, ShardedCounter>) return "sharded_list";
+    if constexpr (std::is_same_v<T, ShardedHybridCounter>)
+      return "sharded_hybrid";
+    if constexpr (std::is_same_v<T, Traced<ShardedHybridCounter>>)
+      return "sharded_hybrid_traced";
   }
 };
 

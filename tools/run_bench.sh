@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Runs the counter benches with machine-readable output and merges
+# their JSONL records into one BENCH_counter.json array.
+#
+#   tools/run_bench.sh [--quick] [build-dir] [output-json]
+#
+# Defaults: build/ and BENCH_counter.json in the repo root.  --quick
+# shrinks workloads and skips the microbenchmark matrix / slowest
+# ablations (what CI's bench-smoke job runs).  Each record carries
+# op, impl (canonical spec), threads, ns_per_op, and stripes.
+set -u
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+quick=""
+if [ "${1:-}" = "--quick" ]; then
+  quick="--quick"
+  shift
+fi
+build_dir="${1:-$repo_root/build}"
+out_file="${2:-$repo_root/BENCH_counter.json}"
+
+if [ ! -d "$build_dir/bench" ]; then
+  echo "error: $build_dir/bench not found — build first:" >&2
+  echo "  cmake -B build -G Ninja && cmake --build build" >&2
+  exit 1
+fi
+
+jsonl="$(mktemp)"
+trap 'rm -f "$jsonl"' EXIT
+
+status=0
+for b in bench_counter_ops bench_counter_impl; do
+  bin="$build_dir/bench/$b"
+  if [ ! -x "$bin" ]; then
+    echo "missing bench binary: $bin" >&2
+    status=1
+    continue
+  fi
+  echo "### $b ${quick:+(quick)}"
+  if ! "$bin" $quick --json "$jsonl"; then
+    echo "FAILED: $bin" >&2
+    status=1
+  fi
+done
+
+# JSONL -> one JSON array (comma-join all lines but the last).
+{
+  echo "["
+  sed '$!s/$/,/' "$jsonl"
+  echo "]"
+} > "$out_file"
+
+echo "wrote $out_file ($(wc -l < "$jsonl") records)"
+exit $status
