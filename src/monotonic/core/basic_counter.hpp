@@ -104,6 +104,7 @@
 
 #include "monotonic/core/counter_error.hpp"
 #include "monotonic/core/counter_stats.hpp"
+#include "monotonic/core/engine_env.hpp"
 #include "monotonic/core/value_plane.hpp"
 #include "monotonic/core/wait_list.hpp"
 #include "monotonic/core/wait_policy.hpp"
@@ -115,23 +116,37 @@ namespace monotonic {
 namespace detail {
 
 /// Converts an arbitrary-clock deadline to the steady clock the wait
-/// engine runs on.  time_point_cast only converts the duration type,
-/// not the epoch, so casting e.g. a system_clock deadline directly
-/// would mis-time by the (enormous) epoch difference — instead convert
-/// via a now()-delta against both clocks.
-template <typename Clock, typename Duration>
+/// engine runs on (`Env::Clock` — the real steady clock in production,
+/// the virtual clock under simulation).  time_point_cast only converts
+/// the duration type, not the epoch, so casting e.g. a system_clock
+/// deadline directly would mis-time by the (enormous) epoch difference
+/// — instead convert via a now()-delta against both clocks.
+template <typename Env, typename Clock, typename Duration>
 std::chrono::steady_clock::time_point to_steady_deadline(
     std::chrono::time_point<Clock, Duration> deadline) {
-  if constexpr (std::is_same_v<Clock, std::chrono::steady_clock>) {
+  if constexpr (std::is_same_v<Clock, std::chrono::steady_clock> &&
+                std::is_same_v<typename Env::Clock,
+                               std::chrono::steady_clock>) {
     return std::chrono::time_point_cast<std::chrono::steady_clock::duration>(
         deadline);
   } else {
     const auto delta = deadline - Clock::now();
-    return std::chrono::steady_clock::now() +
+    return Env::Clock::now() +
            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                delta);
   }
 }
+
+/// True when `Plane` either doesn't name an engine environment (the
+/// locking PlainValuePlane is environment-agnostic) or names the same
+/// one as the policy — mixing a sim policy with a real-env plane would
+/// compile but silently escape the scheduler.
+template <typename Env, typename Plane, typename = void>
+inline constexpr bool plane_env_matches_v = true;
+template <typename Env, typename Plane>
+inline constexpr bool
+    plane_env_matches_v<Env, Plane, std::void_t<typename Plane::EngineEnv>> =
+        std::is_same_v<Env, typename Plane::EngineEnv>;
 
 }  // namespace detail
 
@@ -143,6 +158,13 @@ class BasicCounter {
  public:
   using WaitPolicy = Policy;
   using ValuePlane = Plane;
+  /// The engine environment (engine_env.hpp): mutex, clock, atomics
+  /// and schedule points, taken from the policy.  RealEngineEnv in
+  /// every production alias; SimEngineEnv under the simulation
+  /// harness.
+  using Env = typename Policy::EngineEnv;
+  static_assert(detail::plane_env_matches_v<Env, Plane>,
+                "policy and value plane must share one engine environment");
   using Options = WaitListOptions;
   using DebugWaitLevel = monotonic::DebugWaitLevel;
   using DebugSnapshot = CounterDebugSnapshot;
@@ -202,6 +224,7 @@ class BasicCounter {
     if constexpr (kLockFreeFastPath) {
       stats_.on_increment();
       if (amount == 0) return;
+      Env::point(SchedulePoint::kIncrementFast);
       // The plane publishes the add lock-free (overflow-checked) and
       // reports whether a slow pass is required: the attention bit was
       // set, or the post-increment sum may cross the armed watermark.
@@ -209,6 +232,7 @@ class BasicCounter {
         stats_.on_fast_increment();
         return;  // fast path: nobody parked below the new value
       }
+      Env::point(SchedulePoint::kIncrementSlow);
       CallbackList::Node* reached = nullptr;
       {
         std::unique_lock lock(m_);
@@ -220,6 +244,7 @@ class BasicCounter {
       policy_.on_increment_unlocked(false);
       CallbackList::run_chain(reached);
     } else {
+      Env::point(SchedulePoint::kIncrementSlow);
       CallbackList::Node* reached = nullptr;
       {
         std::unique_lock lock(m_);
@@ -250,6 +275,7 @@ class BasicCounter {
   /// its frozen value below `level`.
   void Check(counter_value_t level) {
     stats_.on_check();
+    Env::point(SchedulePoint::kCheck);
     if constexpr (kLockFreeFastPath) {
       MC_REQUIRE(level <= kMaxValue, "level exceeds counter range");
       if (plane_.read_fast() >= level &&
@@ -284,7 +310,8 @@ class BasicCounter {
   /// Throws CounterPoisonedError exactly like Check.
   bool Check(counter_value_t level, std::stop_token stop) {
     stats_.on_check();
-    std::unique_lock<std::mutex> lock(m_, std::defer_lock);
+    Env::point(SchedulePoint::kCheck);
+    std::unique_lock<typename Env::Mutex> lock(m_, std::defer_lock);
     if constexpr (kLockFreeFastPath) {
       MC_REQUIRE(level <= kMaxValue, "level exceeds counter range");
       if (plane_.read_fast() >= level &&
@@ -315,16 +342,21 @@ class BasicCounter {
     stats_.on_suspend();
     lock.unlock();
     {
-      // The nudge callback takes m_, so the std::stop_callback must be
+      // The nudge callback takes m_, so the stop callback must be
       // constructed AND destroyed while m_ is NOT held: construction
       // runs the callback inline when the token already fired, and
-      // destruction blocks on an in-flight invocation.  The node stays
-      // alive throughout — our registration (leave below) is still
+      // destruction blocks on an in-flight invocation.  That dtor-block
+      // is why the callback type comes from Env — the simulator has to
+      // model the wait or its scheduler would hang.  The node stays
+      // alive throughout: our registration (leave below) is still
       // outstanding.
-      std::stop_callback nudge(stop, [this, node] {
+      auto nudge_fn = [this, node] {
+        Env::point(SchedulePoint::kCancel);
         std::scoped_lock wake_lock(m_);
         if (!node->released) policy_.wake_waiters(*node);
-      });
+      };
+      typename Env::template StopCallback<decltype(nudge_fn)> nudge(
+          stop, std::move(nudge_fn));
       lock.lock();
       policy_.wait_cancellable(lock, *node, stop, stats_);
       lock.unlock();
@@ -352,8 +384,7 @@ class BasicCounter {
   template <typename Rep, typename Period>
   bool CheckFor(counter_value_t level,
                 std::chrono::duration<Rep, Period> timeout) {
-    return check_until_steady(level,
-                              std::chrono::steady_clock::now() + timeout);
+    return check_until_steady(level, Env::Clock::now() + timeout);
   }
 
   /// Timed Check against an absolute deadline on any clock.  Non-steady
@@ -361,7 +392,8 @@ class BasicCounter {
   template <typename Clock, typename Duration>
   bool CheckUntil(counter_value_t level,
                   std::chrono::time_point<Clock, Duration> deadline) {
-    return check_until_steady(level, detail::to_steady_deadline(deadline));
+    return check_until_steady(level,
+                              detail::to_steady_deadline<Env>(deadline));
   }
 
   /// Asynchronous Check (extension): registers `fn` to run exactly once
@@ -496,7 +528,7 @@ class BasicCounter {
 
  private:
   using Signal = typename Policy::Signal;
-  using List = WaitList<Signal>;
+  using List = WaitList<Signal, Env>;
   using Node = typename List::Node;
 
   // Requires m_ (meaningless for locking planes, whose value is only
@@ -538,6 +570,7 @@ class BasicCounter {
   }
 
   void poison_impl(std::exception_ptr cause, std::string_view reason) {
+    Env::point(SchedulePoint::kPoison);
     CallbackList::Node* orphaned = nullptr;
     std::exception_ptr delivered;
     {
@@ -579,6 +612,7 @@ class BasicCounter {
   // when the caller should proceed to park/register; false when the
   // level turned out to be reached already.
   bool announce_waiter_locked(counter_value_t level) {
+    Env::point(SchedulePoint::kArm);
     policy_.on_publish(level, stats_);
     if (plane_.arm(level) >= level) {
       rearm_locked();
@@ -595,6 +629,7 @@ class BasicCounter {
   // counter stays pinned forever: the fast path must stay closed so
   // frozen_ (not the drifted plane) decides everything.
   void rearm_locked() {
+    Env::point(SchedulePoint::kRearm);
     if (poisoned_.load(std::memory_order_relaxed)) return;
     const counter_value_t lowest =
         std::min(list_.min_level(), callbacks_.min_level());
@@ -606,6 +641,7 @@ class BasicCounter {
   // every reached wait node, detaches reached callbacks (run them
   // after unlocking).
   CallbackList::Node* release_reached_locked() {
+    Env::point(SchedulePoint::kCollapse);
     const counter_value_t value = plane_.collapse();
     const bool had_waiters = !list_.empty();
     list_.release_prefix(
@@ -616,7 +652,8 @@ class BasicCounter {
     return reached;
   }
 
-  void park(std::unique_lock<std::mutex>& lock, counter_value_t level) {
+  void park(std::unique_lock<typename Env::Mutex>& lock,
+            counter_value_t level) {
     Node* node = list_.acquire(level);
     stats_.on_suspend();
     if (options_.stall_report_after.count() > 0) {
@@ -637,24 +674,37 @@ class BasicCounter {
   // sink may log, allocate, or poke other counters).  Our wait-list
   // registration is still outstanding across the unlocked window, so
   // the node cannot be freed; `released` is re-read after relocking.
-  void wait_with_watchdog(std::unique_lock<std::mutex>& lock, Node& node,
-                          counter_value_t level) {
-    const auto started = std::chrono::steady_clock::now();
+  //
+  // The report deadline is computed ONCE per wait (started + interval)
+  // and advanced by exactly one interval per delivered report — never
+  // re-derived from now() inside the loop.  Re-deriving it would let
+  // anything that makes wait_until return early without a release (an
+  // early policy return, a slow on_stall sink eating wall-clock before
+  // the next quantum is armed) push the next report deadline out
+  // again, postponing the first report indefinitely and letting the
+  // cadence drift by the sink's own latency; a fixed schedule keeps
+  // report N at started + N*interval.  (Found/covered by the sim
+  // harness's watchdog_cadence scenario.)
+  void wait_with_watchdog(std::unique_lock<typename Env::Mutex>& lock,
+                          Node& node, counter_value_t level) {
+    const auto started = Env::Clock::now();
+    auto report_at = started + options_.stall_report_after;
     while (!node.released) {
-      const auto quantum_end =
-          std::chrono::steady_clock::now() + options_.stall_report_after;
-      if (policy_.wait_until(lock, node, quantum_end, stats_)) return;
+      if (policy_.wait_until(lock, node, report_at, stats_)) return;
       if (node.released) return;
+      if (Env::Clock::now() < report_at) continue;  // early return, no stall
+      Env::point(SchedulePoint::kStall);
       CounterStallReport report;
       report.value = value_locked();
       report.level = level;
       report.waited = std::chrono::duration_cast<std::chrono::milliseconds>(
-          std::chrono::steady_clock::now() - started);
+          Env::Clock::now() - started);
       list_.snapshot_into(report.wait_levels);
       stats_.on_stall_report();
       lock.unlock();
       deliver_stall(report);
       lock.lock();
+      report_at += options_.stall_report_after;
     }
   }
 
@@ -675,7 +725,8 @@ class BasicCounter {
   bool check_until_steady(counter_value_t level,
                           std::chrono::steady_clock::time_point deadline) {
     stats_.on_check();
-    std::unique_lock<std::mutex> lock(m_, std::defer_lock);
+    Env::point(SchedulePoint::kCheck);
+    std::unique_lock<typename Env::Mutex> lock(m_, std::defer_lock);
     if constexpr (kLockFreeFastPath) {
       MC_REQUIRE(level <= kMaxValue, "level exceeds counter range");
       if (plane_.read_fast() >= level &&
@@ -699,7 +750,7 @@ class BasicCounter {
     }
     // Zero or already-expired deadline: a pure reached-yet probe.  Skip
     // the wait-node acquire entirely — no node churn, no policy sleep.
-    if (std::chrono::steady_clock::now() >= deadline) {
+    if (Env::Clock::now() >= deadline) {
       if constexpr (kLockFreeFastPath) rearm_locked();
       return false;
     }
@@ -716,7 +767,7 @@ class BasicCounter {
 
   const Options options_;
   CounterStats stats_;  // declared before plane_/list_ (they reference it)
-  mutable std::mutex m_;
+  mutable typename Env::Mutex m_;
   Plane plane_;  // the value plane (value_plane.hpp / striped_cells.hpp)
   [[no_unique_address]] Policy policy_;
   List list_;
@@ -726,7 +777,7 @@ class BasicCounter {
   // strictly before the release-store of poisoned_ and never mutated
   // again (Reset excepted, which is documented non-concurrent), so an
   // acquire load of poisoned_ licenses reading them without the lock.
-  std::atomic<bool> poisoned_{false};
+  typename Env::template Atomic<bool> poisoned_{false};
   counter_value_t frozen_ = 0;
   std::exception_ptr poison_cause_;
   std::string poison_reason_;

@@ -41,15 +41,35 @@ class BatchingIncrementer {
   BatchingIncrementer& operator=(const BatchingIncrementer&) = delete;
 
   /// Flushes any buffered amount on destruction, so no increment is
-  /// ever lost (mirrors BroadcastChannel::Writer).
-  ~BatchingIncrementer() { flush(); }
+  /// ever lost on the orderly path (mirrors BroadcastChannel::Writer).
+  ///
+  /// The flush is guarded: destructors are implicitly noexcept, and an
+  /// incrementer routinely dies during stack unwinding — often from
+  /// the very exception that just poisoned the underlying counter.  A
+  /// BasicCounter absorbs post-poison increments as counted drops, but
+  /// a CounterLike is any counter (AnyCounter, decorators, user
+  /// types), and its Increment may throw (overflow MC_REQUIRE, a
+  /// poisoned adapter that rethrows, ...).  Letting that escape here
+  /// would std::terminate the process mid-unwind, so the destructor
+  /// swallows the failure and records the loss in dropped() instead.
+  ~BatchingIncrementer() {
+    try {
+      flush();
+    } catch (...) {
+      dropped_ += pending_;
+      pending_ = 0;
+    }
+  }
 
   void Increment(counter_value_t amount = 1) {
     pending_ += amount;
     if (pending_ >= batch_) flush();
   }
 
-  /// Pushes the buffered amount immediately.
+  /// Pushes the buffered amount immediately.  Unlike the destructor
+  /// this propagates any exception from the underlying counter — a
+  /// live caller can handle it (and the amount stays pending, so a
+  /// later flush may still deliver it).
   void flush() {
     if (pending_ > 0) {
       counter_.Increment(pending_);
@@ -59,10 +79,16 @@ class BatchingIncrementer {
 
   counter_value_t pending() const noexcept { return pending_; }
 
+  /// Units abandoned because a destructor-time flush threw.  (Drops
+  /// absorbed by a poisoned BasicCounter are not counted here — the
+  /// counter's own stats().dropped_increments records those.)
+  counter_value_t dropped() const noexcept { return dropped_; }
+
  private:
   C& counter_;
   const counter_value_t batch_;
   counter_value_t pending_ = 0;
+  counter_value_t dropped_ = 0;
 };
 
 }  // namespace monotonic

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "monotonic/core/counter_stats.hpp"
+#include "monotonic/core/engine_env.hpp"
 #include "monotonic/core/value_plane.hpp"
 #include "monotonic/core/wait_list.hpp"
 #include "monotonic/support/assert.hpp"
@@ -67,34 +68,25 @@ inline std::size_t default_stripe_count() noexcept {
   return n;
 }
 
-/// Per-thread stripe slot: a round-robin ticket taken once per thread,
-/// shared by every striped counter in the process (threads that never
-/// touch a striped counter never take one).  Round-robin beats hashing
-/// the thread id here — T threads land on min(T, stripes) distinct
-/// stripes with no birthday collisions.
-inline std::size_t this_thread_stripe_slot() noexcept {
-  static std::atomic<std::size_t> next_slot{0};
-  thread_local const std::size_t slot =
-      next_slot.fetch_add(1, std::memory_order_relaxed);
-  return slot;
-}
-
 }  // namespace detail
 
 /// A cache-line-padded array of monotone atomic cells whose logical
 /// value is the sum.  The storage half of StripedPlane, reusable on
 /// its own (it knows nothing about waiters or watermarks).
-class StripedCells {
+template <typename Env = RealEngineEnv>
+class StripedCellsT {
  public:
   /// `stripes` = 0 picks the hardware default.
-  explicit StripedCells(std::size_t stripes)
+  explicit StripedCellsT(std::size_t stripes)
       : cells_(stripes == 0 ? detail::default_stripe_count() : stripes) {}
 
   std::size_t stripe_count() const noexcept { return cells_.size(); }
 
-  /// The calling thread's home cell index.
+  /// The calling thread's home cell index.  The slot comes from the
+  /// environment: a process-wide round-robin ticket in production, the
+  /// virtual thread's id under simulation (so replays are stable).
   std::size_t home_stripe() const noexcept {
-    return detail::this_thread_stripe_slot() % cells_.size();
+    return Env::stripe_slot() % cells_.size();
   }
 
   /// Adds into one cell.  seq_cst so the caller's subsequent watermark
@@ -134,16 +126,22 @@ class StripedCells {
   }
 
  private:
-  std::vector<CacheAligned<std::atomic<counter_value_t>>> cells_;
+  std::vector<CacheAligned<typename Env::template Atomic<counter_value_t>>>
+      cells_;
 };
+
+/// The production instantiation (the historical name).
+using StripedCells = StripedCellsT<>;
 
 /// The striped value plane: StripedCells storage + the
 /// lowest-armed-level watermark.  Plugs into BasicCounter as
 /// BasicCounter<Policy, StripedPlane>; see value_plane.hpp for the
 /// plane contract and the Sharded* aliases in counter.hpp & friends
 /// for the blessed instantiations.
-class StripedPlane {
+template <typename Env = RealEngineEnv>
+class StripedPlaneT {
  public:
+  using EngineEnv = Env;
   static constexpr bool kLockFreeFastPath = true;
   static constexpr bool kStriped = true;
   /// Same cap as the word plane: levels stay below kNoArmedLevel by
@@ -152,7 +150,7 @@ class StripedPlane {
   static constexpr counter_value_t kMaxValue =
       std::numeric_limits<counter_value_t>::max() >> 1;
 
-  StripedPlane(const WaitListOptions& options, CounterStats& stats)
+  StripedPlaneT(const WaitListOptions& options, CounterStats& stats)
       : cells_(options.stripes), stats_(stats) {
     stats_.set_stripe_count(cells_.stripe_count());
   }
@@ -223,9 +221,14 @@ class StripedPlane {
   }
 
  private:
-  StripedCells cells_;
+  StripedCellsT<Env> cells_;
   CounterStats& stats_;
-  std::atomic<counter_value_t> lowest_armed_level_{kNoArmedLevel};
+  typename Env::template Atomic<counter_value_t> lowest_armed_level_{
+      kNoArmedLevel};
 };
+
+/// The production instantiation (the historical name, used by every
+/// Sharded* counter alias).
+using StripedPlane = StripedPlaneT<>;
 
 }  // namespace monotonic

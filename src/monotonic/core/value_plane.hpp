@@ -60,6 +60,7 @@
 #include <type_traits>
 
 #include "monotonic/core/counter_stats.hpp"
+#include "monotonic/core/engine_env.hpp"
 #include "monotonic/core/wait_list.hpp"
 #include "monotonic/support/assert.hpp"
 #include "monotonic/support/config.hpp"
@@ -100,14 +101,16 @@ class PlainValuePlane {
 /// either sees the bit (and queues behind the mutex we hold) or
 /// happened first (and the re-read sees its value).  The flag bit
 /// halves the representable range.
-class AtomicWordPlane {
+template <typename Env = RealEngineEnv>
+class AtomicWordPlaneT {
  public:
+  using EngineEnv = Env;
   static constexpr bool kLockFreeFastPath = true;
   static constexpr bool kStriped = false;
   static constexpr counter_value_t kMaxValue =
       std::numeric_limits<counter_value_t>::max() >> 1;
 
-  AtomicWordPlane(const WaitListOptions& /*options*/, CounterStats&) {}
+  AtomicWordPlaneT(const WaitListOptions& /*options*/, CounterStats&) {}
 
   std::size_t stripe_count() const noexcept { return 1; }
 
@@ -163,8 +166,11 @@ class AtomicWordPlane {
 
  private:
   static constexpr counter_value_t kAttentionBit = 1;
-  std::atomic<counter_value_t> word_{0};
+  typename Env::template Atomic<counter_value_t> word_{0};
 };
+
+/// The production instantiation (the historical name).
+using AtomicWordPlane = AtomicWordPlaneT<>;
 
 namespace detail {
 
@@ -172,8 +178,10 @@ namespace detail {
 /// pre-plane counter used — an atomic word for lock-free policies, a
 /// mutex-guarded word for locking ones.
 template <typename Policy>
-using DefaultPlane = std::conditional_t<Policy::kLockFreeFastPath,
-                                        AtomicWordPlane, PlainValuePlane>;
+using DefaultPlane =
+    std::conditional_t<Policy::kLockFreeFastPath,
+                       AtomicWordPlaneT<typename Policy::EngineEnv>,
+                       PlainValuePlane>;
 
 }  // namespace detail
 

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "monotonic/core/counter_stats.hpp"
+#include "monotonic/core/engine_env.hpp"
 #include "monotonic/support/assert.hpp"
 #include "monotonic/support/config.hpp"
 
@@ -96,7 +97,11 @@ struct WaitListOptions {
 /// The §7 ordered wait list.  `Signal` is the per-node wake primitive
 /// supplied by the waiting policy; the list requires only that it is
 /// default-constructible and has a `reset()` hook called on reuse.
-template <typename Signal>
+/// `Env` (engine_env.hpp) supplies the schedule-point hook: the
+/// structural transitions — a waiter joining a node, a prefix being
+/// released, the poison sweep — are decision points the simulation
+/// harness interleaves at; RealEngineEnv compiles them away.
+template <typename Signal, typename Env = RealEngineEnv>
 class WaitList {
  public:
   // One node per distinct level with waiters (§7 / Figure 2):
@@ -133,6 +138,7 @@ class WaitList {
   /// this is the first waiter at that level.  Registers the caller
   /// (++waiters) so the node cannot be freed underneath it.
   Node* acquire(counter_value_t level) {
+    Env::point(SchedulePoint::kPark);
     Node** pos = find_insert_position(level);
     Node* node;
     if (*pos != nullptr && (*pos)->level == level) {
@@ -170,6 +176,7 @@ class WaitList {
   template <typename OnRelease>
   void release_prefix(counter_value_t value, OnRelease&& on_release) {
     while (head_ != nullptr && head_->level <= value) {
+      Env::point(SchedulePoint::kWake);
       Node* node = head_;
       head_ = node->next;
       node->released = true;
@@ -185,6 +192,7 @@ class WaitList {
   template <typename OnRelease>
   void abort_all(OnRelease&& on_release) {
     while (head_ != nullptr) {
+      Env::point(SchedulePoint::kWake);
       Node* node = head_;
       head_ = node->next;
       node->released = true;

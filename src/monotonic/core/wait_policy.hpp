@@ -35,6 +35,14 @@
 // and re-take it themselves.  The node cannot disappear while a policy
 // waits on it: the caller holds a registration (waiters > 0).
 //
+// Every policy is a template over an engine environment (see
+// engine_env.hpp): the mutex, condition variable, clock, atomics and
+// futex calls it uses come from `Env`, so the same policy code runs
+// against the real platform (RealEngineEnv — the default, and what the
+// unsuffixed aliases below name) or inside the deterministic
+// simulation harness (SimEngineEnv, monotonic/sim/), where each
+// primitive is a seeded scheduler decision point.
+//
 // Failure-model hooks (engine poisoning / cancellation):
 //
 //   * a node released by Poison is marked `aborted` as well as
@@ -48,7 +56,6 @@
 //     needs no nudge).
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -56,90 +63,28 @@
 #include <stop_token>
 
 #include "monotonic/core/counter_stats.hpp"
+#include "monotonic/core/engine_env.hpp"
 #include "monotonic/core/wait_list.hpp"
 #include "monotonic/support/config.hpp"
 #include "monotonic/support/spin_wait.hpp"
 
-#if defined(__linux__)
-#include <climits>
-#include <linux/futex.h>
-#include <sys/syscall.h>
-#include <time.h>
-#include <unistd.h>
-#endif
-
 namespace monotonic {
-
-namespace detail {
-
-#if defined(__linux__)
-
-inline void futex_wait(std::atomic<std::uint32_t>* addr,
-                       std::uint32_t expected) {
-  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
-          FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
-}
-
-/// Returns false iff the wait gave up because the deadline passed.
-inline bool futex_wait_until(std::atomic<std::uint32_t>* addr,
-                             std::uint32_t expected,
-                             std::chrono::steady_clock::time_point deadline) {
-  const auto now = std::chrono::steady_clock::now();
-  if (now >= deadline) return false;
-  const auto rel =
-      std::chrono::duration_cast<std::chrono::nanoseconds>(deadline - now);
-  struct timespec ts;
-  ts.tv_sec = static_cast<time_t>(rel.count() / 1000000000);
-  ts.tv_nsec = static_cast<long>(rel.count() % 1000000000);
-  const long rc =
-      syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
-              FUTEX_WAIT_PRIVATE, expected, &ts, nullptr, 0);
-  return !(rc == -1 && errno == ETIMEDOUT);
-}
-
-inline void futex_wake_all(std::atomic<std::uint32_t>* addr) {
-  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
-          FUTEX_WAKE_PRIVATE, INT_MAX, nullptr, nullptr, 0);
-}
-
-#else  // portable fallback: std::atomic wait/notify (no timed variant)
-
-inline void futex_wait(std::atomic<std::uint32_t>* addr,
-                       std::uint32_t expected) {
-  addr->wait(expected, std::memory_order_acquire);
-}
-
-inline bool futex_wait_until(std::atomic<std::uint32_t>* addr,
-                             std::uint32_t expected,
-                             std::chrono::steady_clock::time_point deadline) {
-  // std::atomic has no timed wait; poll in short sleeps.
-  while (addr->load(std::memory_order_acquire) == expected) {
-    if (std::chrono::steady_clock::now() >= deadline) return false;
-    std::this_thread::sleep_for(std::chrono::microseconds(200));
-  }
-  return true;
-}
-
-inline void futex_wake_all(std::atomic<std::uint32_t>* addr) {
-  addr->notify_all();
-}
-
-#endif
-
-}  // namespace detail
 
 /// §7 reference policy: every operation takes the counter mutex; each
 /// wait-list node carries its own condition variable, so a release
 /// wave over L levels issues exactly L notify_all calls however many
 /// threads are waiting (the E5 claim).
-struct BlockingWait {
+template <typename Env = RealEngineEnv>
+struct BlockingWaitT {
+  using EngineEnv = Env;
+  using Lock = std::unique_lock<typename Env::Mutex>;
   static constexpr bool kLockFreeFastPath = false;
 
   struct Signal {
-    std::condition_variable cv;
+    typename Env::CondVar cv;
     void reset() noexcept {}
   };
-  using Node = WaitList<Signal>::Node;
+  using Node = typename WaitList<Signal, Env>::Node;
 
   /// Per released node, counter mutex held.  notify_all is issued
   /// under the lock: the node may only be freed by its last waiter,
@@ -173,8 +118,7 @@ struct BlockingWait {
   // value >= level, so the predicate stays correct even across a
   // (misused) Reset.  (An aborted node is released too — the caller
   // classifies the wake cause from node.aborted.)
-  bool wait(std::unique_lock<std::mutex>& lock, Node& node,
-            CounterStats& stats) {
+  bool wait(Lock& lock, Node& node, CounterStats& stats) {
     while (!node.released) {
       node.signal.cv.wait(lock);
       if (!node.released) stats.on_spurious_wakeup();
@@ -182,7 +126,7 @@ struct BlockingWait {
     return true;
   }
 
-  bool wait_until(std::unique_lock<std::mutex>& lock, Node& node,
+  bool wait_until(Lock& lock, Node& node,
                   std::chrono::steady_clock::time_point deadline,
                   CounterStats& stats) {
     while (!node.released) {
@@ -198,8 +142,8 @@ struct BlockingWait {
   /// wait() that also exits (without the node released) once `stop` is
   /// triggered.  The engine nudges sleepers via wake_waiters from a
   /// stop_callback, so a wakeup with the token set is not spurious.
-  void wait_cancellable(std::unique_lock<std::mutex>& lock, Node& node,
-                        const std::stop_token& stop, CounterStats& stats) {
+  void wait_cancellable(Lock& lock, Node& node, const std::stop_token& stop,
+                        CounterStats& stats) {
     while (!node.released && !stop.stop_requested()) {
       node.signal.cv.wait(lock);
       if (!node.released && !stop.stop_requested()) {
@@ -213,13 +157,16 @@ struct BlockingWait {
 /// notify_all on EVERY Increment.  Waiters at unreached levels eat a
 /// spurious wakeup per Increment — O(total waiters) work per operation
 /// instead of O(released levels); E5/E10 quantify the difference.
-struct SingleCvWait {
+template <typename Env = RealEngineEnv>
+struct SingleCvWaitT {
+  using EngineEnv = Env;
+  using Lock = std::unique_lock<typename Env::Mutex>;
   static constexpr bool kLockFreeFastPath = false;
 
   struct Signal {
     void reset() noexcept {}
   };
-  using Node = WaitList<Signal>::Node;
+  using Node = typename WaitList<Signal, Env>::Node;
 
   void on_release(Node&, CounterStats&) {}  // the broadcast covers it
 
@@ -230,7 +177,7 @@ struct SingleCvWait {
   /// broadcast can be issued after the lock is dropped — cheaper.
   void on_increment_unlocked(bool /*had_waiters*/) { cv_.notify_all(); }
 
-  /// Value-plane hooks (see BlockingWait).  The striped engine calls
+  /// Value-plane hooks (see BlockingWaitT).  The striped engine calls
   /// on_increment_locked/unlocked on every slow pass, so the broadcast
   /// still covers every release even when most increments bypass the
   /// mutex — no watermark action needed.
@@ -241,8 +188,7 @@ struct SingleCvWait {
   /// is a broadcast (the cancelled waiter sorts itself out on resume).
   void wake_waiters(Node& /*node*/) { cv_.notify_all(); }
 
-  bool wait(std::unique_lock<std::mutex>& lock, Node& node,
-            CounterStats& stats) {
+  bool wait(Lock& lock, Node& node, CounterStats& stats) {
     while (!node.released) {
       cv_.wait(lock);
       // Any wakeup that leaves us below the level is structural waste;
@@ -252,7 +198,7 @@ struct SingleCvWait {
     return true;
   }
 
-  bool wait_until(std::unique_lock<std::mutex>& lock, Node& node,
+  bool wait_until(Lock& lock, Node& node,
                   std::chrono::steady_clock::time_point deadline,
                   CounterStats& stats) {
     while (!node.released) {
@@ -264,8 +210,8 @@ struct SingleCvWait {
     return true;
   }
 
-  void wait_cancellable(std::unique_lock<std::mutex>& lock, Node& node,
-                        const std::stop_token& stop, CounterStats& stats) {
+  void wait_cancellable(Lock& lock, Node& node, const std::stop_token& stop,
+                        CounterStats& stats) {
     while (!node.released && !stop.stop_requested()) {
       cv_.wait(lock);
       if (!node.released && !stop.stop_requested()) {
@@ -275,7 +221,7 @@ struct SingleCvWait {
   }
 
  private:
-  std::condition_variable cv_;
+  typename Env::CondVar cv_;
 };
 
 /// Kernel-queue policy: waiters sleep in FUTEX_WAIT on their node's
@@ -292,25 +238,28 @@ struct SingleCvWait {
 /// sleeping through the wake — the classic lost-wakeup race cannot
 /// happen.  The generation bits are why a nudge cannot simply re-store
 /// the same value: sleepers must observe a *different* word.
-struct FutexWait {
+template <typename Env = RealEngineEnv>
+struct FutexWaitT {
+  using EngineEnv = Env;
+  using Lock = std::unique_lock<typename Env::Mutex>;
   static constexpr bool kLockFreeFastPath = true;
 
   struct Signal {
-    std::atomic<std::uint32_t> word{0};
+    typename Env::template Atomic<std::uint32_t> word{0};
     void reset() noexcept { word.store(0, std::memory_order_relaxed); }
   };
-  using Node = WaitList<Signal>::Node;
+  using Node = typename WaitList<Signal, Env>::Node;
 
   void on_release(Node& node, CounterStats& stats) {
     stats.on_notify();
     node.signal.word.fetch_or(1, std::memory_order_release);
-    detail::futex_wake_all(&node.signal.word);
+    Env::futex_wake_all(&node.signal.word);
   }
 
   void on_increment_locked(bool /*had_waiters*/, CounterStats&) {}
   void on_increment_unlocked(bool /*had_waiters*/) {}
 
-  /// Value-plane hooks (see BlockingWait): futex wakes are per-node,
+  /// Value-plane hooks (see BlockingWaitT): futex wakes are per-node,
   /// so arm/rearm transitions need no policy action.
   void on_publish(counter_value_t /*level*/, CounterStats&) {}
   void on_watermark(counter_value_t /*lowest*/, CounterStats&) {}
@@ -319,25 +268,24 @@ struct FutexWait {
   /// mutex held, so the bump is ordered against every waiter snapshot.
   void wake_waiters(Node& node) {
     node.signal.word.fetch_add(2, std::memory_order_release);
-    detail::futex_wake_all(&node.signal.word);
+    Env::futex_wake_all(&node.signal.word);
   }
 
-  bool wait(std::unique_lock<std::mutex>& lock, Node& node,
-            CounterStats& stats) {
+  bool wait(Lock& lock, Node& node, CounterStats& stats) {
     while (!node.released) {
       // Snapshot under the mutex: released (bit 0) is still clear here,
       // and any release/nudge after the unlock changes the word.
       const std::uint32_t expected =
           node.signal.word.load(std::memory_order_relaxed);
       lock.unlock();
-      detail::futex_wait(&node.signal.word, expected);
+      Env::futex_wait(&node.signal.word, expected);
       lock.lock();
       if (!node.released) stats.on_spurious_wakeup();
     }
     return true;
   }
 
-  bool wait_until(std::unique_lock<std::mutex>& lock, Node& node,
+  bool wait_until(Lock& lock, Node& node,
                   std::chrono::steady_clock::time_point deadline,
                   CounterStats& stats) {
     while (!node.released) {
@@ -345,10 +293,10 @@ struct FutexWait {
           node.signal.word.load(std::memory_order_relaxed);
       lock.unlock();
       const bool awoken =
-          detail::futex_wait_until(&node.signal.word, expected, deadline);
+          Env::futex_wait_until(&node.signal.word, expected, deadline);
       lock.lock();
       if (node.released) return true;
-      if (!awoken || std::chrono::steady_clock::now() >= deadline) {
+      if (!awoken || Env::Clock::now() >= deadline) {
         return false;
       }
       stats.on_spurious_wakeup();
@@ -356,15 +304,15 @@ struct FutexWait {
     return true;
   }
 
-  void wait_cancellable(std::unique_lock<std::mutex>& lock, Node& node,
-                        const std::stop_token& stop, CounterStats& stats) {
+  void wait_cancellable(Lock& lock, Node& node, const std::stop_token& stop,
+                        CounterStats& stats) {
     while (!node.released && !stop.stop_requested()) {
       const std::uint32_t expected =
           node.signal.word.load(std::memory_order_relaxed);
       lock.unlock();
       // If the nudge already landed, stop_requested() was set before it
       // and the word differs from our snapshot — FUTEX_WAIT returns.
-      detail::futex_wait(&node.signal.word, expected);
+      Env::futex_wait(&node.signal.word, expected);
       lock.lock();
       if (!node.released && !stop.stop_requested()) {
         stats.on_spurious_wakeup();
@@ -377,14 +325,17 @@ struct FutexWait {
 /// adaptive backoff — no kernel suspension at all, so it wins when
 /// waits are short and cores are plentiful, and loses badly when
 /// oversubscribed (the E10 crossover).
-struct SpinWait {
+template <typename Env = RealEngineEnv>
+struct SpinWaitT {
+  using EngineEnv = Env;
+  using Lock = std::unique_lock<typename Env::Mutex>;
   static constexpr bool kLockFreeFastPath = true;
 
   struct Signal {
-    std::atomic<bool> ready{false};
+    typename Env::template Atomic<bool> ready{false};
     void reset() noexcept { ready.store(false, std::memory_order_relaxed); }
   };
-  using Node = WaitList<Signal>::Node;
+  using Node = typename WaitList<Signal, Env>::Node;
 
   void on_release(Node& node, CounterStats& stats) {
     stats.on_notify();
@@ -394,7 +345,7 @@ struct SpinWait {
   void on_increment_locked(bool /*had_waiters*/, CounterStats&) {}
   void on_increment_unlocked(bool /*had_waiters*/) {}
 
-  /// Value-plane hooks (see BlockingWait): spinners poll their own
+  /// Value-plane hooks (see BlockingWaitT): spinners poll their own
   /// flag, so arm/rearm transitions need no policy action.
   void on_publish(counter_value_t /*level*/, CounterStats&) {}
   void on_watermark(counter_value_t /*lowest*/, CounterStats&) {}
@@ -402,23 +353,23 @@ struct SpinWait {
   /// Spinners poll their stop_token directly — no nudge needed.
   void wake_waiters(Node& /*node*/) {}
 
-  bool wait(std::unique_lock<std::mutex>& lock, Node& node, CounterStats&) {
-    std::atomic<bool>& ready = node.signal.ready;
+  bool wait(Lock& lock, Node& node, CounterStats&) {
+    auto& ready = node.signal.ready;
     lock.unlock();
-    SpinBackoff spinner;
+    typename Env::SpinWaiter spinner;
     while (!ready.load(std::memory_order_acquire)) spinner.once();
     lock.lock();
     return true;
   }
 
-  bool wait_until(std::unique_lock<std::mutex>& lock, Node& node,
+  bool wait_until(Lock& lock, Node& node,
                   std::chrono::steady_clock::time_point deadline,
                   CounterStats&) {
-    std::atomic<bool>& ready = node.signal.ready;
+    auto& ready = node.signal.ready;
     lock.unlock();
-    SpinBackoff spinner;
+    typename Env::SpinWaiter spinner;
     while (!ready.load(std::memory_order_acquire)) {
-      if (std::chrono::steady_clock::now() >= deadline) {
+      if (Env::Clock::now() >= deadline) {
         lock.lock();
         return node.released;  // released at the wire: success
       }
@@ -428,11 +379,11 @@ struct SpinWait {
     return true;
   }
 
-  void wait_cancellable(std::unique_lock<std::mutex>& lock, Node& node,
-                        const std::stop_token& stop, CounterStats&) {
-    std::atomic<bool>& ready = node.signal.ready;
+  void wait_cancellable(Lock& lock, Node& node, const std::stop_token& stop,
+                        CounterStats&) {
+    auto& ready = node.signal.ready;
     lock.unlock();
-    SpinBackoff spinner;
+    typename Env::SpinWaiter spinner;
     while (!ready.load(std::memory_order_acquire) && !stop.stop_requested()) {
       spinner.once();
     }
@@ -444,8 +395,17 @@ struct SpinWait {
 /// attention-bit protocol) + the §7 mutex/cv wait list on slow paths.
 /// Identical signalling to BlockingWait; only the fast path differs
 /// (the value-plane hooks on_publish/on_watermark are inherited too).
-struct HybridWait : BlockingWait {
+template <typename Env = RealEngineEnv>
+struct HybridWaitT : BlockingWaitT<Env> {
   static constexpr bool kLockFreeFastPath = true;
 };
+
+/// The production instantiations — the names the rest of the library
+/// (aliases, spec factory, tests, benches) has always used.
+using BlockingWait = BlockingWaitT<>;
+using SingleCvWait = SingleCvWaitT<>;
+using FutexWait = FutexWaitT<>;
+using SpinWait = SpinWaitT<>;
+using HybridWait = HybridWaitT<>;
 
 }  // namespace monotonic

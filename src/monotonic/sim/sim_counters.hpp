@@ -1,0 +1,42 @@
+// sim_counters.hpp — the wait engine instantiated over SimEngineEnv.
+//
+// One alias per production counter flavour, same policy/plane pairing,
+// different environment: these are the EXACT engine templates the
+// production aliases use (basic_counter.hpp is compiled once, as a
+// template), so a schedule the simulator finds is a schedule the real
+// counter can execute — no model/reality gap beyond the environment
+// seam itself.
+#pragma once
+
+#include "monotonic/core/basic_counter.hpp"
+#include "monotonic/core/striped_cells.hpp"
+#include "monotonic/core/wait_policy.hpp"
+#include "monotonic/sim/sim_env.hpp"
+
+namespace monotonic::sim {
+
+using SimBlockingWait = BlockingWaitT<SimEngineEnv>;
+using SimSingleCvWait = SingleCvWaitT<SimEngineEnv>;
+using SimFutexWait = FutexWaitT<SimEngineEnv>;
+using SimSpinWait = SpinWaitT<SimEngineEnv>;
+using SimHybridWait = HybridWaitT<SimEngineEnv>;
+
+using SimStripedPlane = StripedPlaneT<SimEngineEnv>;
+
+/// §7 reference counter (mutex + per-node condvar) under simulation.
+using SimCounter = BasicCounter<SimBlockingWait>;
+/// Broadcast-on-every-increment baseline under simulation.
+using SimSingleCvCounter = BasicCounter<SimSingleCvWait>;
+/// Futex-word policy (lock-free fast path) under simulation.
+using SimFutexCounter = BasicCounter<SimFutexWait>;
+/// Busy-wait policy under simulation.
+using SimSpinCounter = BasicCounter<SimSpinWait>;
+/// Lock-free fast path + condvar wait list under simulation.
+using SimHybridCounter = BasicCounter<SimHybridWait>;
+/// Striped value plane + §7 wait plane under simulation — the
+/// watermark (store-buffering) protocol's home.
+using SimShardedCounter = BasicCounter<SimBlockingWait, SimStripedPlane>;
+/// Striped plane + hybrid policy under simulation.
+using SimShardedHybridCounter = BasicCounter<SimHybridWait, SimStripedPlane>;
+
+}  // namespace monotonic::sim

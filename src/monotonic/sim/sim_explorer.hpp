@@ -1,0 +1,138 @@
+// sim_explorer.hpp — seed sweeps, trace shrinking, replay.
+//
+// The workflow this header implements (docs/simulation.md walks it):
+//
+//   explore:  run a scenario across seeds base, base+1, ... until one
+//             fails or the budget (seed count / wall clock) runs out.
+//   shrink:   greedily simplify the failing run's DECISION TRACE —
+//             zeroing a choice biases the scheduler toward "let the
+//             current thread keep running", i.e. fewer preemptions —
+//             re-running under the forced trace after each change and
+//             keeping it only if the run still fails.
+//   replay:   a failure is reproduced by seed alone (the interleaving
+//             is a pure function of it); the printed command feeds
+//             tools/run_sim.sh or the sim_explorer CLI directly.
+//
+// Everything here is deterministic: same scenario + same seed (or
+// same forced trace) => same outcome, bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "monotonic/sim/sim_harness.hpp"
+#include "monotonic/sim/sim_runtime.hpp"
+
+namespace monotonic::sim {
+
+/// One scenario execution under one seed (optionally trace-forced).
+inline SimOutcome run_once(const SimScenario& scenario, std::uint64_t seed,
+                           const std::vector<std::uint32_t>* forced_trace =
+                               nullptr,
+                           SimLimits limits = {}) {
+  SimRun run(seed, forced_trace, limits);
+  SimHarness harness(run);
+  return run.execute([&harness, &scenario] { scenario.fn(harness); });
+}
+
+/// The command a human (or CI log reader) runs to reproduce a failure.
+inline std::string replay_command(const SimScenario& scenario,
+                                  std::uint64_t seed) {
+  return "tools/run_sim.sh --scenario " + std::string(scenario.name) +
+         " --seed " + std::to_string(seed);
+}
+
+struct ExploreResult {
+  bool found_failure = false;
+  std::uint64_t failing_seed = 0;
+  std::size_t seeds_run = 0;
+  SimOutcome outcome;                       ///< the failing run (if any)
+  std::vector<std::uint32_t> shrunk_trace;  ///< simplified decision trace
+};
+
+/// Greedy trace shrinking: try zeroing each decision (then dropping
+/// the tail), keep any change under which the forced replay still
+/// fails.  Bounded: at most one pass plus the tail probe, so shrinking
+/// a few-hundred-step trace stays interactive.
+inline std::vector<std::uint32_t> shrink_trace(
+    const SimScenario& scenario, std::uint64_t seed,
+    std::vector<std::uint32_t> trace, SimLimits limits = {}) {
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace[i] == 0) continue;
+    const std::uint32_t saved = trace[i];
+    trace[i] = 0;
+    if (!run_once(scenario, seed, &trace, limits).failed) trace[i] = saved;
+  }
+  // Drop the longest still-failing suffix (decisions past the end of a
+  // forced trace fall back to the seed's PRNG, so a shorter prefix
+  // often reproduces the failure on its own).
+  while (!trace.empty()) {
+    std::vector<std::uint32_t> shorter(trace.begin(), trace.end() - 1);
+    if (!run_once(scenario, seed, &shorter, limits).failed) break;
+    trace.swap(shorter);
+  }
+  return trace;
+}
+
+/// Sweeps `seed_count` consecutive seeds starting at `base_seed`.
+/// Stops at the first failure and shrinks its trace.  For
+/// expect_failure scenarios the CALLER inverts the verdict (finding a
+/// failure is the pass).
+inline ExploreResult explore(const SimScenario& scenario,
+                             std::uint64_t base_seed, std::size_t seed_count,
+                             SimLimits limits = {}, bool shrink = true) {
+  ExploreResult result;
+  for (std::size_t i = 0; i < seed_count; ++i) {
+    const std::uint64_t seed = base_seed + i;
+    SimOutcome out = run_once(scenario, seed, nullptr, limits);
+    ++result.seeds_run;
+    if (out.failed) {
+      result.found_failure = true;
+      result.failing_seed = seed;
+      result.outcome = std::move(out);
+      result.shrunk_trace =
+          shrink ? shrink_trace(scenario, seed, result.outcome.trace, limits)
+                 : result.outcome.trace;
+      return result;
+    }
+  }
+  return result;
+}
+
+/// Human-readable failure block for logs: what failed, how to replay.
+inline std::string describe_failure(const SimScenario& scenario,
+                                    const ExploreResult& result) {
+  std::string msg;
+  msg += "scenario '" + std::string(scenario.name) + "' failed\n";
+  msg += "  seed:    " + std::to_string(result.failing_seed) + "\n";
+  msg += "  steps:   " + std::to_string(result.outcome.steps) + "\n";
+  msg += "  message: " + result.outcome.message + "\n";
+  msg += "  trace:   " + std::to_string(result.outcome.trace.size()) +
+         " decisions (" + std::to_string(result.shrunk_trace.size()) +
+         " after shrink)\n";
+  msg += "  replay:  " + replay_command(scenario, result.failing_seed) + "\n";
+  return msg;
+}
+
+/// Parses a regression-seed corpus file: one decimal seed per line,
+/// '#' comments and blank lines ignored.
+inline std::vector<std::uint64_t> parse_seed_corpus(const std::string& text) {
+  std::vector<std::uint64_t> seeds;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    const std::size_t end = line.find_last_not_of(" \t\r");
+    seeds.push_back(std::stoull(line.substr(begin, end - begin + 1)));
+  }
+  return seeds;
+}
+
+}  // namespace monotonic::sim

@@ -1,0 +1,103 @@
+// sim_harness.hpp — the scenario author's view of a simulation run.
+//
+// A SimHarness wraps the active SimRun with the few verbs a scenario
+// needs: construct counters with tracked ownership, spawn named
+// virtual threads, sleep in virtual time, assert.  Scenario functions
+// take `SimHarness&` and nothing else, which keeps them trivially
+// replayable — no real clocks, no real randomness, no globals.
+//
+// Ownership rule: objects made through make<T>() are destroyed (in
+// reverse construction order) only when the run SUCCEEDS.  On a failed
+// run every virtual thread was unwound mid-operation — waiters never
+// left the wait list, invariants are mid-flight — and running
+// ~BasicCounter would abort on the leftover waiters.  The harness
+// leaks instead; sim test binaries suppress LeakSanitizer for
+// monotonic::sim allocations (see tests/sim_explorer_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "monotonic/sim/sim_runtime.hpp"
+
+namespace monotonic::sim {
+
+class SimHarness {
+ public:
+  explicit SimHarness(SimRun& run) : run_(&run) {}
+  SimHarness(const SimHarness&) = delete;
+  SimHarness& operator=(const SimHarness&) = delete;
+
+  ~SimHarness() {
+    if (run_->aborted()) return;  // failed run: leak, see file header
+    for (auto it = owned_.rbegin(); it != owned_.rend(); ++it) {
+      it->destroy(it->ptr);
+    }
+  }
+
+  /// Constructs a T on the heap with run-scoped ownership (destroyed on
+  /// success, leaked on failure).
+  template <typename T, typename... Args>
+  T& make(Args&&... args) {
+    T* p = new T(std::forward<Args>(args)...);
+    owned_.push_back(Owned{p, [](void* q) { delete static_cast<T*>(q); }});
+    return *p;
+  }
+
+  /// Spawns a named virtual thread running `body`.  The body runs under
+  /// the scheduler; any SimAbortedError unwinds silently, any other
+  /// exception fails the run.
+  void thread(std::string name, std::function<void()> body) {
+    run_->spawn(std::move(name), std::move(body));
+  }
+
+  /// Scenario assertion.  On failure the run aborts and the message
+  /// (plus thread + virtual timestamp) becomes the outcome.
+  void check(bool condition, const std::string& what) {
+    if (!condition) run_->fail("SIM_CHECK failed: " + what);
+  }
+
+  [[noreturn]] void fail(const std::string& what) {
+    run_->fail("SIM_CHECK failed: " + what);
+  }
+
+  /// Parks the calling (scenario main) thread until every spawned
+  /// thread has finished — the scenario's post-race assertions run
+  /// after this.
+  void join() { run_->join_others(); }
+
+  /// Virtual-time sleep (a scheduling point; other threads run).
+  void sleep_ms(std::int64_t ms) { run_->sleep_ns(ms * 1000000); }
+  void sleep_ns(std::int64_t ns) { run_->sleep_ns(ns); }
+
+  std::int64_t now_ns() const noexcept { return run_->now_ns(); }
+  std::int64_t now_ms() const noexcept { return run_->now_ns() / 1000000; }
+
+  SimRun& run() noexcept { return *run_; }
+
+ private:
+  struct Owned {
+    void* ptr;
+    void (*destroy)(void* ptr);
+  };
+
+  SimRun* run_;
+  std::vector<Owned> owned_;
+};
+
+/// A registered scenario: a deterministic program over SimHarness.
+/// `expect_failure` marks self-validation models — scenarios with a
+/// KNOWN bug deliberately (re)introduced, where the explorer must find
+/// a failing seed within its budget or the harness itself has lost its
+/// teeth.  They encode this PR's acceptance criterion in-tree.
+struct SimScenario {
+  const char* name;
+  const char* description;
+  bool expect_failure;
+  void (*fn)(SimHarness&);
+};
+
+}  // namespace monotonic::sim

@@ -1,0 +1,852 @@
+// sim_runtime.hpp — the deterministic-schedule concurrency simulator
+// underneath the wait-engine test harness (loom/CHESS style).
+//
+// The idea: run a scenario's threads as REAL OS threads, but serialize
+// them so exactly one is ever executing, and let a seeded PRNG pick
+// which runnable thread advances at every schedule point (engine
+// SchedulePoints, mutex acquire/release, condvar/futex park and wake,
+// spin iterations).  The whole interleaving of a run is then a pure
+// function of the seed: a failing seed replays exactly, shrinks, and
+// can be checked into a regression corpus.
+//
+// Three modelled dimensions:
+//
+//   * SCHEDULE — SimRun::choose() is called with the current set of
+//     possible actions (resume thread T, or commit thread T's oldest
+//     buffered store); the chosen index is recorded into a trace so a
+//     run can also be replayed from a forced trace (used by the
+//     shrinker, which greedily zeroes decisions).
+//
+//   * TIME — the clock is virtual (SimClock, sim_env.hpp).  Timed
+//     waits and sleeps park with a virtual deadline; when no thread is
+//     runnable the controller jumps time to the earliest deadline.  A
+//     CheckFor(1h) costs nothing, and a waiter that oversleeps its
+//     wake shows up as a huge virtual elapsed time — an assertable
+//     signal (see the poison_timed_waiter scenarios).
+//
+//   * MEMORY — SimAtomic models a TSO store buffer: relaxed/release
+//     stores go into a per-thread FIFO and commit either when the
+//     scheduler picks a flush action, at every RMW / seq_cst store /
+//     mutex boundary (x86-style drains), or at thread exit.  Loads
+//     forward from the thread's own buffer.  This is exactly the
+//     store-buffering (Dekker) relaxation that makes the striped
+//     plane's watermark protocol need seq_cst — downgrade the
+//     watermark store to relaxed and the simulator finds the lost
+//     wakeup (see the model_weak_watermark scenario).
+//
+// Failure handling: a failed SIM_CHECK, an unexpected exception, a
+// deadlock (all threads blocked, no deadline), or the step limit
+// (livelock) aborts the run.  Every parked thread is then resumed and
+// unwound with SimAbortedError, and the harness LEAKS the counters
+// under test — their internal state is mid-flight by construction, so
+// destructors must not run (sim tests suppress LeakSanitizer for
+// these allocations).
+//
+// The primitives are deliberately non-reentrant outside a run: with no
+// active SimRun (or after abort) every operation degrades to a trivial
+// single-threaded implementation, so objects can still be constructed
+// and torn down outside the scheduler.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>  // std::cv_status (SimCondVar's return type)
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <semaphore>
+#include <stop_token>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace monotonic::sim {
+
+class SimRun;
+class SimMutex;
+struct VThread;
+
+/// Thrown through a virtual thread's stack to unwind it when the run
+/// aborts.  Deliberately NOT derived from std::exception: scenario or
+/// engine code catching std::exception must not swallow the teardown.
+struct SimAbortedError {};
+
+/// The run currently driving this process (one at a time; the explorer
+/// runs seeds sequentially).  Plain pointer: all access is serialized
+/// by the scheduler's semaphore handoff.
+inline SimRun*& active_run_ref() noexcept {
+  static SimRun* run = nullptr;
+  return run;
+}
+
+/// The virtual thread hosted by the calling OS thread (null on the
+/// controller and on threads outside any run).
+inline VThread*& self_ref() noexcept {
+  static thread_local VThread* self = nullptr;
+  return self;
+}
+
+enum class VState : std::uint8_t { kRunnable, kBlocked, kFinished };
+enum class BlockKind : std::uint8_t {
+  kNone,
+  kMutex,    ///< waiting for a SimMutex to unlock
+  kCondVar,  ///< parked on a SimCondVar
+  kFutex,    ///< parked on a futex word (SimEngineEnv::futex_wait)
+  kSleep,    ///< virtual-time sleep, deadline only
+  kJoin,     ///< join_others: waiting for every other thread to finish
+};
+
+/// One pending (not yet globally visible) store in a thread's modelled
+/// store buffer.  Type-erased: `commit` writes `bits` back into the
+/// owning SimAtomic.
+struct BufferedStore {
+  void* target;
+  std::uint64_t bits;
+  void (*commit)(void* target, std::uint64_t bits);
+};
+
+struct VThread {
+  std::size_t id = 0;
+  std::string name;
+  VState state = VState::kRunnable;
+  BlockKind block = BlockKind::kNone;
+  const void* channel = nullptr;  ///< mutex / condvar / futex identity
+  bool has_deadline = false;
+  std::int64_t deadline_ns = 0;
+  bool timed_out = false;  ///< wake cause of the last block: deadline?
+  std::deque<BufferedStore> buffer;
+  std::binary_semaphore resume{0};
+  std::thread os;
+  std::function<void()> body;
+  bool errored = false;
+  std::string error;
+};
+
+struct SimLimits {
+  /// Scheduler actions before the run is declared livelocked.  Far
+  /// above any healthy scenario (hundreds of steps); a lost wakeup on
+  /// a spin policy hits it deterministically.
+  std::size_t max_steps = 50000;
+  /// Per-thread store-buffer capacity; the oldest entry auto-commits
+  /// beyond this (TSO buffers are finite too).
+  std::size_t max_store_buffer = 32;
+};
+
+struct SimOutcome {
+  bool failed = false;
+  std::string message;  ///< failure description; empty on success
+  std::size_t steps = 0;
+  std::int64_t end_ns = 0;                ///< final virtual time
+  std::vector<std::uint32_t> trace;       ///< recorded scheduler choices
+};
+
+/// One seeded, deterministic execution of a scenario.  Construct, call
+/// execute() once with the scenario's main body, read the outcome.
+class SimRun {
+ public:
+  SimRun(std::uint64_t seed, const std::vector<std::uint32_t>* forced_trace,
+         SimLimits limits = {})
+      : seed_(seed), limits_(limits), rng_(seed), forced_(forced_trace) {}
+
+  SimRun(const SimRun&) = delete;
+  SimRun& operator=(const SimRun&) = delete;
+
+  // ---- controller side ----
+
+  SimOutcome execute(std::function<void()> main_body) {
+    active_run_ref() = this;
+    spawn("main", std::move(main_body));
+    for (;;) {
+      promote_wakeups();
+      if (aborted_) break;
+      actions_.clear();
+      for (std::size_t i = 0; i < threads_.size(); ++i) {
+        if (threads_[i]->state == VState::kRunnable) {
+          actions_.push_back(Action{false, threads_[i].get()});
+        }
+      }
+      for (std::size_t i = 0; i < threads_.size(); ++i) {
+        if (!threads_[i]->buffer.empty()) {
+          actions_.push_back(Action{true, threads_[i].get()});
+        }
+      }
+      if (actions_.empty()) {
+        if (all_finished()) break;  // success
+        if (!advance_to_next_deadline()) {
+          record_failure(deadlock_message());
+          break;
+        }
+        continue;
+      }
+      if (++steps_ > limits_.max_steps) {
+        record_failure("step limit (" + std::to_string(limits_.max_steps) +
+                       ") exceeded: livelock or lost wakeup");
+        break;
+      }
+      const Action a = actions_[choose(actions_.size())];
+      if (a.flush) {
+        commit_one(a.thread);
+      } else {
+        a.thread->resume.release();
+        to_controller_.acquire();
+      }
+    }
+    if (aborted_) drain();
+    for (auto& t : threads_) {
+      if (t->os.joinable()) t->os.join();
+    }
+    active_run_ref() = nullptr;
+    SimOutcome out;
+    out.failed = failed_;
+    out.message = message_;
+    out.steps = steps_;
+    out.end_ns = now_ns_;
+    out.trace = trace_;
+    return out;
+  }
+
+  // ---- virtual-thread side ----
+
+  /// Registers (and starts) a virtual thread.  Callable from the
+  /// controller (the main body) or from a running vthread (scenario
+  /// spawns); the new thread stays parked until scheduled.
+  void spawn(std::string name, std::function<void()> body) {
+    auto t = std::make_unique<VThread>();
+    t->id = threads_.size();
+    t->name = std::move(name);
+    t->body = std::move(body);
+    VThread* raw = t.get();
+    threads_.push_back(std::move(t));
+    raw->os = std::thread([this, raw] {
+      self_ref() = raw;
+      raw->resume.acquire();
+      try {
+        raw->body();
+      } catch (const SimAbortedError&) {
+        // the run is tearing down; nothing to record
+      } catch (const std::exception& e) {
+        raw->errored = true;
+        raw->error = e.what();
+      } catch (...) {
+        raw->errored = true;
+        raw->error = "unknown exception";
+      }
+      finish_thread(raw);
+    });
+  }
+
+  /// A schedule point: hand control to the controller, which may run
+  /// any other thread (or commit buffered stores) before resuming us.
+  void yield(const char* /*why*/) {
+    VThread* t = self();
+    if (t == nullptr) return;
+    if (aborted_) {
+      abort_point();
+      return;
+    }
+    switch_to_controller();
+  }
+
+  /// Parks the calling thread until wake_channel(channel) or (when
+  /// `has_deadline`) virtual time reaches `deadline_ns`.  Returns true
+  /// iff woken by the deadline.
+  bool block_on(BlockKind kind, const void* channel, bool has_deadline,
+                std::int64_t deadline_ns) {
+    VThread* t = self();
+    if (t == nullptr) return false;
+    if (aborted_) {
+      abort_point();
+      return false;
+    }
+    t->state = VState::kBlocked;
+    t->block = kind;
+    t->channel = channel;
+    t->has_deadline = has_deadline;
+    t->deadline_ns = deadline_ns;
+    t->timed_out = false;
+    switch_to_controller();
+    return t->timed_out;
+  }
+
+  /// block_on without the abort-unwind throw on resume: for waits that
+  /// must run inside (implicitly noexcept) destructors.  The caller
+  /// re-checks aborted() after every return.
+  void block_quiet(const void* channel) {
+    VThread* t = self();
+    if (t == nullptr || aborted_) return;
+    t->state = VState::kBlocked;
+    t->block = BlockKind::kCondVar;
+    t->channel = channel;
+    t->has_deadline = false;
+    t->timed_out = false;
+    to_controller_.release();
+    t->resume.acquire();
+  }
+
+  /// Condition-variable shape: atomically (w.r.t. the scheduler)
+  /// register on `channel`, release `m`, park; reacquire `m` before
+  /// returning.  Registering BEFORE the release is what makes a notify
+  /// between release and park impossible to lose.
+  bool wait_releasing(SimMutex& m, const void* channel, bool has_deadline,
+                      std::int64_t deadline_ns);
+
+  /// Makes every thread parked on `channel` runnable (they re-check
+  /// their predicates / re-contend for the mutex when scheduled).
+  void wake_channel(const void* channel) {
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+      VThread* t = threads_[i].get();
+      if (t->state == VState::kBlocked && t->channel == channel &&
+          t->block != BlockKind::kMutex) {
+        make_runnable(t, /*timed_out=*/false);
+      }
+    }
+  }
+
+  /// Mutex-release wake: runnable again, re-contend on schedule.
+  void wake_mutex_waiters(const void* mutex) {
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+      VThread* t = threads_[i].get();
+      if (t->state == VState::kBlocked && t->block == BlockKind::kMutex &&
+          t->channel == mutex) {
+        make_runnable(t, /*timed_out=*/false);
+      }
+    }
+  }
+
+  /// Scenario assertion failure: record, abort the run, unwind.
+  [[noreturn]] void fail(std::string message) {
+    VThread* t = self();
+    if (t != nullptr) {
+      message += " [thread '" + t->name + "', t=" +
+                 std::to_string(now_ns_ / 1000000) + "ms]";
+    }
+    record_failure(std::move(message));
+    throw SimAbortedError{};
+  }
+
+  /// Virtual-time sleep.
+  void sleep_ns(std::int64_t duration_ns) {
+    block_on(BlockKind::kSleep, nullptr, true, now_ns_ + duration_ns);
+  }
+
+  /// Parks until every OTHER virtual thread has finished.
+  void join_others() {
+    VThread* me = self();
+    for (;;) {
+      bool all = true;
+      for (std::size_t i = 0; i < threads_.size(); ++i) {
+        VThread* t = threads_[i].get();
+        if (t != me && t->state != VState::kFinished) {
+          all = false;
+          break;
+        }
+      }
+      if (all) return;
+      block_on(BlockKind::kJoin, nullptr, false, 0);
+    }
+  }
+
+  /// Commits every buffered store of `t`, oldest first (TSO drain).
+  void flush(VThread* t) {
+    while (!t->buffer.empty()) {
+      commit_one(t);
+    }
+  }
+
+  void buffer_store(BufferedStore s) {
+    VThread* t = self();
+    if (t == nullptr) return;
+    if (t->buffer.size() >= limits_.max_store_buffer) commit_one(t);
+    t->buffer.push_back(s);
+  }
+
+  /// Spin iterations and stall sinks advance virtual time themselves.
+  void advance_time(std::int64_t ns) noexcept { now_ns_ += ns; }
+
+  /// Called at abort-sensitive entry points: throws SimAbortedError to
+  /// unwind the thread, unless an exception is already in flight (a
+  /// destructor-path primitive must not double-throw).
+  void abort_point() {
+    if (std::uncaught_exceptions() == 0) throw SimAbortedError{};
+  }
+
+  VThread* self() const noexcept { return self_ref(); }
+  bool aborted() const noexcept { return aborted_; }
+  std::int64_t now_ns() const noexcept { return now_ns_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+  std::size_t steps() const noexcept { return steps_; }
+
+ private:
+  struct Action {
+    bool flush;  ///< true: commit thread's oldest buffered store
+    VThread* thread;
+  };
+
+  void switch_to_controller() {
+    VThread* t = self();
+    to_controller_.release();
+    t->resume.acquire();
+    if (aborted_) abort_point();
+  }
+
+  void finish_thread(VThread* t) {
+    flush(t);
+    t->state = VState::kFinished;
+    if (t->errored && !aborted_) {
+      record_failure("thread '" + t->name + "' threw: " + t->error);
+    }
+    to_controller_.release();
+  }
+
+  void make_runnable(VThread* t, bool timed_out) {
+    t->state = VState::kRunnable;
+    t->block = BlockKind::kNone;
+    t->channel = nullptr;
+    t->has_deadline = false;
+    t->timed_out = timed_out;
+  }
+
+  /// Wakes deadline-expired sleepers/waiters and ready joiners.  Runs
+  /// every loop iteration: spinners advance virtual time while other
+  /// threads sleep, so expiry must be noticed even when runnables
+  /// exist.
+  void promote_wakeups() {
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+      VThread* t = threads_[i].get();
+      if (t->state != VState::kBlocked) continue;
+      if (t->has_deadline && t->deadline_ns <= now_ns_) {
+        make_runnable(t, /*timed_out=*/true);
+      } else if (t->block == BlockKind::kJoin) {
+        bool all = true;
+        for (std::size_t j = 0; j < threads_.size(); ++j) {
+          VThread* o = threads_[j].get();
+          if (o != t && o->state != VState::kFinished) {
+            all = false;
+            break;
+          }
+        }
+        if (all) make_runnable(t, /*timed_out=*/false);
+      }
+    }
+  }
+
+  /// No runnable thread: jump virtual time to the earliest deadline.
+  /// Returns false when there is none — a deadlock.
+  bool advance_to_next_deadline() {
+    std::int64_t best = INT64_MAX;
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+      VThread* t = threads_[i].get();
+      if (t->state == VState::kBlocked && t->has_deadline) {
+        best = std::min(best, t->deadline_ns);
+      }
+    }
+    if (best == INT64_MAX) return false;
+    now_ns_ = std::max(now_ns_, best);
+    return true;
+  }
+
+  bool all_finished() const {
+    for (const auto& t : threads_) {
+      if (t->state != VState::kFinished) return false;
+    }
+    return true;
+  }
+
+  std::size_t choose(std::size_t n) {
+    if (n <= 1) return 0;  // forced moves are not decisions
+    std::uint32_t c;
+    if (forced_ != nullptr && trace_.size() < forced_->size()) {
+      c = (*forced_)[trace_.size()];
+      if (c >= n) c = static_cast<std::uint32_t>(n - 1);
+    } else {
+      c = static_cast<std::uint32_t>(rng_() % n);
+    }
+    trace_.push_back(c);
+    return c;
+  }
+
+  void commit_one(VThread* t) {
+    if (t->buffer.empty()) return;
+    BufferedStore s = t->buffer.front();
+    t->buffer.pop_front();
+    s.commit(s.target, s.bits);
+  }
+
+  void record_failure(std::string message) {
+    if (!failed_) {
+      failed_ = true;
+      message_ = std::move(message);
+    }
+    aborted_ = true;
+  }
+
+  std::string deadlock_message() const {
+    std::string msg = "deadlock at t=" + std::to_string(now_ns_ / 1000000) +
+                      "ms: every live thread is blocked with no deadline:";
+    static constexpr const char* kKindNames[] = {"none",  "mutex", "condvar",
+                                                 "futex", "sleep", "join"};
+    for (const auto& t : threads_) {
+      if (t->state == VState::kFinished) continue;
+      msg += " '" + t->name + "'(" +
+             kKindNames[static_cast<std::size_t>(t->block)] + ")";
+    }
+    return msg;
+  }
+
+  /// Post-abort teardown: resume every unfinished thread until it
+  /// unwinds (its next schedule point throws SimAbortedError).
+  void drain() {
+    while (!all_finished()) {
+      for (std::size_t i = 0; i < threads_.size(); ++i) {
+        VThread* t = threads_[i].get();
+        if (t->state == VState::kFinished) continue;
+        t->resume.release();
+        to_controller_.acquire();
+      }
+    }
+  }
+
+  const std::uint64_t seed_;
+  const SimLimits limits_;
+  std::mt19937_64 rng_;
+  const std::vector<std::uint32_t>* forced_;
+  std::vector<std::unique_ptr<VThread>> threads_;
+  std::vector<Action> actions_;
+  std::vector<std::uint32_t> trace_;
+  std::binary_semaphore to_controller_{0};
+  std::int64_t now_ns_ = 0;
+  std::size_t steps_ = 0;
+  bool failed_ = false;
+  bool aborted_ = false;
+  std::string message_;
+};
+
+/// Scheduler-owned mutex.  Lock/unlock are schedule points; unlock
+/// drains the holder's store buffer (a real mutex release publishes
+/// everything before it) and wakes blocked acquirers to re-contend —
+/// wake order is a scheduler decision, modelling real unfairness.
+class SimMutex {
+ public:
+  SimMutex() = default;
+  SimMutex(const SimMutex&) = delete;
+  SimMutex& operator=(const SimMutex&) = delete;
+
+  void lock() {
+    SimRun* run = usable_run();
+    if (run == nullptr) {
+      locked_ = true;
+      return;
+    }
+    if (run->aborted()) {
+      run->abort_point();
+      locked_ = true;
+      return;
+    }
+    run->yield("mutex.lock");
+    acquire_raw(run);
+  }
+
+  bool try_lock() {
+    SimRun* run = usable_run();
+    if (run == nullptr || run->aborted()) {
+      const bool was = locked_;
+      locked_ = true;
+      return !was;
+    }
+    run->yield("mutex.try_lock");
+    if (locked_) return false;
+    locked_ = true;
+    run->flush(run->self());
+    return true;
+  }
+
+  /// Never throws: runs inside lock-guard destructors.
+  void unlock() {
+    SimRun* run = usable_run();
+    if (run == nullptr || run->aborted()) {
+      locked_ = false;
+      return;
+    }
+    release_raw(run);
+    run->yield("mutex.unlock");
+  }
+
+  // -- internals shared with SimCondVar::wait (via SimRun) --
+
+  void acquire_raw(SimRun* run) {
+    while (locked_) {
+      run->block_on(BlockKind::kMutex, this, false, 0);
+    }
+    locked_ = true;
+    run->flush(run->self());  // acquire boundary: drain like an RMW
+  }
+
+  void release_raw(SimRun* run) {
+    run->flush(run->self());  // release boundary: publish before unlock
+    locked_ = false;
+    run->wake_mutex_waiters(this);
+  }
+
+ private:
+  static SimRun* usable_run() noexcept {
+    SimRun* run = active_run_ref();
+    return (run != nullptr && run->self() != nullptr) ? run : nullptr;
+  }
+
+  bool locked_ = false;
+};
+
+inline bool SimRun::wait_releasing(SimMutex& m, const void* channel,
+                                   bool has_deadline,
+                                   std::int64_t deadline_ns) {
+  VThread* t = self();
+  if (t == nullptr) return false;
+  if (aborted_) {
+    abort_point();
+    return false;
+  }
+  // Register as a waiter FIRST, then release the mutex: a notifier
+  // running in the release-to-park window finds us on the channel.
+  t->state = VState::kBlocked;
+  t->block = BlockKind::kCondVar;
+  t->channel = channel;
+  t->has_deadline = has_deadline;
+  t->deadline_ns = deadline_ns;
+  t->timed_out = false;
+  m.release_raw(this);
+  switch_to_controller();
+  const bool timed = t->timed_out;
+  m.acquire_raw(this);
+  return timed;
+}
+
+/// Scheduler-owned condition variable over SimMutex.  notify_one is
+/// modelled as notify_all (legal: condvars may wake spuriously; the
+/// engine's predicates re-check) — broader wake, more interleavings.
+class SimCondVar {
+ public:
+  SimCondVar() = default;
+  SimCondVar(const SimCondVar&) = delete;
+  SimCondVar& operator=(const SimCondVar&) = delete;
+
+  void wait(std::unique_lock<SimMutex>& lk) {
+    SimRun* run = active_run_ref();
+    if (run == nullptr || run->self() == nullptr) return;
+    run->wait_releasing(*lk.mutex(), this, false, 0);
+  }
+
+  template <typename Predicate>
+  void wait(std::unique_lock<SimMutex>& lk, Predicate pred) {
+    while (!pred()) wait(lk);
+  }
+
+  std::cv_status wait_until(std::unique_lock<SimMutex>& lk,
+                            std::chrono::steady_clock::time_point deadline) {
+    SimRun* run = active_run_ref();
+    if (run == nullptr || run->self() == nullptr) {
+      return std::cv_status::timeout;
+    }
+    const std::int64_t deadline_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            deadline.time_since_epoch())
+            .count();
+    if (deadline_ns <= run->now_ns()) {
+      run->yield("cv.wait_until(expired)");
+      return std::cv_status::timeout;
+    }
+    return run->wait_releasing(*lk.mutex(), this, true, deadline_ns)
+               ? std::cv_status::timeout
+               : std::cv_status::no_timeout;
+  }
+
+  void notify_all() {
+    SimRun* run = active_run_ref();
+    if (run == nullptr || run->self() == nullptr || run->aborted()) return;
+    run->flush(run->self());
+    run->wake_channel(this);
+    run->yield("cv.notify");
+  }
+
+  void notify_one() { notify_all(); }
+};
+
+/// std::atomic stand-in with a modelled TSO store buffer.  Relaxed and
+/// release stores buffer per-thread; seq_cst stores and all RMWs drain
+/// and hit committed memory; loads forward from the thread's own
+/// buffer (a thread always sees its own stores).  Atomic ops are NOT
+/// schedule points — interleaving granularity comes from the explicit
+/// SchedulePoints and primitive boundaries, which keeps traces short.
+template <typename T>
+class SimAtomic {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    sizeof(T) <= sizeof(std::uint64_t),
+                "SimAtomic models small trivially-copyable payloads");
+
+ public:
+  constexpr SimAtomic() noexcept : value_{} {}
+  constexpr SimAtomic(T v) noexcept : value_(v) {}  // NOLINT(runtime/explicit)
+  SimAtomic(const SimAtomic&) = delete;
+  SimAtomic& operator=(const SimAtomic&) = delete;
+
+  T load(std::memory_order = std::memory_order_seq_cst) const noexcept {
+    SimRun* run = active_run_ref();
+    VThread* t = self_ref();
+    if (run != nullptr && !run->aborted() && t != nullptr) {
+      for (auto it = t->buffer.rbegin(); it != t->buffer.rend(); ++it) {
+        if (it->target == this) return decode(it->bits);
+      }
+    }
+    return value_;
+  }
+
+  void store(T v, std::memory_order order = std::memory_order_seq_cst) {
+    SimRun* run = active_run_ref();
+    VThread* t = self_ref();
+    if (run == nullptr || run->aborted() || t == nullptr) {
+      value_ = v;
+      return;
+    }
+    if (order == std::memory_order_seq_cst) {
+      run->flush(t);  // seq_cst store: drain, then commit
+      value_ = v;
+      return;
+    }
+    run->buffer_store(BufferedStore{const_cast<SimAtomic*>(this), encode(v),
+                                    &SimAtomic::commit_thunk});
+  }
+
+  T fetch_add(T v, std::memory_order = std::memory_order_seq_cst) {
+    return rmw([v](T old) { return static_cast<T>(old + v); });
+  }
+  T fetch_or(T v, std::memory_order = std::memory_order_seq_cst) {
+    return rmw([v](T old) { return static_cast<T>(old | v); });
+  }
+  T fetch_and(T v, std::memory_order = std::memory_order_seq_cst) {
+    return rmw([v](T old) { return static_cast<T>(old & v); });
+  }
+  T exchange(T v, std::memory_order = std::memory_order_seq_cst) {
+    return rmw([v](T) { return v; });
+  }
+
+ private:
+  template <typename Fn>
+  T rmw(Fn fn) {
+    SimRun* run = active_run_ref();
+    VThread* t = self_ref();
+    if (run != nullptr && !run->aborted() && t != nullptr) {
+      run->flush(t);  // every RMW drains the buffer (TSO)
+    }
+    const T old = value_;
+    value_ = fn(old);
+    return old;
+  }
+
+  static T decode(std::uint64_t bits) noexcept {
+    T v;
+    std::memcpy(&v, &bits, sizeof(T));
+    return v;
+  }
+  static std::uint64_t encode(T v) noexcept {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(T));
+    return bits;
+  }
+  static void commit_thunk(void* target, std::uint64_t bits) {
+    static_cast<SimAtomic*>(target)->value_ = decode(bits);
+  }
+
+  T value_;
+};
+
+/// SpinBackoff stand-in: each iteration advances virtual time a hair
+/// (so timed spin loops make progress against virtual deadlines) and
+/// yields to the scheduler.  A genuinely lost wakeup turns into the
+/// step-limit livelock failure.
+class SimSpinWaiter {
+ public:
+  void once() {
+    ++count_;
+    SimRun* run = active_run_ref();
+    if (run == nullptr || run->self() == nullptr) return;
+    run->advance_time(2000);  // 2us of virtual spin
+    run->yield("spin");
+  }
+  std::uint32_t spins() const noexcept { return count_; }
+  void reset() noexcept { count_ = 0; }
+
+ private:
+  std::uint32_t count_ = 0;
+};
+
+/// std::stop_callback stand-in whose destructor waits for an in-flight
+/// invocation THROUGH THE SCHEDULER.  The real ~stop_callback blocks at
+/// the OS level until a concurrently-executing callback returns; under
+/// the simulator that callback's thread may be parked at a schedule
+/// point, so an OS-level wait would hang the whole harness (the
+/// controller thinks the destroying thread is still running).  Instead
+/// the destructor sim-blocks on a completion channel that the wrapper
+/// signals when the callback finishes.
+///
+/// On an aborted run with the callback still in flight, the inner
+/// std::stop_callback is deliberately LEAKED: the callback's thread is
+/// unwinding through the invocation (never clearing `running`), and
+/// destroying the registration would re-introduce the real OS block.
+/// Failed runs leak their counters anyway (see file header).
+template <typename F>
+class SimStopCallback {
+ public:
+  SimStopCallback(const std::stop_token& token, F f)
+      : state_(std::make_shared<State>()),
+        cb_(std::make_unique<std::stop_callback<Wrap>>(
+            token, Wrap{std::move(f), state_})) {}
+  SimStopCallback(const SimStopCallback&) = delete;
+  SimStopCallback& operator=(const SimStopCallback&) = delete;
+
+  ~SimStopCallback() {
+    SimRun* run = active_run_ref();
+    if (run != nullptr && run->self() != nullptr) {
+      // Serialization argument: request_stop() reaches `running = true`
+      // with no schedule point in between, so whenever another thread
+      // is parked anywhere inside the callback, running is already
+      // true.  Conversely once the loop sees !running with the run not
+      // aborted, no invocation can START before cb_.reset() below —
+      // there is no schedule point between the check and the reset.
+      while (!run->aborted() && state_->running) {
+        run->block_quiet(state_.get());
+      }
+      if (run->aborted() && state_->running) {
+        (void)cb_.release();  // leak: see class comment
+        return;
+      }
+    }
+    cb_.reset();
+  }
+
+ private:
+  struct State {
+    bool running = false;
+  };
+  struct Wrap {
+    F f;
+    std::shared_ptr<State> state;
+    void operator()() {
+      state->running = true;
+      f();
+      state->running = false;
+      SimRun* run = active_run_ref();
+      if (run != nullptr && run->self() != nullptr && !run->aborted()) {
+        run->wake_channel(state.get());
+      }
+    }
+  };
+
+  std::shared_ptr<State> state_;
+  std::unique_ptr<std::stop_callback<Wrap>> cb_;
+};
+
+}  // namespace monotonic::sim

@@ -1,0 +1,465 @@
+// sim_scenarios.hpp — the scenario corpus the explorer drives.
+//
+// Each scenario is a small deterministic program over SimHarness: it
+// builds counters, spawns virtual threads that race through the wait
+// engine, and asserts invariants that must hold under EVERY schedule.
+// The interesting interleavings are not written down — the seeded
+// scheduler finds them by permuting the engine's schedule points.
+//
+// Two kinds of entries:
+//
+//   * expect_failure == false — invariant scenarios.  Any failing seed
+//     is an engine bug; the seed goes into tests/sim_seeds/ once fixed
+//     so it replays forever.
+//
+//   * expect_failure == true — self-validation MODELS.  Each one
+//     deliberately reintroduces a known historical bug (a relaxed
+//     watermark store, a dropped notify, a poison sweep that skips
+//     timed waiters) in a local copy of the relevant component, and
+//     the explorer must find a failing seed within its budget.  They
+//     are the harness's own regression tests: if a refactor of the
+//     simulator stops finding these, the harness — not the engine —
+//     has lost its teeth.
+//
+// Scenario rules (determinism):
+//   * no real clocks, no real randomness, no thread_local state;
+//   * spawn order is fixed (stripe slots come from vthread ids);
+//   * striped scenarios pin options.stripes explicitly — the
+//     hardware default would vary by machine;
+//   * both outcomes of a race must be accepted unless the scenario
+//     synchronizes them away (e.g. a cancelled Check may legitimately
+//     return true if the release wins).
+#pragma once
+
+#include <chrono>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "monotonic/core/basic_counter.hpp"
+#include "monotonic/core/counter_error.hpp"
+#include "monotonic/core/striped_cells.hpp"
+#include "monotonic/core/wait_list.hpp"
+#include "monotonic/sim/sim_counters.hpp"
+#include "monotonic/sim/sim_harness.hpp"
+
+namespace monotonic::sim {
+
+// ---------------------------------------------------------------------------
+// Invariant scenarios
+// ---------------------------------------------------------------------------
+
+/// Check-vs-increment at the release boundary: a waiter parks for 3
+/// while two incrementers deliver 2 + 1.  Under every schedule the
+/// waiter must wake (the sum crosses its level exactly once) and the
+/// engine must end structurally clean.
+template <typename C>
+void boundary_scenario(SimHarness& h) {
+  auto& c = h.make<C>();
+  h.thread("waiter", [&] {
+    c.Check(3);
+    h.check(c.debug_value() >= 3, "woken below level");
+  });
+  h.thread("inc-a", [&] { c.Increment(2); });
+  h.thread("inc-b", [&] { c.Increment(1); });
+  h.join();
+  h.check(c.debug_value() == 3, "final value != 3");
+  h.check(c.stats().live_nodes == 0, "wait node leaked");
+}
+
+/// Timed check racing a too-late increment: the waiter asks for 3
+/// within 10ms but the last unit arrives at t=20ms.  The wait must
+/// time out, and — virtual time being exact — must not overshoot its
+/// deadline (the satellite-2 clamp property, asserted end to end).
+template <typename C>
+void timed_check_boundary_scenario(SimHarness& h) {
+  auto& c = h.make<C>();
+  h.thread("waiter", [&] {
+    const std::int64_t start = h.now_ns();
+    const bool ok = c.CheckFor(3, std::chrono::milliseconds(10));
+    const std::int64_t waited_ms = (h.now_ns() - start) / 1000000;
+    h.check(!ok, "CheckFor(3, 10ms) reported success before the value");
+    h.check(waited_ms >= 10, "timed out before the deadline");
+    h.check(waited_ms <= 11, "overshot the deadline");
+    h.check(c.debug_value() < 3, "timed out with the level reached");
+  });
+  h.thread("inc", [&] {
+    c.Increment(2);
+    h.sleep_ms(20);
+    c.Increment(1);
+  });
+  h.join();
+  h.check(c.debug_value() == 3, "final value != 3");
+}
+
+/// Cancellation nudge racing the real release: whichever wins, the
+/// waiter must return (true iff released), and the wait list must be
+/// structurally empty afterwards.
+template <typename C>
+void cancel_vs_wake_scenario(SimHarness& h) {
+  auto& c = h.make<C>();
+  auto& ss = h.make<std::stop_source>();
+  h.thread("waiter", [&] {
+    const bool ok = c.Check(2, ss.get_token());
+    if (ok) h.check(c.debug_value() >= 2, "Check(2) true below level");
+  });
+  h.thread("inc", [&] { c.Increment(2); });
+  h.thread("canceller", [&] { ss.request_stop(); });
+  h.join();
+  c.Check(2);  // value is 2: must return immediately, parked or not
+  h.check(c.stats().live_nodes == 0, "cancelled node leaked");
+}
+
+/// Poison racing an untimed parked waiter: the Check must surface
+/// CounterPoisonedError whether the poison lands before, during, or
+/// after the park — never return normally, never hang.
+template <typename C>
+void poison_while_parked_scenario(SimHarness& h) {
+  auto& c = h.make<C>();
+  h.thread("waiter", [&] {
+    try {
+      c.Check(5);
+      h.fail("Check(5) returned normally on a poisoned counter");
+    } catch (const CounterPoisonedError&) {
+    }
+  });
+  h.thread("poisoner", [&] {
+    h.sleep_ms(1);  // usually (not always) lets the waiter park first
+    c.Poison("sim: producer died");
+  });
+  h.join();
+  h.check(c.poisoned(), "poison did not stick");
+  c.Increment(7);  // post-poison increment: a counted drop, not a throw
+  h.check(c.stats().dropped_increments >= 1, "drop not counted");
+}
+
+/// Poison racing a TIMED waiter with a huge deadline: abort_all must
+/// wake it promptly.  A poison sweep that skips timed waiters would
+/// leave it sleeping out the full hour of virtual time — which is
+/// exactly what the elapsed-time bound catches (and what the
+/// model_dropped_timed_wake model reintroduces).
+template <typename C>
+void poison_timed_waiter_scenario(SimHarness& h) {
+  auto& c = h.make<C>();
+  h.thread("waiter", [&] {
+    const std::int64_t start = h.now_ns();
+    try {
+      (void)c.CheckFor(5, std::chrono::hours(1));
+      h.fail("CheckFor(5) completed on a poisoned counter");
+    } catch (const CounterPoisonedError&) {
+    }
+    const std::int64_t waited_ms = (h.now_ns() - start) / 1000000;
+    h.check(waited_ms < 60000, "poisoned timed waiter overslept its wake");
+  });
+  h.thread("poisoner", [&] {
+    h.sleep_ms(1);
+    c.Poison("sim: producer died");
+  });
+  h.join();
+}
+
+/// Poison racing a lock-free increment: the frozen value is
+/// authoritative.  Check(frozen) must pass instantly; Check(frozen+1)
+/// must throw — even though a racing fetch_add may have inflated the
+/// atomic word after the freeze.
+template <typename C>
+void poison_vs_increment_scenario(SimHarness& h) {
+  auto& c = h.make<C>();
+  h.thread("inc", [&] { c.Increment(1); });
+  h.thread("poisoner", [&] { c.Poison("sim: frozen mid-increment"); });
+  h.join();
+  const counter_value_t frozen = c.debug_value();
+  try {
+    c.Check(frozen);  // at-or-below the freeze: must succeed
+  } catch (const CounterPoisonedError&) {
+    h.fail("Check(frozen) threw");
+  }
+  try {
+    c.Check(frozen + 1);
+    h.fail("Check(frozen+1) returned on a poisoned counter");
+  } catch (const CounterPoisonedError&) {
+  }
+}
+
+/// The striped plane's watermark protocol: a waiter arming its level
+/// races an incrementer's lock-free fast path.  The seq_cst
+/// store-buffering argument (striped_cells.hpp) is what makes this
+/// pass under the simulator's TSO buffer; model_weak_watermark is the
+/// same scenario with that argument deliberately broken.
+inline void striped_arm_vs_increment_scenario(SimHarness& h) {
+  typename SimShardedCounter::Options opt;
+  opt.stripes = 2;  // pinned: the hardware default varies by machine
+  auto& c = h.make<SimShardedCounter>(opt);
+  h.thread("waiter", [&] {
+    c.Check(3);
+    h.check(c.debug_value() >= 3, "woken below level");
+  });
+  h.thread("inc", [&] { c.Increment(3); });
+  h.join();
+  h.check(c.debug_value() == 3, "final value != 3");
+  h.check(c.stats().live_nodes == 0, "wait node leaked");
+}
+
+/// Two waiters at different levels over a striped plane: releases must
+/// come in level order regardless of which stripes the increments land
+/// on, and the watermark must re-arm correctly between them.
+inline void striped_two_waiters_scenario(SimHarness& h) {
+  typename SimShardedCounter::Options opt;
+  opt.stripes = 2;
+  auto& c = h.make<SimShardedCounter>(opt);
+  h.thread("waiter-2", [&] {
+    c.Check(2);
+    h.check(c.debug_value() >= 2, "woken below level 2");
+  });
+  h.thread("waiter-4", [&] {
+    c.Check(4);
+    h.check(c.debug_value() >= 4, "woken below level 4");
+  });
+  h.thread("inc-a", [&] { c.Increment(2); });
+  h.thread("inc-b", [&] { c.Increment(2); });
+  h.join();
+  h.check(c.debug_value() == 4, "final value != 4");
+  h.check(c.stats().live_nodes == 0, "wait node leaked");
+}
+
+/// Stall-watchdog cadence (the satellite-3 fix, end to end): with a
+/// 10ms report interval, a sink that itself burns 3ms of virtual time,
+/// and the release landing at t=35ms, reports must fire at exactly
+/// 10/20/30ms.  The pre-fix code re-derived each deadline from "now
+/// AFTER the sink returned", drifting to 10/23/36 — and 36 > 35 means
+/// the third report would be lost entirely.
+inline void watchdog_cadence_scenario(SimHarness& h) {
+  auto& reports = h.make<std::vector<std::int64_t>>();
+  typename SimCounter::Options opt;
+  opt.stall_report_after = std::chrono::milliseconds(10);
+  opt.on_stall = [&h, &reports](const CounterStallReport& r) {
+    reports.push_back(h.now_ms());
+    h.check(r.level == 1, "report for the wrong level");
+    h.run().advance_time(3 * 1000000);  // a slow sink: 3ms of logging
+  };
+  auto& c = h.make<SimCounter>(opt);
+  h.thread("waiter", [&] { c.Check(1); });
+  h.thread("releaser", [&] {
+    h.sleep_ms(35);
+    c.Increment(1);
+  });
+  h.join();
+  h.check(reports.size() == 3,
+          "expected 3 stall reports, got " + std::to_string(reports.size()));
+  if (reports.size() == 3) {
+    h.check(reports[0] == 10 && reports[1] == 20 && reports[2] == 30,
+            "stall cadence drifted: [" + std::to_string(reports[0]) + "," +
+                std::to_string(reports[1]) + "," + std::to_string(reports[2]) +
+                "]ms, want [10,20,30]ms");
+  }
+  h.check(c.stats().stall_reports == 3, "stat/report mismatch");
+}
+
+// ---------------------------------------------------------------------------
+// Self-validation models (expect_failure = true)
+// ---------------------------------------------------------------------------
+
+/// StripedPlaneT with the watermark store DOWNGRADED to relaxed — the
+/// exact bug the ISSUE's acceptance criterion names.  A local copy
+/// rather than a knob on the real plane: the production header must
+/// not grow a "please be wrong" switch.  Everything except the one
+/// memory_order in arm() matches striped_cells.hpp.
+class WeakStripedPlane {
+ public:
+  using EngineEnv = SimEngineEnv;
+  static constexpr bool kLockFreeFastPath = true;
+  static constexpr bool kStriped = true;
+  static constexpr counter_value_t kMaxValue =
+      std::numeric_limits<counter_value_t>::max() >> 1;
+
+  WeakStripedPlane(const WaitListOptions& options, CounterStats& stats)
+      : cells_(options.stripes), stats_(stats) {
+    stats_.set_stripe_count(cells_.stripe_count());
+  }
+
+  std::size_t stripe_count() const noexcept { return cells_.stripe_count(); }
+
+  bool add_fast(counter_value_t amount) {
+    const std::size_t home = cells_.home_stripe();
+    MC_REQUIRE(amount <= kMaxValue && cells_.load(home) <= kMaxValue - amount,
+               "counter value overflow");
+    cells_.add(home, amount);
+    const counter_value_t armed =
+        lowest_armed_level_.load(std::memory_order_seq_cst);
+    if (armed == kNoArmedLevel) return false;
+    return cells_.sum_seq_cst() >= armed;
+  }
+
+  counter_value_t read_fast() const noexcept { return cells_.sum(); }
+  counter_value_t collapse() noexcept {
+    stats_.on_collapse();
+    return cells_.sum_seq_cst();
+  }
+  counter_value_t read_locked() const noexcept {
+    stats_.on_collapse();
+    return cells_.sum_seq_cst();
+  }
+
+  counter_value_t arm(counter_value_t level) {
+    if (level < lowest_armed_level_.load(std::memory_order_relaxed)) {
+      // THE BUG: relaxed lets the store sit in the waiter's buffer
+      // while its collapse() below reads the cells — the incrementer's
+      // add-then-probe can slot into that window, miss the watermark,
+      // and skip the slow pass.  Store buffering, straight from the
+      // striped_cells.hpp header comment.
+      lowest_armed_level_.store(level, std::memory_order_relaxed);
+    }
+    return collapse();
+  }
+
+  void rearm(counter_value_t lowest) {
+    lowest_armed_level_.store(lowest, std::memory_order_seq_cst);
+  }
+  void pin() { lowest_armed_level_.store(0, std::memory_order_seq_cst); }
+  void reset() {
+    cells_.reset();
+    lowest_armed_level_.store(kNoArmedLevel, std::memory_order_seq_cst);
+  }
+
+ private:
+  StripedCellsT<SimEngineEnv> cells_;
+  CounterStats& stats_;
+  SimEngineEnv::Atomic<counter_value_t> lowest_armed_level_{kNoArmedLevel};
+};
+
+inline void model_weak_watermark_scenario(SimHarness& h) {
+  using WeakCounter = BasicCounter<SimBlockingWait, WeakStripedPlane>;
+  typename WeakCounter::Options opt;
+  opt.stripes = 2;
+  auto& c = h.make<WeakCounter>(opt);
+  h.thread("waiter", [&] { c.Check(3); });
+  h.thread("inc", [&] { c.Increment(3); });
+  h.join();
+  h.check(c.debug_value() == 3, "final value != 3");
+}
+
+/// BlockingWait whose on_release forgets the notify — the canonical
+/// lost wakeup.  Seeds where the release lands while the waiter is
+/// inside cv.wait deadlock; seeds where the waiter's fast check wins
+/// pass.  The explorer must find the former.
+struct LostNotifyWait : SimBlockingWait {
+  void on_release(SimBlockingWait::Node& /*node*/, CounterStats& stats) {
+    stats.on_notify();
+    // THE BUG: node.signal.cv.notify_all() omitted.
+  }
+};
+
+inline void model_lost_notify_scenario(SimHarness& h) {
+  auto& c = h.make<BasicCounter<LostNotifyWait>>();
+  h.thread("waiter", [&] { c.Check(1); });
+  h.thread("inc", [&] { c.Increment(1); });
+  h.join();
+}
+
+/// BlockingWait whose poison sweep skips timed waiters (on_release
+/// drops the wake for aborted nodes).  The poisoned CheckFor then
+/// sleeps out its FULL one-hour virtual deadline before noticing —
+/// caught by the same elapsed-time bound poison_timed_waiter asserts.
+struct DroppedTimedWakeWait : SimBlockingWait {
+  void on_release(SimBlockingWait::Node& node, CounterStats& stats) {
+    // THE BUG: aborted (poison-released) nodes are not notified.
+    if (!node.aborted) SimBlockingWait::on_release(node, stats);
+  }
+};
+
+inline void model_dropped_timed_wake_scenario(SimHarness& h) {
+  auto& c = h.make<BasicCounter<DroppedTimedWakeWait>>();
+  h.thread("waiter", [&] {
+    const std::int64_t start = h.now_ns();
+    try {
+      (void)c.CheckFor(5, std::chrono::hours(1));
+      h.fail("CheckFor(5) completed on a poisoned counter");
+    } catch (const CounterPoisonedError&) {
+    }
+    const std::int64_t waited_ms = (h.now_ns() - start) / 1000000;
+    h.check(waited_ms < 60000, "poisoned timed waiter overslept its wake");
+  });
+  h.thread("poisoner", [&] {
+    h.sleep_ms(1);
+    c.Poison("sim: producer died");
+  });
+  h.join();
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+inline const std::vector<SimScenario>& sim_scenarios() {
+  static const std::vector<SimScenario> scenarios = {
+      {"boundary_blocking", "Check(3) vs Increment 2+1, BlockingWait", false,
+       &boundary_scenario<SimCounter>},
+      {"boundary_single_cv", "Check(3) vs Increment 2+1, SingleCvWait", false,
+       &boundary_scenario<SimSingleCvCounter>},
+      {"boundary_futex", "Check(3) vs Increment 2+1, FutexWait", false,
+       &boundary_scenario<SimFutexCounter>},
+      {"boundary_spin", "Check(3) vs Increment 2+1, SpinWait", false,
+       &boundary_scenario<SimSpinCounter>},
+      {"boundary_hybrid", "Check(3) vs Increment 2+1, HybridWait", false,
+       &boundary_scenario<SimHybridCounter>},
+      {"timed_check_boundary",
+       "CheckFor deadline vs late increment: no overshoot, no false success",
+       false, &timed_check_boundary_scenario<SimHybridCounter>},
+      {"cancel_vs_wake_blocking",
+       "stop_token nudge races the real release, BlockingWait", false,
+       &cancel_vs_wake_scenario<SimCounter>},
+      {"cancel_vs_wake_futex",
+       "stop_token nudge races the real release, FutexWait (generation bits)",
+       false, &cancel_vs_wake_scenario<SimFutexCounter>},
+      {"cancel_vs_wake_spin",
+       "stop_token nudge races the real release, SpinWait (token polling)",
+       false, &cancel_vs_wake_scenario<SimSpinCounter>},
+      {"poison_while_parked_blocking",
+       "Poison vs parked untimed Check, BlockingWait", false,
+       &poison_while_parked_scenario<SimCounter>},
+      {"poison_while_parked_futex",
+       "Poison vs parked untimed Check, FutexWait", false,
+       &poison_while_parked_scenario<SimFutexCounter>},
+      {"poison_while_parked_spin", "Poison vs parked untimed Check, SpinWait",
+       false, &poison_while_parked_scenario<SimSpinCounter>},
+      {"poison_timed_waiter_blocking",
+       "Poison must promptly wake a CheckFor(1h) waiter, BlockingWait", false,
+       &poison_timed_waiter_scenario<SimCounter>},
+      {"poison_timed_waiter_futex",
+       "Poison must promptly wake a CheckFor(1h) waiter, FutexWait", false,
+       &poison_timed_waiter_scenario<SimFutexCounter>},
+      {"poison_vs_increment",
+       "frozen value is authoritative against racing lock-free increments",
+       false, &poison_vs_increment_scenario<SimHybridCounter>},
+      {"striped_arm_vs_increment",
+       "watermark arm vs lock-free increment (the seq_cst SB protocol)",
+       false, &striped_arm_vs_increment_scenario},
+      {"striped_two_waiters",
+       "two levels over two stripes: ordered release + correct rearm", false,
+       &striped_two_waiters_scenario},
+      {"watchdog_cadence",
+       "stall reports hold a fixed cadence under a slow sink", false,
+       &watchdog_cadence_scenario},
+      {"model_weak_watermark",
+       "MODEL: watermark store downgraded to relaxed — explorer must find "
+       "the lost wakeup",
+       true, &model_weak_watermark_scenario},
+      {"model_lost_notify",
+       "MODEL: on_release without notify — explorer must find the deadlock",
+       true, &model_lost_notify_scenario},
+      {"model_dropped_timed_wake",
+       "MODEL: poison skips timed waiters — explorer must catch the "
+       "oversleep",
+       true, &model_dropped_timed_wake_scenario},
+  };
+  return scenarios;
+}
+
+inline const SimScenario* find_scenario(const std::string& name) {
+  for (const auto& s : sim_scenarios()) {
+    if (name == s.name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace monotonic::sim

@@ -1,0 +1,209 @@
+// sim_explorer — CLI driver for the deterministic-schedule harness.
+//
+//   sim_explorer --list
+//   sim_explorer --scenario boundary_blocking --seeds 2000
+//   sim_explorer --seeds 2000 [--seed-base 1] [--budget-seconds 300]
+//   sim_explorer --scenario striped_arm_vs_increment --seed 34
+//   sim_explorer --scenario ... --seed 34 --trace 1,0,2
+//
+// Exit status: 0 when every swept scenario held (models: found their
+// planted bug), 1 on a real failure, 2 on usage errors.  The CI `sim`
+// job runs the big fresh-seed sweeps through this binary; gtest keeps
+// the smaller deterministic sweeps.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "monotonic/sim/sim_explorer.hpp"
+#include "monotonic/sim/sim_scenarios.hpp"
+
+// Failed runs (e.g. every model-scenario probe) leak their counters by
+// design; keep LeakSanitizer quiet when this binary is built with asan.
+extern "C" const char* __lsan_default_suppressions() {
+  return "leak:monotonic::sim::\nleak:monotonic::BasicCounter\n";
+}
+
+namespace {
+
+using namespace monotonic::sim;
+
+struct Cli {
+  std::string scenario;             // empty = all
+  std::uint64_t seed_base = 1;
+  std::size_t seeds = 200;          // sweep width per scenario
+  bool have_single_seed = false;    // --seed: replay exactly one run
+  std::uint64_t single_seed = 0;
+  std::vector<std::uint32_t> trace;  // --trace: forced decisions
+  std::size_t max_steps = 50000;
+  long budget_seconds = 0;  // 0 = unbounded
+  bool list = false;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: sim_explorer [--list] [--scenario NAME] [--seeds N]\n"
+      "                    [--seed-base S] [--seed S] [--trace a,b,c]\n"
+      "                    [--max-steps N] [--budget-seconds N]\n");
+}
+
+bool parse(int argc, char** argv, Cli& cli) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--list") {
+      cli.list = true;
+    } else if (arg == "--scenario") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      cli.scenario = v;
+    } else if (arg == "--seeds") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      cli.seeds = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--seed-base") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      cli.seed_base = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      cli.have_single_seed = true;
+      cli.single_seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      for (const char* p = v; *p != '\0';) {
+        cli.trace.push_back(
+            static_cast<std::uint32_t>(std::strtoul(p, nullptr, 10)));
+        const char* comma = std::strchr(p, ',');
+        if (comma == nullptr) break;
+        p = comma + 1;
+      }
+    } else if (arg == "--max-steps") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      cli.max_steps = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--budget-seconds") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      cli.budget_seconds = std::strtol(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Replay one (scenario, seed[, trace]) and narrate the outcome.
+int replay(const SimScenario& s, const Cli& cli) {
+  SimLimits limits;
+  limits.max_steps = cli.max_steps;
+  const std::vector<std::uint32_t>* forced =
+      cli.trace.empty() ? nullptr : &cli.trace;
+  SimOutcome out = run_once(s, cli.single_seed, forced, limits);
+  std::printf("scenario: %s\nseed:     %llu\nsteps:    %zu\n"
+              "virtual:  %lldms\nresult:   %s\n",
+              s.name, static_cast<unsigned long long>(cli.single_seed),
+              out.steps, static_cast<long long>(out.end_ns / 1000000),
+              out.failed ? "FAILED" : "passed");
+  if (out.failed) {
+    std::printf("message:  %s\n", out.message.c_str());
+    std::printf("trace:    ");
+    for (std::size_t i = 0; i < out.trace.size(); ++i) {
+      std::printf(i == 0 ? "%u" : ",%u", out.trace[i]);
+    }
+    std::printf("\n");
+  }
+  const bool ok = s.expect_failure ? out.failed : !out.failed;
+  return ok ? 0 : 1;
+}
+
+/// Sweep one scenario; returns 0 when it held.
+int sweep(const SimScenario& s, const Cli& cli,
+          std::chrono::steady_clock::time_point hard_stop, bool bounded) {
+  SimLimits limits;
+  limits.max_steps = cli.max_steps;
+  // Chunked sweep so the wall-clock budget is honoured between chunks.
+  const std::size_t chunk = 50;
+  std::size_t done = 0;
+  while (done < cli.seeds) {
+    if (bounded && std::chrono::steady_clock::now() >= hard_stop) {
+      std::printf("%-32s budget exhausted after %zu seeds\n", s.name, done);
+      return s.expect_failure ? 1 : 0;  // a model MUST be found in budget
+    }
+    const std::size_t n = std::min(chunk, cli.seeds - done);
+    ExploreResult r = explore(s, cli.seed_base + done, n, limits);
+    done += r.seeds_run;
+    if (r.found_failure) {
+      if (s.expect_failure) {
+        std::printf("%-32s ok (model bug found at seed %llu, %zu seeds)\n",
+                    s.name, static_cast<unsigned long long>(r.failing_seed),
+                    done);
+        return 0;
+      }
+      std::fprintf(stderr, "%s", describe_failure(s, r).c_str());
+      return 1;
+    }
+  }
+  if (s.expect_failure) {
+    std::fprintf(stderr,
+                 "%-32s FAILED: model bug not found in %zu seeds — the "
+                 "harness lost its teeth\n",
+                 s.name, done);
+    return 1;
+  }
+  std::printf("%-32s ok (%zu seeds)\n", s.name, done);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  if (!parse(argc, argv, cli)) {
+    usage();
+    return 2;
+  }
+  if (cli.list) {
+    for (const auto& s : sim_scenarios()) {
+      std::printf("%-32s %s%s\n", s.name,
+                  s.expect_failure ? "[model] " : "", s.description);
+    }
+    return 0;
+  }
+  if (cli.have_single_seed) {
+    if (cli.scenario.empty()) {
+      std::fprintf(stderr, "--seed requires --scenario\n");
+      return 2;
+    }
+    const SimScenario* s = find_scenario(cli.scenario);
+    if (s == nullptr) {
+      std::fprintf(stderr, "unknown scenario: %s\n", cli.scenario.c_str());
+      return 2;
+    }
+    return replay(*s, cli);
+  }
+  const auto hard_stop =
+      std::chrono::steady_clock::now() +
+      std::chrono::seconds(cli.budget_seconds);
+  const bool bounded = cli.budget_seconds > 0;
+  int rc = 0;
+  for (const auto& s : sim_scenarios()) {
+    if (!cli.scenario.empty() && cli.scenario != s.name) continue;
+    rc |= sweep(s, cli, hard_stop, bounded);
+  }
+  if (!cli.scenario.empty() && find_scenario(cli.scenario) == nullptr) {
+    std::fprintf(stderr, "unknown scenario: %s\n", cli.scenario.c_str());
+    return 2;
+  }
+  return rc;
+}

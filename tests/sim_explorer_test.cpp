@@ -1,0 +1,235 @@
+// Deterministic-schedule simulation: scenario sweeps, determinism,
+// shrinking, and the harness's own self-validation models.
+//
+// Seed budgets here are deliberately modest (the TSan job runs the
+// full ctest suite at 5-15x slowdown); the broad 2000-seed sweeps run
+// in the dedicated CI `sim` job through the sim_explorer CLI.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "monotonic/core/batching_counter.hpp"
+#include "monotonic/core/counter.hpp"
+#include "monotonic/core/engine_env.hpp"
+#include "monotonic/sim/sim_explorer.hpp"
+#include "monotonic/sim/sim_scenarios.hpp"
+
+// A failed simulation run intentionally LEAKS its counters: every
+// virtual thread was unwound mid-operation, so destructors would fire
+// the "destroyed with suspended waiters" abort.  The expect_failure
+// model scenarios below make such runs on purpose; teach LeakSanitizer
+// (the CI asan job runs this binary) that those leaks are the design.
+extern "C" const char* __lsan_default_suppressions() {
+  return "leak:monotonic::sim::\nleak:monotonic::BasicCounter\n";
+}
+
+namespace {
+
+using namespace monotonic;
+using namespace monotonic::sim;
+
+constexpr std::uint64_t kBaseSeed = 1;
+constexpr std::size_t kSweepSeeds = 60;    // per invariant scenario
+constexpr std::size_t kModelSeeds = 300;   // budget to find a model's bug
+
+// ---------------------------------------------------------------------------
+// Every registered scenario, swept: invariant scenarios must survive
+// all seeds; model scenarios must fail within the budget.
+// ---------------------------------------------------------------------------
+
+class ScenarioSweep : public ::testing::TestWithParam<const SimScenario*> {};
+
+TEST_P(ScenarioSweep, HoldsOrFindsItsBug) {
+  const SimScenario& s = *GetParam();
+  if (s.expect_failure) {
+    ExploreResult r = explore(s, kBaseSeed, kModelSeeds);
+    ASSERT_TRUE(r.found_failure)
+        << "model scenario '" << s.name << "' survived " << kModelSeeds
+        << " seeds: the harness has lost the ability to find this "
+           "known bug";
+    // The found failure must replay deterministically from its seed.
+    SimOutcome replay = run_once(s, r.failing_seed);
+    EXPECT_TRUE(replay.failed) << replay_command(s, r.failing_seed);
+    EXPECT_EQ(replay.message, r.outcome.message);
+    EXPECT_EQ(replay.trace, r.outcome.trace);
+    // And the shrunk trace must still reproduce it.
+    SimOutcome forced = run_once(s, r.failing_seed, &r.shrunk_trace);
+    EXPECT_TRUE(forced.failed) << "shrunk trace no longer fails";
+  } else {
+    ExploreResult r = explore(s, kBaseSeed, kSweepSeeds);
+    EXPECT_FALSE(r.found_failure) << describe_failure(s, r);
+  }
+}
+
+std::vector<const SimScenario*> all_scenarios() {
+  std::vector<const SimScenario*> out;
+  for (const auto& s : sim_scenarios()) out.push_back(&s);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sim, ScenarioSweep,
+                         ::testing::ValuesIn(all_scenarios()),
+                         [](const auto& info) {
+                           return std::string(info.param->name);
+                         });
+
+// ---------------------------------------------------------------------------
+// Simulator properties
+// ---------------------------------------------------------------------------
+
+TEST(SimDeterminism, SameSeedSameRun) {
+  const SimScenario* s = find_scenario("boundary_blocking");
+  ASSERT_NE(s, nullptr);
+  for (std::uint64_t seed : {1ull, 7ull, 1234567ull}) {
+    SimOutcome a = run_once(*s, seed);
+    SimOutcome b = run_once(*s, seed);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.trace, b.trace) << "seed " << seed;
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_EQ(a.end_ns, b.end_ns);
+  }
+}
+
+TEST(SimDeterminism, DifferentSeedsExploreDifferentSchedules) {
+  const SimScenario* s = find_scenario("boundary_blocking");
+  ASSERT_NE(s, nullptr);
+  SimOutcome a = run_once(*s, 1);
+  bool any_different = false;
+  for (std::uint64_t seed = 2; seed <= 12; ++seed) {
+    if (run_once(*s, seed).trace != a.trace) {
+      any_different = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_different) << "11 seeds produced identical schedules";
+}
+
+TEST(SimDeterminism, ForcedTraceReplaysExactly) {
+  const SimScenario* s = find_scenario("striped_two_waiters");
+  ASSERT_NE(s, nullptr);
+  SimOutcome free_run = run_once(*s, 42);
+  ASSERT_FALSE(free_run.failed);
+  SimOutcome forced = run_once(*s, 42, &free_run.trace);
+  EXPECT_EQ(forced.trace, free_run.trace);
+  EXPECT_EQ(forced.end_ns, free_run.end_ns);
+}
+
+TEST(SimVirtualTime, HourLongWaitsCostNothing) {
+  const SimScenario* s = find_scenario("poison_timed_waiter_blocking");
+  ASSERT_NE(s, nullptr);
+  const auto wall_start = std::chrono::steady_clock::now();
+  ExploreResult r = explore(*s, kBaseSeed, 20);
+  const auto wall =
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now() - wall_start);
+  EXPECT_FALSE(r.found_failure) << describe_failure(*s, r);
+  // 20 runs, each containing a CheckFor(1h): virtual time is free.
+  EXPECT_LT(wall.count(), 60) << "virtual time leaked into wall clock";
+}
+
+TEST(SimCorpus, ParserHandlesCommentsAndBlanks) {
+  const std::vector<std::uint64_t> seeds = parse_seed_corpus(
+      "# regression seeds\n"
+      "34\n"
+      "\n"
+      "  8   # striped_two_waiters\n"
+      "12345\n");
+  EXPECT_EQ(seeds, (std::vector<std::uint64_t>{34, 8, 12345}));
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: the portable timed-wait fallback clamps its final sleep
+// to the remaining time instead of oversleeping a full quantum.
+// ---------------------------------------------------------------------------
+
+TEST(PollWaitUntil, TimeoutDoesNotOvershootByAQuantum) {
+  std::atomic<std::uint32_t> word{0};
+  // 10ms deadline with a 50ms quantum: the pre-clamp code slept 50ms
+  // minimum; the clamped loop must come back close to the deadline.
+  const auto start = std::chrono::steady_clock::now();
+  const bool changed = monotonic::detail::poll_wait_until(
+      &word, 0, start + std::chrono::milliseconds(10),
+      std::chrono::milliseconds(50));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(changed);
+  EXPECT_GE(elapsed, std::chrono::milliseconds(10));
+  // Generous CI margin, still far below the 50ms quantum.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(40))
+      << "poll_wait_until overslept its deadline";
+}
+
+TEST(PollWaitUntil, ReturnsTrueWhenValueChanges) {
+  std::atomic<std::uint32_t> word{0};
+  std::thread flipper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    word.store(1, std::memory_order_release);
+  });
+  const bool changed = monotonic::detail::poll_wait_until(
+      &word, 0, std::chrono::steady_clock::now() + std::chrono::seconds(10));
+  flipper.join();
+  EXPECT_TRUE(changed);
+}
+
+TEST(PollWaitUntil, ExpiredDeadlineReturnsImmediately) {
+  std::atomic<std::uint32_t> word{0};
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(monotonic::detail::poll_wait_until(
+      &word, 0, start - std::chrono::milliseconds(1)));
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(100));
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: BatchingIncrementer's destructor flush is noexcept-safe.
+// ---------------------------------------------------------------------------
+
+// A counter whose Increment always throws — the worst case a
+// destructor-time flush can meet.
+struct ThrowingCounter {
+  void Increment(counter_value_t) { throw std::runtime_error("boom"); }
+  void Check(counter_value_t) {}
+  counter_value_t debug_value() const { return 0; }
+};
+
+TEST(BatchingIncrementer, DestructorSwallowsFlushFailure) {
+  ThrowingCounter target;
+  // Must not std::terminate; the loss must be observable via dropped().
+  BatchingIncrementer<ThrowingCounter> inc(target, 100);
+  inc.Increment(7);
+  EXPECT_EQ(inc.pending(), 7u);
+  EXPECT_EQ(inc.dropped(), 0u);
+  // Destructor runs at scope exit: flush throws, gets swallowed.
+}
+
+TEST(BatchingIncrementer, LiveFlushStillPropagatesAndKeepsPending) {
+  ThrowingCounter target;
+  BatchingIncrementer<ThrowingCounter> inc(target, 1000);
+  inc.Increment(5);
+  EXPECT_THROW(inc.flush(), std::runtime_error);
+  EXPECT_EQ(inc.pending(), 5u) << "failed flush must not lose the amount";
+  EXPECT_EQ(inc.dropped(), 0u);
+}
+
+TEST(BatchingIncrementer, DropCountSurvivesUntilDestruction) {
+  ThrowingCounter target;
+  auto* inc = new BatchingIncrementer<ThrowingCounter>(target, 1000);
+  inc->Increment(9);
+  EXPECT_THROW(inc->flush(), std::runtime_error);
+  delete inc;  // swallows, drops 9 — verified not to terminate
+}
+
+TEST(BatchingIncrementer, OrderlyDestructionFlushesEverything) {
+  Counter c;
+  {
+    BatchingIncrementer<Counter> inc(c, 10);
+    inc.Increment(3);  // below batch: stays pending
+    EXPECT_EQ(c.debug_value(), 0u);
+  }
+  EXPECT_EQ(c.debug_value(), 3u) << "orderly destruction must flush";
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+// Replays the committed regression-seed corpus (tests/sim_seeds/)
+// against every scenario it names.  Each line is a seed that once
+// exposed a bug (or validates that a model's bug stays findable); a
+// failure here prints the exact replay command.
+//
+// Corpus layout: tests/sim_seeds/<scenario>.seeds, one decimal seed
+// per line, '#' comments.  For invariant scenarios every seed must
+// PASS (the bug it caught is fixed and must stay fixed).  For
+// expect_failure models every seed must still FAIL — the harness must
+// keep finding the planted bug at exactly the recorded schedule.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "monotonic/sim/sim_explorer.hpp"
+#include "monotonic/sim/sim_scenarios.hpp"
+
+// Model scenarios leak their (deliberately) failed runs' counters —
+// see sim_explorer_test.cpp.
+extern "C" const char* __lsan_default_suppressions() {
+  return "leak:monotonic::sim::\nleak:monotonic::BasicCounter\n";
+}
+
+#ifndef MONOTONIC_SIM_SEED_DIR
+#error "build must define MONOTONIC_SIM_SEED_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace {
+
+using namespace monotonic::sim;
+
+std::filesystem::path seed_dir() { return MONOTONIC_SIM_SEED_DIR; }
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(seed_dir())) {
+    if (entry.path().extension() == ".seeds") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(SimRegression, CorpusExistsAndIsNonTrivial) {
+  ASSERT_TRUE(std::filesystem::exists(seed_dir()))
+      << "seed corpus directory missing: " << seed_dir();
+  EXPECT_GE(corpus_files().size(), 3u) << "corpus suspiciously small";
+}
+
+TEST(SimRegression, EveryCorpusFileNamesARealScenario) {
+  for (const auto& file : corpus_files()) {
+    EXPECT_NE(find_scenario(file.stem().string()), nullptr)
+        << file << " names no registered scenario (renamed without "
+        << "migrating its seeds?)";
+  }
+}
+
+TEST(SimRegression, ReplaysEverySeedDeterministically) {
+  std::size_t replayed = 0;
+  for (const auto& file : corpus_files()) {
+    const SimScenario* scenario = find_scenario(file.stem().string());
+    ASSERT_NE(scenario, nullptr) << file;
+    std::ifstream in(file);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::vector<std::uint64_t> seeds = parse_seed_corpus(buf.str());
+    ASSERT_FALSE(seeds.empty()) << file << " is empty";
+    for (const std::uint64_t seed : seeds) {
+      SimOutcome out = run_once(*scenario, seed);
+      ++replayed;
+      if (scenario->expect_failure) {
+        EXPECT_TRUE(out.failed)
+            << "model seed went quiet — the harness no longer finds the "
+            << "planted bug.  replay: " << replay_command(*scenario, seed);
+      } else {
+        EXPECT_FALSE(out.failed)
+            << "regression seed failed again: " << out.message
+            << "\n  replay: " << replay_command(*scenario, seed);
+      }
+      // Determinism: the replay of the replay is bit-identical.
+      SimOutcome again = run_once(*scenario, seed);
+      EXPECT_EQ(again.failed, out.failed);
+      EXPECT_EQ(again.trace, out.trace)
+          << "nondeterministic replay, seed " << seed << " of "
+          << scenario->name;
+    }
+  }
+  EXPECT_GE(replayed, 10u) << "corpus should hold a real body of seeds";
+}
+
+}  // namespace

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Builds and drives the deterministic-schedule simulation harness
+# (src/monotonic/sim/, docs/simulation.md).
+#
+#   tools/run_sim.sh                          # corpus replay + fresh sweep
+#   tools/run_sim.sh --seeds 10000            # wider fresh sweep
+#   tools/run_sim.sh --scenario NAME --seed S # replay one failure
+#   tools/run_sim.sh --list
+#
+# The first form is what CI's `sim` job runs: the committed regression
+# corpus (tests/sim_seeds/, via ctest) followed by a fresh-seed sweep
+# of every scenario through the sim_explorer CLI.  Any failure prints
+# a `tools/run_sim.sh --scenario ... --seed ...` replay command; run
+# it, fix the engine, then append the seed to the scenario's corpus
+# file so it replays forever.
+set -eu
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+build_dir="$repo_root/build-sim"
+seeds=2000
+budget=300
+passthrough=()
+replay_mode=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build-dir)
+      [ $# -ge 2 ] || { echo "error: --build-dir requires a path" >&2; exit 2; }
+      build_dir="$2"; shift 2 ;;
+    --seeds)
+      [ $# -ge 2 ] || { echo "error: --seeds requires a count" >&2; exit 2; }
+      seeds="$2"; shift 2 ;;
+    --budget-seconds)
+      [ $# -ge 2 ] || { echo "error: --budget-seconds requires a count" >&2; exit 2; }
+      budget="$2"; shift 2 ;;
+    --seed|--trace)
+      # Single-run replay: skip the corpus, forward everything.
+      replay_mode=1
+      passthrough+=("$1" "$2"); shift 2 ;;
+    --list)
+      replay_mode=1
+      passthrough+=("$1"); shift ;;
+    *)
+      passthrough+=("$1"); shift ;;
+  esac
+done
+
+cmake -B "$build_dir" -G Ninja \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMONOTONIC_BUILD_BENCH=OFF \
+  -DMONOTONIC_BUILD_EXAMPLES=OFF \
+  "$repo_root" >/dev/null
+cmake --build "$build_dir" --target sim_explorer sim_regression_test \
+  sim_explorer_test >/dev/null
+
+if [ "$replay_mode" = 1 ]; then
+  exec "$build_dir/tests/sim_explorer" ${passthrough[@]+"${passthrough[@]}"}
+fi
+
+echo "== regression corpus (tests/sim_seeds/) =="
+ctest --test-dir "$build_dir" -R 'sim_regression_test' \
+  --output-on-failure --timeout 300
+
+echo "== fresh sweep: $seeds seeds/scenario, ${budget}s budget =="
+"$build_dir/tests/sim_explorer" --seeds "$seeds" --budget-seconds "$budget" \
+  ${passthrough[@]+"${passthrough[@]}"}
