@@ -122,6 +122,12 @@ void handoff_ablation() {
     specs.emplace_back(to_string(kind));
   }
   specs.emplace_back("sharded+hybrid");
+  // Pooled vs unpooled: the handoff chain acquires one wait node per
+  // ping, so preallocation ("pooled:N") decides whether the steady
+  // state ever touches the allocator (list-nopool above is the other
+  // extreme: every acquire pays the heap).
+  specs.emplace_back("pooled:64+list");
+  specs.emplace_back("pooled:64+hybrid");
   for (const std::string& spec : specs) {
     const double ms = median_ms(g_quick ? 1 : kReps, [&] {
       auto ping = make_counter(std::string_view(spec));
@@ -197,7 +203,14 @@ void decorator_sweep() {
             probe->Increment(1);
         });
       }
-      bodies.emplace_back([&] { probe->Check(kTotal); });
+      // CheckFor loop, not a bare Check: with a batching decorator the
+      // writers can exit leaving a sub-batch remainder in the buffer,
+      // and a checker that parked untimed before the last flush would
+      // wait forever.  Each CheckFor re-flushes, draining stragglers.
+      bodies.emplace_back([&] {
+        while (!probe->CheckFor(kTotal, std::chrono::milliseconds(50))) {
+        }
+      });
       multithreaded(std::move(bodies), Execution::kMultithreaded);
     }
     const auto s = probe->stats();
@@ -269,6 +282,56 @@ void poison_wake_latency() {
   bench::print(table);
 }
 
+void overload_storm() {
+  const int kWaiters = g_quick ? 512 : 10000;
+  banner("E12", "overload storm: " + std::to_string(kWaiters) +
+                    " waiters vs max_waiters=256, per overload policy");
+  note("Every thread Check()s a level the counter only reaches after the\n"
+       "storm has fully formed.  kThrow sheds the excess as\n"
+       "CounterOverloadedError; kSpinFallback degrades it to bounded\n"
+       "relock-polling; kBlockIncrementers parks it on the admission\n"
+       "gate.  'max parked' is the sleeping-waiter high-water mark and\n"
+       "must never exceed the cap.");
+  TextTable table(
+      {"spec", "ms", "rejected", "degraded", "max parked"});
+  const std::vector<std::string> specs = {
+      "pooled:256+hybrid,max_waiters=256",
+      "pooled:256+hybrid,max_waiters=256,overload=spin",
+      "pooled:256+list,max_waiters=256,overload=block",
+  };
+  for (const std::string& spec : specs) {
+    auto c = make_counter(std::string_view(spec));
+    std::atomic<int> rejected{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(kWaiters));
+    for (int w = 0; w < kWaiters; ++w) {
+      threads.emplace_back([&] {
+        try {
+          c->Check(1);
+        } catch (const CounterOverloadedError&) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    // Let the storm form before the release, so the admission path —
+    // not thread-spawn jitter — decides each waiter's fate.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    c->Increment(1);
+    for (auto& t : threads) t.join();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const auto s = c->stats();
+    table.add_row({spec, cell(ms), cell(rejected.load()),
+                   cell(s.degraded_waits), cell(s.max_live_waiters)});
+    g_json.record("overload_storm", spec, kWaiters,
+                  ms * 1e6 / static_cast<double>(kWaiters),
+                  c->stripe_count());
+  }
+  bench::print(table);
+}
+
 }  // namespace
 }  // namespace monotonic
 
@@ -286,5 +349,7 @@ int main(int argc, char** argv) {
   if (!monotonic::g_quick) {
     monotonic::poison_wake_latency();
   }
+  // Runs in quick mode too: --quick shrinks the storm to 512 waiters.
+  monotonic::overload_storm();
   return 0;
 }

@@ -71,12 +71,15 @@ const std::vector<CounterKind>& all_counter_kinds() {
 }
 
 std::string_view counter_spec_help() {
-  return "[sharded[:N]+]kind[,opt=val...][+decorator[,opt=val...]]... — "
-         "kinds: list, list-nopool, single-cv, futex, spin, hybrid; "
-         "sharded[:N] stripes the value plane (bare 'sharded' = "
-         "sharded+hybrid); base opts: pool=0|1, pool_size=N; decorators: "
-         "traced, batching[,batch=N], broadcast[,shards=N] (each at most "
-         "once)";
+  return "[sharded[:N]+][pooled[:N]+]kind[,opt=val...]"
+         "[+decorator[,opt=val...]]... — kinds: list, list-nopool, "
+         "single-cv, futex, spin, hybrid; sharded[:N] stripes the value "
+         "plane (bare 'sharded' = sharded+hybrid); pooled[:N] "
+         "preallocates N wait nodes (default 64; bare 'pooled' = "
+         "pooled+hybrid); base opts: pool=0|1, pool_size=N, "
+         "max_waiters=N, max_levels=N, overload=throw|spin|block; "
+         "decorators: traced, batching[,batch=N], broadcast[,shards=N] "
+         "(each at most once)";
 }
 
 namespace {
@@ -151,6 +154,10 @@ bool is_shard_token(const std::string& name) {
   return name == "sharded" || name.rfind("sharded:", 0) == 0;
 }
 
+bool is_pool_token(const std::string& name) {
+  return name == "pooled" || name.rfind("pooled:", 0) == 0;
+}
+
 struct ShardPrefix {
   bool sharded = false;
   std::size_t stripes = 0;  ///< 0 = auto (hardware_concurrency)
@@ -185,6 +192,41 @@ ShardPrefix take_shard_prefix(std::vector<SpecPart>& parts) {
   return out;
 }
 
+struct PoolPrefix {
+  bool pooled = false;
+  std::size_t nodes = 0;
+};
+
+/// Consumes a leading "pooled" / "pooled:N" component (after any shard
+/// prefix — canonical order is sharded+pooled+base).  Bare "pooled"
+/// preallocates the default 64 nodes; like bare "sharded", a spec that
+/// ends at the prefix synthesizes a hybrid base.
+PoolPrefix take_pool_prefix(std::vector<SpecPart>& parts) {
+  PoolPrefix out;
+  if (parts.empty() || !is_pool_token(parts.front().name)) return out;
+  const SpecPart part = std::move(parts.front());
+  parts.erase(parts.begin());
+  out.pooled = true;
+  out.nodes = 64;
+  if (!part.options.empty()) {
+    spec_error(
+        "'pooled' takes no key=value options; fix the node count with "
+        "'pooled:N'");
+  }
+  if (part.name != "pooled") {
+    const std::string digits = part.name.substr(std::string("pooled:").size());
+    const std::uint64_t n = parse_uint("pooled:N", digits);
+    if (n < 1) spec_error("'" + part.name + "' needs at least one node");
+    out.nodes = static_cast<std::size_t>(n);
+  }
+  if (parts.empty()) {
+    SpecPart hybrid;
+    hybrid.name = "hybrid";
+    parts.push_back(std::move(hybrid));
+  }
+  return out;
+}
+
 /// Satellite check run before any layer is built: every decorator must
 /// be a known name and appear at most once, and 'sharded' cannot ride
 /// in decorator position.  Reported by token so "hybrid+traced+traced"
@@ -195,6 +237,10 @@ void validate_decorators(const std::vector<SpecPart>& parts) {
     const std::string& name = parts[i].name;
     if (is_shard_token(name)) {
       spec_error("'" + name + "' must be the first component of a spec");
+    }
+    if (is_pool_token(name)) {
+      spec_error("'" + name +
+                 "' must come before the base (after any 'sharded' prefix)");
     }
     if (name != "traced" && name != "batching" && name != "broadcast") {
       spec_error("unknown decorator '" + name + "'");
@@ -212,17 +258,34 @@ struct BaseConfig {
   WaitListOptions options;
 };
 
-BaseConfig parse_base(const SpecPart& part, const ShardPrefix& shard) {
+BaseConfig parse_base(const SpecPart& part, const ShardPrefix& shard,
+                      const PoolPrefix& pool) {
   BaseConfig cfg;
   cfg.kind = counter_kind_from_string(part.name);
   cfg.sharded = shard.sharded;
   cfg.options.stripes = shard.stripes;
+  cfg.options.preallocated_nodes = pool.pooled ? pool.nodes : 0;
   if (cfg.kind == CounterKind::kListNoPool) cfg.options.pool_nodes = false;
   for (const auto& [key, value] : part.options) {
     if (key == "pool") {
       cfg.options.pool_nodes = parse_uint(key, value) != 0;
     } else if (key == "pool_size") {
       cfg.options.max_pool_size = parse_uint(key, value);
+    } else if (key == "max_waiters") {
+      cfg.options.max_waiters = static_cast<std::size_t>(parse_uint(key, value));
+    } else if (key == "max_levels") {
+      cfg.options.max_levels = static_cast<std::size_t>(parse_uint(key, value));
+    } else if (key == "overload") {
+      if (value == "throw") {
+        cfg.options.overload_policy = OverloadPolicy::kThrow;
+      } else if (value == "spin") {
+        cfg.options.overload_policy = OverloadPolicy::kSpinFallback;
+      } else if (value == "block") {
+        cfg.options.overload_policy = OverloadPolicy::kBlockIncrementers;
+      } else {
+        spec_error("option 'overload' value '" + value +
+                   "' is not throw|spin|block");
+      }
     } else {
       spec_error("unknown option '" + key + "' for base '" + part.name + "'");
     }
@@ -233,6 +296,11 @@ BaseConfig parse_base(const SpecPart& part, const ShardPrefix& shard) {
     cfg.kind = CounterKind::kListNoPool;
   } else if (cfg.kind == CounterKind::kListNoPool && cfg.options.pool_nodes) {
     cfg.kind = CounterKind::kList;
+  }
+  // A preallocated pool on a pool-disabled list is a contradiction: the
+  // ablation's point is that every acquire pays the allocator.
+  if (pool.pooled && !cfg.options.pool_nodes) {
+    spec_error("'pooled' requires node pooling; drop pool=0 / use 'list'");
   }
   return cfg;
 }
@@ -248,6 +316,11 @@ std::string canonical_base(const BaseConfig& cfg) {
     }
     out += '+';
   }
+  if (cfg.options.preallocated_nodes != 0) {
+    // The node count always prints (even the bare-"pooled" default 64):
+    // a canonical spec should say how much memory it pins.
+    out += "pooled:" + std::to_string(cfg.options.preallocated_nodes) + '+';
+  }
   out += to_string(cfg.kind);
   const bool default_pool = cfg.kind != CounterKind::kListNoPool;
   if (cfg.options.pool_nodes != default_pool) {
@@ -255,6 +328,22 @@ std::string canonical_base(const BaseConfig& cfg) {
   }
   if (cfg.options.max_pool_size != WaitListOptions{}.max_pool_size) {
     out += ",pool_size=" + std::to_string(cfg.options.max_pool_size);
+  }
+  if (cfg.options.max_waiters != 0) {
+    out += ",max_waiters=" + std::to_string(cfg.options.max_waiters);
+  }
+  if (cfg.options.max_levels != 0) {
+    out += ",max_levels=" + std::to_string(cfg.options.max_levels);
+  }
+  switch (cfg.options.overload_policy) {
+    case OverloadPolicy::kThrow:
+      break;  // the default: never printed
+    case OverloadPolicy::kSpinFallback:
+      out += ",overload=spin";
+      break;
+    case OverloadPolicy::kBlockIncrementers:
+      out += ",overload=block";
+      break;
   }
   return out;
 }
@@ -403,8 +492,9 @@ std::unique_ptr<AnyCounter> make_counter(CounterKind kind) {
 std::unique_ptr<AnyCounter> make_counter(std::string_view spec) {
   std::vector<SpecPart> parts = parse_spec(spec);
   const ShardPrefix shard = take_shard_prefix(parts);
+  const PoolPrefix pool = take_pool_prefix(parts);
   validate_decorators(parts);
-  const BaseConfig base = parse_base(parts.front(), shard);
+  const BaseConfig base = parse_base(parts.front(), shard, pool);
   return build_layers(parts, base, parts.size() - 1);
 }
 

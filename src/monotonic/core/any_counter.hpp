@@ -10,7 +10,8 @@
 // timed/async operations and introspection too, and make_counter grew
 // a *spec-string* overload for composed decorator stacks:
 //
-//   spec     := ['sharded'[':'N] '+'] base ('+' decorator)*
+//   spec     := ['sharded'[':'N] '+'] ['pooled'[':'N] '+']
+//               base ('+' decorator)*
 //   base     := kind (',' key '=' value)*          e.g. "list,pool=0"
 //   decorator:= name (',' key '=' value)*          e.g. "batching,batch=64"
 //
@@ -19,7 +20,15 @@
 //               chosen base; ":N" fixes the stripe count, otherwise it
 //               is sized from hardware_concurrency.  Bare "sharded" is
 //               shorthand for "sharded+hybrid".
+//   pooled:     preallocates N wait nodes (default 64) so Check on a
+//               hot level never allocates in steady state; canonical
+//               form always prints the count ("pooled:64").  A spec of
+//               just "pooled[:N]" is shorthand for "pooled[:N]+hybrid".
 //   base opts:  pool=0|1, pool_size=N              (wait-node pooling)
+//               max_waiters=N, max_levels=N        (admission bounds;
+//               0 = unbounded), overload=throw|spin|block (what an
+//               over-cap waiter gets: CounterOverloadedError, the
+//               allocation-free degraded wait, or the admission gate)
 //   decorators: traced                             (Tracer events)
 //               batching  [batch=N, default 64]    (amortized Increment)
 //               broadcast [shards=N, default 4]    (sharded wait lists)

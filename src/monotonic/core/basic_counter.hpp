@@ -86,6 +86,23 @@
 //     CounterStallReport — value, wanted level, wait duration, full
 //     wait-list shape — through Options::on_stall, so a lost Increment
 //     is a diagnosable report instead of a silent hang.
+//
+// Resource model (engine extension — see counter_error.hpp and the
+// admission fields of WaitListOptions).  The engine performs exactly
+// two kinds of heap allocation, both under its mutex: wait-list nodes
+// and OnReach callback nodes.  Both are strong-exception-safe: a
+// std::bad_alloc (real, or injected through Env::alloc_point by the
+// fault environment) unwinds with the counter exactly as it was — the
+// armed watermark is restored, no half-linked node remains — and
+// surfaces as CounterResourceError.  With preallocated_nodes sized to
+// the expected waiter population, the steady state never allocates at
+// all.  Bounded admission (max_waiters / max_levels) caps what a storm
+// of checkers can pin; a waiter over the cap is handled per
+// OverloadPolicy: rejected with CounterOverloadedError (kThrow),
+// demoted to an allocation-free relock-poll wait (kSpinFallback), or
+// blocked on an internal gate until capacity frees, queueing ahead of
+// incrementer slow paths on the mutex (kBlockIncrementers).  All three
+// keep poison, deadlines and cancellation live.
 #pragma once
 
 #include <algorithm>
@@ -233,7 +250,7 @@ class BasicCounter {
         return;  // fast path: nobody parked below the new value
       }
       Env::point(SchedulePoint::kIncrementSlow);
-      CallbackList::Node* reached = nullptr;
+      typename Callbacks::Node* reached = nullptr;
       {
         std::unique_lock lock(m_);
         reached = release_reached_locked();
@@ -242,10 +259,10 @@ class BasicCounter {
       // free policies are no-ops.  Callbacks run outside the lock
       // (CP.22): they may re-enter this counter or any other.
       policy_.on_increment_unlocked(false);
-      CallbackList::run_chain(reached);
+      Callbacks::run_chain(reached);
     } else {
       Env::point(SchedulePoint::kIncrementSlow);
-      CallbackList::Node* reached = nullptr;
+      typename Callbacks::Node* reached = nullptr;
       {
         std::unique_lock lock(m_);
         // Locking planes mutate under m_, same as Poison: re-check so
@@ -263,9 +280,10 @@ class BasicCounter {
             value, [&](Node& node) { policy_.on_release(node, stats_); });
         policy_.on_increment_locked(had_waiters, stats_);
         reached = callbacks_.detach_reached(value);
+        notify_capacity_locked();  // released levels freed admission room
       }
       policy_.on_increment_unlocked(false);
-      CallbackList::run_chain(reached);
+      Callbacks::run_chain(reached);
     }
   }
 
@@ -338,7 +356,27 @@ class BasicCounter {
       stats_.on_cancelled_check();
       return false;
     }
-    Node* node = list_.acquire(level);
+    switch (admit_locked(lock, level, nullptr, &stop)) {
+      case Admit::kSatisfied:
+        if constexpr (kLockFreeFastPath) rearm_locked();
+        return true;
+      case Admit::kDegrade: {
+        const bool reached = degraded_wait_locked(lock, level, nullptr, &stop);
+        if constexpr (kLockFreeFastPath) rearm_locked();
+        if (!reached) stats_.on_cancelled_check();
+        return reached;
+      }
+      case Admit::kCancelled:
+        if constexpr (kLockFreeFastPath) rearm_locked();
+        stats_.on_cancelled_check();
+        return false;
+      case Admit::kTimedOut:
+        MC_ASSERT(false, "deadline outcome from an untimed admission");
+        return false;
+      case Admit::kProceed:
+        break;
+    }
+    Node* node = acquire_node_locked(level);
     stats_.on_suspend();
     lock.unlock();
     {
@@ -368,6 +406,7 @@ class BasicCounter {
     const bool aborted = node->aborted;
     const bool released = node->released;
     list_.leave(node);
+    notify_capacity_locked();
     if constexpr (kLockFreeFastPath) rearm_locked();
     if (aborted) throw_poisoned(level);
     if (!released) {
@@ -435,7 +474,16 @@ class BasicCounter {
           unreached = plane_.read_locked() < level;
         }
         if (unreached) {
-          callbacks_.insert(level, std::move(fn), std::move(on_error));
+          try {
+            callbacks_.insert(level, std::move(fn), std::move(on_error));
+          } catch (const std::bad_alloc&) {
+            // Strong guarantee: insert left the list untouched; restore
+            // the watermark we armed and surface the typed error.
+            if constexpr (kLockFreeFastPath) rearm_locked();
+            throw CounterResourceError(
+                "counter callback allocation failed: OnReach(" +
+                std::to_string(level) + ") not registered, counter unchanged");
+          }
           return;
         }
       }
@@ -530,6 +578,11 @@ class BasicCounter {
   using Signal = typename Policy::Signal;
   using List = WaitList<Signal, Env>;
   using Node = typename List::Node;
+  /// The callback list over THIS engine's environment, so its
+  /// allocations hit the same Env::alloc_point fault hook as wait
+  /// nodes.  (The file-scope CallbackList alias is the RealEngineEnv
+  /// instantiation.)
+  using Callbacks = CallbackListT<Env>;
 
   // Requires m_ (meaningless for locking planes, whose value is only
   // ever read under m_ anyway).  frozen_ is authoritative once
@@ -571,7 +624,7 @@ class BasicCounter {
 
   void poison_impl(std::exception_ptr cause, std::string_view reason) {
     Env::point(SchedulePoint::kPoison);
-    CallbackList::Node* orphaned = nullptr;
+    typename Callbacks::Node* orphaned = nullptr;
     std::exception_ptr delivered;
     {
       std::unique_lock lock(m_);
@@ -599,9 +652,13 @@ class BasicCounter {
       policy_.on_increment_locked(had_waiters, stats_);
       orphaned = callbacks_.detach_all();
       if (orphaned != nullptr) delivered = poison_cause_or_error();
+      // Gate-blocked waiters must observe the poison too: abort_all
+      // freed every level, and even if it hadn't, their next admission
+      // re-check throws/returns per the frozen value.
+      notify_capacity_locked();
     }
     policy_.on_increment_unlocked(false);
-    CallbackList::run_chain_error(orphaned, delivered);
+    Callbacks::run_chain_error(orphaned, delivered);
   }
 
   // Lock-free planes only; requires m_.  Publishes intent to sleep (or
@@ -640,21 +697,171 @@ class BasicCounter {
   // Lock-free planes only; requires m_.  Collapses the plane, releases
   // every reached wait node, detaches reached callbacks (run them
   // after unlocking).
-  CallbackList::Node* release_reached_locked() {
+  typename Callbacks::Node* release_reached_locked() {
     Env::point(SchedulePoint::kCollapse);
     const counter_value_t value = plane_.collapse();
     const bool had_waiters = !list_.empty();
     list_.release_prefix(
         value, [&](Node& node) { policy_.on_release(node, stats_); });
     policy_.on_increment_locked(had_waiters, stats_);
-    CallbackList::Node* reached = callbacks_.detach_reached(value);
+    typename Callbacks::Node* reached = callbacks_.detach_reached(value);
     rearm_locked();
+    notify_capacity_locked();  // released levels freed admission room
     return reached;
+  }
+
+  // ---- Resource model: admission, degraded waits, typed allocation --
+
+  /// Outcome of the admission check a would-be waiter runs before it
+  /// may acquire a wait node (see the resource-model note up top).
+  enum class Admit : std::uint8_t {
+    kProceed,    ///< capacity available: acquire a node and park
+    kDegrade,    ///< kSpinFallback: run the allocation-free poll wait
+    kSatisfied,  ///< level reached (or frozen at/above it) while gated
+    kTimedOut,   ///< gate wait exhausted the caller's deadline
+    kCancelled,  ///< gate wait observed the caller's stop token
+  };
+
+  // Requires m_, counter healthy, level unreached (and, on lock-free
+  // planes, the plane armed for it).  Enforces max_waiters/max_levels
+  // per the configured OverloadPolicy.  kThrow restores the armed
+  // watermark and rejects — the counter is untouched.  kSpinFallback
+  // hands the caller to degraded_wait_locked.  kBlockIncrementers naps
+  // on the gate (m_ released) until capacity frees; each wake re-runs
+  // the poison / value / stop / deadline checks a parked waiter would,
+  // so a gated thread can never be stranded.  Deadline- or stop-aware
+  // callers pass those in; the gate then sleeps in bounded quanta so
+  // neither can be slept through.
+  Admit admit_locked(std::unique_lock<typename Env::Mutex>& lock,
+                     counter_value_t level,
+                     const std::chrono::steady_clock::time_point* deadline,
+                     const std::stop_token* stop) {
+    if (!list_.bounded()) return Admit::kProceed;
+    bool counted = false;
+    while (list_.admission_would_exceed(level)) {
+      switch (options_.overload_policy) {
+        case OverloadPolicy::kThrow:
+          stats_.on_overload_rejection();
+          if constexpr (kLockFreeFastPath) rearm_locked();
+          throw CounterOverloadedError(
+              "counter overloaded: Check(" + std::to_string(level) +
+              ") rejected by admission control (waiters=" +
+              std::to_string(list_.waiter_count()) +
+              ", levels=" + std::to_string(list_.live_level_count()) + ")");
+        case OverloadPolicy::kSpinFallback:
+          stats_.on_overload_rejection();
+          return Admit::kDegrade;
+        case OverloadPolicy::kBlockIncrementers: {
+          if (!counted) {  // once per gated entry, not per gate wake
+            stats_.on_overload_rejection();
+            counted = true;
+          }
+          if (deadline == nullptr && stop == nullptr) {
+            gate_.wait(lock);
+          } else {
+            // Bounded nap: the gate has no per-caller wake channel for
+            // stop tokens, and a deadline must cut the sleep short.
+            auto until = Env::Clock::now() + std::chrono::milliseconds(1);
+            if (deadline != nullptr) until = std::min(until, *deadline);
+            gate_.wait_until(lock, until);
+          }
+          if (check_poisoned_locked(level)) return Admit::kSatisfied;
+          if (collapse_locked() >= level) return Admit::kSatisfied;
+          if (stop != nullptr && stop->stop_requested()) {
+            return Admit::kCancelled;
+          }
+          if (deadline != nullptr && Env::Clock::now() >= *deadline) {
+            return Admit::kTimedOut;
+          }
+          break;
+        }
+      }
+    }
+    return Admit::kProceed;
+  }
+
+  // kSpinFallback degraded wait: the waiter was refused a wait node, so
+  // it polls the collapsed value instead — relocking m_ per probe with
+  // the environment's spinner backing off in between.  No allocation
+  // and no wait-list presence, so overload cannot cascade into more
+  // overload.  Poison, deadlines and stop tokens stay live because
+  // every probe runs the same checks a parked waiter runs on wake.
+  // Returns true when the level was reached, false on deadline/stop
+  // (the caller bumps the corresponding stat); throws on poison below
+  // the level.
+  bool degraded_wait_locked(std::unique_lock<typename Env::Mutex>& lock,
+                            counter_value_t level,
+                            const std::chrono::steady_clock::time_point*
+                                deadline,
+                            const std::stop_token* stop) {
+    stats_.on_degraded_wait();
+    typename Env::SpinWaiter spinner;
+    for (;;) {
+      if (check_poisoned_locked(level)) return true;
+      if (collapse_locked() >= level) return true;
+      if (stop != nullptr && stop->stop_requested()) return false;
+      if (deadline != nullptr && Env::Clock::now() >= *deadline) return false;
+      lock.unlock();
+      spinner.once();
+      lock.lock();
+    }
+  }
+
+  // Requires m_.  WaitList::acquire with its strong guarantee surfaced
+  // through the engine's error taxonomy: on bad_alloc (real or injected
+  // at Env::alloc_point) the watermark the caller armed is restored and
+  // the failure rethrown typed — the counter is exactly as it was and
+  // stays fully usable.
+  Node* acquire_node_locked(counter_value_t level) {
+    try {
+      return list_.acquire(level);
+    } catch (const std::bad_alloc&) {
+      if constexpr (kLockFreeFastPath) rearm_locked();
+      throw CounterResourceError(
+          "counter wait-node allocation failed: Check(" +
+          std::to_string(level) + ") aborted, counter state unchanged");
+    }
+  }
+
+  // Requires m_.  The linearized value, whatever the plane.
+  counter_value_t collapse_locked() {
+    if constexpr (kLockFreeFastPath) {
+      return plane_.collapse();
+    } else {
+      return plane_.read_locked();
+    }
+  }
+
+  // Requires m_.  Wakes gate-blocked waiters after a transition that
+  // can free admission capacity (a waiter left, released/aborted levels
+  // were unlinked).  No-op unless the blocking policy is configured.
+  void notify_capacity_locked() {
+    if (list_.bounded() &&
+        options_.overload_policy == OverloadPolicy::kBlockIncrementers) {
+      gate_.notify_all();
+    }
   }
 
   void park(std::unique_lock<typename Env::Mutex>& lock,
             counter_value_t level) {
-    Node* node = list_.acquire(level);
+    switch (admit_locked(lock, level, nullptr, nullptr)) {
+      case Admit::kSatisfied:
+        if constexpr (kLockFreeFastPath) rearm_locked();
+        return;
+      case Admit::kDegrade:
+        // No deadline, no stop: the degraded wait returns only on
+        // success (or throws on poison).
+        degraded_wait_locked(lock, level, nullptr, nullptr);
+        if constexpr (kLockFreeFastPath) rearm_locked();
+        return;
+      case Admit::kTimedOut:
+      case Admit::kCancelled:
+        MC_ASSERT(false, "timed/cancel outcome from an untimed admission");
+        return;
+      case Admit::kProceed:
+        break;
+    }
+    Node* node = acquire_node_locked(level);
     stats_.on_suspend();
     if (options_.stall_report_after.count() > 0) {
       wait_with_watchdog(lock, *node, level);
@@ -664,6 +871,7 @@ class BasicCounter {
     stats_.on_resume();
     const bool aborted = node->aborted;
     list_.leave(node);
+    notify_capacity_locked();
     if constexpr (kLockFreeFastPath) rearm_locked();
     if (aborted) throw_poisoned(level);
   }
@@ -752,16 +960,46 @@ class BasicCounter {
     // the wait-node acquire entirely — no node churn, no policy sleep.
     if (Env::Clock::now() >= deadline) {
       if constexpr (kLockFreeFastPath) rearm_locked();
+      stats_.on_timed_out_check();
       return false;
     }
-    Node* node = list_.acquire(level);
+    switch (admit_locked(lock, level, &deadline, nullptr)) {
+      case Admit::kSatisfied:
+        if constexpr (kLockFreeFastPath) rearm_locked();
+        return true;
+      case Admit::kDegrade: {
+        const bool reached = degraded_wait_locked(lock, level, &deadline,
+                                                  nullptr);
+        if constexpr (kLockFreeFastPath) rearm_locked();
+        if (!reached) stats_.on_timed_out_check();
+        return reached;
+      }
+      case Admit::kTimedOut:
+        if constexpr (kLockFreeFastPath) rearm_locked();
+        stats_.on_timed_out_check();
+        return false;
+      case Admit::kCancelled:
+        MC_ASSERT(false, "cancel outcome from an uncancellable admission");
+        return false;
+      case Admit::kProceed:
+        break;
+    }
+    Node* node = acquire_node_locked(level);
     stats_.on_suspend();
     const bool reached = policy_.wait_until(lock, *node, deadline, stats_);
     stats_.on_resume();
     const bool aborted = node->aborted;
     list_.leave(node);
+    notify_capacity_locked();
     if constexpr (kLockFreeFastPath) rearm_locked();
     if (aborted) throw_poisoned(level);
+    // Timed-out vs reached is decided HERE, once, from the policy's
+    // return — never inside the policy as well.  A spurious wake landing
+    // just before the deadline makes some policies' wait_until return
+    // through the timeout arm after the engine already observed the
+    // wake; a second accounting site would double-count it (pinned by
+    // the fault harness's spurious_wake_timed_stats scenario).
+    if (!reached) stats_.on_timed_out_check();
     return reached;
   }
 
@@ -771,7 +1009,11 @@ class BasicCounter {
   Plane plane_;  // the value plane (value_plane.hpp / striped_cells.hpp)
   [[no_unique_address]] Policy policy_;
   List list_;
-  CallbackList callbacks_;
+  Callbacks callbacks_;
+  // Admission gate for OverloadPolicy::kBlockIncrementers: over-cap
+  // waiters nap here (m_ released) until capacity frees — woken by
+  // leave/release/abort transitions via notify_capacity_locked.
+  typename Env::CondVar gate_;
 
   // Poison state.  The three payload fields are written under m_
   // strictly before the release-store of poisoned_ and never mutated

@@ -15,8 +15,24 @@
 //     surfaces a wait-list snapshot when a waiter is stuck past a
 //     threshold, instead of a silent hang.
 //
-// This header holds only the exception type so patterns can build
-// their own vocabulary on top (BrokenChannelError is a
+// The resource model (same engine) adds two RECOVERABLE failures:
+//
+//   * CounterResourceError — the engine needed memory (a wait node, a
+//     callback node) and the allocator refused.  The throw carries the
+//     strong guarantee: waiter counts, stats, the ordered list and the
+//     value-plane watermark are exactly as before the call, the engine
+//     mutex is released, and the counter remains fully usable —
+//     subsequent Increment/Check succeed.
+//   * CounterOverloadedError — bounded admission
+//     (WaitListOptions::max_waiters / max_levels with
+//     OverloadPolicy::kThrow) turned a waiter away.  Also recoverable:
+//     capacity frees as parked waiters are released.
+//
+// Every engine exception derives from CounterError (itself a
+// std::runtime_error, so pre-taxonomy `catch (std::runtime_error&)`
+// sites keep working), letting callers write one `catch
+// (CounterError&)` for "the counter, not my code, failed".  Patterns
+// build their own vocabulary on top (BrokenChannelError is a
 // CounterPoisonedError).
 #pragma once
 
@@ -27,16 +43,25 @@
 
 namespace monotonic {
 
+/// Root of the engine's exception taxonomy.  Everything the wait
+/// engine itself throws — poisoning, resource exhaustion, overload —
+/// derives from this; checked-usage errors (MC_REQUIRE) deliberately
+/// do not, since those are caller bugs, not counter failures.
+class CounterError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Thrown by Check/CheckFor/CheckUntil on a poisoned counter when the
 /// requested level lies above the frozen value — i.e. the Increment
 /// this thread was waiting on can never happen.  `cause()` is the
 /// exception the producer failed with (null when the counter was
 /// poisoned with a bare reason string).
-class CounterPoisonedError : public std::runtime_error {
+class CounterPoisonedError : public CounterError {
  public:
   explicit CounterPoisonedError(const std::string& what,
                                 std::exception_ptr cause = {})
-      : std::runtime_error(what), cause_(std::move(cause)) {}
+      : CounterError(what), cause_(std::move(cause)) {}
 
   /// The producer's original exception, if the counter was poisoned
   /// with one; null otherwise.
@@ -44,6 +69,32 @@ class CounterPoisonedError : public std::runtime_error {
 
  private:
   std::exception_ptr cause_;
+};
+
+/// Thrown when the engine could not allocate the memory an operation
+/// needed (a wait node in Check/CheckFor/CheckUntil, a callback node
+/// in OnReach).  Strong guarantee: the counter's observable state —
+/// value, wait list, waiter counts, watermark, stats — is exactly what
+/// it was before the failed call, and the counter remains usable.
+/// Retrying after freeing memory (or after pool capacity frees) is
+/// legitimate.  With a preallocated node pool
+/// (WaitListOptions::preallocated_nodes, spec token "pooled[:N]")
+/// steady-state Check never allocates and this error cannot occur on
+/// pooled levels.
+class CounterResourceError : public CounterError {
+ public:
+  using CounterError::CounterError;
+};
+
+/// Thrown under OverloadPolicy::kThrow when bounded admission
+/// (WaitListOptions::max_waiters / max_levels) turns a waiter away:
+/// the wait list is full and this thread was not allowed to park.
+/// Recoverable — capacity frees as parked waiters are released or
+/// time out.  The other overload policies degrade (kSpinFallback) or
+/// backpressure (kBlockIncrementers) instead of throwing.
+class CounterOverloadedError : public CounterError {
+ public:
+  using CounterError::CounterError;
 };
 
 }  // namespace monotonic

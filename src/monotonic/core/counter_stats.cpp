@@ -25,6 +25,11 @@ CounterStatsSnapshot CounterStats::snapshot() const noexcept {
   s.fast_path_increments =
       fast_path_increments_.load(std::memory_order_relaxed);
   s.collapses = collapses_.load(std::memory_order_relaxed);
+  s.timed_out_checks = timed_out_checks_.load(std::memory_order_relaxed);
+  s.overload_rejections = overload_rejections_.load(std::memory_order_relaxed);
+  s.degraded_waits = degraded_waits_.load(std::memory_order_relaxed);
+  s.pool_hits = pool_hits_.load(std::memory_order_relaxed);
+  s.pool_misses = pool_misses_.load(std::memory_order_relaxed);
 #endif
   // Configuration, not a counter: reported even with stats compiled out.
   s.stripe_count = stripe_count_.load(std::memory_order_relaxed);
@@ -54,6 +59,11 @@ void CounterStats::reset() noexcept {
   stall_reports_.store(0, std::memory_order_relaxed);
   fast_path_increments_.store(0, std::memory_order_relaxed);
   collapses_.store(0, std::memory_order_relaxed);
+  timed_out_checks_.store(0, std::memory_order_relaxed);
+  overload_rejections_.store(0, std::memory_order_relaxed);
+  degraded_waits_.store(0, std::memory_order_relaxed);
+  pool_hits_.store(0, std::memory_order_relaxed);
+  pool_misses_.store(0, std::memory_order_relaxed);
   // stripe_count_ is configuration, not a counter; it survives reset.
 #endif
 }

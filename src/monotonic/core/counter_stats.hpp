@@ -40,6 +40,11 @@ struct CounterStatsSnapshot {
   std::uint64_t stall_reports = 0;    ///< watchdog reports emitted
   std::uint64_t fast_path_increments = 0; ///< increments that skipped the mutex
   std::uint64_t collapses = 0;        ///< striped-plane sums under the mutex
+  std::uint64_t timed_out_checks = 0; ///< CheckFor/CheckUntil deadline returns
+  std::uint64_t overload_rejections = 0; ///< waiters turned away by admission
+  std::uint64_t degraded_waits = 0;   ///< waits demoted to the spin/poll path
+  std::uint64_t pool_hits = 0;        ///< node allocations served by the pool
+  std::uint64_t pool_misses = 0;      ///< node allocations that hit the heap
   std::uint64_t stripe_count = 1;     ///< value-plane stripes (1 = unsharded)
 };
 
@@ -58,6 +63,9 @@ class CounterStats {
   void on_stall_report() noexcept { bump(stall_reports_); }
   void on_fast_increment() noexcept { bump(fast_path_increments_); }
   void on_collapse() noexcept { bump(collapses_); }
+  void on_timed_out_check() noexcept { bump(timed_out_checks_); }
+  void on_overload_rejection() noexcept { bump(overload_rejections_); }
+  void on_degraded_wait() noexcept { bump(degraded_waits_); }
 
   /// Configuration, not a counter: recorded by striped value planes at
   /// construction so snapshots and printers can tell sharded counters
@@ -85,7 +93,12 @@ class CounterStats {
   void on_node_allocated(bool from_pool) noexcept {
 #if MONOTONIC_ENABLE_STATS
     bump(nodes_allocated_);
-    if (from_pool) bump(nodes_pooled_);
+    if (from_pool) {
+      bump(nodes_pooled_);
+      bump(pool_hits_);
+    } else {
+      bump(pool_misses_);
+    }
     const auto live = live_nodes_.fetch_add(1, std::memory_order_relaxed) + 1;
     raise_max(max_live_nodes_, live);
 #else
@@ -154,6 +167,11 @@ class CounterStats {
   std::atomic<std::uint64_t> stall_reports_{0};
   std::atomic<std::uint64_t> fast_path_increments_{0};
   std::atomic<std::uint64_t> collapses_{0};
+  std::atomic<std::uint64_t> timed_out_checks_{0};
+  std::atomic<std::uint64_t> overload_rejections_{0};
+  std::atomic<std::uint64_t> degraded_waits_{0};
+  std::atomic<std::uint64_t> pool_hits_{0};
+  std::atomic<std::uint64_t> pool_misses_{0};
   std::atomic<std::uint64_t> stripe_count_{1};
 };
 

@@ -14,6 +14,13 @@
 //     template <typename T> using Atomic = ...;  // std::atomic shape
 //     using SpinWaiter = ...;                    // once() in poll loops
 //     static void point(SchedulePoint) noexcept; // schedule hook
+//     static void alloc_point();                 // fault hook: called
+//                            // immediately before every heap
+//                            // allocation the engine performs under
+//                            // its mutex (wait/callback nodes); a
+//                            // fault environment may throw
+//                            // std::bad_alloc here to exercise the
+//                            // strong-guarantee paths
 //     static std::size_t stripe_slot() noexcept; // striped-plane home
 //     static void futex_wait(Atomic<u32>*, u32);
 //     static bool futex_wait_until(Atomic<u32>*, u32, time_point);
@@ -183,6 +190,12 @@ struct RealEngineEnv {
   using StopCallback = std::stop_callback<F>;
 
   static void point(SchedulePoint) noexcept {}
+
+  /// Fault hook before every engine heap allocation.  Production: the
+  /// allocation simply proceeds (any real bad_alloc the allocator
+  /// raises flows through the same strong-guarantee paths a fault
+  /// environment exercises).
+  static void alloc_point() {}
 
   static std::size_t stripe_slot() noexcept {
     return detail::this_thread_stripe_slot();

@@ -24,6 +24,7 @@
 // (the hybrid/futex/spin policies only take that mutex on slow paths).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
 #include <exception>
@@ -35,6 +36,7 @@
 #include "monotonic/core/counter_stats.hpp"
 #include "monotonic/core/engine_env.hpp"
 #include "monotonic/support/assert.hpp"
+#include "monotonic/support/cache.hpp"
 #include "monotonic/support/config.hpp"
 
 namespace monotonic {
@@ -71,14 +73,57 @@ struct CounterStallReport {
   std::vector<DebugWaitLevel> wait_levels;  ///< ascending, like Figure 2
 };
 
+/// What the engine does with a waiter that bounded admission
+/// (WaitListOptions::max_waiters / max_levels) turns away.  Uniform
+/// across all five policies and both value planes — admission is
+/// enforced by the engine at every park site, under the engine mutex,
+/// before the wait list is touched.
+enum class OverloadPolicy : std::uint8_t {
+  /// Reject: the Check throws CounterOverloadedError.  Capacity frees
+  /// as parked waiters are released, so retrying is legitimate.
+  kThrow,
+  /// Degrade: the waiter is denied a wait node and falls back to a
+  /// bounded-backoff spin/poll loop on the value itself — no list
+  /// storage, no signal, but still poison-, deadline- and
+  /// cancellation-aware.  Counted in the degraded_waits stat.
+  kSpinFallback,
+  /// Backpressure: the waiter parks at a capacity gate the engine
+  /// already owns (a condvar under the engine mutex) until a slot
+  /// frees.  Because gate waiters hold and re-take the engine mutex,
+  /// incrementer slow paths queue behind the overload instead of
+  /// racing ahead of it — the producers feel the backpressure.
+  kBlockIncrementers,
+};
+
 /// Node-pooling and failure-diagnostic knobs, common to every policy.
 struct WaitListOptions {
   /// Reuse freed wait nodes through an internal free list instead of
   /// returning them to the allocator.  On by default; the E5 bench
   /// ablates it.
   bool pool_nodes = true;
-  /// Maximum nodes retained in the pool (0 = unbounded).
+  /// Maximum nodes retained in the pool (0 = unbounded).  Clamped up
+  /// to `preallocated_nodes` so preallocated capacity is never
+  /// returned to the allocator by recycle().
   std::size_t max_pool_size = 64;
+  /// Wait nodes constructed up front into the free list, so Check on a
+  /// hot level never allocates in steady state (allocation-free once
+  /// the working set of distinct levels fits the pool).  Zero by
+  /// default — preallocation is opt-in, and it raises the pool's
+  /// retention floor (recycle keeps max(max_pool_size,
+  /// preallocated_nodes) nodes), which would perturb code tuned around
+  /// max_pool_size alone.  The spec factory exposes this as
+  /// "pooled[:N]+".
+  std::size_t preallocated_nodes = 0;
+  /// Bounded admission: maximum threads parked in the wait list at
+  /// once (0 = unlimited).  Excess waiters are handled per
+  /// `overload_policy`.
+  std::size_t max_waiters = 0;
+  /// Bounded admission: maximum distinct live wait levels (linked
+  /// nodes) at once (0 = unlimited).  Joining an existing level never
+  /// counts against this; only creating a new node does.
+  std::size_t max_levels = 0;
+  /// What to do with a waiter the bounds above turn away.
+  OverloadPolicy overload_policy = OverloadPolicy::kThrow;
   /// Stall watchdog: when > 0, an untimed Check parked longer than
   /// this emits a CounterStallReport through `on_stall` (and again
   /// every further interval), so a lost Increment surfaces as a
@@ -105,8 +150,12 @@ template <typename Signal, typename Env = RealEngineEnv>
 class WaitList {
  public:
   // One node per distinct level with waiters (§7 / Figure 2):
-  // {level, count, signal, link}.
-  struct Node {
+  // {level, count, signal, link}.  Cache-line aligned: a node's signal
+  // is hammered by its own waiters (futex word, spin flag, condvar
+  // state) while neighbouring nodes' waiters hammer theirs — without
+  // the alignment, pool-recycled nodes end up packed shoulder to
+  // shoulder and every wake false-shares with the next level over.
+  struct alignas(kCacheLineSize) Node {
     counter_value_t level = 0;
     std::size_t waiters = 0;
     bool released = false;  // set when the node's waiters may resume
@@ -116,7 +165,19 @@ class WaitList {
   };
 
   WaitList(const WaitListOptions& options, CounterStats& stats)
-      : options_(options), stats_(stats) {}
+      : options_(options), stats_(stats) {
+    // Preallocation failures surface here, at construction, where the
+    // caller expects allocation — never later from a hot Check.  The
+    // pool-disabled ablation (pool_nodes = false) preallocates nothing:
+    // its point is that every acquire pays the allocator.
+    if (!options_.pool_nodes) return;
+    for (std::size_t i = 0; i < options_.preallocated_nodes; ++i) {
+      Node* node = new Node();
+      node->next = free_list_;
+      free_list_ = node;
+      ++pool_size_;
+    }
+  }
 
   /// Precondition: no live nodes (the owning counter checks and reports
   /// the misuse; reaching this dtor with waiters would be UB anyway).
@@ -137,6 +198,13 @@ class WaitList {
   /// Joins the queue for `level`, creating and splicing in a node if
   /// this is the first waiter at that level.  Registers the caller
   /// (++waiters) so the node cannot be freed underneath it.
+  ///
+  /// Strong exception guarantee: the only operation that can throw is
+  /// the node allocation (std::bad_alloc, or an injected fault at
+  /// Env::alloc_point), and it runs BEFORE any list or counter
+  /// mutation — on throw the list, waiter counts and stats are exactly
+  /// as before the call.  The engine relies on this to translate the
+  /// failure into CounterResourceError with the counter still usable.
   Node* acquire(counter_value_t level) {
     Env::point(SchedulePoint::kPark);
     Node** pos = find_insert_position(level);
@@ -144,13 +212,43 @@ class WaitList {
     if (*pos != nullptr && (*pos)->level == level) {
       node = *pos;  // join the existing queue for this level
     } else {
-      node = allocate_node(level);
+      node = allocate_node(level);  // may throw; nothing mutated yet
       node->next = *pos;
       *pos = node;
+      ++live_level_count_;
     }
     ++node->waiters;
+    ++waiter_count_;
     return node;
   }
+
+  /// Bounded-admission probe (engine mutex held): would admitting one
+  /// more waiter at `level` exceed max_waiters, or require a new node
+  /// beyond max_levels?  Joining an existing level never violates the
+  /// level bound, so the level check walks the (ascending, bounded by
+  /// max_levels) list only when the bound is live.
+  bool admission_would_exceed(counter_value_t level) const {
+    if (options_.max_waiters != 0 && waiter_count_ >= options_.max_waiters) {
+      return true;
+    }
+    if (options_.max_levels != 0 &&
+        live_level_count_ >= options_.max_levels && !has_level(level)) {
+      return true;
+    }
+    return false;
+  }
+
+  /// True when either admission bound is configured — whether the
+  /// engine needs to run admission control (and wake its capacity
+  /// gate) at all.
+  bool bounded() const noexcept {
+    return options_.max_waiters != 0 || options_.max_levels != 0;
+  }
+
+  /// Registered waiters (threads) currently in the list.
+  std::size_t waiter_count() const noexcept { return waiter_count_; }
+  /// Linked (live) level nodes currently in the list.
+  std::size_t live_level_count() const noexcept { return live_level_count_; }
 
   /// Deregisters a waiter.  The last waiter to leave frees the node
   /// (§7: "The thread that decrements the count to zero deallocates
@@ -160,6 +258,8 @@ class WaitList {
   /// storage bound under timeouts.
   void leave(Node* node) {
     MC_ASSERT(node->waiters > 0, "leave() without matching acquire()");
+    MC_ASSERT(waiter_count_ > 0, "waiter accounting underflow");
+    --waiter_count_;
     if (--node->waiters > 0) return;
     if (!node->released) unlink(node);
     recycle(node);
@@ -180,6 +280,8 @@ class WaitList {
       Node* node = head_;
       head_ = node->next;
       node->released = true;
+      MC_ASSERT(live_level_count_ > 0, "level accounting underflow");
+      --live_level_count_;
       stats_.on_wakeups(node->waiters);
       on_release(*node);
     }
@@ -197,6 +299,8 @@ class WaitList {
       head_ = node->next;
       node->released = true;
       node->aborted = true;
+      MC_ASSERT(live_level_count_ > 0, "level accounting underflow");
+      --live_level_count_;
       stats_.on_aborted_wakeups(node->waiters);
       on_release(*node);
     }
@@ -216,6 +320,14 @@ class WaitList {
     return pos;
   }
 
+  bool has_level(counter_value_t level) const {
+    for (Node* node = head_; node != nullptr && node->level <= level;
+         node = node->next) {
+      if (node->level == level) return true;
+    }
+    return false;
+  }
+
   Node* allocate_node(counter_value_t level) {
     Node* node;
     bool from_pool = false;
@@ -225,6 +337,7 @@ class WaitList {
       --pool_size_;
       from_pool = true;
     } else {
+      Env::alloc_point();  // fault hook: may throw std::bad_alloc
       node = new Node();
     }
     node->level = level;
@@ -241,12 +354,18 @@ class WaitList {
     Node** pos = &head_;
     while (*pos != node) pos = &(*pos)->next;
     *pos = node->next;
+    MC_ASSERT(live_level_count_ > 0, "level accounting underflow");
+    --live_level_count_;
   }
 
   void recycle(Node* node) {
     stats_.on_node_freed();
+    // The retention cap never drops below the preallocated count, so
+    // capacity paid for up front is never handed back to the heap.
+    const std::size_t cap =
+        std::max(options_.max_pool_size, options_.preallocated_nodes);
     if (options_.pool_nodes &&
-        (options_.max_pool_size == 0 || pool_size_ < options_.max_pool_size)) {
+        (options_.max_pool_size == 0 || pool_size_ < cap)) {
       node->next = free_list_;
       free_list_ = node;
       ++pool_size_;
@@ -269,13 +388,19 @@ class WaitList {
   Node* head_ = nullptr;       // ascending by level; levels > value
   Node* free_list_ = nullptr;  // node pool (options_.pool_nodes)
   std::size_t pool_size_ = 0;
+  std::size_t waiter_count_ = 0;      // registered waiters (admission)
+  std::size_t live_level_count_ = 0;  // linked nodes (admission)
 };
 
 /// One node per level with registered OnReach callbacks; same ordering
 /// discipline as WaitList, but released nodes are detached under the
 /// lock and executed outside it (CP.22: callbacks may re-enter this or
-/// any other counter).
-class CallbackList {
+/// any other counter).  Templated over the engine environment for the
+/// same reason WaitList is: its allocations (node + entry vector) run
+/// under the engine mutex, so they are fault-injection points
+/// (Env::alloc_point) the strong-guarantee audit must cover.
+template <typename Env = RealEngineEnv>
+class CallbackListT {
  public:
   /// One registered OnReach: the success callback plus an optional
   /// error callback that receives the poison cause when the counter is
@@ -291,13 +416,13 @@ class CallbackList {
     Node* next = nullptr;
   };
 
-  CallbackList() = default;
+  CallbackListT() = default;
 
   /// Unreached callbacks are dropped, not run: running "reached level
   /// L" callbacks for a level that was never reached would be a lie.
   /// (Poisoning, by contrast, detaches them and delivers the error —
   /// see detach_all / run_chain_error.)
-  ~CallbackList() {
+  ~CallbackListT() {
     while (head_ != nullptr) {
       Node* node = head_;
       head_ = node->next;
@@ -305,8 +430,8 @@ class CallbackList {
     }
   }
 
-  CallbackList(const CallbackList&) = delete;
-  CallbackList& operator=(const CallbackList&) = delete;
+  CallbackListT(const CallbackListT&) = delete;
+  CallbackListT& operator=(const CallbackListT&) = delete;
 
   bool empty() const noexcept { return head_ == nullptr; }
 
@@ -318,13 +443,22 @@ class CallbackList {
 
   /// Inserts into the ascending callback list, joining an existing
   /// level node if present (mirrors the wait list).
+  ///
+  /// Strong exception guarantee: both allocation points — growing an
+  /// existing node's entry vector, or creating a new node — run before
+  /// the node is (or stays) visible in a partially-updated state.
+  /// push_back itself is strong, and a freshly-allocated node is only
+  /// spliced after its entry is in place, so a bad_alloc (real or
+  /// injected at Env::alloc_point) leaves the list exactly as it was.
   void insert(counter_value_t level, std::function<void()> fn,
               std::function<void(std::exception_ptr)> on_error = {}) {
     Node** pos = &head_;
     while (*pos != nullptr && (*pos)->level < level) pos = &(*pos)->next;
     if (*pos != nullptr && (*pos)->level == level) {
+      Env::alloc_point();  // fault hook: may throw std::bad_alloc
       (*pos)->callbacks.push_back(Entry{std::move(fn), std::move(on_error)});
     } else {
+      Env::alloc_point();  // fault hook: may throw std::bad_alloc
       auto* node = new Node();
       node->level = level;
       node->callbacks.push_back(Entry{std::move(fn), std::move(on_error)});
@@ -392,5 +526,9 @@ class CallbackList {
  private:
   Node* head_ = nullptr;  // ascending by level; levels > value
 };
+
+/// Production alias — the pre-seam type, with the fault hook inlined
+/// away (RealEngineEnv::alloc_point is an empty function).
+using CallbackList = CallbackListT<>;
 
 }  // namespace monotonic

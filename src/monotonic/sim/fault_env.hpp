@@ -1,0 +1,302 @@
+// fault_env.hpp — FaultEnvT<Base>: a fault-injecting engine
+// environment that wraps any other environment.
+//
+// The wait engine's failure-model claims (counter_error.hpp, the
+// resource-model note in basic_counter.hpp) are only as good as the
+// faults they were tested against.  This decorator environment turns
+// the rare events real platforms produce on their own schedule into
+// events a test can demand on a chosen schedule:
+//
+//   * std::bad_alloc at exactly the Nth engine allocation
+//     (Env::alloc_point — wait nodes and OnReach callback nodes), to
+//     prove every allocation point gives the strong guarantee;
+//   * spurious condition-variable wakeups — every Nth wait returns
+//     without a notification, up to a bounded budget (the bound keeps
+//     a fault-heavy run from degenerating into a spin loop);
+//   * futex interrupts — every Nth futex_wait returns immediately, the
+//     EINTR/EAGAIN shape kernel waits really have;
+//   * clock jumps — every Nth schedule point invokes an installed
+//     hook, which a simulation scenario points at
+//     SimRun::advance_time to slam the virtual clock past deadlines
+//     mid-operation.
+//
+// Composability: FaultEnvT is a template over the base environment, so
+// the same injection code runs over RealEngineEnv (real threads, real
+// allocator pressure — the allocation-failure regression test) and
+// over SimEngineEnv (deterministic schedules — the fault scenarios in
+// sim_scenarios.hpp).  This header depends only on engine_env.hpp;
+// the sim instantiation is aliased where the sim headers are already
+// in scope.
+//
+// Injection state is process-global (one FaultState), armed and
+// disarmed through the RAII FaultScope.  Global rather than
+// per-counter because the environment is a *type* — stateless by
+// contract — and because a test drives exactly one faulted counter at
+// a time.  FaultScope clears every knob and counter on entry and
+// exit, so scopes cannot leak faults into later tests.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <new>
+
+#include "monotonic/core/engine_env.hpp"
+
+namespace monotonic::sim {
+
+/// Everything injectable, as relaxed atomics (multiple real threads hit
+/// these concurrently; the counts are triggers, not synchronization).
+struct FaultState {
+  // bad_alloc: alloc_point() throws when its 1-based ordinal since
+  // arming equals fail_alloc_at (0 = disabled).  allocs_observed keeps
+  // counting either way, so a test can first measure how many
+  // allocation points an operation has, then sweep them.
+  std::atomic<std::uint64_t> allocs_observed{0};
+  std::atomic<std::uint64_t> fail_alloc_at{0};
+  std::atomic<std::uint64_t> allocs_failed{0};
+
+  // spurious cv wakeups: every spurious_every-th wait (0 = disabled),
+  // while spurious_budget lasts.
+  std::atomic<std::uint64_t> waits_observed{0};
+  std::atomic<std::uint32_t> spurious_every{0};
+  std::atomic<std::uint32_t> spurious_budget{0};
+  std::atomic<std::uint64_t> spurious_injected{0};
+
+  // futex interrupts: every futex_every-th futex wait (0 = disabled),
+  // while futex_budget lasts.
+  std::atomic<std::uint64_t> futexes_observed{0};
+  std::atomic<std::uint32_t> futex_every{0};
+  std::atomic<std::uint32_t> futex_budget{0};
+  std::atomic<std::uint64_t> futex_injected{0};
+
+  // clock jumps: every jump_every-th schedule point (0 = disabled)
+  // invokes jump_fn, while jump_budget lasts.  The hook is a plain
+  // function pointer so this header needs no sim_runtime dependency;
+  // sim scenarios install a function that advances the virtual clock.
+  std::atomic<std::uint64_t> points_observed{0};
+  std::atomic<std::uint32_t> jump_every{0};
+  std::atomic<std::uint32_t> jump_budget{0};
+  std::atomic<void (*)()> jump_fn{nullptr};
+
+  void reset() noexcept {
+    allocs_observed.store(0, std::memory_order_relaxed);
+    fail_alloc_at.store(0, std::memory_order_relaxed);
+    allocs_failed.store(0, std::memory_order_relaxed);
+    waits_observed.store(0, std::memory_order_relaxed);
+    spurious_every.store(0, std::memory_order_relaxed);
+    spurious_budget.store(0, std::memory_order_relaxed);
+    spurious_injected.store(0, std::memory_order_relaxed);
+    futexes_observed.store(0, std::memory_order_relaxed);
+    futex_every.store(0, std::memory_order_relaxed);
+    futex_budget.store(0, std::memory_order_relaxed);
+    futex_injected.store(0, std::memory_order_relaxed);
+    points_observed.store(0, std::memory_order_relaxed);
+    jump_every.store(0, std::memory_order_relaxed);
+    jump_budget.store(0, std::memory_order_relaxed);
+    jump_fn.store(nullptr, std::memory_order_relaxed);
+  }
+};
+
+inline FaultState& fault_state() {
+  static FaultState state;
+  return state;
+}
+
+/// One round of injection knobs.  Plain values so plans are cheap to
+/// derive, log and replay; FaultScope arms one.
+struct FaultPlan {
+  std::uint64_t fail_alloc_at = 0;    ///< 1-based ordinal; 0 = never
+  std::uint32_t spurious_every = 0;   ///< 0 = no spurious wakeups
+  std::uint32_t spurious_budget = 0;
+  std::uint32_t futex_every = 0;      ///< 0 = no futex interrupts
+  std::uint32_t futex_budget = 0;
+  std::uint32_t jump_every = 0;       ///< 0 = no clock jumps
+  std::uint32_t jump_budget = 0;
+  void (*jump_fn)() = nullptr;
+
+  /// Seed-derived plan for randomized fault rounds: small cadences and
+  /// budgets (the interesting schedules have faults landing close to
+  /// the operations under test), fully determined by the seed so a
+  /// failing round is its seed.  Allocation failure is left to the
+  /// dedicated sweep tests — a random ordinal usually lands past the
+  /// operation's last allocation and tests nothing.
+  static FaultPlan from_seed(std::uint64_t seed) {
+    auto next = [state = seed]() mutable {
+      // splitmix64 — the standard seed expander; good dispersion from
+      // consecutive seeds, no external dependency.
+      state += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = state;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return z ^ (z >> 31);
+    };
+    FaultPlan plan;
+    plan.spurious_every = 1 + static_cast<std::uint32_t>(next() % 3);
+    plan.spurious_budget = 1 + static_cast<std::uint32_t>(next() % 8);
+    plan.futex_every = 1 + static_cast<std::uint32_t>(next() % 3);
+    plan.futex_budget = 1 + static_cast<std::uint32_t>(next() % 8);
+    return plan;
+  }
+};
+
+/// Arms `plan` for its lifetime; both construction and destruction
+/// fully reset the global state, so faults cannot leak across tests.
+class FaultScope {
+ public:
+  explicit FaultScope(const FaultPlan& plan) {
+    FaultState& s = fault_state();
+    s.reset();
+    s.fail_alloc_at.store(plan.fail_alloc_at, std::memory_order_relaxed);
+    s.spurious_every.store(plan.spurious_every, std::memory_order_relaxed);
+    s.spurious_budget.store(plan.spurious_budget, std::memory_order_relaxed);
+    s.futex_every.store(plan.futex_every, std::memory_order_relaxed);
+    s.futex_budget.store(plan.futex_budget, std::memory_order_relaxed);
+    s.jump_every.store(plan.jump_every, std::memory_order_relaxed);
+    s.jump_budget.store(plan.jump_budget, std::memory_order_relaxed);
+    s.jump_fn.store(plan.jump_fn, std::memory_order_relaxed);
+  }
+  ~FaultScope() { fault_state().reset(); }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+};
+
+namespace detail {
+
+/// Cadence-with-budget trigger: fires on every `every`-th observation
+/// while `budget` lasts.  The budget decrement is a CAS loop so two
+/// threads cannot spend the same token — an overdrawn budget would
+/// turn "bounded injection" into a livelock generator.
+inline bool fault_fires(std::atomic<std::uint64_t>& observed,
+                        const std::atomic<std::uint32_t>& every,
+                        std::atomic<std::uint32_t>& budget) {
+  const std::uint32_t n = every.load(std::memory_order_relaxed);
+  if (n == 0) return false;
+  if ((observed.fetch_add(1, std::memory_order_relaxed) + 1) % n != 0) {
+    return false;
+  }
+  std::uint32_t b = budget.load(std::memory_order_relaxed);
+  while (b != 0 && !budget.compare_exchange_weak(b, b - 1,
+                                                 std::memory_order_relaxed)) {
+  }
+  return b != 0;
+}
+
+inline bool should_fail_alloc() {
+  FaultState& s = fault_state();
+  const std::uint64_t ordinal =
+      s.allocs_observed.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t at = s.fail_alloc_at.load(std::memory_order_relaxed);
+  if (at == 0 || ordinal != at) return false;
+  s.allocs_failed.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+inline bool should_wake_spuriously() {
+  FaultState& s = fault_state();
+  if (!fault_fires(s.waits_observed, s.spurious_every, s.spurious_budget)) {
+    return false;
+  }
+  s.spurious_injected.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+inline bool should_interrupt_futex() {
+  FaultState& s = fault_state();
+  if (!fault_fires(s.futexes_observed, s.futex_every, s.futex_budget)) {
+    return false;
+  }
+  s.futex_injected.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+inline void maybe_jump_clock() {
+  FaultState& s = fault_state();
+  if (!fault_fires(s.points_observed, s.jump_every, s.jump_budget)) return;
+  if (void (*fn)() = s.jump_fn.load(std::memory_order_relaxed)) fn();
+}
+
+}  // namespace detail
+
+/// The fault-injecting environment: forwards everything to `Base`,
+/// inserting the armed faults at the contract's injection points.
+template <typename Base = RealEngineEnv>
+struct FaultEnvT {
+  static constexpr bool kSimulated = Base::kSimulated;
+
+  using Mutex = typename Base::Mutex;
+  using Clock = typename Base::Clock;
+  template <typename T>
+  using Atomic = typename Base::template Atomic<T>;
+  using SpinWaiter = typename Base::SpinWaiter;
+  template <typename F>
+  using StopCallback = typename Base::template StopCallback<F>;
+
+  /// Base condvar plus injected spurious returns.  An injected wake
+  /// releases and reacquires the lock instead of sleeping — exactly
+  /// what the caller observes from a real spurious wakeup, minus the
+  /// kernel round trip.
+  class CondVar {
+   public:
+    void notify_all() { cv_.notify_all(); }
+
+    void wait(std::unique_lock<Mutex>& lock) {
+      if (detail::should_wake_spuriously()) {
+        lock.unlock();
+        lock.lock();
+        return;
+      }
+      cv_.wait(lock);
+    }
+
+    std::cv_status wait_until(std::unique_lock<Mutex>& lock,
+                              typename Clock::time_point deadline) {
+      if (detail::should_wake_spuriously()) {
+        lock.unlock();
+        lock.lock();
+        // no_timeout even if the deadline has passed: the engine/policy
+        // must re-derive timeout from the clock, never trust the wake.
+        return std::cv_status::no_timeout;
+      }
+      return cv_.wait_until(lock, deadline);
+    }
+
+   private:
+    typename Base::CondVar cv_;
+  };
+
+  static void point(SchedulePoint p) {
+    Base::point(p);
+    detail::maybe_jump_clock();
+  }
+
+  static void alloc_point() {
+    Base::alloc_point();
+    if (detail::should_fail_alloc()) throw std::bad_alloc();
+  }
+
+  static std::size_t stripe_slot() noexcept { return Base::stripe_slot(); }
+
+  static void futex_wait(Atomic<std::uint32_t>* addr, std::uint32_t expected) {
+    if (detail::should_interrupt_futex()) return;  // EINTR: caller re-checks
+    Base::futex_wait(addr, expected);
+  }
+
+  static bool futex_wait_until(Atomic<std::uint32_t>* addr,
+                               std::uint32_t expected,
+                               typename Clock::time_point deadline) {
+    if (detail::should_interrupt_futex()) return true;  // woken, not timeout
+    return Base::futex_wait_until(addr, expected, deadline);
+  }
+
+  static void futex_wake_all(Atomic<std::uint32_t>* addr) {
+    Base::futex_wake_all(addr);
+  }
+};
+
+/// Fault injection over real threads — what the allocation-failure
+/// regression and FaultEnv conformance tests instantiate.
+using RealFaultEnv = FaultEnvT<RealEngineEnv>;
+
+}  // namespace monotonic::sim

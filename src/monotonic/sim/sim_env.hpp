@@ -74,6 +74,11 @@ struct SimEngineEnv {
     run->yield(schedule_point_name(p));
   }
 
+  /// Allocation fault hook (see engine_env.hpp).  The plain sim env
+  /// never fails an allocation; FaultEnvT<SimEngineEnv>
+  /// (sim/fault_env.hpp) wraps this with seeded bad_alloc injection.
+  static void alloc_point() {}
+
   /// Stripe slots come from the VIRTUAL thread id, not a process-wide
   /// ticket: the production round-robin ticket grows monotonically
   /// across runs, which would make stripe placement (and therefore

@@ -40,6 +40,7 @@
 #include "monotonic/core/counter_error.hpp"
 #include "monotonic/core/striped_cells.hpp"
 #include "monotonic/core/wait_list.hpp"
+#include "monotonic/sim/fault_env.hpp"
 #include "monotonic/sim/sim_counters.hpp"
 #include "monotonic/sim/sim_harness.hpp"
 
@@ -256,6 +257,328 @@ inline void watchdog_cadence_scenario(SimHarness& h) {
 }
 
 // ---------------------------------------------------------------------------
+// Fault-injection scenarios (FaultEnvT over SimEngineEnv)
+// ---------------------------------------------------------------------------
+//
+// The sim instantiation of the fault environment (fault_env.hpp): the
+// deterministic scheduler supplies the schedule, FaultScope supplies
+// the platform's rare events — allocation failure, spurious wakeups,
+// futex interrupts, clock jumps — on demand.  Every one of these is an
+// invariant scenario: the engine must absorb the fault under EVERY
+// schedule, so any failing seed is an engine bug.
+using SimFaultEnv = FaultEnvT<SimEngineEnv>;
+using SimFaultCounter = BasicCounter<BlockingWaitT<SimFaultEnv>>;
+using SimFaultFutexCounter = BasicCounter<FutexWaitT<SimFaultEnv>>;
+using SimFaultHybridCounter = BasicCounter<HybridWaitT<SimFaultEnv>>;
+
+/// bad_alloc at the first engine allocation of Check: the caller must
+/// see CounterResourceError (not raw bad_alloc), the engine must hold
+/// the strong guarantee — the very same counter parks, releases, and
+/// ends clean immediately afterwards.
+template <typename C>
+void fault_alloc_check_scenario(SimHarness& h) {
+  auto& c = h.make<C>();
+  h.thread("waiter", [&] {
+    {
+      FaultPlan plan;
+      plan.fail_alloc_at = 1;  // the wait-node allocation
+      FaultScope scope(plan);
+      try {
+        c.Check(3);
+        h.fail("Check(3) completed with its allocation failing");
+      } catch (const CounterResourceError&) {
+      }
+    }
+    c.Check(3);  // strong guarantee: usable immediately after
+    h.check(c.debug_value() >= 3, "woken below level");
+  });
+  h.thread("inc", [&] {
+    h.sleep_ms(1);  // waiter is runnable, so this cannot pre-empt the
+    c.Increment(3);  // faulted Check — it always sees value 0
+  });
+  h.join();
+  h.check(c.debug_value() == 3, "final value != 3");
+  h.check(c.stats().live_nodes == 0, "wait node leaked");
+}
+
+/// bad_alloc inside OnReach's callback-node insert: the registration
+/// must be rejected whole (strong guarantee — the callback never runs,
+/// the counter is unchanged) and a healthy retry must still fire.
+inline void fault_alloc_onreach_scenario(SimHarness& h) {
+  auto& c = h.make<SimFaultHybridCounter>();
+  auto& fired = h.make<int>(0);
+  {
+    FaultPlan plan;
+    plan.fail_alloc_at = 1;
+    FaultScope scope(plan);
+    try {
+      c.OnReach(2, [&] { fired += 100; });
+      h.fail("OnReach registered despite the failing allocation");
+    } catch (const CounterResourceError&) {
+    }
+  }
+  c.OnReach(2, [&] { fired += 1; });
+  h.thread("inc", [&] { c.Increment(2); });
+  h.join();
+  h.check(fired == 1, "wrong callback set ran: " + std::to_string(fired));
+  h.check(c.debug_value() == 2, "final value != 2");
+}
+
+/// THE satellite-2 pin: spurious wakes against a CheckFor that times
+/// out.  Timed-out vs reached is decided once, in the engine, from the
+/// policy's return — a second accounting site inside a policy would
+/// double-count exactly this schedule.  timed_out_checks must be 1.
+inline void fault_spurious_timed_stats_scenario(SimHarness& h) {
+  auto& c = h.make<SimFaultCounter>();
+  h.thread("waiter", [&] {
+    FaultPlan plan;
+    plan.spurious_every = 1;  // every cv wait returns without a notify
+    plan.spurious_budget = 3;
+    FaultScope scope(plan);
+    const bool ok = c.CheckFor(3, std::chrono::milliseconds(5));
+    h.check(!ok, "CheckFor(3) reported success before the value");
+  });
+  h.join();
+  const auto s = c.stats();
+  h.check(s.timed_out_checks == 1,
+          "timed_out_checks double- or un-counted: " +
+              std::to_string(s.timed_out_checks));
+  h.check(s.spurious_wakeups >= 1, "no spurious wakeup reached the policy");
+  h.check(s.cancelled_checks == 0, "timeout misfiled as cancellation");
+  h.check(s.live_nodes == 0, "wait node leaked");
+}
+
+/// The success half of the same pin: spurious wakes plus a release
+/// inside the deadline.  The wait must succeed and timed_out_checks
+/// must stay 0 — a policy that reports timeout on the spurious path
+/// would misfile this run.
+inline void fault_spurious_timed_release_scenario(SimHarness& h) {
+  auto& c = h.make<SimFaultCounter>();
+  h.thread("waiter", [&] {
+    FaultPlan plan;
+    plan.spurious_every = 1;
+    plan.spurious_budget = 2;
+    FaultScope scope(plan);
+    const bool ok = c.CheckFor(2, std::chrono::milliseconds(10));
+    h.check(ok, "CheckFor(2) timed out despite an in-deadline release");
+  });
+  h.thread("inc", [&] {
+    h.sleep_ms(1);
+    c.Increment(2);
+  });
+  h.join();
+  const auto s = c.stats();
+  h.check(s.timed_out_checks == 0,
+          "successful wait counted as timed out: " +
+              std::to_string(s.timed_out_checks));
+  h.check(c.debug_value() == 2, "final value != 2");
+  h.check(s.live_nodes == 0, "wait node leaked");
+}
+
+/// Futex interrupts (the EINTR shape): every kernel wait returns
+/// immediately for a bounded budget.  The waiter must re-check the
+/// word, re-park, and still wake exactly on the release.
+inline void fault_futex_eintr_scenario(SimHarness& h) {
+  auto& c = h.make<SimFaultFutexCounter>();
+  h.thread("waiter", [&] {
+    FaultPlan plan;
+    plan.futex_every = 1;
+    plan.futex_budget = 3;
+    FaultScope scope(plan);
+    c.Check(2);
+    h.check(c.debug_value() >= 2, "woken below level");
+  });
+  h.thread("inc", [&] {
+    h.sleep_ms(1);
+    c.Increment(2);
+  });
+  h.join();
+  h.check(c.debug_value() == 2, "final value != 2");
+  h.check(c.stats().live_nodes == 0, "wait node leaked");
+}
+
+/// Clock-jump hook for the sim instantiation: slam the virtual clock
+/// one hour forward.  A plain function (FaultState stores a function
+/// pointer) — fault_env.hpp itself stays sim-runtime-free.
+inline void jump_virtual_clock_one_hour() {
+  if (SimRun* run = active_run_ref()) {
+    run->advance_time(3600ll * 1000000000ll);
+  }
+}
+
+/// Clock jump between CheckFor's deadline capture and its first
+/// schedule point: the deadline is already expired by the time the
+/// engine looks.  Must take the pure-probe path — one timed_out_check,
+/// no node churn, counter untouched and immediately usable.
+inline void fault_clock_jump_probe_scenario(SimHarness& h) {
+  auto& c = h.make<SimFaultCounter>();
+  h.thread("waiter", [&] {
+    FaultPlan plan;
+    plan.jump_every = 1;  // the kCheck point, before the deadline test
+    plan.jump_budget = 1;
+    plan.jump_fn = &jump_virtual_clock_one_hour;
+    FaultScope scope(plan);
+    const bool ok = c.CheckFor(3, std::chrono::milliseconds(10));
+    h.check(!ok, "CheckFor(3) succeeded across an expired deadline");
+  });
+  h.join();
+  const auto s = c.stats();
+  h.check(s.timed_out_checks == 1,
+          "expired probe accounting wrong: " +
+              std::to_string(s.timed_out_checks));
+  h.check(s.nodes_allocated == 0, "expired probe acquired a wait node");
+  h.check(s.live_nodes == 0, "wait node leaked");
+  c.Increment(3);
+  c.Check(3);  // still healthy after the jump
+}
+
+/// Clock jump racing a parked timed waiter against its releaser: the
+/// jump lands inside the releaser's Increment, so the waiter's wake is
+/// a genuine race between notify and (suddenly past) deadline.  Both
+/// outcomes are legal; hangs, leaks, or a dead counter are not.
+inline void fault_clock_jump_race_scenario(SimHarness& h) {
+  auto& c = h.make<SimFaultCounter>();
+  auto& scope = h.make<FaultScope>([] {
+    FaultPlan plan;
+    plan.jump_every = 2;  // point #1 is the waiter's kCheck; #2 is the
+    plan.jump_budget = 1;  // releaser's kIncrementSlow
+    plan.jump_fn = &jump_virtual_clock_one_hour;
+    return plan;
+  }());
+  (void)scope;
+  h.thread("waiter", [&] {
+    const bool ok = c.CheckFor(3, std::chrono::milliseconds(10));
+    if (ok) {
+      h.check(c.debug_value() >= 3, "CheckFor true below level");
+    } else {
+      h.check(c.stats().timed_out_checks == 1, "timeout not counted once");
+    }
+  });
+  h.thread("inc", [&] {
+    h.sleep_ms(1);
+    c.Increment(3);
+  });
+  h.join();
+  h.check(c.debug_value() == 3, "final value != 3");
+  h.check(c.stats().live_nodes == 0, "wait node leaked");
+  h.check(c.CheckFor(3, std::chrono::nanoseconds(0)), "counter died");
+}
+
+/// Seed-derived fault plan (spurious wakes + futex interrupts, small
+/// cadences and budgets) over the release-boundary scenario: random
+/// fault timing composed with random scheduling, fully replayable from
+/// the one seed.
+template <typename C>
+void fault_seeded_boundary_scenario(SimHarness& h) {
+  auto& c = h.make<C>();
+  h.thread("waiter", [&] {
+    FaultScope scope(FaultPlan::from_seed(h.run().seed()));
+    c.Check(3);
+    h.check(c.debug_value() >= 3, "woken below level");
+  });
+  h.thread("inc-a", [&] { c.Increment(2); });
+  h.thread("inc-b", [&] { c.Increment(1); });
+  h.join();
+  h.check(c.debug_value() == 3, "final value != 3");
+  h.check(c.stats().live_nodes == 0, "wait node leaked");
+}
+
+// ---------------------------------------------------------------------------
+// Overload (admission-bound) scenarios
+// ---------------------------------------------------------------------------
+
+/// kThrow storm: six waiters against max_waiters=3.  Virtual time only
+/// advances once every thread is blocked, so exactly three park and
+/// exactly three get CounterOverloadedError — deterministically, under
+/// every schedule.  Nobody may be left parked at the end.
+inline void overload_storm_throw_scenario(SimHarness& h) {
+  typename SimCounter::Options opt;
+  opt.max_waiters = 3;
+  opt.overload_policy = OverloadPolicy::kThrow;
+  auto& c = h.make<SimCounter>(opt);
+  auto& reached = h.make<int>(0);
+  auto& rejected = h.make<int>(0);
+  for (int i = 0; i < 6; ++i) {
+    h.thread("w" + std::to_string(i), [&] {
+      try {
+        c.Check(10);
+        reached += 1;  // vthreads run one at a time: plain ints are safe
+      } catch (const CounterOverloadedError&) {
+        rejected += 1;
+      }
+    });
+  }
+  h.thread("inc", [&] {
+    h.sleep_ms(1);
+    c.Increment(10);
+  });
+  h.join();
+  h.check(reached == 3 && rejected == 3,
+          "admission split wrong: reached=" + std::to_string(reached) +
+              " rejected=" + std::to_string(rejected) + ", want 3/3");
+  h.check(c.stats().overload_rejections == 3, "rejections miscounted");
+  h.check(c.stats().live_nodes == 0, "waiter left parked after the storm");
+}
+
+/// kSpinFallback storm: over-cap waiters degrade to the bounded
+/// relock-poll wait instead of failing.  Every waiter must return with
+/// the level reached; the spinners' virtual-time progress means the
+/// exact degrade count is schedule-dependent, but degrades and
+/// rejections must agree and the list must end empty.
+inline void overload_storm_spin_scenario(SimHarness& h) {
+  typename SimHybridCounter::Options opt;
+  opt.max_waiters = 2;
+  opt.overload_policy = OverloadPolicy::kSpinFallback;
+  auto& c = h.make<SimHybridCounter>(opt);
+  for (int i = 0; i < 6; ++i) {
+    h.thread("w" + std::to_string(i), [&] {
+      c.Check(10);
+      h.check(c.debug_value() >= 10, "returned below level");
+    });
+  }
+  h.thread("inc", [&] {
+    h.sleep_ms(1);
+    c.Increment(10);
+  });
+  h.join();
+  const auto s = c.stats();
+  h.check(s.degraded_waits == s.overload_rejections,
+          "degrade/rejection mismatch: " + std::to_string(s.degraded_waits) +
+              " vs " + std::to_string(s.overload_rejections));
+  h.check(s.live_nodes == 0, "waiter left parked after the storm");
+  h.check(c.debug_value() == 10, "final value != 10");
+}
+
+/// kBlockIncrementers storm: over-cap waiters nap on the admission
+/// gate until capacity frees (or the level lands).  All four waiters
+/// must complete — the two gated ones via the gate's re-check — and
+/// the gate must not strand anyone once the parked pair leaves.
+inline void overload_storm_block_scenario(SimHarness& h) {
+  typename SimCounter::Options opt;
+  opt.max_waiters = 2;
+  opt.overload_policy = OverloadPolicy::kBlockIncrementers;
+  auto& c = h.make<SimCounter>(opt);
+  auto& completed = h.make<int>(0);
+  for (int i = 0; i < 4; ++i) {
+    h.thread("w" + std::to_string(i), [&] {
+      c.Check(5);
+      h.check(c.debug_value() >= 5, "returned below level");
+      completed += 1;
+    });
+  }
+  h.thread("inc", [&] {
+    h.sleep_ms(1);
+    c.Increment(5);
+  });
+  h.join();
+  h.check(completed == 4, "waiter stranded on the admission gate: " +
+                              std::to_string(completed) + "/4 completed");
+  h.check(c.stats().overload_rejections == 2, "gate entries miscounted");
+  h.check(c.stats().live_nodes == 0, "waiter left parked after the storm");
+  h.check(c.debug_value() == 5, "final value != 5");
+}
+
+// ---------------------------------------------------------------------------
 // Self-validation models (expect_failure = true)
 // ---------------------------------------------------------------------------
 
@@ -440,6 +763,62 @@ inline const std::vector<SimScenario>& sim_scenarios() {
       {"watchdog_cadence",
        "stall reports hold a fixed cadence under a slow sink", false,
        &watchdog_cadence_scenario},
+      {"fault_alloc_check_blocking",
+       "bad_alloc at Check's node acquire -> CounterResourceError + strong "
+       "guarantee, BlockingWait",
+       false, &fault_alloc_check_scenario<SimFaultCounter>},
+      {"fault_alloc_check_futex",
+       "bad_alloc at Check's node acquire -> CounterResourceError + strong "
+       "guarantee, FutexWait",
+       false, &fault_alloc_check_scenario<SimFaultFutexCounter>},
+      {"fault_alloc_check_hybrid",
+       "bad_alloc at Check's node acquire: attention bit re-armed, counter "
+       "usable, HybridWait",
+       false, &fault_alloc_check_scenario<SimFaultHybridCounter>},
+      {"fault_alloc_onreach",
+       "bad_alloc inside OnReach's insert: registration rejected whole, "
+       "retry fires",
+       false, &fault_alloc_onreach_scenario},
+      {"fault_spurious_timed_stats",
+       "spurious wakes vs a timing-out CheckFor: timed_out_checks == 1, "
+       "counted in the engine only",
+       false, &fault_spurious_timed_stats_scenario},
+      {"fault_spurious_timed_release",
+       "spurious wakes vs an in-deadline release: success, timed_out_checks "
+       "== 0",
+       false, &fault_spurious_timed_release_scenario},
+      {"fault_futex_eintr",
+       "futex waits interrupted EINTR-style: waiter re-parks and still "
+       "wakes on release",
+       false, &fault_futex_eintr_scenario},
+      {"fault_clock_jump_probe",
+       "clock jumps past the deadline before the engine looks: pure probe, "
+       "no node churn",
+       false, &fault_clock_jump_probe_scenario},
+      {"fault_clock_jump_race",
+       "clock jumps mid-release: notify vs suddenly-past deadline, both "
+       "outcomes legal",
+       false, &fault_clock_jump_race_scenario},
+      {"fault_seeded_blocking",
+       "seed-derived spurious/futex fault plan over the release boundary, "
+       "BlockingWait",
+       false, &fault_seeded_boundary_scenario<SimFaultCounter>},
+      {"fault_seeded_futex",
+       "seed-derived spurious/futex fault plan over the release boundary, "
+       "FutexWait",
+       false, &fault_seeded_boundary_scenario<SimFaultFutexCounter>},
+      {"overload_storm_throw",
+       "6 waiters vs max_waiters=3 under kThrow: exactly 3 admitted, 3 "
+       "rejected, none stranded",
+       false, &overload_storm_throw_scenario},
+      {"overload_storm_spin",
+       "6 waiters vs max_waiters=2 under kSpinFallback: every waiter "
+       "returns via the degraded wait",
+       false, &overload_storm_spin_scenario},
+      {"overload_storm_block",
+       "4 waiters vs max_waiters=2 under kBlockIncrementers: gate re-check "
+       "frees the over-cap pair",
+       false, &overload_storm_block_scenario},
       {"model_weak_watermark",
        "MODEL: watermark store downgraded to relaxed — explorer must find "
        "the lost wakeup",

@@ -31,13 +31,32 @@
 #include "monotonic/core/futex_counter.hpp"
 #include "monotonic/core/hybrid_counter.hpp"
 #include "monotonic/core/spin_counter.hpp"
+#include "monotonic/core/wait_policy.hpp"
 #include "monotonic/patterns/broadcast.hpp"
+#include "monotonic/sim/fault_env.hpp"
 #include "monotonic/threads/structured.hpp"
 
 namespace monotonic {
 namespace {
 
 using namespace std::chrono_literals;
+
+using monotonic::sim::FaultPlan;
+using monotonic::sim::FaultScope;
+
+// Every policy over the fault-injecting environment (fault_env.hpp).
+// Disarmed, they must pass the whole failure suite unchanged; the
+// FaultRounds suite below arms allocation failures and seed-derived
+// spurious-wake/futex-interrupt plans against them.
+using FaultListCounter =
+    BasicCounter<BlockingWaitT<monotonic::sim::RealFaultEnv>>;
+using FaultSingleCvCounter =
+    BasicCounter<SingleCvWaitT<monotonic::sim::RealFaultEnv>>;
+using FaultFutexCounter =
+    BasicCounter<FutexWaitT<monotonic::sim::RealFaultEnv>>;
+using FaultSpinCounter = BasicCounter<SpinWaitT<monotonic::sim::RealFaultEnv>>;
+using FaultHybridCounter =
+    BasicCounter<HybridWaitT<monotonic::sim::RealFaultEnv>>;
 
 // The failure model is part of the uniform surface: every
 // implementation, every decorator, and the type-erased handle.
@@ -64,7 +83,9 @@ using AllCounterTypes =
     ::testing::Types<Counter, SingleCvCounter, FutexCounter, SpinCounter,
                      HybridCounter, Traced<Counter>, Batching<HybridCounter>,
                      Broadcasting<Counter>, ShardedCounter,
-                     ShardedHybridCounter, Traced<ShardedHybridCounter>>;
+                     ShardedHybridCounter, Traced<ShardedHybridCounter>,
+                     FaultListCounter, FaultSingleCvCounter,
+                     FaultFutexCounter, FaultSpinCounter, FaultHybridCounter>;
 
 struct CounterTypeNames {
   template <typename T>
@@ -84,6 +105,12 @@ struct CounterTypeNames {
       return "sharded_hybrid";
     if constexpr (std::is_same_v<T, Traced<ShardedHybridCounter>>)
       return "sharded_hybrid_traced";
+    if constexpr (std::is_same_v<T, FaultListCounter>) return "fault_list";
+    if constexpr (std::is_same_v<T, FaultSingleCvCounter>)
+      return "fault_single_cv";
+    if constexpr (std::is_same_v<T, FaultFutexCounter>) return "fault_futex";
+    if constexpr (std::is_same_v<T, FaultSpinCounter>) return "fault_spin";
+    if constexpr (std::is_same_v<T, FaultHybridCounter>) return "fault_hybrid";
   }
 };
 
@@ -535,6 +562,78 @@ TEST(BroadcastFailure, ParkedReaderIsWokenByPoison) {
     writer.poison(std::make_exception_ptr(std::runtime_error("late poison")));
   }
   EXPECT_TRUE(threw.load());
+}
+
+// ---------------------------------------------------------------------------
+// Armed fault rounds: every policy over FaultEnvT<RealEngineEnv> with
+// the faults switched ON.  (The deterministic-schedule versions live
+// in sim_scenarios.hpp; these run the same machinery over real
+// threads, real clock.)
+// ---------------------------------------------------------------------------
+
+template <typename C>
+class FaultRounds : public ::testing::Test {};
+
+using FaultEnvCounterTypes =
+    ::testing::Types<FaultListCounter, FaultSingleCvCounter,
+                     FaultFutexCounter, FaultSpinCounter, FaultHybridCounter>;
+
+struct FaultTypeNames {
+  template <typename T>
+  static std::string GetName(int) {
+    if constexpr (std::is_same_v<T, FaultListCounter>) return "list";
+    if constexpr (std::is_same_v<T, FaultSingleCvCounter>) return "single_cv";
+    if constexpr (std::is_same_v<T, FaultFutexCounter>) return "futex";
+    if constexpr (std::is_same_v<T, FaultSpinCounter>) return "spin";
+    if constexpr (std::is_same_v<T, FaultHybridCounter>) return "hybrid";
+  }
+};
+
+TYPED_TEST_SUITE(FaultRounds, FaultEnvCounterTypes, FaultTypeNames);
+
+TYPED_TEST(FaultRounds, AllocationFailureLeavesTheCounterUsable) {
+  TypeParam c;
+  {
+    FaultPlan plan;
+    plan.fail_alloc_at = 1;  // the park's wait-node allocation
+    FaultScope scope(plan);
+    EXPECT_THROW(c.Check(1), CounterResourceError);
+  }
+  // Strong guarantee: the very same counter parks and releases.
+  std::thread releaser([&] {
+    while (c.stats().live_nodes == 0) std::this_thread::yield();
+    c.Increment(1);
+  });
+  c.Check(1);
+  releaser.join();
+  EXPECT_EQ(c.debug_value(), 1u);
+  EXPECT_EQ(c.stats().live_nodes, 0u);
+}
+
+TYPED_TEST(FaultRounds, SeededFaultRoundKeepsTimedAccountingExact) {
+  TypeParam c;
+  {
+    // Seed-derived spurious-wake + futex-interrupt cadences (policies
+    // that use neither primitive simply never consult them).  The
+    // timeout must be reported exactly once, by the engine.
+    FaultScope scope(FaultPlan::from_seed(0x5eed0001ull));
+    EXPECT_FALSE(c.CheckFor(3, 40ms));
+  }
+  EXPECT_EQ(c.stats().timed_out_checks, 1u);
+  EXPECT_EQ(c.stats().cancelled_checks, 0u);
+  {
+    // And a released round under the same fault pressure must succeed
+    // without growing the timeout count.
+    FaultScope scope(FaultPlan::from_seed(0x5eed0002ull));
+    std::thread releaser([&] {
+      std::this_thread::sleep_for(10ms);
+      c.Increment(3);
+    });
+    EXPECT_TRUE(c.CheckFor(3, std::chrono::seconds(60)));
+    releaser.join();
+  }
+  EXPECT_EQ(c.stats().timed_out_checks, 1u);
+  EXPECT_EQ(c.stats().live_nodes, 0u);
 }
 
 }  // namespace

@@ -26,12 +26,28 @@
 #include "monotonic/core/futex_counter.hpp"
 #include "monotonic/core/hybrid_counter.hpp"
 #include "monotonic/core/spin_counter.hpp"
+#include "monotonic/core/wait_policy.hpp"
+#include "monotonic/sim/fault_env.hpp"
 #include "monotonic/threads/structured.hpp"
 
 namespace monotonic {
 namespace {
 
 using namespace std::chrono_literals;
+
+// Every policy instantiated over the fault-injecting environment
+// (fault_env.hpp).  With no FaultScope armed the injections are inert,
+// so these must pass the whole conformance suite bit-for-bit — the
+// fault seam itself cannot change semantics.
+using FaultListCounter =
+    BasicCounter<BlockingWaitT<monotonic::sim::RealFaultEnv>>;
+using FaultSingleCvCounter =
+    BasicCounter<SingleCvWaitT<monotonic::sim::RealFaultEnv>>;
+using FaultFutexCounter =
+    BasicCounter<FutexWaitT<monotonic::sim::RealFaultEnv>>;
+using FaultSpinCounter = BasicCounter<SpinWaitT<monotonic::sim::RealFaultEnv>>;
+using FaultHybridCounter =
+    BasicCounter<HybridWaitT<monotonic::sim::RealFaultEnv>>;
 
 // Every implementation and every decorator models the full concept
 // ladder since the refactor.
@@ -76,7 +92,9 @@ using AllCounterTypes =
     ::testing::Types<Counter, SingleCvCounter, FutexCounter, SpinCounter,
                      HybridCounter, Traced<Counter>, Batching<HybridCounter>,
                      Broadcasting<Counter>, ShardedCounter,
-                     ShardedHybridCounter, Traced<ShardedHybridCounter>>;
+                     ShardedHybridCounter, Traced<ShardedHybridCounter>,
+                     FaultListCounter, FaultSingleCvCounter,
+                     FaultFutexCounter, FaultSpinCounter, FaultHybridCounter>;
 
 struct CounterTypeNames {
   template <typename T>
@@ -96,6 +114,12 @@ struct CounterTypeNames {
       return "sharded_hybrid";
     if constexpr (std::is_same_v<T, Traced<ShardedHybridCounter>>)
       return "sharded_hybrid_traced";
+    if constexpr (std::is_same_v<T, FaultListCounter>) return "fault_list";
+    if constexpr (std::is_same_v<T, FaultSingleCvCounter>)
+      return "fault_single_cv";
+    if constexpr (std::is_same_v<T, FaultFutexCounter>) return "fault_futex";
+    if constexpr (std::is_same_v<T, FaultSpinCounter>) return "fault_spin";
+    if constexpr (std::is_same_v<T, FaultHybridCounter>) return "fault_hybrid";
   }
 };
 
