@@ -129,7 +129,9 @@ void handoff_ablation() {
   specs.emplace_back("pooled:64+list");
   specs.emplace_back("pooled:64+hybrid");
   for (const std::string& spec : specs) {
-    const double ms = median_ms(g_quick ? 1 : kReps, [&] {
+    // Gated rows (check_bench.py): keep the median-of-kReps even in
+    // quick mode — one sample of a contended handoff is gate noise.
+    const double ms = median_ms(kReps, [&] {
       auto ping = make_counter(std::string_view(spec));
       auto pong = make_counter(std::string_view(spec));
       multithreaded_block(
@@ -332,6 +334,123 @@ void overload_storm() {
   bench::print(table);
 }
 
+void overload_storm_scaled() {
+  const std::size_t kArmed = g_quick ? 10'000 : 1'000'000;
+  banner("E12.b", "scaled storm: " + std::to_string(kArmed) +
+                      " open-loop armed waiters, heap wait plane");
+  note("Past ~10k the storm cannot be real threads; each armed waiter\n"
+       "is an OnReach registration at its own level — the same wait-\n"
+       "plane node a parked thread would hold.  The heap index arms in\n"
+       "O(log L); the single Increment peels all L levels ascending in\n"
+       "one bulk pass.  (The §7 list would pay O(L^2) to arm this\n"
+       "ascending sequence — E13 charts that wall.)");
+  TextTable table({"spec", "arm ms", "wake ms", "ns/wake"});
+  for (const char* spec : {"hybrid,waitplane=heap:8"}) {
+    auto c = make_counter(std::string_view(spec));
+    std::atomic<std::size_t> fired{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 1; i <= kArmed; ++i) {
+      c->OnReach(static_cast<counter_value_t>(i),
+                 [&fired] { fired.fetch_add(1, std::memory_order_relaxed); });
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    c->Increment(static_cast<counter_value_t>(kArmed));
+    const auto t2 = std::chrono::steady_clock::now();
+    if (fired.load(std::memory_order_relaxed) != kArmed) {
+      throw std::runtime_error("scaled storm lost a waiter");
+    }
+    const double arm_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double wake_ms =
+        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    const double ns_per_wake =
+        wake_ms * 1e6 / static_cast<double>(kArmed);
+    table.add_row({spec, cell(arm_ms), cell(wake_ms), cell(ns_per_wake, 1)});
+    g_json.record_levels("overload_storm_scaled", spec, 1, ns_per_wake,
+                         c->stripe_count(), kArmed);
+  }
+  bench::print(table);
+}
+
+void wait_plane_scaling() {
+  banner("E13", "wait-plane scaling: marginal arm + bulk wake vs live levels");
+  note("L live levels are built by open-loop OnReach arming (descending,\n"
+       "so the §7 list pays O(1) per insert — ascending would be the\n"
+       "O(L^2) wall).  'arm us' is the marginal cost of arming a fresh\n"
+       "interior level: the list walks O(L) nodes to find its slot, the\n"
+       "heap index sifts O(log L).  'wake ns' is the per-level cost of\n"
+       "the one Increment that releases everything.");
+  TextTable table({"impl", "levels", "build ms", "arm us", "wake ns"});
+  const std::vector<std::size_t> sizes =
+      g_quick ? std::vector<std::size_t>{1'000, 10'000}
+              : std::vector<std::size_t>{1'000, 10'000, 100'000, 1'000'000};
+  constexpr int kProbes = 16;
+  // One wake is a single Increment, so a lone cycle is one sample of a
+  // noisy clock; the committed rows are the median of kCycles fresh
+  // build-probe-wake cycles per (size, spec) cell.
+  constexpr int kCycles = 3;
+  const auto median_of = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  for (const std::size_t levels : sizes) {
+    for (const char* spec : {"hybrid", "hybrid,waitplane=heap:8"}) {
+      std::vector<double> builds, arms, wakes;
+      std::size_t stripes = 1;
+      for (int cycle = 0; cycle < kCycles; ++cycle) {
+        auto c = make_counter(std::string_view(spec));
+        stripes = c->stripe_count();
+        std::atomic<std::size_t> fired{0};
+        const auto cb = [&fired] {
+          fired.fetch_add(1, std::memory_order_relaxed);
+        };
+        // Live levels sit at even values; probes use odd values so
+        // each lands at a fresh interior position.
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t i = levels; i >= 1; --i) {
+          c->OnReach(static_cast<counter_value_t>(2 * i), cb);
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        std::uint64_t rng = 0x9e3779b97f4a7c15ull;  // fixed-seed splitmix64
+        const auto t2 = std::chrono::steady_clock::now();
+        for (int p = 0; p < kProbes; ++p) {
+          rng += 0x9e3779b97f4a7c15ull;
+          std::uint64_t z = rng;
+          z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+          z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+          z ^= z >> 31;
+          const counter_value_t probe =
+              static_cast<counter_value_t>(2 * (z % levels) + 1);
+          c->OnReach(probe, cb);
+        }
+        const auto t3 = std::chrono::steady_clock::now();
+        c->Increment(static_cast<counter_value_t>(2 * levels + 1));
+        const auto t4 = std::chrono::steady_clock::now();
+        if (fired.load(std::memory_order_relaxed) != levels + kProbes) {
+          throw std::runtime_error("E13 lost a waiter");
+        }
+        builds.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+        arms.push_back(
+            std::chrono::duration<double, std::micro>(t3 - t2).count() /
+            kProbes);
+        wakes.push_back(
+            std::chrono::duration<double, std::nano>(t4 - t3).count() /
+            static_cast<double>(levels + kProbes));
+      }
+      const double build_ms = median_of(builds);
+      const double arm_us = median_of(arms);
+      const double wake_ns = median_of(wakes);
+      table.add_row({spec, cell(levels), cell(build_ms), cell(arm_us, 2),
+                     cell(wake_ns, 1)});
+      g_json.record_levels("wait_arm", spec, 1, arm_us * 1000.0, stripes,
+                           levels);
+      g_json.record_levels("wait_wake", spec, 1, wake_ns, stripes, levels);
+    }
+  }
+  bench::print(table);
+}
+
 }  // namespace
 }  // namespace monotonic
 
@@ -351,5 +470,10 @@ int main(int argc, char** argv) {
   }
   // Runs in quick mode too: --quick shrinks the storm to 512 waiters.
   monotonic::overload_storm();
+  // E12.b scales the storm to 1M open-loop armed waiters (quick: 10k);
+  // E13 charts arm/wake latency against the live-level count for both
+  // wait planes (quick caps the axis at 10^4).
+  monotonic::overload_storm_scaled();
+  monotonic::wait_plane_scaling();
   return 0;
 }

@@ -36,13 +36,31 @@ class JsonlWriter {
   /// `stripes` the value-plane stripe count (1 for unsharded).
   void record(const std::string& op, const std::string& impl, int threads,
               double ns_per_op, std::size_t stripes) const {
+    record_levels(op, impl, threads, ns_per_op, stripes, 0);
+  }
+
+  /// Like record(), with the live-level count the row was measured at
+  /// (the E13 wait-plane scaling axis).  `levels` == 0 means the axis
+  /// does not apply and the field is omitted, so existing consumers
+  /// (tools/check_bench.py key matching) see unchanged rows.
+  void record_levels(const std::string& op, const std::string& impl,
+                     int threads, double ns_per_op, std::size_t stripes,
+                     std::size_t levels) const {
     if (path_.empty()) return;
     std::FILE* f = std::fopen(path_.c_str(), "a");
     if (f == nullptr) return;
-    std::fprintf(f,
-                 "{\"op\":\"%s\",\"impl\":\"%s\",\"threads\":%d,"
-                 "\"ns_per_op\":%.2f,\"stripes\":%zu}\n",
-                 op.c_str(), impl.c_str(), threads, ns_per_op, stripes);
+    if (levels == 0) {
+      std::fprintf(f,
+                   "{\"op\":\"%s\",\"impl\":\"%s\",\"threads\":%d,"
+                   "\"ns_per_op\":%.2f,\"stripes\":%zu}\n",
+                   op.c_str(), impl.c_str(), threads, ns_per_op, stripes);
+    } else {
+      std::fprintf(f,
+                   "{\"op\":\"%s\",\"impl\":\"%s\",\"threads\":%d,"
+                   "\"ns_per_op\":%.2f,\"stripes\":%zu,\"levels\":%zu}\n",
+                   op.c_str(), impl.c_str(), threads, ns_per_op, stripes,
+                   levels);
+    }
     std::fclose(f);
   }
 

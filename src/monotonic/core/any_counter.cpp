@@ -77,7 +77,9 @@ std::string_view counter_spec_help() {
          "plane (bare 'sharded' = sharded+hybrid); pooled[:N] "
          "preallocates N wait nodes (default 64; bare 'pooled' = "
          "pooled+hybrid); base opts: pool=0|1, pool_size=N, "
-         "max_waiters=N, max_levels=N, overload=throw|spin|block; "
+         "max_waiters=N, max_levels=N, overload=throw|spin|block, "
+         "waitplane=list|heap[:S] (S = level shards of the heap wait "
+         "plane, 1..64); "
          "decorators: traced, batching[,batch=N], broadcast[,shards=N] "
          "(each at most once)";
 }
@@ -286,6 +288,37 @@ BaseConfig parse_base(const SpecPart& part, const ShardPrefix& shard,
         spec_error("option 'overload' value '" + value +
                    "' is not throw|spin|block");
       }
+    } else if (key == "waitplane") {
+      // waitplane=list | waitplane=heap[:S] — the WaitIndex seam.
+      // Only the heap plane shards, so a ":S" suffix on 'list' is a
+      // named error, not silently ignored.
+      if (value == "list") {
+        cfg.options.wait_plane = WaitPlaneKind::kList;
+        cfg.options.wait_shards = 0;
+      } else if (value == "heap") {
+        cfg.options.wait_plane = WaitPlaneKind::kHeap;
+        cfg.options.wait_shards = 0;
+      } else if (value.rfind("heap:", 0) == 0) {
+        const std::uint64_t n =
+            parse_uint("waitplane=heap:S", value.substr(5));
+        if (n < 1) {
+          spec_error("'waitplane=" + value + "' needs at least one shard");
+        }
+        if (n > kMaxWaitShards) {
+          spec_error("'waitplane=" + value + "' exceeds the shard cap (" +
+                     std::to_string(kMaxWaitShards) +
+                     ", like the striped plane's stripe clamp)");
+        }
+        cfg.options.wait_plane = WaitPlaneKind::kHeap;
+        cfg.options.wait_shards = static_cast<std::size_t>(n);
+      } else if (value.rfind("list:", 0) == 0) {
+        spec_error("'waitplane=" + value +
+                   "' — the list plane does not shard; use waitplane=heap:" +
+                   value.substr(5));
+      } else {
+        spec_error("option 'waitplane' value '" + value +
+                   "' is not list|heap[:S]");
+      }
     } else {
       spec_error("unknown option '" + key + "' for base '" + part.name + "'");
     }
@@ -344,6 +377,14 @@ std::string canonical_base(const BaseConfig& cfg) {
     case OverloadPolicy::kBlockIncrementers:
       out += ",overload=block";
       break;
+  }
+  if (cfg.options.wait_plane == WaitPlaneKind::kHeap) {
+    // Mirrors the stripe rule: an explicit shard count always prints,
+    // the default (one shard) never does.
+    out += ",waitplane=heap";
+    if (cfg.options.wait_shards != 0) {
+      out += ':' + std::to_string(cfg.options.wait_shards);
+    }
   }
   return out;
 }

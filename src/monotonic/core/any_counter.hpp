@@ -28,7 +28,10 @@
 //               max_waiters=N, max_levels=N        (admission bounds;
 //               0 = unbounded), overload=throw|spin|block (what an
 //               over-cap waiter gets: CounterOverloadedError, the
-//               allocation-free degraded wait, or the admission gate)
+//               allocation-free degraded wait, or the admission gate),
+//               waitplane=list|heap[:S]            (the WaitIndex seam:
+//               §7's ordered list, or the sharded hierarchical level
+//               index with S level shards, 1..64 — see wait_list.hpp)
 //   decorators: traced                             (Tracer events)
 //               batching  [batch=N, default 64]    (amortized Increment)
 //               broadcast [shards=N, default 4]    (sharded wait lists)

@@ -16,11 +16,13 @@
 //     locked slow path (the attention bit or the lowest-armed-level
 //     watermark);
 //   * the WAIT PLANE — this engine plus the policy — owns waiter
-//     management: the §7 ordered wait list (wait_list.hpp), the
-//     OnReach callback list, node pooling, stats, Reset, timed checks,
-//     poisoning, cancellation, the stall watchdog and
-//     debug_snapshot().  The policy (wait_policy.hpp) decides how a
-//     parked thread sleeps / a released node wakes.
+//     management: the per-level wait index (wait_list.hpp — §7's
+//     ordered list, or the sharded heap index, selected by
+//     Options::wait_plane behind one API), the OnReach callback index,
+//     node pooling, stats, Reset, timed checks, poisoning,
+//     cancellation, the stall watchdog and debug_snapshot().  The
+//     policy (wait_policy.hpp) decides how a parked thread sleeps / a
+//     released node wakes.
 //
 // The plane defaults to the storage each pre-plane counter used (an
 // atomic word for lock-free policies, a mutex-guarded word for locking
@@ -198,7 +200,13 @@ class BasicCounter {
 
   BasicCounter() : BasicCounter(Options{}) {}
   explicit BasicCounter(const Options& options)
-      : options_(options), plane_(options_, stats_), list_(options_, stats_) {}
+      : options_(options),
+        plane_(options_, stats_),
+        list_(options_, stats_),
+        // The OnReach index shares the wait plane's representation: a
+        // heap-plane counter must index a million callback levels at
+        // the same O(log L) its parked waiters get.
+        callbacks_(options_.wait_plane, list_.wait_shard_count()) {}
 
   /// Destroys the counter.  Precondition: no thread is suspended in
   /// Check() (checked; destruction with waiters aborts rather than
@@ -569,6 +577,14 @@ class BasicCounter {
 
   /// Number of value-plane stripes (1 for unsharded planes).
   std::size_t stripe_count() const noexcept { return plane_.stripe_count(); }
+
+  /// Which wait-plane representation this counter runs (WaitIndex
+  /// seam: the §7 ordered list, or the sharded level index).
+  WaitPlaneKind wait_plane() const noexcept { return list_.kind(); }
+  /// Number of wait-plane shards (1 for the list plane).
+  std::size_t wait_shard_count() const noexcept {
+    return list_.wait_shard_count();
+  }
 
   /// Structural statistics since construction (or stats_reset()).
   CounterStatsSnapshot stats() const noexcept { return stats_.snapshot(); }

@@ -30,9 +30,12 @@ CounterStatsSnapshot CounterStats::snapshot() const noexcept {
   s.degraded_waits = degraded_waits_.load(std::memory_order_relaxed);
   s.pool_hits = pool_hits_.load(std::memory_order_relaxed);
   s.pool_misses = pool_misses_.load(std::memory_order_relaxed);
+  s.bulk_wakes = bulk_wakes_.load(std::memory_order_relaxed);
+  s.index_depth = index_depth_.load(std::memory_order_relaxed);
 #endif
-  // Configuration, not a counter: reported even with stats compiled out.
+  // Configuration, not counters: reported even with stats compiled out.
   s.stripe_count = stripe_count_.load(std::memory_order_relaxed);
+  s.wait_shard_count = wait_shard_count_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -64,21 +67,41 @@ void CounterStats::reset() noexcept {
   degraded_waits_.store(0, std::memory_order_relaxed);
   pool_hits_.store(0, std::memory_order_relaxed);
   pool_misses_.store(0, std::memory_order_relaxed);
-  // stripe_count_ is configuration, not a counter; it survives reset.
+  bulk_wakes_.store(0, std::memory_order_relaxed);
+  index_depth_.store(0, std::memory_order_relaxed);
+  // stripe_count_ / wait_shard_count_ are configuration, not counters;
+  // they survive reset.
 #endif
 }
 
 TextTable counter_stats_table(
     const std::vector<std::pair<std::string, CounterStatsSnapshot>>& rows) {
+  // A row is "value-sharded" when its plane has stripes, "wait-sharded"
+  // when its wait plane runs the heap index (more than one shard, or a
+  // recorded index depth — a 1-shard heap still indexes).  Each column
+  // group appears only when at least one row needs it, and within an
+  // extended table, rows a group does not apply to print "-" instead
+  // of a zero that reads like a measurement.
+  const auto value_sharded = [](const CounterStatsSnapshot& s) {
+    return s.stripe_count > 1;
+  };
+  const auto wait_indexed = [](const CounterStatsSnapshot& s) {
+    return s.wait_shard_count > 1 || s.index_depth > 0;
+  };
   bool any_sharded = false;
+  bool any_indexed = false;
   for (const auto& [label, s] : rows) {
-    if (s.stripe_count > 1) any_sharded = true;
+    if (value_sharded(s)) any_sharded = true;
+    if (wait_indexed(s)) any_indexed = true;
   }
   std::vector<std::string> header = {"counter",     "increments", "checks",
                                      "fast checks", "suspensions", "wakeups",
                                      "notifies",    "spurious"};
   if (any_sharded) {
     header.insert(header.end(), {"stripes", "collapses", "fast incs"});
+  }
+  if (any_indexed) {
+    header.insert(header.end(), {"wshards", "depth", "bulk wakes"});
   }
   TextTable table(std::move(header));
   for (const auto& [label, s] : rows) {
@@ -87,9 +110,22 @@ TextTable counter_stats_table(
         cell(s.fast_checks), cell(s.suspensions), cell(s.wakeups),
         cell(s.notifies), cell(s.spurious_wakeups)};
     if (any_sharded) {
-      row.push_back(cell(s.stripe_count));
-      row.push_back(cell(s.collapses));
-      row.push_back(cell(s.fast_path_increments));
+      if (value_sharded(s)) {
+        row.push_back(cell(s.stripe_count));
+        row.push_back(cell(s.collapses));
+        row.push_back(cell(s.fast_path_increments));
+      } else {
+        row.insert(row.end(), {"-", "-", "-"});
+      }
+    }
+    if (any_indexed) {
+      if (wait_indexed(s)) {
+        row.push_back(cell(s.wait_shard_count));
+        row.push_back(cell(s.index_depth));
+        row.push_back(cell(s.bulk_wakes));
+      } else {
+        row.insert(row.end(), {"-", "-", "-"});
+      }
     }
     table.add_row(std::move(row));
   }

@@ -80,6 +80,8 @@ enum class SchedulePoint : std::uint8_t {
   kPoison,         ///< Poison freezing the counter
   kCancel,         ///< cancellation nudge firing
   kStall,          ///< stall watchdog delivering a report
+  kIndexLink,      ///< heap wait plane linking a fresh level node
+  kIndexPeel,      ///< heap wait plane peeling the global-min level
 };
 
 namespace detail {

@@ -34,10 +34,21 @@
 // diverts to the locked slow path, which collapses the stripes and
 // releases the waiter.  Either way the wakeup cannot be lost.
 //
-// §7's storage bound survives striping untouched: the wait plane is
-// the same ordered list with one node per distinct armed level, so
-// storage stays O(live levels) + O(stripes), and the stripe array is a
-// fixed-size allocation made once per counter, not per waiter.
+// §7's storage bound survives striping untouched: the wait plane
+// keeps one node per distinct armed level whichever representation it
+// uses, so storage stays O(live levels) + O(stripes), and the stripe
+// array is a fixed-size allocation made once per counter, not per
+// waiter.
+//
+// The argument is also wait-plane-representation-free.  The waiter's
+// side of the pairing is "store(watermark=L) under m_, then sum" —
+// nothing in it depends on HOW the wait plane computed L.  With the
+// §7 ordered list L is the head's level (O(1)); with the sharded
+// level index (WaitPlaneKind::kHeap, wait_index.hpp) L is the minimum
+// over the shards' heap roots (an O(S) scan, still under m_).  Both
+// feed the same seq_cst rearm store, so swapping the representation
+// cannot reintroduce the store-buffering window — the sim scenario
+// heap_cross_shard_wake explores exactly the cross-shard case.
 #pragma once
 
 #include <atomic>

@@ -50,6 +50,8 @@ inline const char* schedule_point_name(SchedulePoint p) noexcept {
     case SchedulePoint::kPoison: return "poison";
     case SchedulePoint::kCancel: return "cancel";
     case SchedulePoint::kStall: return "stall";
+    case SchedulePoint::kIndexLink: return "index.link";
+    case SchedulePoint::kIndexPeel: return "index.peel";
   }
   return "?";
 }

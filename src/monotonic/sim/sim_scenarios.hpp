@@ -579,6 +579,81 @@ inline void overload_storm_block_scenario(SimHarness& h) {
 }
 
 // ---------------------------------------------------------------------------
+// Heap wait plane (waitplane=heap — wait_index.hpp)
+// ---------------------------------------------------------------------------
+
+/// A late arm races a bulk wake: three waiters at distinct levels are
+/// peeled ascending by one big Increment (kIndexPeel points) while a
+/// fourth waiter arms a middle level (kIndexLink).  Every interleaving
+/// must release all four — the late arm either joins the wake pass or
+/// parks and is released by the value it re-reads under the lock.
+inline void heap_arm_vs_bulk_wake_scenario(SimHarness& h) {
+  typename SimCounter::Options opt;
+  opt.wait_plane = WaitPlaneKind::kHeap;
+  opt.wait_shards = 1;
+  auto& c = h.make<SimCounter>(opt);
+  auto& released = h.make<int>(0);
+  for (int i = 1; i <= 3; ++i) {
+    h.thread("w" + std::to_string(i), [&, i] {
+      c.Check(static_cast<counter_value_t>(i));
+      h.check(c.debug_value() >= static_cast<counter_value_t>(i),
+              "released below level");
+      released += 1;
+    });
+  }
+  h.thread("late", [&] {
+    c.Check(2);  // arms while the bulk pass may be mid-peel
+    released += 1;
+  });
+  h.thread("inc", [&] {
+    // Wait (in virtual time) until levels 1..3 are all armed, so the
+    // Increment is guaranteed to peel a multi-level prefix — the
+    // bulk_wakes assertion below must hold on EVERY seed.  The late
+    // waiter shares level 2's node, so it may still be mid-arm: that
+    // race is the point of the scenario.
+    while (c.stats().live_nodes < 3) h.sleep_ms(1);
+    c.Increment(3);
+  });
+  h.join();
+  h.check(released == 4, "waiter stranded across the bulk wake: " +
+                             std::to_string(released) + "/4 released");
+  h.check(c.stats().live_nodes == 0, "bulk wake left the index dirty");
+#if MONOTONIC_ENABLE_STATS
+  h.check(c.stats().bulk_wakes >= 1, "multi-level release not counted");
+#endif
+  h.check(c.debug_value() == 3, "final value != 3");
+}
+
+/// Cross-shard wake over the striped value plane: levels 2 and 3 hash
+/// to different shards of the heap index, so the armed-level watermark
+/// comes from the O(S) root scan.  The seq_cst publication argument
+/// (striped_cells.hpp) must hold no matter which shard owns the
+/// global minimum when the lock-free increment probes it.
+inline void heap_cross_shard_wake_scenario(SimHarness& h) {
+  typename SimShardedCounter::Options opt;
+  opt.wait_plane = WaitPlaneKind::kHeap;
+  opt.wait_shards = 2;
+  opt.stripes = 2;
+  auto& c = h.make<SimShardedCounter>(opt);
+  auto& released = h.make<int>(0);
+  h.thread("w2", [&] {
+    c.Check(2);
+    released += 1;
+  });
+  h.thread("w3", [&] {
+    c.Check(3);
+    released += 1;
+  });
+  h.thread("inc_a", [&] { c.Increment(2); });
+  h.thread("inc_b", [&] { c.Increment(1); });
+  h.join();
+  h.check(released == 2, "cross-shard waiter stranded: " +
+                             std::to_string(released) + "/2 released");
+  h.check(c.stats().live_nodes == 0, "wake left a node linked");
+  h.check(c.debug_value() == 3, "final value != 3");
+}
+
+// ---------------------------------------------------------------------------
 // Self-validation models (expect_failure = true)
 // ---------------------------------------------------------------------------
 
@@ -819,6 +894,14 @@ inline const std::vector<SimScenario>& sim_scenarios() {
        "4 waiters vs max_waiters=2 under kBlockIncrementers: gate re-check "
        "frees the over-cap pair",
        false, &overload_storm_block_scenario},
+      {"heap_arm_vs_bulk_wake",
+       "heap wait plane: a late arm races the ascending bulk-wake peel — "
+       "no waiter stranded, bulk_wakes counted",
+       false, &heap_arm_vs_bulk_wake_scenario},
+      {"heap_cross_shard_wake",
+       "sharded heap plane over striped cells: watermark from the O(S) root "
+       "scan still satisfies the seq_cst publication protocol",
+       false, &heap_cross_shard_wake_scenario},
       {"model_weak_watermark",
        "MODEL: watermark store downgraded to relaxed — explorer must find "
        "the lost wakeup",

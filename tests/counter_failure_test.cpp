@@ -31,6 +31,7 @@
 #include "monotonic/core/futex_counter.hpp"
 #include "monotonic/core/hybrid_counter.hpp"
 #include "monotonic/core/spin_counter.hpp"
+#include "monotonic/core/wait_list.hpp"
 #include "monotonic/core/wait_policy.hpp"
 #include "monotonic/patterns/broadcast.hpp"
 #include "monotonic/sim/fault_env.hpp"
@@ -73,6 +74,29 @@ static_assert(FailureAwareCounter<ShardedHybridCounter>);
 static_assert(FailureAwareCounter<Traced<ShardedHybridCounter>>);
 static_assert(FailureAwareCounter<AnyHandle>);
 
+// Heap wait plane wrappers (waitplane=heap — wait_index.hpp): the
+// failure model must hold over both WaitIndex representations, and the
+// fault-env variant arms allocation failures against the heap's extra
+// allocation points (hash slot + heap slot per fresh level).
+inline WaitListOptions heap_plane_options(std::size_t shards,
+                                          std::size_t preallocated = 0) {
+  WaitListOptions o;
+  o.wait_plane = WaitPlaneKind::kHeap;
+  o.wait_shards = shards;
+  o.preallocated_nodes = preallocated;
+  return o;
+}
+
+template <typename C>
+struct HeapPlane : C {
+  HeapPlane() : C(heap_plane_options(3)) {}
+};
+
+template <typename C>
+struct PooledHeapPlane : C {
+  PooledHeapPlane() : C(heap_plane_options(2, 8)) {}
+};
+
 template <typename C>
 class FailureModel : public ::testing::Test {
  protected:
@@ -85,7 +109,10 @@ using AllCounterTypes =
                      Broadcasting<Counter>, ShardedCounter,
                      ShardedHybridCounter, Traced<ShardedHybridCounter>,
                      FaultListCounter, FaultSingleCvCounter,
-                     FaultFutexCounter, FaultSpinCounter, FaultHybridCounter>;
+                     FaultFutexCounter, FaultSpinCounter, FaultHybridCounter,
+                     HeapPlane<Counter>, HeapPlane<ShardedHybridCounter>,
+                     PooledHeapPlane<HybridCounter>,
+                     HeapPlane<FaultHybridCounter>>;
 
 struct CounterTypeNames {
   template <typename T>
@@ -111,6 +138,13 @@ struct CounterTypeNames {
     if constexpr (std::is_same_v<T, FaultFutexCounter>) return "fault_futex";
     if constexpr (std::is_same_v<T, FaultSpinCounter>) return "fault_spin";
     if constexpr (std::is_same_v<T, FaultHybridCounter>) return "fault_hybrid";
+    if constexpr (std::is_same_v<T, HeapPlane<Counter>>) return "heap_list";
+    if constexpr (std::is_same_v<T, HeapPlane<ShardedHybridCounter>>)
+      return "heap_sharded_hybrid";
+    if constexpr (std::is_same_v<T, PooledHeapPlane<HybridCounter>>)
+      return "heap_pooled_hybrid";
+    if constexpr (std::is_same_v<T, HeapPlane<FaultHybridCounter>>)
+      return "heap_fault_hybrid";
   }
 };
 
@@ -576,7 +610,9 @@ class FaultRounds : public ::testing::Test {};
 
 using FaultEnvCounterTypes =
     ::testing::Types<FaultListCounter, FaultSingleCvCounter,
-                     FaultFutexCounter, FaultSpinCounter, FaultHybridCounter>;
+                     FaultFutexCounter, FaultSpinCounter, FaultHybridCounter,
+                     HeapPlane<FaultListCounter>,
+                     HeapPlane<FaultHybridCounter>>;
 
 struct FaultTypeNames {
   template <typename T>
@@ -586,6 +622,10 @@ struct FaultTypeNames {
     if constexpr (std::is_same_v<T, FaultFutexCounter>) return "futex";
     if constexpr (std::is_same_v<T, FaultSpinCounter>) return "spin";
     if constexpr (std::is_same_v<T, FaultHybridCounter>) return "hybrid";
+    if constexpr (std::is_same_v<T, HeapPlane<FaultListCounter>>)
+      return "heap_list";
+    if constexpr (std::is_same_v<T, HeapPlane<FaultHybridCounter>>)
+      return "heap_hybrid";
   }
 };
 
@@ -633,6 +673,35 @@ TYPED_TEST(FaultRounds, SeededFaultRoundKeepsTimedAccountingExact) {
     releaser.join();
   }
   EXPECT_EQ(c.stats().timed_out_checks, 1u);
+  EXPECT_EQ(c.stats().live_nodes, 0u);
+}
+
+// The heap wait plane has two allocation sites the list does not: the
+// level-to-node hash entry and the heap array growth (wait_index.hpp's
+// link hook).  Fail each in turn — the strong guarantee must hold at
+// every site, and the same counter must then park and release.
+TEST(HeapPlaneFaultRounds, EveryIndexAllocationSiteUnwindsCleanly) {
+  WaitListOptions options;
+  options.wait_plane = WaitPlaneKind::kHeap;
+  options.wait_shards = 2;
+  options.pool_nodes = false;  // every round re-runs the full sequence
+  BasicCounter<HybridWaitT<monotonic::sim::RealFaultEnv>> c(options);
+  // Fresh-level link: alloc #1 = the node, #2 = the hash entry,
+  // #3 = the heap slot.
+  for (std::size_t site = 1; site <= 3; ++site) {
+    FaultPlan plan;
+    plan.fail_alloc_at = site;
+    FaultScope scope(plan);
+    EXPECT_THROW(c.Check(1), CounterResourceError) << "site " << site;
+    EXPECT_EQ(c.stats().live_nodes, 0u) << "site " << site;
+  }
+  std::thread releaser([&] {
+    while (c.stats().live_nodes == 0) std::this_thread::yield();
+    c.Increment(1);
+  });
+  c.Check(1);
+  releaser.join();
+  EXPECT_EQ(c.debug_value(), 1u);
   EXPECT_EQ(c.stats().live_nodes, 0u);
 }
 

@@ -86,7 +86,19 @@ INSTANTIATE_TEST_SUITE_P(
         SpecCase{"sharded+list,pool=0", "sharded+list-nopool"},
         SpecCase{"sharded:2+hybrid+traced", "sharded:2+hybrid+traced"},
         SpecCase{"sharded+hybrid+batching,batch=16",
-                 "sharded+hybrid+batching,batch=16"}));
+                 "sharded+hybrid+batching,batch=16"},
+        // Heap wait plane: waitplane=list is the default and never
+        // prints; an explicit heap shard count always prints, the auto
+        // count never does (mirrors the sharded prefix).
+        SpecCase{"hybrid,waitplane=list", "hybrid"},
+        SpecCase{"hybrid,waitplane=heap", "hybrid,waitplane=heap"},
+        SpecCase{"hybrid,waitplane=heap:4", "hybrid,waitplane=heap:4"},
+        SpecCase{"list,pool=0,waitplane=heap:2",
+                 "list-nopool,waitplane=heap:2"},
+        SpecCase{"sharded:2+hybrid,waitplane=heap:4+traced",
+                 "sharded:2+hybrid,waitplane=heap:4+traced"},
+        SpecCase{"pooled:16+futex,waitplane=heap",
+                 "pooled:16+futex,waitplane=heap"}));
 
 // Every enumerated kind round-trips through its kind string.
 TEST(SpecFactory, EveryKindRoundTrips) {
@@ -122,7 +134,13 @@ INSTANTIATE_TEST_SUITE_P(
                       "list+broadcast+traced+broadcast", "hybrid+sharded",
                       "list+sharded:4", "sharded:0+hybrid",
                       "sharded:x+hybrid", "sharded:+hybrid",
-                      "sharded,stripes=4+hybrid"));
+                      "sharded,stripes=4+hybrid",
+                      // waitplane: the list has no shard count, and the
+                      // value must be a known plane.
+                      "hybrid,waitplane=list:2", "hybrid,waitplane=bogus",
+                      "hybrid,waitplane=heap:0", "hybrid,waitplane=heap:x",
+                      "hybrid,waitplane=heap:65",
+                      "hybrid,waitplane="));
 
 // Satellite requirement: a rejected spec's message names the token
 // that caused the rejection, not just "bad spec".
@@ -145,6 +163,11 @@ TEST(SpecRejects, MessagesNameTheBadToken) {
   EXPECT_NE(message_of("hybrid+sharded").find("'sharded'"),
             std::string::npos);
   EXPECT_NE(message_of("list,bogus=1").find("'bogus'"), std::string::npos);
+  // The list plane has no shards; the message points at the heap form.
+  EXPECT_NE(message_of("hybrid,waitplane=list:2").find("waitplane=heap"),
+            std::string::npos);
+  EXPECT_NE(message_of("hybrid,waitplane=bogus").find("waitplane"),
+            std::string::npos);
 }
 
 // ---------------------------------------------------------------------
@@ -180,9 +203,38 @@ TEST(SpecBehavior, ComposedSpecsIncrementAndWake) {
         "hybrid+traced", "list+batching,batch=2",
         "hybrid+broadcast,shards=2", "futex+batching,batch=2+traced",
         "list+traced+broadcast,shards=2", "sharded", "sharded:4+hybrid",
-        "sharded+list", "sharded:2+futex", "sharded:2+hybrid+traced"}) {
+        "sharded+list", "sharded:2+futex", "sharded:2+hybrid+traced",
+        "hybrid,waitplane=heap", "list,waitplane=heap:2",
+        "pooled:8+futex,waitplane=heap:3",
+        "sharded:2+hybrid,waitplane=heap:4+traced"}) {
     exercise(spec);
   }
+}
+
+// Wait-plane metadata flows through the erased interface the same way
+// stripe metadata does: wait_shard_count reports the heap's shard
+// count, and list-plane counters report 1.
+TEST(SpecBehavior, HeapPlaneSpecsExposeWaitShardMetadata) {
+  auto heap = make_counter("hybrid,waitplane=heap:4");
+  EXPECT_EQ(heap->stats().wait_shard_count, 4u);
+
+  // Parking a waiter exercises the index; the depth high-water mark
+  // and shard count surface through stats().
+  std::jthread waiter([&heap] { heap->Check(2); });
+  while (heap->stats().live_nodes == 0) std::this_thread::yield();
+  heap->Increment(2);
+  waiter.join();
+#if MONOTONIC_ENABLE_STATS
+  EXPECT_GE(heap->stats().index_depth, 1u);
+#endif
+
+  auto list = make_counter("hybrid");
+  EXPECT_EQ(list->stats().wait_shard_count, 1u);
+  EXPECT_EQ(list->stats().index_depth, 0u);
+
+  // Auto shard count: at least one, resolved at construction.
+  auto auto_heap = make_counter("list,waitplane=heap");
+  EXPECT_GE(auto_heap->stats().wait_shard_count, 1u);
 }
 
 // Stripe metadata flows through the erased interface: stripe_count()

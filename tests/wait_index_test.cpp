@@ -1,0 +1,407 @@
+// wait_index_test.cpp — structural tests for the sharded hierarchical
+// level index (WaitPlaneKind::kHeap) behind the WaitIndex seam.
+//
+// These drive WaitList / CallbackListT directly (no threads, no
+// policies): the §7 contract — ascending release order, released
+// prefix exactness, O(live levels) storage under timeouts — must hold
+// identically for both representations, so the heaviest test here is
+// differential: one seeded operation stream applied to a list plane
+// and a heap plane side by side, comparing every observable after
+// every step.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "monotonic/core/counter_stats.hpp"
+#include "monotonic/core/wait_list.hpp"
+
+namespace {
+
+using namespace monotonic;
+
+struct StubSignal {
+  void reset() {}
+};
+
+using List = WaitList<StubSignal>;
+using Node = List::Node;
+
+WaitListOptions heap_options(std::size_t shards) {
+  WaitListOptions options;
+  options.wait_plane = WaitPlaneKind::kHeap;
+  options.wait_shards = shards;
+  return options;
+}
+
+TEST(WaitIndex, ReportsConfiguration) {
+  CounterStats stats;
+  List list(WaitListOptions{}, stats);
+  EXPECT_EQ(list.kind(), WaitPlaneKind::kList);
+  EXPECT_EQ(list.wait_shard_count(), 1u);
+
+  CounterStats heap_stats;
+  List heap(heap_options(4), heap_stats);
+  EXPECT_EQ(heap.kind(), WaitPlaneKind::kHeap);
+  EXPECT_EQ(heap.wait_shard_count(), 4u);
+  EXPECT_EQ(heap_stats.snapshot().wait_shard_count, 4u);
+  // wait_shards = 0 resolves to one shard, still a heap.
+  CounterStats one_stats;
+  List one(heap_options(0), one_stats);
+  EXPECT_EQ(one.kind(), WaitPlaneKind::kHeap);
+  EXPECT_EQ(one.wait_shard_count(), 1u);
+}
+
+TEST(WaitIndex, ReleasesAscendingAcrossShards) {
+  CounterStats stats;
+  List heap(heap_options(4), stats);
+  // Arm 100 levels in a scrambled order that hits every shard.
+  std::vector<counter_value_t> levels;
+  for (counter_value_t l = 1; l <= 100; ++l) levels.push_back(l);
+  std::mt19937 rng(7);
+  std::shuffle(levels.begin(), levels.end(), rng);
+  std::vector<Node*> nodes;
+  for (counter_value_t l : levels) nodes.push_back(heap.acquire(l));
+  EXPECT_EQ(heap.live_level_count(), 100u);
+  EXPECT_EQ(heap.min_level(), 1u);
+
+  std::vector<counter_value_t> released;
+  heap.release_prefix(50, [&](Node& node) { released.push_back(node.level); });
+  ASSERT_EQ(released.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(released.begin(), released.end()));
+  EXPECT_EQ(released.front(), 1u);
+  EXPECT_EQ(released.back(), 50u);
+  EXPECT_EQ(heap.min_level(), 51u);
+  EXPECT_EQ(heap.live_level_count(), 50u);
+
+  // Joining an existing level reuses its node; a new one links fresh.
+  Node* join = heap.acquire(60);
+  EXPECT_EQ(join->waiters, 2u);
+  EXPECT_EQ(heap.live_level_count(), 50u);
+
+  std::vector<counter_value_t> aborted;
+  heap.abort_all([&](Node& node) {
+    EXPECT_TRUE(node.aborted);
+    aborted.push_back(node.level);
+  });
+  ASSERT_EQ(aborted.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(aborted.begin(), aborted.end()));
+  EXPECT_TRUE(heap.empty());
+
+  for (Node* node : nodes) heap.leave(node);
+  heap.leave(join);
+  EXPECT_EQ(heap.waiter_count(), 0u);
+}
+
+TEST(WaitIndex, BulkDrainCrossoverKeepsOrderAndSurvivors) {
+  // A release past detail::kBulkWakeThreshold levels leaves the pop
+  // loop for the sort-merge drain (drain_heap_sorted): the wake order
+  // must stay globally ascending and the surviving entries must still
+  // be a fully working index — back-links intact for timed unlinks,
+  // joins finding their nodes, later releases correct.
+  CounterStats stats;
+  List heap(heap_options(5), stats);
+  std::vector<counter_value_t> levels;
+  for (counter_value_t l = 1; l <= 300; ++l) levels.push_back(l);
+  std::mt19937 rng(11);
+  std::shuffle(levels.begin(), levels.end(), rng);
+  std::vector<Node*> nodes;
+  for (counter_value_t l : levels) nodes.push_back(heap.acquire(l));
+
+  std::vector<counter_value_t> released;
+  heap.release_prefix(200, [&](Node& node) { released.push_back(node.level); });
+  ASSERT_EQ(released.size(), 200u);
+  EXPECT_TRUE(std::is_sorted(released.begin(), released.end()));
+  EXPECT_EQ(released.front(), 1u);
+  EXPECT_EQ(released.back(), 200u);
+  EXPECT_EQ(heap.min_level(), 201u);
+  EXPECT_EQ(heap.live_level_count(), 100u);
+
+  // The survivors were re-based by discard_prefix: a timed unlink from
+  // the middle exercises the heap_pos back-link assertion, and a join
+  // must find its node through the hash.
+  Node* mid = nullptr;
+  for (Node* node : nodes) {
+    if (node->level == 250) mid = node;
+  }
+  ASSERT_NE(mid, nullptr);
+  heap.leave(mid);
+  EXPECT_EQ(heap.live_level_count(), 99u);
+  Node* join = heap.acquire(299);
+  EXPECT_EQ(join->waiters, 2u);
+
+  released.clear();
+  heap.release_prefix(kNoArmedLevel - 1,
+                      [&](Node& node) { released.push_back(node.level); });
+  ASSERT_EQ(released.size(), 99u);
+  EXPECT_TRUE(std::is_sorted(released.begin(), released.end()));
+  EXPECT_EQ(released.front(), 201u);
+  EXPECT_TRUE(heap.empty());
+
+  for (Node* node : nodes) {
+    if (node != mid) heap.leave(node);
+  }
+  heap.leave(join);
+  EXPECT_EQ(heap.waiter_count(), 0u);
+}
+
+TEST(WaitIndex, RadixDrainSortsLargeShards) {
+  // Past kRadixMinSort (4096) entries per shard the bulk drain's sort
+  // switches from introsort to the LSD radix pass — cover it with
+  // ~10k-entry shards, including a partial release so the radix-sorted
+  // survivors stay a working index.
+  CounterStats stats;
+  List heap(heap_options(2), stats);
+  std::vector<counter_value_t> levels;
+  for (counter_value_t l = 1; l <= 20'000; ++l) levels.push_back(l);
+  std::mt19937 rng(17);
+  std::shuffle(levels.begin(), levels.end(), rng);
+  std::vector<Node*> nodes;
+  for (counter_value_t l : levels) nodes.push_back(heap.acquire(l));
+
+  std::vector<counter_value_t> released;
+  heap.release_prefix(15'000,
+                      [&](Node& node) { released.push_back(node.level); });
+  ASSERT_EQ(released.size(), 15'000u);
+  EXPECT_TRUE(std::is_sorted(released.begin(), released.end()));
+  EXPECT_EQ(released.front(), 1u);
+  EXPECT_EQ(released.back(), 15'000u);
+  EXPECT_EQ(heap.min_level(), 15'001u);
+
+  released.clear();
+  heap.abort_all([&](Node& node) { released.push_back(node.level); });
+  ASSERT_EQ(released.size(), 5'000u);
+  EXPECT_TRUE(std::is_sorted(released.begin(), released.end()));
+  EXPECT_EQ(released.front(), 15'001u);
+  EXPECT_TRUE(heap.empty());
+
+  for (Node* node : nodes) heap.leave(node);
+  EXPECT_EQ(heap.waiter_count(), 0u);
+}
+
+TEST(WaitIndex, CallbackIndexBulkDetachKeepsLevelOrder) {
+  // Same crossover for the callback plane: a detach_reached past the
+  // threshold must still run callbacks in global level order.
+  CallbackList callbacks(WaitPlaneKind::kHeap, 4);
+  std::vector<counter_value_t> levels;
+  for (counter_value_t l = 1; l <= 250; ++l) levels.push_back(l);
+  std::mt19937 rng(13);
+  std::shuffle(levels.begin(), levels.end(), rng);
+  std::vector<counter_value_t> ran;
+  for (counter_value_t l : levels) {
+    callbacks.insert(l, [&ran, l] { ran.push_back(l); });
+  }
+
+  CallbackList::run_chain(callbacks.detach_reached(180));
+  ASSERT_EQ(ran.size(), 180u);
+  EXPECT_TRUE(std::is_sorted(ran.begin(), ran.end()));
+  EXPECT_EQ(ran.front(), 1u);
+  EXPECT_EQ(ran.back(), 180u);
+  EXPECT_EQ(callbacks.min_level(), 181u);
+
+  std::vector<counter_value_t> rest;
+  CallbackList::Node* chain = callbacks.detach_all();
+  for (CallbackList::Node* n = chain; n != nullptr; n = n->next) {
+    rest.push_back(n->level);
+  }
+  EXPECT_TRUE(callbacks.empty());
+  ASSERT_EQ(rest.size(), 70u);
+  EXPECT_TRUE(std::is_sorted(rest.begin(), rest.end()));
+  CallbackList::run_chain(chain);
+}
+
+TEST(WaitIndex, TimedOutWaiterUnlinksFromTheMiddle) {
+  CounterStats stats;
+  List heap(heap_options(2), stats);
+  Node* a = heap.acquire(10);
+  Node* b = heap.acquire(20);
+  Node* c = heap.acquire(30);
+  Node* d = heap.acquire(40);
+  // b "times out": last waiter at its level, node still linked.
+  heap.leave(b);
+  EXPECT_EQ(heap.live_level_count(), 3u);
+  std::vector<counter_value_t> released;
+  heap.release_prefix(kNoArmedLevel - 1,
+                      [&](Node& node) { released.push_back(node.level); });
+  EXPECT_EQ(released, (std::vector<counter_value_t>{10, 30, 40}));
+  heap.leave(a);
+  heap.leave(c);
+  heap.leave(d);
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(WaitIndex, AdmissionBoundsUseTheShardHash) {
+  CounterStats stats;
+  WaitListOptions options = heap_options(2);
+  options.max_levels = 2;
+  List heap(options, stats);
+  Node* a = heap.acquire(1);
+  Node* b = heap.acquire(2);
+  EXPECT_TRUE(heap.admission_would_exceed(3));   // would link a third level
+  EXPECT_FALSE(heap.admission_would_exceed(2));  // joining is always fine
+  heap.leave(a);
+  EXPECT_FALSE(heap.admission_would_exceed(3));
+  heap.leave(b);
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(WaitIndex, SnapshotIsAscending) {
+  CounterStats stats;
+  List heap(heap_options(3), stats);
+  std::vector<Node*> nodes;
+  for (counter_value_t l : {17, 3, 29, 11, 5}) nodes.push_back(heap.acquire(l));
+  std::vector<DebugWaitLevel> snap;
+  heap.snapshot_into(snap);
+  ASSERT_EQ(snap.size(), 5u);
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].level, snap[i].level);
+  }
+  heap.release_prefix(kNoArmedLevel - 1, [](Node&) {});
+  for (Node* node : nodes) heap.leave(node);
+}
+
+#if MONOTONIC_ENABLE_STATS
+TEST(WaitIndex, RecordsDepthAndBulkWakes) {
+  CounterStats stats;
+  List heap(heap_options(1), stats);
+  std::vector<Node*> nodes;
+  for (counter_value_t l = 1; l <= 15; ++l) nodes.push_back(heap.acquire(l));
+  // 15 nodes in one shard: a full 4-deep binary heap.
+  EXPECT_EQ(stats.snapshot().index_depth, 4u);
+  heap.release_prefix(15, [](Node&) {});
+  EXPECT_EQ(stats.snapshot().bulk_wakes, 1u);  // one pass, 15 levels
+  for (Node* node : nodes) heap.leave(node);
+
+  // A single-level release is not a bulk wake.
+  Node* solo = heap.acquire(99);
+  heap.release_prefix(99, [](Node&) {});
+  heap.leave(solo);
+  EXPECT_EQ(stats.snapshot().bulk_wakes, 1u);
+}
+#endif
+
+// The differential test: one seeded operation stream, two planes, every
+// observable compared after every step.  The heap plane must be
+// indistinguishable from §7's list through the WaitList API.
+TEST(WaitIndex, DifferentialAgainstTheListPlane) {
+  for (std::uint32_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    CounterStats list_stats, heap_stats;
+    List list(WaitListOptions{}, list_stats);
+    List heap(heap_options(3), heap_stats);
+    std::mt19937 rng(seed);
+    // Parallel node registries: entry i of each vector is the same
+    // logical waiter on both planes.
+    std::vector<Node*> list_nodes, heap_nodes;
+    std::vector<bool> left;
+    counter_value_t value = 0;  // released levels stay <= value
+
+    const auto compare = [&](const char* what) {
+      EXPECT_EQ(list.min_level(), heap.min_level()) << what;
+      EXPECT_EQ(list.waiter_count(), heap.waiter_count()) << what;
+      EXPECT_EQ(list.live_level_count(), heap.live_level_count()) << what;
+      std::vector<DebugWaitLevel> ls, hs;
+      list.snapshot_into(ls);
+      heap.snapshot_into(hs);
+      ASSERT_EQ(ls.size(), hs.size()) << what;
+      for (std::size_t i = 0; i < ls.size(); ++i) {
+        EXPECT_EQ(ls[i].level, hs[i].level) << what;
+        EXPECT_EQ(ls[i].waiters, hs[i].waiters) << what;
+      }
+    };
+
+    for (int step = 0; step < 400; ++step) {
+      const int op = static_cast<int>(rng() % 100);
+      if (op < 55) {  // acquire a (possibly shared) level above value
+        const counter_value_t level = value + 1 + rng() % 40;
+        list_nodes.push_back(list.acquire(level));
+        heap_nodes.push_back(heap.acquire(level));
+        left.push_back(false);
+      } else if (op < 80) {  // a random live waiter leaves (timeout)
+        std::vector<std::size_t> live;
+        for (std::size_t i = 0; i < left.size(); ++i) {
+          if (!left[i]) live.push_back(i);
+        }
+        if (live.empty()) continue;
+        const std::size_t pick = live[rng() % live.size()];
+        list.leave(list_nodes[pick]);
+        heap.leave(heap_nodes[pick]);
+        left[pick] = true;
+      } else {  // increment: release the prefix on both planes
+        value += 1 + rng() % 30;
+        std::vector<counter_value_t> lrel, hrel;
+        list.release_prefix(value,
+                            [&](Node& node) { lrel.push_back(node.level); });
+        heap.release_prefix(value,
+                            [&](Node& node) { hrel.push_back(node.level); });
+        EXPECT_EQ(lrel, hrel) << "release order diverged, seed " << seed;
+        // Released waiters wake and leave on both planes.
+        for (std::size_t i = 0; i < left.size(); ++i) {
+          if (left[i] || !list_nodes[i]->released) continue;
+          EXPECT_TRUE(heap_nodes[i]->released);
+          list.leave(list_nodes[i]);
+          heap.leave(heap_nodes[i]);
+          left[i] = true;
+        }
+      }
+      compare("after step");
+    }
+    // Drain: abort everything, then every survivor leaves.
+    std::vector<counter_value_t> labort, habort;
+    list.abort_all([&](Node& node) { labort.push_back(node.level); });
+    heap.abort_all([&](Node& node) { habort.push_back(node.level); });
+    EXPECT_EQ(labort, habort);
+    for (std::size_t i = 0; i < left.size(); ++i) {
+      if (left[i]) continue;
+      EXPECT_EQ(list_nodes[i]->aborted, heap_nodes[i]->aborted);
+      list.leave(list_nodes[i]);
+      heap.leave(heap_nodes[i]);
+    }
+    EXPECT_TRUE(list.empty());
+    EXPECT_TRUE(heap.empty());
+    EXPECT_EQ(list.waiter_count(), 0u);
+    EXPECT_EQ(heap.waiter_count(), 0u);
+  }
+}
+
+// ---- CallbackListT over the heap index ------------------------------
+
+TEST(WaitIndex, CallbackIndexDetachesAscendingChains) {
+  CallbackList callbacks(WaitPlaneKind::kHeap, 3);
+  std::vector<counter_value_t> ran;
+  for (counter_value_t l : {25, 5, 15, 35, 10, 5}) {
+    callbacks.insert(l, [&ran, l] { ran.push_back(l); });
+  }
+  EXPECT_FALSE(callbacks.empty());
+  EXPECT_EQ(callbacks.min_level(), 5u);
+
+  std::vector<counter_value_t> snap;
+  callbacks.snapshot_into(snap);
+  EXPECT_EQ(snap, (std::vector<counter_value_t>{5, 10, 15, 25, 35}));
+
+  CallbackList::run_chain(callbacks.detach_reached(15));
+  // Both level-5 entries ran (registration order), then 10, then 15.
+  EXPECT_EQ(ran, (std::vector<counter_value_t>{5, 5, 10, 15}));
+  EXPECT_EQ(callbacks.min_level(), 25u);
+
+  std::vector<counter_value_t> errored;
+  auto cause = std::make_exception_ptr(std::runtime_error("producer died"));
+  CallbackList::Node* rest = callbacks.detach_all();
+  EXPECT_TRUE(callbacks.empty());
+  for (CallbackList::Node* n = rest; n != nullptr; n = n->next) {
+    errored.push_back(n->level);
+  }
+  EXPECT_EQ(errored, (std::vector<counter_value_t>{25, 35}));
+  CallbackList::run_chain_error(rest, cause);
+}
+
+TEST(WaitIndex, CallbackIndexDropsUnreachedAtDestruction) {
+  // Covers the heap-plane destructor sweep (list mode walks head_).
+  CallbackList callbacks(WaitPlaneKind::kHeap, 2);
+  for (counter_value_t l : {8, 2, 4}) {
+    callbacks.insert(l, [] { FAIL() << "unreached callback must not run"; });
+  }
+}
+
+}  // namespace
