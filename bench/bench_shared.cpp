@@ -1,0 +1,215 @@
+// bench_shared — experiment E14 (cross-process counters).
+//
+// Two workloads over a real shm_open segment with forked children:
+//
+//   E14.a shared_handoff     the E10.c 1:1 handoff chain, but the
+//                            partner is a PROCESS, not a thread — every
+//                            handoff pays a cross-process futex wake
+//                            plus a context switch, so the per-handoff
+//                            cost upper-bounds the in-process rows.
+//   E14.b shared_kill_storm  W waiters parked at an unreachable level;
+//                            a child registers, increments, and SIGKILLs
+//                            itself mid-protocol.  The clock runs from
+//                            the reaped death to the LAST waiter
+//                            unwinding with CounterPoisonedError — the
+//                            acceptance bound of the death detector
+//                            (≤ one detect-period slice + sweep cost).
+//
+// Shapes to look for: handoff cost dominated by scheduling, not the
+// protocol (compare E10.c futex rows); kill-storm latency pinned to
+// the detect_period knob, flat in W (one sweep poisons everyone; the
+// wake is a single FUTEX_WAKE broadcast).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+#if defined(_WIN32)
+
+int main(int argc, char** argv) {
+  (void)monotonic::bench::consume_common_flags(&argc, argv);
+  std::printf("bench_shared: POSIX-only (shm_open/fork); skipped\n");
+  return 0;
+}
+
+#else  // POSIX
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "monotonic/core/counter_error.hpp"
+#include "monotonic/core/shared_counter.hpp"
+
+namespace monotonic {
+namespace {
+
+using bench::banner;
+using bench::note;
+
+constexpr int kReps = 3;
+constexpr counter_value_t kNever = 1'000'000'000;
+
+bool g_quick = false;
+bench::JsonlWriter g_json;
+
+// Fixed names keyed into BENCH_counter.json rows; unlinked before each
+// use so a crashed earlier run can never leak a stale epoch in.
+constexpr const char* kHandoffPing = "/mc-e14-ping";
+constexpr const char* kHandoffPong = "/mc-e14-pong";
+constexpr const char* kStormName = "/mc-e14-storm";
+
+pid_t spawn_child(const std::function<int()>& body) {
+  const pid_t pid = ::fork();
+  if (pid < 0) throw std::runtime_error("fork failed");
+  if (pid == 0) {
+    int rc = 99;
+    try {
+      rc = body();
+    } catch (...) {
+    }
+    ::_exit(rc);
+  }
+  return pid;
+}
+
+int wait_child(pid_t pid) {
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  return status;
+}
+
+// E14.a — 1:1 handoff chain across a process boundary.  The parent
+// increments ping and waits on pong; the child mirrors it.  Same shape
+// as E10.c so the per-handoff numbers are directly comparable.
+void shared_handoff() {
+  const counter_value_t handoffs = g_quick ? 500 : 5000;
+  banner("E14.a", "cross-process 1:1 handoff chain (" +
+                      std::to_string(handoffs) + " handoffs)");
+  note("The partner is a forked process on a real shm segment; each\n"
+       "handoff is a cross-process futex wake + context switch.\n"
+       "Compare the in-process futex row of E10.c for the floor.");
+  TextTable table({"impl", "ms", "us/handoff"});
+  const double ms = bench::median_ms(kReps, [&] {
+    SharedCounter::Unlink(kHandoffPing);
+    SharedCounter::Unlink(kHandoffPong);
+    auto ping = SharedCounter::Create(kHandoffPing);
+    auto pong = SharedCounter::Create(kHandoffPong);
+    const pid_t child = spawn_child([&]() -> int {
+      auto p1 = SharedCounter::Open(kHandoffPing);
+      auto p2 = SharedCounter::Open(kHandoffPong);
+      for (counter_value_t i = 1; i <= handoffs; ++i) {
+        p1.Check(i);
+        p2.Increment(1);
+      }
+      return 0;
+    });
+    for (counter_value_t i = 1; i <= handoffs; ++i) {
+      ping.Increment(1);
+      pong.Check(i);
+    }
+    const int status = wait_child(child);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      throw std::runtime_error("handoff child failed");
+    }
+  });
+  table.add_row({"shared:/mc-e14", cell(ms),
+                 cell(ms * 1000.0 / static_cast<double>(handoffs), 2)});
+  g_json.record("shared_handoff", "shared:/mc-e14", 2,
+                ms * 1e6 / static_cast<double>(handoffs), 1);
+  bench::print(table);
+  SharedCounter::Unlink(kHandoffPing);
+  SharedCounter::Unlink(kHandoffPong);
+}
+
+// E14.b — kill storm: time from the reaped SIGKILL to the last parked
+// waiter unwinding with CounterPoisonedError.
+void shared_kill_storm() {
+  banner("E14.b", "kill storm: SIGKILLed child -> last waiter poisoned");
+  note("W parent threads park at an unreachable level (detect=25ms);\n"
+       "the child registers, increments, and SIGKILLs itself mid-loop.\n"
+       "t0 = waitpid() reaping the corpse; t1 = last waiter unwound.\n"
+       "The detector bound is one detect-period slice + one sweep, so\n"
+       "the column should sit near 25ms and stay flat in W.");
+  TextTable table({"waiters", "ms to last wake", "ms/waiter"});
+  SharedCounterOptions fast;
+  fast.detect_period = std::chrono::milliseconds(25);
+  const std::vector<int> waiter_counts =
+      g_quick ? std::vector<int>{1, 4} : std::vector<int>{1, 4, 16};
+  for (const int waiters : waiter_counts) {
+    std::vector<double> samples;
+    samples.reserve(kReps);
+    for (int rep = 0; rep < kReps; ++rep) {
+      SharedCounter::Unlink(kStormName);
+      auto parent = SharedCounter::Create(kStormName, fast);
+      std::atomic<int> unwound{0};
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(waiters));
+      for (int w = 0; w < waiters; ++w) {
+        threads.emplace_back([&] {
+          try {
+            parent.Check(kNever);
+          } catch (const CounterPoisonedError&) {
+            unwound.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      }
+      // Park everyone before the death, so the clock measures the
+      // detector, not thread spawn.
+      while (parent.stats().suspensions <
+             static_cast<std::uint64_t>(waiters)) {
+        std::this_thread::yield();
+      }
+      const pid_t child = spawn_child([&]() -> int {
+        auto c = SharedCounter::Open(kStormName, fast);
+        for (int i = 0; i < 8; ++i) c.Increment(1);
+        ::kill(::getpid(), SIGKILL);  // unclean: slot stays registered
+        return 1;                     // unreachable
+      });
+      const int status = wait_child(child);
+      if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+        throw std::runtime_error("storm child did not die by SIGKILL");
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      while (unwound.load(std::memory_order_relaxed) < waiters) {
+        std::this_thread::yield();
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      for (auto& t : threads) t.join();
+      samples.push_back(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    std::sort(samples.begin(), samples.end());
+    const double ms = samples[samples.size() / 2];
+    table.add_row({cell(waiters), cell(ms),
+                   cell(ms / static_cast<double>(waiters), 3)});
+    g_json.record("shared_kill_storm", "shared:/mc-e14,detect=25", waiters,
+                  ms * 1e6 / static_cast<double>(waiters), 1);
+  }
+  bench::print(table);
+  SharedCounter::Unlink(kStormName);
+}
+
+}  // namespace
+}  // namespace monotonic
+
+int main(int argc, char** argv) {
+  const auto cli = monotonic::bench::consume_common_flags(&argc, argv);
+  monotonic::g_quick = cli.quick;
+  monotonic::g_json = monotonic::bench::JsonlWriter(cli.json_path);
+  monotonic::shared_handoff();
+  monotonic::shared_kill_storm();
+  return 0;
+}
+
+#endif  // _WIN32

@@ -32,6 +32,7 @@
 #include "monotonic/core/counter_decorator.hpp"
 #include "monotonic/core/futex_counter.hpp"
 #include "monotonic/core/hybrid_counter.hpp"
+#include "monotonic/core/shared_counter.hpp"
 #include "monotonic/core/spin_counter.hpp"
 #include "monotonic/support/trace.hpp"
 
@@ -51,6 +52,8 @@ std::string_view to_string(CounterKind kind) {
       return "spin";
     case CounterKind::kHybrid:
       return "hybrid";
+    case CounterKind::kShared:
+      return "shared";
   }
   return "?";
 }
@@ -81,7 +84,12 @@ std::string_view counter_spec_help() {
          "waitplane=list|heap[:S] (S = level shards of the heap wait "
          "plane, 1..64); "
          "decorators: traced, batching[,batch=N], broadcast[,shards=N] "
-         "(each at most once)";
+         "(each at most once); cross-process: shared:/name[,detect=MS]"
+         "[,stale=MS][+futex] attaches every process naming the same "
+         "/name to one shm-backed counter (detect = death-detector "
+         "period, default 100 ms; stale = opt-in heartbeat staleness "
+         "backstop, default off; '+futex' is accepted and redundant — "
+         "the shared wait plane is always the futex word)";
 }
 
 namespace {
@@ -389,6 +397,110 @@ std::string canonical_base(const BaseConfig& cfg) {
   return out;
 }
 
+#if !defined(_WIN32)
+
+/// AnyCounter adapter for SharedCounter.  Not a CounterModel<C>
+/// instantiation: SharedCounter is neither movable nor directly
+/// constructible (factory functions only), so the member initializes
+/// straight from the OpenOrCreate prvalue (guaranteed elision).
+/// OpenOrCreate is the right mode for specs: "shared:/name" must work
+/// in every process without coordinating which one creates.
+class SharedCounterModel final : public AnyCounter {
+ public:
+  SharedCounterModel(std::string spec, const std::string& name,
+                     SharedCounterOptions options)
+      : spec_(std::move(spec)),
+        impl_(SharedCounter::OpenOrCreate(name, options)) {}
+
+  void Increment(counter_value_t amount) override { impl_.Increment(amount); }
+  void Check(counter_value_t level) override { impl_.Check(level); }
+  bool CheckFor(counter_value_t level,
+                std::chrono::nanoseconds timeout) override {
+    return impl_.CheckFor(level, timeout);
+  }
+  bool Check(counter_value_t level, std::stop_token stop) override {
+    return impl_.Check(level, std::move(stop));
+  }
+  void OnReach(counter_value_t level, std::function<void()> fn) override {
+    impl_.OnReach(level, std::move(fn));
+  }
+  void OnReach(counter_value_t level, std::function<void()> fn,
+               std::function<void(std::exception_ptr)> on_error) override {
+    impl_.OnReach(level, std::move(fn), std::move(on_error));
+  }
+  void Poison(std::exception_ptr cause) override {
+    impl_.Poison(std::move(cause));
+  }
+  bool poisoned() const override { return impl_.poisoned(); }
+  void Reset() override { impl_.Reset(); }
+  CounterDebugSnapshot debug_snapshot() const override {
+    return impl_.debug_snapshot();
+  }
+  counter_value_t debug_value() const override { return impl_.debug_value(); }
+  CounterStatsSnapshot stats() const override { return impl_.stats(); }
+  void stats_reset() override { impl_.stats_reset(); }
+  std::size_t stripe_count() const override { return 1; }
+  CounterKind kind() const override { return CounterKind::kShared; }
+  const std::string& spec() const override { return spec_; }
+
+ private:
+  std::string spec_;
+  SharedCounter impl_;
+};
+
+/// Parses everything after the "shared:" prefix:
+///   /name[,detect=MS][,stale=MS][+futex]
+/// The whole spec is the base — shared counters take no decorators
+/// (each layer would be per-process state the other side can't see),
+/// and the only accepted '+' suffix is the redundant 'futex' (the
+/// shared wait plane IS the futex word; canonical form drops it).
+std::unique_ptr<AnyCounter> make_shared_counter(std::string_view spec) {
+  std::string_view rest = spec.substr(std::string_view("shared:").size());
+  const std::vector<std::string> chunks = split(rest, '+');
+  for (std::size_t i = 1; i < chunks.size(); ++i) {
+    if (chunks[i] != "futex") {
+      spec_error("'" + chunks[i] +
+                 "' cannot follow a shared counter (decorators are "
+                 "per-process; only the redundant '+futex' is accepted)");
+    }
+  }
+  const std::vector<std::string> tokens = split(chunks.front(), ',');
+  const std::string& name = tokens.front();
+  validate_shared_name(name);  // names the bad token on failure
+  SharedCounterOptions options;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= tok.size()) {
+      spec_error("option '" + tok + "' must be key=value");
+    }
+    const std::string key = trim(tok.substr(0, eq));
+    const std::string value = trim(tok.substr(eq + 1));
+    if (key == "detect") {
+      const std::uint64_t ms = parse_uint(key, value);
+      if (ms < 1) spec_error("'detect' needs at least 1 (milliseconds)");
+      options.detect_period = std::chrono::milliseconds(ms);
+    } else if (key == "stale") {
+      options.heartbeat_stale_after =
+          std::chrono::milliseconds(parse_uint(key, value));
+    } else {
+      spec_error("unknown option '" + key + "' for 'shared:'");
+    }
+  }
+  std::string canonical = "shared:" + name;
+  if (options.detect_period != SharedCounterOptions{}.detect_period) {
+    canonical += ",detect=" + std::to_string(options.detect_period.count());
+  }
+  if (options.heartbeat_stale_after.count() != 0) {
+    canonical +=
+        ",stale=" + std::to_string(options.heartbeat_stale_after.count());
+  }
+  return std::make_unique<SharedCounterModel>(std::move(canonical), name,
+                                              options);
+}
+
+#endif  // !_WIN32
+
 std::unique_ptr<AnyCounter> make_base(const BaseConfig& cfg,
                                       std::string spec) {
   using detail::CounterModel;
@@ -410,6 +522,8 @@ std::unique_ptr<AnyCounter> make_base(const BaseConfig& cfg,
       case CounterKind::kHybrid:
         return std::make_unique<CounterModel<ShardedHybridCounter>>(
             cfg.kind, std::move(spec), cfg.options);
+      case CounterKind::kShared:
+        break;  // spec-only; handled before the base builder
     }
   }
   switch (cfg.kind) {
@@ -429,6 +543,8 @@ std::unique_ptr<AnyCounter> make_base(const BaseConfig& cfg,
     case CounterKind::kHybrid:
       return std::make_unique<CounterModel<HybridCounter>>(
           cfg.kind, std::move(spec), cfg.options);
+    case CounterKind::kShared:
+      break;  // spec-only; handled before the base builder
   }
   MC_REQUIRE(false, "unknown counter kind");
   return nullptr;  // unreachable
@@ -524,6 +640,11 @@ std::unique_ptr<AnyCounter> build_layers(const std::vector<SpecPart>& parts,
 }  // namespace
 
 std::unique_ptr<AnyCounter> make_counter(CounterKind kind) {
+  if (kind == CounterKind::kShared) {
+    throw std::invalid_argument(
+        "counter spec: shared counters need a name; use "
+        "make_counter(\"shared:/name\")");
+  }
   BaseConfig cfg;
   cfg.kind = kind;
   if (kind == CounterKind::kListNoPool) cfg.options.pool_nodes = false;
@@ -531,6 +652,16 @@ std::unique_ptr<AnyCounter> make_counter(CounterKind kind) {
 }
 
 std::unique_ptr<AnyCounter> make_counter(std::string_view spec) {
+  // "shared:" routes to its own parser before the '+'-split grammar:
+  // the name itself contains '/' and the component is indivisible.
+  if (spec.rfind("shared:", 0) == 0) {
+#if defined(_WIN32)
+    throw std::invalid_argument(
+        "counter spec: 'shared:' counters require POSIX shared memory");
+#else
+    return make_shared_counter(spec);
+#endif
+  }
   std::vector<SpecPart> parts = parse_spec(spec);
   const ShardPrefix shard = take_shard_prefix(parts);
   const PoolPrefix pool = take_pool_prefix(parts);

@@ -73,6 +73,11 @@ enum class CounterKind {
   kFutex,       ///< FutexCounter — kernel-queue implementation
   kSpin,        ///< SpinCounter — busy-wait implementation
   kHybrid,      ///< HybridCounter — lock-free fast path + §7 slow path
+  /// SharedCounter — cross-process counter in a named shm segment
+  /// (shared_counter.hpp).  Spec-only ("shared:/name"): it needs a
+  /// name, so it has no bare make_counter(kind) form and is excluded
+  /// from all_counter_kinds() sweeps.
+  kShared,
 };
 
 /// Human-readable name ("list", "list-nopool", "single-cv", ...).

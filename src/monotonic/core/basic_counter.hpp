@@ -924,6 +924,8 @@ class BasicCounter {
       report.waited = std::chrono::duration_cast<std::chrono::milliseconds>(
           Env::Clock::now() - started);
       list_.snapshot_into(report.wait_levels);
+      report.wait_plane = list_.kind();
+      report.wait_shards = list_.wait_shard_count();
       stats_.on_stall_report();
       lock.unlock();
       deliver_stall(report);
@@ -939,11 +941,13 @@ class BasicCounter {
     }
     std::fprintf(stderr,
                  "monotonic: counter stall: Check(%llu) parked %lld ms at "
-                 "value %llu with %zu live wait level(s)\n",
+                 "value %llu with %zu live wait level(s) on the %s wait "
+                 "plane (%zu shard(s))\n",
                  static_cast<unsigned long long>(report.level),
                  static_cast<long long>(report.waited.count()),
                  static_cast<unsigned long long>(report.value),
-                 report.wait_levels.size());
+                 report.wait_levels.size(), to_string(report.wait_plane),
+                 report.wait_shards);
   }
 
   bool check_until_steady(counter_value_t level,

@@ -36,9 +36,11 @@
 // CounterPoisonedError).
 #pragma once
 
+#include <cstdint>
 #include <exception>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace monotonic {
@@ -52,23 +54,67 @@ class CounterError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Why a counter was poisoned.  In-process counters are always
+/// poisoned explicitly (a producer's Poison call, directly or via a
+/// FailureDomain), so the code carries no extra information there; the
+/// cross-process counter (shared_counter.hpp) adds two machine causes
+/// that cannot carry an exception across the process boundary, and
+/// waiters classify on the code instead:
+///
+///   * kParticipantDied — the death detector found a registered
+///     participant gone (kill(pid,0) == ESRCH, or heartbeat staleness
+///     when enabled) and poisoned the shared epoch so no waiter in any
+///     process is left parked on increments that will never come;
+///   * kEpochSuperseded — the counter name was recovered by a fresh
+///     Create: this handle's epoch is over, and its pending waits can
+///     never complete against the new epoch's value.
+enum class PoisonCause : std::uint8_t {
+  kExplicit,         ///< Poison(cause/reason) was called
+  kParticipantDied,  ///< a registered process died mid-protocol
+  kEpochSuperseded,  ///< the shared name was re-Created under this handle
+};
+
+constexpr std::string_view to_string(PoisonCause cause) noexcept {
+  switch (cause) {
+    case PoisonCause::kExplicit:
+      return "explicit";
+    case PoisonCause::kParticipantDied:
+      return "participant-died";
+    case PoisonCause::kEpochSuperseded:
+      return "epoch-superseded";
+  }
+  return "?";
+}
+
 /// Thrown by Check/CheckFor/CheckUntil on a poisoned counter when the
 /// requested level lies above the frozen value — i.e. the Increment
 /// this thread was waiting on can never happen.  `cause()` is the
 /// exception the producer failed with (null when the counter was
-/// poisoned with a bare reason string).
+/// poisoned with a bare reason string or by a machine cause);
+/// `poison_cause()` is the machine-readable why (see PoisonCause).
 class CounterPoisonedError : public CounterError {
  public:
   explicit CounterPoisonedError(const std::string& what,
                                 std::exception_ptr cause = {})
       : CounterError(what), cause_(std::move(cause)) {}
 
+  CounterPoisonedError(const std::string& what, PoisonCause poison_cause,
+                       std::exception_ptr cause = {})
+      : CounterError(what),
+        cause_(std::move(cause)),
+        poison_cause_(poison_cause) {}
+
   /// The producer's original exception, if the counter was poisoned
   /// with one; null otherwise.
   const std::exception_ptr& cause() const noexcept { return cause_; }
 
+  /// Machine-readable poison cause (kExplicit unless the cross-process
+  /// failure model synthesized this error).
+  PoisonCause poison_cause() const noexcept { return poison_cause_; }
+
  private:
   std::exception_ptr cause_;
+  PoisonCause poison_cause_ = PoisonCause::kExplicit;
 };
 
 /// Thrown when the engine could not allocate the memory an operation

@@ -88,11 +88,17 @@ TextTable counter_stats_table(
   const auto wait_indexed = [](const CounterStatsSnapshot& s) {
     return s.wait_shard_count > 1 || s.index_depth > 0;
   };
+  // Cross-process rows (shared_counter.hpp) carry a nonzero epoch.
+  const auto cross_process = [](const CounterStatsSnapshot& s) {
+    return s.epoch > 0;
+  };
   bool any_sharded = false;
   bool any_indexed = false;
+  bool any_shared = false;
   for (const auto& [label, s] : rows) {
     if (value_sharded(s)) any_sharded = true;
     if (wait_indexed(s)) any_indexed = true;
+    if (cross_process(s)) any_shared = true;
   }
   std::vector<std::string> header = {"counter",     "increments", "checks",
                                      "fast checks", "suspensions", "wakeups",
@@ -102,6 +108,9 @@ TextTable counter_stats_table(
   }
   if (any_indexed) {
     header.insert(header.end(), {"wshards", "depth", "bulk wakes"});
+  }
+  if (any_shared) {
+    header.insert(header.end(), {"epoch", "deaths"});
   }
   TextTable table(std::move(header));
   for (const auto& [label, s] : rows) {
@@ -125,6 +134,14 @@ TextTable counter_stats_table(
         row.push_back(cell(s.bulk_wakes));
       } else {
         row.insert(row.end(), {"-", "-", "-"});
+      }
+    }
+    if (any_shared) {
+      if (cross_process(s)) {
+        row.push_back(cell(s.epoch));
+        row.push_back(cell(s.participant_deaths));
+      } else {
+        row.insert(row.end(), {"-", "-"});
       }
     }
     table.add_row(std::move(row));

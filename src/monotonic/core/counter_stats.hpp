@@ -49,6 +49,10 @@ struct CounterStatsSnapshot {
   std::uint64_t bulk_wakes = 0;       ///< releases that woke 2+ levels at once
   std::uint64_t index_depth = 0;      ///< heap plane: high-water shard depth
   std::uint64_t wait_shard_count = 1; ///< wait-plane shards (1 = unsharded)
+  // Cross-process fields (shared_counter.hpp); an in-process counter
+  // reports epoch 0, which is how printers tell the families apart.
+  std::uint64_t participant_deaths = 0; ///< deaths detected, segment lifetime
+  std::uint64_t epoch = 0;            ///< shared epoch (0 = in-process)
 };
 
 /// Thread-safe accumulator.  All mutators are relaxed: these are

@@ -82,6 +82,15 @@ enum class SchedulePoint : std::uint8_t {
   kStall,          ///< stall watchdog delivering a report
   kIndexLink,      ///< heap wait plane linking a fresh level node
   kIndexPeel,      ///< heap wait plane peeling the global-min level
+  // Cross-process counter protocol points (shared_counter.hpp).  Each
+  // marks a window in which a participant's death leaves the shared
+  // segment in a distinct state the death detector must recover from;
+  // the multi-process kill-point sweep raises SIGKILL at them.
+  kSharedRegister,  ///< participant claiming its registration slot
+  kSharedInflight,  ///< in-flight marker raised, value not yet published
+  kSharedPublish,   ///< value published, wake word not yet bumped
+  kSharedWake,      ///< waiters woken, in-flight marker not yet cleared
+  kSharedSweep,     ///< death detector sweeping the registration slots
 };
 
 namespace detail {
@@ -150,6 +159,31 @@ inline void futex_wake_all(std::atomic<std::uint32_t>* addr) {
           FUTEX_WAKE_PRIVATE, INT_MAX, nullptr, nullptr, 0);
 }
 
+/// Cross-process futex shims: identical to the private ones above but
+/// WITHOUT the FUTEX_PRIVATE flag, so the kernel keys the wait queue by
+/// the backing (shared) mapping instead of the address space — the form
+/// a futex word in a shm_open segment needs for waiters in independent
+/// processes to see each other's wakes.
+inline bool shared_futex_wait_until(
+    std::atomic<std::uint32_t>* addr, std::uint32_t expected,
+    std::chrono::steady_clock::time_point deadline) {
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= deadline) return false;
+  const auto rel =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(deadline - now);
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(rel.count() / 1000000000);
+  ts.tv_nsec = static_cast<long>(rel.count() % 1000000000);
+  const long rc = syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
+                          FUTEX_WAIT, expected, &ts, nullptr, 0);
+  return !(rc == -1 && errno == ETIMEDOUT);
+}
+
+inline void shared_futex_wake_all(std::atomic<std::uint32_t>* addr) {
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr), FUTEX_WAKE,
+          INT_MAX, nullptr, nullptr, 0);
+}
+
 #else  // portable fallback: std::atomic wait/notify (no timed variant)
 
 inline void futex_wait(std::atomic<std::uint32_t>* addr,
@@ -167,6 +201,17 @@ inline bool futex_wait_until(std::atomic<std::uint32_t>* addr,
 inline void futex_wake_all(std::atomic<std::uint32_t>* addr) {
   addr->notify_all();
 }
+
+/// Portable fallback: cross-process waiters poll the word in deadline-
+/// clamped sleeps (std::atomic wait/notify is address-space local, so
+/// the wake side is deliberately a no-op — pollers observe the store).
+inline bool shared_futex_wait_until(
+    std::atomic<std::uint32_t>* addr, std::uint32_t expected,
+    std::chrono::steady_clock::time_point deadline) {
+  return poll_wait_until(addr, expected, deadline);
+}
+
+inline void shared_futex_wake_all(std::atomic<std::uint32_t>* /*addr*/) {}
 
 #endif
 

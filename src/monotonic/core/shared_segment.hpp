@@ -1,0 +1,269 @@
+// shared_segment.hpp — the mapped-memory layout behind SharedCounter.
+//
+// A cross-process counter cannot share the in-process engine's heap
+// structures (wait-list nodes, callback chains, std::mutex), so the
+// shared plane is deliberately minimal — exactly the state whose loss
+// no single process can be responsible for repairing:
+//
+//   * the VALUE PLANE is one 64-bit atomic word.  Monotonicity is what
+//     makes this safe across processes: an observer can never read a
+//     value that later goes back down, so a reader racing a writer sees
+//     either "not yet" (and re-checks) or "reached" (final) — there is
+//     no torn intermediate state to protect with a lock.
+//   * the WAIT PLANE is one 32-bit futex word, bumped after every
+//     publish (and on poison / epoch transitions) and woken with the
+//     cross-process FUTEX_WAKE.  Parked waiters in every process sleep
+//     against a snapshot of it, the same snapshot-then-sleep protocol
+//     the in-process FutexWait policy uses (wait_policy.hpp).
+//   * the FAILURE PLANE is an epoch word, a poison code, and a table of
+//     per-process registration slots {pid, in-flight marker, heartbeat}
+//     — everything the death detector (shared_counter.hpp) needs to
+//     turn "a participant died mid-protocol" into a poisoned epoch
+//     instead of a parked-forever waiter.  Crucially, none of it is
+//     state only the dying process could fix: any surviving process can
+//     run the sweep, declare the death, and wake everyone.
+//
+// The header is versioned (magic + layout version) so a process built
+// against a different layout refuses to attach instead of corrupting
+// the segment, and initialization is published through a ready latch:
+// the creator fills the header and release-stores kReady last; openers
+// spin (bounded) until they observe it.
+#pragma once
+
+#include <atomic>
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+#include "monotonic/support/cache.hpp"
+#include "monotonic/support/config.hpp"
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace monotonic {
+
+/// POSIX shm names: one leading '/', then a non-empty name with no
+/// further slashes, at most NAME_MAX (255) characters in total.
+inline constexpr std::size_t kSharedNameMax = 255;
+
+/// Registration slots in one segment — the participant cap.  Each slot
+/// is a private cache line (a participant hammers its own in-flight
+/// marker and heartbeat on every Increment), so the cap is also the
+/// segment's dominant size term: 64 slots = 4 KiB of a ~4.5 KiB map.
+inline constexpr std::size_t kSharedMaxParticipants = 64;
+
+/// Validates a shared-counter name, throwing std::invalid_argument
+/// naming the offending token (the PR 3 spec-error style) on: empty
+/// name, missing leading '/', embedded extra '/', or a name longer
+/// than NAME_MAX.  Returns the name unchanged so call sites can
+/// validate-and-forward in one expression.
+inline const std::string& validate_shared_name(const std::string& name) {
+  if (name.empty()) {
+    throw std::invalid_argument(
+        "shared counter name is empty; use \"/name\" (e.g. shared:/jobs)");
+  }
+  if (name.front() != '/') {
+    throw std::invalid_argument("shared counter name '" + name +
+                                "' must start with '/'");
+  }
+  if (name.size() == 1) {
+    throw std::invalid_argument(
+        "shared counter name '/' has no name after the slash");
+  }
+  if (name.find('/', 1) != std::string::npos) {
+    throw std::invalid_argument("shared counter name '" + name +
+                                "' may contain no '/' beyond the first");
+  }
+  if (name.size() > kSharedNameMax) {
+    throw std::invalid_argument(
+        "shared counter name '" + name.substr(0, 32) + "...' is " +
+        std::to_string(name.size()) + " characters; NAME_MAX is " +
+        std::to_string(kSharedNameMax));
+  }
+  return name;
+}
+
+/// One participant registration: claimed by CAS'ing `pid` from 0, and
+/// — the robust-futex idea — *left claimed* by unclean death, which is
+/// exactly how the sweep distinguishes a crash from a clean detach.
+struct alignas(kCacheLineSize) SharedParticipantSlot {
+  /// Owning process id; 0 = free.  A clean detach CASes it back to 0;
+  /// a SIGKILL leaves it set for the death detector to find.
+  std::atomic<std::uint32_t> pid{0};
+  /// Count of Increments between the in-flight raise and clear — the
+  /// cross-process analogue of "holding the lock" in a robust futex.
+  /// Diagnostic beyond pid-death: any unclean death poisons, but the
+  /// report can say the victim died mid-publish.
+  std::atomic<std::uint32_t> inflight{0};
+  /// CLOCK_MONOTONIC nanosecond stamp of the participant's last
+  /// operation (Increment, or a parked waiter's periodic detector
+  /// wake).  Comparable across processes on one machine.  Secondary
+  /// death signal for pid-reuse: kill(pid,0) cannot see a recycled
+  /// pid, a stale heartbeat can (opt-in, SharedCounterOptions).
+  std::atomic<std::uint64_t> heartbeat_ns{0};
+};
+
+/// Poison codes stored in the segment (a reason string cannot cross
+/// the process boundary — there is no shared allocator to own it).
+/// Mirrors PoisonCause (counter_error.hpp); kLive is segment-only.
+enum : std::uint32_t {
+  kSharedLive = 0,
+  kSharedPoisonExplicit = 1,
+  kSharedPoisonParticipantDied = 2,
+};
+
+/// The mapped segment.  Fixed layout, guarded by magic + version.
+struct SharedSegmentHeader {
+  static constexpr std::uint64_t kMagic = 0x314745535343'4DULL;  // "MCSSEG1"
+  static constexpr std::uint32_t kVersion = 1;
+  /// init_state latch values.
+  enum : std::uint32_t { kInitializing = 0, kReady = 1, kRecovering = 2 };
+
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  /// Creator/recovery latch: openers wait for kReady (release-stored
+  /// after every other field is in place).
+  std::atomic<std::uint32_t> init_state{kInitializing};
+
+  /// Generation of the name: 1 on first Create, +1 per recovery.  A
+  /// handle records the epoch it joined; observing a different one
+  /// means the name was recovered underneath it (kEpochSuperseded).
+  std::atomic<std::uint32_t> epoch{0};
+  /// kSharedLive, or the poison code of the current epoch.
+  std::atomic<std::uint32_t> poison_code{kSharedLive};
+  /// Pid whose death poisoned the epoch (diagnostic; 0 = none).
+  std::atomic<std::uint32_t> dead_pid{0};
+  /// Deaths detected over the segment's whole life (survives
+  /// recovery — it is the "how often does this fleet crash" stat).
+  std::atomic<std::uint64_t> participant_deaths{0};
+
+  /// The value plane: the counter's monotone value.  Own cache line —
+  /// every Increment in every process RMWs it.
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> value{0};
+
+  /// The wait plane: the cross-process futex word (generation counter,
+  /// bumped on publish/poison/epoch transitions) plus the armed-waiter
+  /// count that lets uncontended Increment skip the wake syscall.
+  alignas(kCacheLineSize) std::atomic<std::uint32_t> wait_word{0};
+  std::atomic<std::uint32_t> waiters{0};
+
+  SharedParticipantSlot slots[kSharedMaxParticipants];
+};
+
+// The whole point of the layout is that independent processes operate
+// on it with plain atomics: every word must be address-free lock-free,
+// and the struct must not acquire members needing real construction.
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free &&
+                  std::atomic<std::uint32_t>::is_always_lock_free,
+              "shared segment atomics must be address-free lock-free");
+static_assert(std::is_trivially_destructible_v<SharedSegmentHeader>,
+              "the segment is unmapped, never destroyed");
+
+#if !defined(_WIN32)
+
+/// RAII mapping of a named POSIX shm segment sized for one
+/// SharedSegmentHeader.  Owns the mapping, NOT the name: unlinking is
+/// explicit (SharedCounter::Unlink) so the name outlives any one
+/// process, which is the point of a cross-process counter.
+class SharedSegment {
+ public:
+  SharedSegment() = default;
+
+  SharedSegment(SharedSegment&& other) noexcept
+      : header_(other.header_), created_(other.created_) {
+    other.header_ = nullptr;
+  }
+  SharedSegment& operator=(SharedSegment&& other) noexcept {
+    if (this != &other) {
+      unmap();
+      header_ = other.header_;
+      created_ = other.created_;
+      other.header_ = nullptr;
+    }
+    return *this;
+  }
+  SharedSegment(const SharedSegment&) = delete;
+  SharedSegment& operator=(const SharedSegment&) = delete;
+
+  ~SharedSegment() { unmap(); }
+
+  /// Maps `name`, creating the backing object if `may_create` and it
+  /// does not exist.  `created()` reports which path was taken; a
+  /// created segment is returned in kInitializing state and the caller
+  /// must publish it (fill the header, release-store kReady).
+  /// Throws std::invalid_argument on a bad name, std::runtime_error on
+  /// OS failures, and std::invalid_argument when `may_create` is false
+  /// and the name does not exist.
+  static SharedSegment map(const std::string& name, bool may_create) {
+    validate_shared_name(name);
+    SharedSegment seg;
+    int fd = -1;
+    if (may_create) {
+      // O_EXCL makes creation race-free: exactly one process observes
+      // created()==true and owns header initialization; EEXIST losers
+      // fall through to the plain-open path below.
+      fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+      if (fd >= 0) {
+        seg.created_ = true;
+        if (::ftruncate(fd, sizeof(SharedSegmentHeader)) != 0) {
+          ::close(fd);
+          ::shm_unlink(name.c_str());
+          throw std::runtime_error("shared counter '" + name +
+                                   "': ftruncate failed");
+        }
+      } else if (errno != EEXIST) {
+        throw std::runtime_error("shared counter '" + name +
+                                 "': shm_open(O_CREAT) failed");
+      }
+    }
+    if (fd < 0) {
+      fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+      if (fd < 0) {
+        throw std::invalid_argument("shared counter '" + name +
+                                    "' does not exist" +
+                                    (may_create ? "" : "; Create it first"));
+      }
+    }
+    void* mem = ::mmap(nullptr, sizeof(SharedSegmentHeader),
+                       PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (mem == MAP_FAILED) {
+      throw std::runtime_error("shared counter '" + name + "': mmap failed");
+    }
+    seg.header_ = static_cast<SharedSegmentHeader*>(mem);
+    return seg;
+  }
+
+  static void unlink(const std::string& name) {
+    validate_shared_name(name);
+    ::shm_unlink(name.c_str());  // ENOENT is fine: already gone
+  }
+
+  bool created() const noexcept { return created_; }
+  SharedSegmentHeader* header() const noexcept { return header_; }
+  explicit operator bool() const noexcept { return header_ != nullptr; }
+
+ private:
+  void unmap() noexcept {
+    if (header_ != nullptr) {
+      ::munmap(static_cast<void*>(header_), sizeof(SharedSegmentHeader));
+      header_ = nullptr;
+    }
+  }
+
+  SharedSegmentHeader* header_ = nullptr;
+  bool created_ = false;
+};
+
+#endif  // !_WIN32
+
+}  // namespace monotonic

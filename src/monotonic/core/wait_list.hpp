@@ -84,14 +84,42 @@ struct CounterDebugSnapshot {
   std::vector<counter_value_t> callback_levels;  // ascending
 };
 
+/// Which representation the wait plane (and the OnReach callback
+/// index) uses — the WaitIndex seam.  Selected at construction, spec
+/// token `waitplane=list|heap[:S]`.  (Declared ahead of
+/// CounterStallReport, which names the plane it reports on.)
+enum class WaitPlaneKind : std::uint8_t {
+  /// The paper's §7 ordered linked list.  O(live levels) to join a new
+  /// level; unbeatable constant factors below a few hundred levels.
+  kList,
+  /// The sharded hierarchical level index (wait_index.hpp): O(log L)
+  /// join, bulk wake as an ascending peel.  The million-waiter plane.
+  kHeap,
+};
+
+constexpr const char* to_string(WaitPlaneKind kind) noexcept {
+  switch (kind) {
+    case WaitPlaneKind::kList:
+      return "list";
+    case WaitPlaneKind::kHeap:
+      return "heap";
+  }
+  return "?";
+}
+
 /// Diagnostic snapshot handed to the stall watchdog: which level the
-/// stuck waiter wants, how long it has been parked, and the full
-/// wait-list shape at the moment of the report.
+/// stuck waiter wants, how long it has been parked, the full wait-list
+/// shape at the moment of the report, and which wait plane (kind +
+/// shard count) the stuck waiter is parked on — a heap-plane stall
+/// and a list-plane stall point at different suspects, and the report
+/// was previously ambiguous between them.
 struct CounterStallReport {
   counter_value_t value;                    ///< current counter value
   counter_value_t level;                    ///< level the waiter wants
   std::chrono::milliseconds waited;         ///< how long it has waited
   std::vector<DebugWaitLevel> wait_levels;  ///< ascending, like Figure 2
+  WaitPlaneKind wait_plane = WaitPlaneKind::kList;  ///< plane representation
+  std::size_t wait_shards = 1;              ///< plane shards (1 = unsharded)
 };
 
 /// What the engine does with a waiter that bounded admission
@@ -114,18 +142,6 @@ enum class OverloadPolicy : std::uint8_t {
   /// incrementer slow paths queue behind the overload instead of
   /// racing ahead of it — the producers feel the backpressure.
   kBlockIncrementers,
-};
-
-/// Which representation the wait plane (and the OnReach callback
-/// index) uses — the WaitIndex seam.  Selected at construction, spec
-/// token `waitplane=list|heap[:S]`.
-enum class WaitPlaneKind : std::uint8_t {
-  /// The paper's §7 ordered linked list.  O(live levels) to join a new
-  /// level; unbeatable constant factors below a few hundred levels.
-  kList,
-  /// The sharded hierarchical level index (wait_index.hpp): O(log L)
-  /// join, bulk wake as an ascending peel.  The million-waiter plane.
-  kHeap,
 };
 
 /// Heap-plane shard cap, mirroring the striped value plane's [1, 64]

@@ -52,6 +52,14 @@ inline const char* schedule_point_name(SchedulePoint p) noexcept {
     case SchedulePoint::kStall: return "stall";
     case SchedulePoint::kIndexLink: return "index.link";
     case SchedulePoint::kIndexPeel: return "index.peel";
+    // Cross-process points: never reached under simulation (the shared
+    // counter runs against real process boundaries only), named so the
+    // switch stays exhaustive and kill-sweep logs can print them.
+    case SchedulePoint::kSharedRegister: return "shared.register";
+    case SchedulePoint::kSharedInflight: return "shared.inflight";
+    case SchedulePoint::kSharedPublish: return "shared.publish";
+    case SchedulePoint::kSharedWake: return "shared.wake";
+    case SchedulePoint::kSharedSweep: return "shared.sweep";
   }
   return "?";
 }

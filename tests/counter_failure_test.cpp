@@ -445,7 +445,39 @@ TEST(StallWatchdog, ReportsParkedWaiterAndItsWaitList) {
   ASSERT_EQ(last.wait_levels.size(), 1u);
   EXPECT_EQ(last.wait_levels[0].level, 10u);
   EXPECT_EQ(last.wait_levels[0].waiters, 1u);
+  // The report says WHICH wait plane the waiter is parked on — a heap
+  // stall and a list stall point at different suspects.
+  EXPECT_EQ(last.wait_plane, WaitPlaneKind::kList);
+  EXPECT_EQ(last.wait_shards, 1u);
+  EXPECT_STREQ(to_string(last.wait_plane), "list");
   EXPECT_GE(counter.stats().stall_reports, 1u);
+}
+
+TEST(StallWatchdog, ReportNamesTheHeapPlaneAndItsShardCount) {
+  WaitListOptions options;
+  options.stall_report_after = 20ms;
+  options.wait_plane = WaitPlaneKind::kHeap;
+  options.wait_shards = 4;
+  std::atomic<int> reports{0};
+  CounterStallReport last{};
+  std::mutex report_m;
+  options.on_stall = [&](const CounterStallReport& r) {
+    std::scoped_lock lock(report_m);
+    last = r;
+    reports.fetch_add(1, std::memory_order_relaxed);
+  };
+  Counter counter(options);
+  {
+    std::jthread waiter([&] { counter.Check(10); });
+    while (reports.load(std::memory_order_relaxed) == 0) {
+      std::this_thread::sleep_for(5ms);
+    }
+    counter.Increment(10);
+  }
+  std::scoped_lock lock(report_m);
+  EXPECT_EQ(last.wait_plane, WaitPlaneKind::kHeap);
+  EXPECT_EQ(last.wait_shards, 4u);
+  EXPECT_STREQ(to_string(last.wait_plane), "heap");
 }
 
 TEST(StallWatchdog, QuietWhenIncrementsArriveInTime) {

@@ -17,6 +17,11 @@
 #include <vector>
 
 #include "monotonic/core/any_counter.hpp"
+#include "monotonic/core/shared_counter.hpp"
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
 
 namespace monotonic {
 namespace {
@@ -142,6 +147,20 @@ INSTANTIATE_TEST_SUITE_P(
                       "hybrid,waitplane=heap:65",
                       "hybrid,waitplane="));
 
+// Cross-process specs: the name grammar is POSIX shm's, and every
+// rejection must name the bad token like the rest of the grammar.
+INSTANTIATE_TEST_SUITE_P(
+    SharedNames, SpecRejects,
+    ::testing::Values("shared:",            // empty name
+                      "shared:jobs",        // missing leading '/'
+                      "shared:/",           // nothing after the slash
+                      "shared:/a/b",        // embedded slash
+                      "shared:/name,bogus=1", "shared:/name,detect=x",
+                      "shared:/name,detect=0", "shared:/name,detect",
+                      // Only the redundant '+futex' may follow; shared
+                      // counters take no decorators.
+                      "shared:/name+traced", "shared:/name+batching"));
+
 // Satellite requirement: a rejected spec's message names the token
 // that caused the rejection, not just "bad spec".
 TEST(SpecRejects, MessagesNameTheBadToken) {
@@ -168,7 +187,58 @@ TEST(SpecRejects, MessagesNameTheBadToken) {
             std::string::npos);
   EXPECT_NE(message_of("hybrid,waitplane=bogus").find("waitplane"),
             std::string::npos);
+  // shared: names — the malformed part of the name is quoted back.
+  EXPECT_NE(message_of("shared:").find("empty"), std::string::npos);
+  EXPECT_NE(message_of("shared:jobs").find("'jobs'"), std::string::npos);
+  EXPECT_NE(message_of("shared:jobs").find("start with '/'"),
+            std::string::npos);
+  EXPECT_NE(message_of("shared:/a/b").find("'/a/b'"), std::string::npos);
+  const std::string oversized = "shared:/" + std::string(300, 'x');
+  EXPECT_NE(message_of(oversized.c_str()).find("NAME_MAX"),
+            std::string::npos);
+  EXPECT_NE(message_of("shared:/name+traced").find("'traced'"),
+            std::string::npos);
+  EXPECT_NE(message_of("shared:/name,bogus=1").find("'bogus'"),
+            std::string::npos);
 }
+
+#if !defined(_WIN32)
+
+// ---------------------------------------------------------------------
+// 'shared:' behavior through the factory (cross-process wiring proper
+// is exercised by shared_counter_test.cpp; this covers the spec seam).
+
+TEST(SpecShared, CanonicalFormRoundTripsAndDropsRedundantFutex) {
+  const std::string name = "/mc-spec-" + std::to_string(::getpid());
+  SharedCounter::Unlink(name);
+  {
+    auto c = make_counter("shared:" + name + "+futex");
+    EXPECT_EQ(c->kind(), CounterKind::kShared);
+    // '+futex' is redundant (the shared wait plane IS the futex word)
+    // and canonicalizes away.
+    EXPECT_EQ(c->spec(), "shared:" + name);
+    c->Increment(2);
+    EXPECT_TRUE(c->CheckFor(2, 0ms));
+
+    // Round-tripping the canonical spec attaches to the SAME segment.
+    auto again = make_counter(c->spec());
+    EXPECT_EQ(again->spec(), c->spec());
+    EXPECT_EQ(again->debug_value(), 2u);
+    EXPECT_EQ(again->stats().epoch, 1u);
+
+    // Non-default options print; defaults do not.
+    auto tuned = make_counter("shared:" + name + ",detect=250,stale=500");
+    EXPECT_EQ(tuned->spec(), "shared:" + name + ",detect=250,stale=500");
+  }
+  SharedCounter::Unlink(name);
+}
+
+TEST(SpecShared, BareKindNeedsAName) {
+  EXPECT_THROW((void)make_counter(CounterKind::kShared),
+               std::invalid_argument);
+}
+
+#endif  // !_WIN32
 
 // ---------------------------------------------------------------------
 // Behavior through the erased interface, per composed spec.

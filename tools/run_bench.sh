@@ -29,7 +29,7 @@ jsonl="$(mktemp)"
 trap 'rm -f "$jsonl"' EXIT
 
 status=0
-for b in bench_counter_ops bench_counter_impl; do
+for b in bench_counter_ops bench_counter_impl bench_shared; do
   bin="$build_dir/bench/$b"
   if [ ! -x "$bin" ]; then
     echo "missing bench binary: $bin" >&2
