@@ -23,6 +23,7 @@
 #include "monotonic/algos/graph.hpp"
 #include "monotonic/algos/heat1d.hpp"
 #include "monotonic/core/any_counter.hpp"
+#include "monotonic/core/awaitable.hpp"
 #include "monotonic/core/broadcast_counter.hpp"
 #include "monotonic/core/counter.hpp"
 #include "monotonic/core/futex_counter.hpp"
@@ -451,6 +452,123 @@ void wait_plane_scaling() {
   bench::print(table);
 }
 
+// --- E15: the completion plane ---------------------------------------
+
+// One logical waiter as a coroutine frame: suspends on the level,
+// bumps the tally when resumed.  The frame plus its await state is the
+// entire per-waiter footprint — no stack, no kernel object.
+DetachedTask bench_await_one(AnyCounter& c, counter_value_t level,
+                             std::atomic<std::size_t>& fired) {
+  co_await reach(c, level);
+  fired.fetch_add(1, std::memory_order_relaxed);
+}
+
+void completion_scaling() {
+  banner("E15", "logical-waiter scaling: co_await / OnReach / parked threads");
+  note("The same wait — N waiters at N distinct levels, one bulk\n"
+       "release — expressed three ways.  co_await and OnReach arm heap-\n"
+       "plane callback nodes (bytes per waiter), so they scale to 10^6;\n"
+       "parked threads carry megabytes of stack each, so that row stops\n"
+       "at 1000 and exists to show WHY the completion plane is the cheap\n"
+       "way to be a million waiters.");
+  TextTable table({"waiter", "count", "arm us", "wake ns"});
+  const std::size_t big = g_quick ? 10'000 : 1'000'000;
+  const char* spec = "hybrid,waitplane=heap:8";
+  for (const char* mode : {"coawait", "onreach"}) {
+    auto c = make_counter(std::string_view(spec));
+    std::atomic<std::size_t> fired{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    // Descending arming, matching E13's O(1)-insert discipline.
+    for (std::size_t i = big; i >= 1; --i) {
+      if (mode[0] == 'c') {
+        bench_await_one(*c, static_cast<counter_value_t>(i), fired);
+      } else {
+        c->OnReach(static_cast<counter_value_t>(i),
+                   [&fired] { fired.fetch_add(1, std::memory_order_relaxed); });
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    c->Increment(static_cast<counter_value_t>(big));
+    const auto t2 = std::chrono::steady_clock::now();
+    if (fired.load(std::memory_order_relaxed) != big) {
+      throw std::runtime_error("E15 lost a waiter");
+    }
+    const double arm_us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() /
+        static_cast<double>(big);
+    const double wake_ns =
+        std::chrono::duration<double, std::nano>(t2 - t1).count() /
+        static_cast<double>(big);
+    table.add_row({mode, cell(big), cell(arm_us, 2), cell(wake_ns, 1)});
+    g_json.record_levels("complete_arm", mode, 1, arm_us * 1000.0, 1, big);
+    g_json.record_levels("complete_wake", mode, 1, wake_ns, 1, big);
+  }
+  {
+    const std::size_t nthreads = g_quick ? 128 : 1'000;
+    auto c = make_counter(std::string_view("hybrid"));
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(nthreads);
+    for (std::size_t i = 1; i <= nthreads; ++i) {
+      threads.emplace_back(
+          [&c, i] { c->Check(static_cast<counter_value_t>(i)); });
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    c->Increment(static_cast<counter_value_t>(nthreads));
+    for (auto& t : threads) t.join();
+    const auto t2 = std::chrono::steady_clock::now();
+    const double arm_us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() /
+        static_cast<double>(nthreads);
+    const double wake_ns =
+        std::chrono::duration<double, std::nano>(t2 - t1).count() /
+        static_cast<double>(nthreads);
+    table.add_row({"thread", cell(nthreads), cell(arm_us, 2),
+                   cell(wake_ns, 1)});
+    g_json.record_levels("complete_arm", "thread", 1, arm_us * 1000.0, 1,
+                         nthreads);
+    g_json.record_levels("complete_wake", "thread", 1, wake_ns, 1, nthreads);
+  }
+  bench::print(table);
+}
+
+void slow_callback_interference() {
+  banner("E15.b", "slow (1 ms) OnReach callback: incrementer interference");
+  note("Every level 1..N carries a 1 ms callback.  Inline delivery bills\n"
+       "the millisecond to the incrementing thread; executor=pool:1 hands\n"
+       "the chain to a worker, so Increment's cost returns to the\n"
+       "no-callback baseline (the 'none' row).");
+  TextTable table({"delivery", "inc us"});
+  const int kOps = g_quick ? 20 : 200;
+  struct Leg {
+    const char* label;
+    const char* spec;
+    bool arm;
+  };
+  for (const Leg leg : {Leg{"none", "hybrid", false},
+                        Leg{"inline", "hybrid", true},
+                        Leg{"pool:1", "hybrid,executor=pool:1", true}}) {
+    auto c = make_counter(std::string_view(leg.spec));
+    if (leg.arm) {
+      for (int i = 1; i <= kOps; ++i) {
+        c->OnReach(static_cast<counter_value_t>(i), [] {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        });
+      }
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kOps; ++i) c->Increment(1);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double inc_us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() / kOps;
+    table.add_row({leg.label, cell(inc_us, 2)});
+    g_json.record("slow_cb_increment", leg.label, 1, inc_us * 1000.0, 1);
+    // The pool leg's counter still owns ~kOps queued milliseconds of
+    // callback; its destructor drains them before the next leg runs.
+  }
+  bench::print(table);
+}
+
 }  // namespace
 }  // namespace monotonic
 
@@ -475,5 +593,9 @@ int main(int argc, char** argv) {
   // wait planes (quick caps the axis at 10^4).
   monotonic::overload_storm_scaled();
   monotonic::wait_plane_scaling();
+  // E15: the completion plane — logical-waiter scaling and the
+  // slow-callback interference ablation (quick shrinks both axes).
+  monotonic::completion_scaling();
+  monotonic::slow_callback_interference();
   return 0;
 }

@@ -6,9 +6,14 @@
 // spans, then writes a Chrome trace-event file.  Open the output in
 // chrome://tracing or https://ui.perfetto.dev to see the writer's
 // increments racing ahead of each reader's checks.
+//
+// The trace lands next to the binary (usually under build/) so the
+// demo never litters the working tree; pass --out=FILE or a third
+// positional to choose another path.
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <vector>
 
@@ -19,12 +24,16 @@
 
 using namespace monotonic;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const std::size_t items = args.positional_u64(0, 64);
   const std::size_t readers = args.positional_u64(1, 3);
+  const std::string default_out =
+      (std::filesystem::path(argv[0]).parent_path() / "trace.json").string();
   const std::string out_path =
-      args.option_str("out").value_or(args.positional_str(2, "trace.json"));
+      args.option_str("out").value_or(args.positional_str(2, default_out));
   if (items < 1 || readers < 1) {
     std::fprintf(stderr, "usage: %s [items] [readers] [out.json] "
                          "[--out=file]\n",
@@ -74,4 +83,15 @@ int main(int argc, char** argv) {
   std::printf("wrote %s — open in chrome://tracing or ui.perfetto.dev\n",
               out_path.c_str());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -22,12 +22,14 @@
 
 #include "monotonic/core/any_counter.hpp"
 
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "monotonic/core/broadcast_counter.hpp"
+#include "monotonic/core/completion.hpp"
 #include "monotonic/core/counter.hpp"
 #include "monotonic/core/counter_decorator.hpp"
 #include "monotonic/core/futex_counter.hpp"
@@ -82,7 +84,10 @@ std::string_view counter_spec_help() {
          "pooled+hybrid); base opts: pool=0|1, pool_size=N, "
          "max_waiters=N, max_levels=N, overload=throw|spin|block, "
          "waitplane=list|heap[:S] (S = level shards of the heap wait "
-         "plane, 1..64); "
+         "plane, 1..64), "
+         "executor=inline|pool[:N] (where OnReach callbacks run: inline "
+         "on the incrementing thread — the default — or a completion "
+         "thread pool of N workers, default 1); "
          "decorators: traced, batching[,batch=N], broadcast[,shards=N] "
          "(each at most once); cross-process: shared:/name[,detect=MS]"
          "[,stale=MS][+futex] attaches every process naming the same "
@@ -158,6 +163,29 @@ std::uint64_t parse_uint(const std::string& key, const std::string& value) {
     out = out * 10 + static_cast<std::uint64_t>(c - '0');
   }
   return out;
+}
+
+/// Value-independent monotone-predicate reduction (the same gallop +
+/// bisect BasicCounter::predicate_level runs), for adapters whose
+/// wrapped counter lacks a native Check(pred) — currently the shared
+/// counter, whose predicate support lives process-side.
+counter_value_t reduce_predicate(
+    const std::function<bool(counter_value_t)>& pred, counter_value_t cap) {
+  if (pred(0)) return 0;
+  MC_REQUIRE(pred(cap),
+             "Check(pred): predicate is false at the maximum counter "
+             "value, so it can never be signalled (is it monotone?)");
+  counter_value_t lo = 0;
+  counter_value_t hi = 1;
+  while (hi < cap && !pred(hi)) {
+    lo = hi;
+    hi = hi <= cap / 2 ? hi * 2 : cap;
+  }
+  while (hi - lo > 1) {
+    const counter_value_t mid = lo + (hi - lo) / 2;
+    (pred(mid) ? hi : lo) = mid;
+  }
+  return hi;
 }
 
 bool is_shard_token(const std::string& name) {
@@ -265,6 +293,10 @@ void validate_decorators(const std::vector<SpecPart>& parts) {
 struct BaseConfig {
   CounterKind kind;
   bool sharded = false;
+  /// Workers of the completion pool; 0 = inline delivery (the default,
+  /// never printed).  The executor itself lives in options — this is
+  /// the number canonical_base() re-prints.
+  std::size_t executor_pool_threads = 0;
   WaitListOptions options;
 };
 
@@ -327,9 +359,30 @@ BaseConfig parse_base(const SpecPart& part, const ShardPrefix& shard,
         spec_error("option 'waitplane' value '" + value +
                    "' is not list|heap[:S]");
       }
+    } else if (key == "executor") {
+      // executor=inline | executor=pool[:N] — the completion plane.
+      if (value == "inline") {
+        cfg.executor_pool_threads = 0;
+        cfg.options.completion_executor = nullptr;
+      } else if (value == "pool") {
+        cfg.executor_pool_threads = 1;
+      } else if (value.rfind("pool:", 0) == 0) {
+        const std::uint64_t n = parse_uint("executor=pool:N", value.substr(5));
+        if (n < 1) {
+          spec_error("'executor=" + value + "' needs at least one worker");
+        }
+        cfg.executor_pool_threads = static_cast<std::size_t>(n);
+      } else {
+        spec_error("option 'executor' value '" + value +
+                   "' is not inline|pool[:N]");
+      }
     } else {
       spec_error("unknown option '" + key + "' for base '" + part.name + "'");
     }
+  }
+  if (cfg.executor_pool_threads != 0) {
+    cfg.options.completion_executor =
+        std::make_shared<ThreadPoolExecutor>(cfg.executor_pool_threads);
   }
   // "list,pool=0" and "list-nopool" are the same configuration; fold to
   // the named kind so canonical specs are unique.
@@ -394,6 +447,12 @@ std::string canonical_base(const BaseConfig& cfg) {
       out += ':' + std::to_string(cfg.options.wait_shards);
     }
   }
+  if (cfg.executor_pool_threads != 0) {
+    // The worker count always prints (even the bare-"pool" default 1):
+    // a canonical spec should say how many threads it spawns.  Inline
+    // is the default and never prints.
+    out += ",executor=pool:" + std::to_string(cfg.executor_pool_threads);
+  }
   return out;
 }
 
@@ -421,6 +480,22 @@ class SharedCounterModel final : public AnyCounter {
   bool Check(counter_value_t level, std::stop_token stop) override {
     return impl_.Check(level, std::move(stop));
   }
+  // SharedCounter has no native Check(pred) (the predicate is process-
+  // local code the other side cannot run); the reduction happens here
+  // and the threshold wait crosses the process boundary as usual.
+  void CheckWhen(std::function<bool(counter_value_t)> pred) override {
+    impl_.Check(reduce_predicate(pred, kPredicateCap));
+  }
+  bool CheckWhen(std::function<bool(counter_value_t)> pred,
+                 std::stop_token stop) override {
+    return impl_.Check(reduce_predicate(pred, kPredicateCap),
+                       std::move(stop));
+  }
+  /// The shm value word read is atomic and monotone, so the debug read
+  /// doubles as the sanctioned lower bound here.
+  counter_value_t value_lower_bound() const override {
+    return impl_.debug_value();
+  }
   void OnReach(counter_value_t level, std::function<void()> fn) override {
     impl_.OnReach(level, std::move(fn));
   }
@@ -444,6 +519,11 @@ class SharedCounterModel final : public AnyCounter {
   const std::string& spec() const override { return spec_; }
 
  private:
+  // Conservative predicate-reduction cap (SharedCounter advertises no
+  // kMaxValue); matches detail::counter_max_value's fallback bound.
+  static constexpr counter_value_t kPredicateCap =
+      std::numeric_limits<counter_value_t>::max() >> 1;
+
   std::string spec_;
   SharedCounter impl_;
 };

@@ -47,6 +47,7 @@
 #pragma once
 
 #include <chrono>
+#include <concepts>
 #include <cstddef>
 #include <exception>
 #include <functional>
@@ -100,6 +101,18 @@ class AnyCounter {
                         std::chrono::nanoseconds timeout) = 0;
   /// Cancellable Check; see BasicCounter::Check(level, stop_token).
   virtual bool Check(counter_value_t level, std::stop_token stop) = 0;
+  /// Predicate wait: parks until `pred(value)` holds.  The predicate
+  /// must be monotone (once true, stays true as the value rises); the
+  /// engine reduces it to an exact threshold (basic_counter.hpp).
+  /// Named CheckWhen because virtuals cannot be templates; AnyHandle
+  /// re-exposes it as Check(pred) to match the concrete counters.
+  virtual void CheckWhen(std::function<bool(counter_value_t)> pred) = 0;
+  /// Cancellable predicate wait; false iff `stop` fired first.
+  virtual bool CheckWhen(std::function<bool(counter_value_t)> pred,
+                         std::stop_token stop) = 0;
+  /// Monotone lower bound of the value — the sanctioned read for
+  /// multi.hpp trigger computation (debug_value is debug-only).
+  virtual counter_value_t value_lower_bound() const = 0;
   /// Async Check; see BasicCounter::OnReach for the execution contract.
   virtual void OnReach(counter_value_t level, std::function<void()> fn) = 0;
   /// Async Check with a poison-delivery callback.
@@ -171,6 +184,27 @@ class AnyHandle {
     return inner_->Check(level, std::move(stop));
   }
 
+  // Predicate waits, same constraints as BasicCounter's overloads so
+  // AnyHandle models PredicateCounterLike.
+  template <typename Pred>
+    requires(!std::convertible_to<Pred, counter_value_t> &&
+             std::predicate<Pred&, counter_value_t>)
+  void Check(Pred pred) {
+    inner_->CheckWhen(std::function<bool(counter_value_t)>(std::move(pred)));
+  }
+  template <typename Pred>
+    requires(!std::convertible_to<Pred, counter_value_t> &&
+             std::predicate<Pred&, counter_value_t>)
+  bool Check(Pred pred, std::stop_token stop) {
+    return inner_->CheckWhen(
+        std::function<bool(counter_value_t)>(std::move(pred)),
+        std::move(stop));
+  }
+
+  counter_value_t value_lower_bound() const {
+    return inner_->value_lower_bound();
+  }
+
   void OnReach(counter_value_t level, std::function<void()> fn,
                std::function<void(std::exception_ptr)> on_error = {}) {
     if (on_error) {
@@ -226,6 +260,16 @@ class CounterModel final : public AnyCounter {
   }
   bool Check(counter_value_t level, std::stop_token stop) override {
     return impl_.Check(level, std::move(stop));
+  }
+  void CheckWhen(std::function<bool(counter_value_t)> pred) override {
+    impl_.Check(std::move(pred));
+  }
+  bool CheckWhen(std::function<bool(counter_value_t)> pred,
+                 std::stop_token stop) override {
+    return impl_.Check(std::move(pred), std::move(stop));
+  }
+  counter_value_t value_lower_bound() const override {
+    return impl_.value_lower_bound();
   }
   void OnReach(counter_value_t level, std::function<void()> fn) override {
     impl_.OnReach(level, std::move(fn));

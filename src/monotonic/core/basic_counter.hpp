@@ -109,6 +109,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <concepts>
 #include <cstdio>
 #include <exception>
 #include <functional>
@@ -267,7 +268,7 @@ class BasicCounter {
       // free policies are no-ops.  Callbacks run outside the lock
       // (CP.22): they may re-enter this counter or any other.
       policy_.on_increment_unlocked(false);
-      Callbacks::run_chain(reached);
+      complete_chain(reached);
     } else {
       Env::point(SchedulePoint::kIncrementSlow);
       typename Callbacks::Node* reached = nullptr;
@@ -291,7 +292,7 @@ class BasicCounter {
         notify_capacity_locked();  // released levels freed admission room
       }
       policy_.on_increment_unlocked(false);
-      Callbacks::run_chain(reached);
+      complete_chain(reached);
     }
   }
 
@@ -327,6 +328,42 @@ class BasicCounter {
       }
       park(lock, level);
     }
+  }
+
+  /// Predicate Check (extension): suspends until `pred(value)` holds.
+  /// `pred` must be MONOTONE — once true at some value, true at every
+  /// larger value — and is evaluated only against values the counter
+  /// actually reached plus probes below them, never against a value
+  /// "in the future" (docs/semantics.md, "Predicate waits").
+  ///
+  /// Because the value only rises, a monotone predicate over it is
+  /// exactly a threshold: there is a least level L with pred(L), and
+  /// waiting for the predicate IS waiting for L.  The engine finds L
+  /// by galloping + binary search over [0, kMaxValue] — O(log V)
+  /// evaluations, value-independent, no counter state touched — and
+  /// then delegates to Check(L), inheriting the level wait's entire
+  /// contract: selective wakeup through the armed watermark and the
+  /// O(log L) level index, poison, admission, the stall watchdog.
+  /// This is AutoSynch's predicate tagging specialised to monotone
+  /// predicates: the "conservative trigger" is exact here, so no
+  /// broadcast-and-recheck is ever needed.
+  ///
+  /// A predicate that never becomes true over the representable range
+  /// is a checked usage error (it could never be signalled).
+  template <typename Pred>
+    requires(!std::convertible_to<Pred, counter_value_t> &&
+             std::predicate<Pred&, counter_value_t>)
+  void Check(Pred pred) {
+    Check(predicate_level(pred));
+  }
+
+  /// Cancellable predicate Check: Check(pred) with Check(level, stop)'s
+  /// cancellation contract (false = stop token fired first).
+  template <typename Pred>
+    requires(!std::convertible_to<Pred, counter_value_t> &&
+             std::predicate<Pred&, counter_value_t>)
+  bool Check(Pred pred, std::stop_token stop) {
+    return Check(predicate_level(pred), std::move(stop));
   }
 
   /// Cancellable Check (extension): parks like Check, but a triggered
@@ -496,11 +533,13 @@ class BasicCounter {
         }
       }
     }
-    // Callbacks run here, outside the lock (CP.22).
+    // Callbacks run here, outside the lock (CP.22) — through the
+    // completion plane, so an executor-configured counter delivers
+    // immediate fires on the same context as deferred ones.
     if (poison) {
-      on_error(poison);
+      complete_one([cb = std::move(on_error), poison] { cb(poison); });
     } else {
-      fn();
+      complete_one(std::move(fn));
     }
   }
 
@@ -540,8 +579,19 @@ class BasicCounter {
     MC_REQUIRE(list_.empty(),
                "Reset called while threads are suspended (§2: Reset must not "
                "run concurrently with other operations)");
-    MC_REQUIRE(callbacks_.empty(),
-               "Reset called with pending OnReach callbacks");
+    if (!callbacks_.empty()) {
+      // Pending registrations would be orphaned by the value rollback
+      // (their levels may never be reached again) — refuse, naming the
+      // levels so the caller can see exactly what is still waiting.
+      std::vector<counter_value_t> pending;
+      callbacks_.snapshot_into(pending);
+      std::string msg = "Reset called with pending OnReach callbacks at level";
+      if (pending.size() > 1) msg += 's';
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        msg += (i == 0 ? " " : ", ") + std::to_string(pending[i]);
+      }
+      throw CounterError(msg);
+    }
     poisoned_.store(false, std::memory_order_release);
     poison_cause_ = nullptr;
     poison_reason_.clear();
@@ -564,6 +614,27 @@ class BasicCounter {
   /// On a poisoned counter this is the frozen value, not the (possibly
   /// drifted) lock-free word.
   counter_value_t debug_value() const {
+    if (poisoned_.load(std::memory_order_acquire)) {
+      return frozen_;  // stable after the release-store of poisoned_
+    }
+    if constexpr (kLockFreeFastPath) {
+      return plane_.read_fast();
+    } else {
+      std::scoped_lock lock(m_);
+      return plane_.read_locked();
+    }
+  }
+
+  /// A monotone LOWER BOUND on the current value — the sanctioned read
+  /// for the multi-counter predicate plane (core/multi.hpp): because
+  /// the value only rises, a stale read is conservative, so trigger
+  /// levels computed from it can only make a waiter re-check early,
+  /// never miss a wakeup.  On a poisoned counter this is the frozen
+  /// value.  Unlike debug_value() this is a documented part of the
+  /// predicate-wait surface, not a test-only probe — but branching on
+  /// it for control flow outside trigger computation reintroduces the
+  /// races the no-probe rule exists to prevent.
+  counter_value_t value_lower_bound() const {
     if (poisoned_.load(std::memory_order_acquire)) {
       return frozen_;  // stable after the release-store of poisoned_
     }
@@ -606,6 +677,37 @@ class BasicCounter {
   counter_value_t value_locked() const {
     if (poisoned_.load(std::memory_order_relaxed)) return frozen_;
     return plane_.read_locked();
+  }
+
+  // Reduces a monotone predicate to its exact threshold: the least L
+  // in [0, kMaxValue] with pred(L), found by galloping then binary
+  // search — O(log V) evaluations, no counter state read (the search
+  // is over the VALUE DOMAIN, not the current value, so it cannot race
+  // anything).  An unsatisfiable predicate is a checked usage error.
+  template <typename Pred>
+  counter_value_t predicate_level(Pred& pred) {
+    stats_.on_predicate_check();
+    Env::point(SchedulePoint::kPredicateEval);
+    if (pred(counter_value_t{0})) return 0;
+    MC_REQUIRE(pred(kMaxValue),
+               "Check(pred): predicate is false at the maximum counter "
+               "value, so it can never be signalled (is it monotone?)");
+    // Invariant: !pred(lo) && pred(hi).  Gallop hi up, then bisect.
+    counter_value_t lo = 0;
+    counter_value_t hi = 1;
+    while (hi < kMaxValue && !pred(hi)) {
+      lo = hi;
+      hi = hi <= kMaxValue / 2 ? hi * 2 : kMaxValue;
+    }
+    while (hi - lo > 1) {
+      const counter_value_t mid = lo + (hi - lo) / 2;
+      if (pred(mid)) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    return hi;
   }
 
   // Requires m_.  Returns true when the caller should return success
@@ -674,7 +776,58 @@ class BasicCounter {
       notify_capacity_locked();
     }
     policy_.on_increment_unlocked(false);
-    Callbacks::run_chain_error(orphaned, delivered);
+    complete_chain_error(orphaned, delivered);
+  }
+
+  // ---- Async completion plane (completion.hpp) ---------------------
+
+  // Delivers a detached reached-callback chain: inline on this thread
+  // when no executor is configured (bit-for-bit the pre-executor
+  // semantics), else posted to the executor — the incrementer's cost
+  // returns to O(detach) no matter how slow the callbacks are.  The
+  // chain is already unlinked from the counter, so the posted closure
+  // owns it outright; run_chain frees the nodes either way.
+  void complete_chain(typename Callbacks::Node* chain) {
+    if (chain == nullptr) return;
+    if (options_.completion_executor == nullptr) {
+      Callbacks::run_chain(chain);
+      return;
+    }
+    Env::point(SchedulePoint::kCompletionEnqueue);
+    stats_.on_async_completion();
+    options_.completion_executor->post(
+        [chain] { Callbacks::run_chain(chain); });
+  }
+
+  // Single-callback variant for OnReach's already-reached (or already-
+  // poisoned) immediate fire: with an executor configured even the
+  // immediate path posts, so callbacks observe ONE delivery context —
+  // never "sometimes the registering thread, sometimes a pool thread".
+  void complete_one(std::function<void()> work) {
+    if (options_.completion_executor == nullptr) {
+      work();
+      return;
+    }
+    Env::point(SchedulePoint::kCompletionEnqueue);
+    stats_.on_async_completion();
+    options_.completion_executor->post(std::move(work));
+  }
+
+  // Poison-delivery analogue: error callbacks ride the same queue, so
+  // an executor-configured counter delivers CounterPoisonedError
+  // asynchronously too (and resumes awaiting coroutines there).
+  void complete_chain_error(typename Callbacks::Node* chain,
+                            std::exception_ptr cause) {
+    if (chain == nullptr) return;
+    if (options_.completion_executor == nullptr) {
+      Callbacks::run_chain_error(chain, cause);
+      return;
+    }
+    Env::point(SchedulePoint::kCompletionEnqueue);
+    stats_.on_async_completion();
+    options_.completion_executor->post([chain, cause = std::move(cause)] {
+      Callbacks::run_chain_error(chain, cause);
+    });
   }
 
   // Lock-free planes only; requires m_.  Publishes intent to sleep (or

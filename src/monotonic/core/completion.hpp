@@ -1,0 +1,190 @@
+// completion.hpp — the async completion plane: a pluggable executor
+// that drains reached-callback work off the incrementer's critical
+// path.
+//
+// The engine's OnReach contract has always been "detach the reached
+// chain under the lock, run it outside the lock" — but *outside the
+// lock* still meant *on the incrementing thread*.  A slow callback
+// (logging, RPC, fsync) therefore stalled the producer even though it
+// no longer held the counter lock.  ActiveMonitor (PAPERS.md) calls
+// this out: moving monitor executions to dedicated threads buys
+// parallelism the synchronization structure already permits.
+//
+// CompletionExecutor is that seam.  The engine hands it closures (one
+// per detached callback chain) via post(); implementations decide
+// where they run:
+//
+//   * no executor (WaitListOptions::completion_executor == nullptr) —
+//     inline delivery on the incrementing thread, bit-for-bit the
+//     pre-executor semantics;
+//   * ThreadPoolExecutor(N) — a fixed pool of worker threads drains a
+//     FIFO CompletionQueue, so Increment's cost returns to O(detach)
+//     regardless of how slow user callbacks are;
+//   * ManualExecutor — tests and the sim pump the queue explicitly,
+//     making completion delivery a schedulable event.
+//
+// Ordering: post() is FIFO per executor, and the engine posts chains
+// in reached order, so single-threaded executors preserve the inline
+// plane's per-counter callback order.  A multi-threaded pool
+// deliberately does not (chains run concurrently); callbacks that need
+// mutual exclusion must bring their own, exactly as with concurrent
+// Increments today.
+//
+// This header is standalone — it depends only on the standard library,
+// so the awaitable header (and user code) can include it without
+// dragging in the engine.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace monotonic {
+
+/// Where detached completion work runs.  Implementations must tolerate
+/// post() from arbitrary threads (including from inside a completion
+/// already running on the executor).
+class CompletionExecutor {
+ public:
+  virtual ~CompletionExecutor() = default;
+
+  /// Enqueues one unit of completion work.  Must not run `work`
+  /// synchronously while the caller could be holding the counter lock
+  /// — the engine always posts *after* detaching under the lock, so an
+  /// implementation that runs inline (see InlineExecutor) is safe, but
+  /// a custom executor must never re-enter the counter that posted to
+  /// it from within post() itself unless it is prepared for a
+  /// recursive Increment.
+  virtual void post(std::function<void()> work) = 0;
+};
+
+/// Runs work synchronously inside post() — the explicit spelling of
+/// the default (null-executor) inline plane, for code that wants to
+/// pass "inline" as an object rather than a nullptr.
+class InlineExecutor final : public CompletionExecutor {
+ public:
+  void post(std::function<void()> work) override { work(); }
+};
+
+/// Queue pumped by explicit drain() calls.  Tests and the simulator
+/// use this to make completion delivery a schedulable step.
+class ManualExecutor final : public CompletionExecutor {
+ public:
+  void post(std::function<void()> work) override {
+    std::lock_guard<std::mutex> lk(m_);
+    queue_.push_back(std::move(work));
+  }
+
+  /// Runs every queued completion (including ones posted by the work
+  /// itself); returns how many ran.
+  std::size_t drain() {
+    std::size_t ran = 0;
+    for (;;) {
+      std::function<void()> work;
+      {
+        std::lock_guard<std::mutex> lk(m_);
+        if (queue_.empty()) return ran;
+        work = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      work();
+      ++ran;
+    }
+  }
+
+  /// Runs at most one queued completion; false when the queue is empty.
+  bool drain_one() {
+    std::function<void()> work;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      if (queue_.empty()) return false;
+      work = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    work();
+    return true;
+  }
+
+  std::size_t pending() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex m_;
+  std::deque<std::function<void()>> queue_;
+};
+
+/// Fixed pool of worker threads draining a FIFO queue.  One worker
+/// (the default) preserves per-counter callback order; more workers
+/// trade order for parallel completion throughput.
+///
+/// Destruction drains: the destructor stops admission, lets the
+/// workers finish everything already queued, then joins — so a counter
+/// whose callbacks capture stack state can safely outlive its bursts
+/// as long as it outlives the executor (the usual composition is
+/// executor declared before counter, destroyed after).
+class ThreadPoolExecutor final : public CompletionExecutor {
+ public:
+  explicit ThreadPoolExecutor(std::size_t threads = 1) {
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { run(); });
+    }
+  }
+
+  ThreadPoolExecutor(const ThreadPoolExecutor&) = delete;
+  ThreadPoolExecutor& operator=(const ThreadPoolExecutor&) = delete;
+
+  ~ThreadPoolExecutor() override {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  void post(std::function<void()> work) override {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      // Work posted during shutdown (e.g. a completion chaining
+      // another) still runs: the workers drain the queue dry before
+      // exiting, and post() is only called from threads the owner is
+      // responsible for joining first.
+      queue_.push_back(std::move(work));
+    }
+    cv_.notify_one();
+  }
+
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+
+ private:
+  void run() {
+    for (;;) {
+      std::function<void()> work;
+      {
+        std::unique_lock<std::mutex> lk(m_);
+        cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ && drained
+        work = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      work();
+    }
+  }
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace monotonic

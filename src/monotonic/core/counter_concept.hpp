@@ -75,6 +75,23 @@ concept FailureAwareCounter =
       { c.Check(v, st) } -> std::convertible_to<bool>;
     };
 
+/// CounterLike plus the predicate-wait surface (see §AutoSynch in
+/// docs/semantics.md): park until an arbitrary *monotone* predicate of
+/// the value holds, read a conservative lower bound of the value for
+/// trigger computation, and register error-aware OnReach callbacks —
+/// everything multi.hpp's check_any / check_sum_at_least need.  Every
+/// BasicCounter instantiation and every shipped decorator models this.
+template <typename C>
+concept PredicateCounterLike =
+    CounterLike<C> &&
+    requires(C c, const C cc, counter_value_t v, std::function<void()> fn,
+             std::function<void(std::exception_ptr)> on_error,
+             std::function<bool(counter_value_t)> pred) {
+      { c.Check(pred) };
+      { cc.value_lower_bound() } -> std::convertible_to<counter_value_t>;
+      { c.OnReach(v, fn, on_error) };
+    };
+
 /// A counter whose internal wait-list structure can be observed — what
 /// the Figure 2 reproduction tests and the stats-driven benches demand.
 template <typename C>

@@ -21,6 +21,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <concepts>
 #include <cstddef>
 #include <exception>
 #include <functional>
@@ -84,6 +85,22 @@ class CounterDecoratorBase {
     return impl_.Check(level, std::move(stop));
   }
 
+  // Predicate waits (monotone predicates of the value; see
+  // basic_counter.hpp).  Constrained exactly like the engine's
+  // overloads so a literal still picks the level path.
+  template <typename Pred>
+    requires(!std::convertible_to<Pred, counter_value_t> &&
+             std::predicate<Pred&, counter_value_t>)
+  void Check(Pred pred) {
+    impl_.Check(std::move(pred));
+  }
+  template <typename Pred>
+    requires(!std::convertible_to<Pred, counter_value_t> &&
+             std::predicate<Pred&, counter_value_t>)
+  bool Check(Pred pred, std::stop_token stop) {
+    return impl_.Check(std::move(pred), std::move(stop));
+  }
+
   template <typename Rep, typename Period>
   bool CheckFor(counter_value_t level,
                 std::chrono::duration<Rep, Period> timeout) {
@@ -109,6 +126,11 @@ class CounterDecoratorBase {
 
   CounterDebugSnapshot debug_snapshot() const { return impl_.debug_snapshot(); }
   counter_value_t debug_value() const { return impl_.debug_value(); }
+  /// Monotone lower bound of the value — sanctioned for multi.hpp
+  /// trigger computation (unlike debug_value, which is debug-only).
+  counter_value_t value_lower_bound() const {
+    return impl_.value_lower_bound();
+  }
   CounterStatsSnapshot stats() const { return impl_.stats(); }
   void stats_reset() { impl_.stats_reset(); }
 
@@ -175,6 +197,46 @@ class Traced : public CounterDecoratorBase<C> {
     }
   }
 
+  /// Predicate waits get the same fast/slow classification as level
+  /// waits; the recorded arg is the reduced threshold's reach, which
+  /// the engine does not expose, so 0 stands in.
+  template <typename Pred>
+    requires(!std::convertible_to<Pred, counter_value_t> &&
+             std::predicate<Pred&, counter_value_t>)
+  void Check(Pred pred) {
+    const auto before = this->impl_.stats().suspensions;
+    this->impl_.Check(std::move(pred));
+    if (this->impl_.stats().suspensions != before) {
+      tracer_.record(TraceEventKind::kResume, name_, 0);
+    } else {
+      tracer_.record(TraceEventKind::kCheckFast, name_, 0);
+    }
+  }
+
+  /// Completion-plane lens: each registered callback is wrapped to emit
+  /// a kCompletion event when it actually runs — on the incrementing
+  /// thread inline, or on an executor thread when the counter was built
+  /// with one, which is exactly the handoff the lens exists to show.
+  /// The tracer must outlive any pending callback (Tracer::global()
+  /// trivially does).
+  void OnReach(counter_value_t level, std::function<void()> fn,
+               std::function<void(std::exception_ptr)> on_error = {}) {
+    std::function<void()> wrapped =
+        [&t = tracer_, name = name_, level, fn = std::move(fn)] {
+          fn();
+          if (t.enabled()) t.record(TraceEventKind::kCompletion, name, level);
+        };
+    std::function<void(std::exception_ptr)> wrapped_error;
+    if (on_error) {
+      wrapped_error = [&t = tracer_, name = name_, level,
+                       on_error = std::move(on_error)](std::exception_ptr ep) {
+        on_error(std::move(ep));
+        if (t.enabled()) t.record(TraceEventKind::kCompletion, name, level);
+      };
+    }
+    this->impl_.OnReach(level, std::move(wrapped), std::move(wrapped_error));
+  }
+
   void Poison(std::exception_ptr cause) {
     tracer_.record(TraceEventKind::kPoison, name_, 0);
     this->impl_.Poison(std::move(cause));
@@ -239,6 +301,23 @@ class Batching : public CounterDecoratorBase<C> {
   bool Check(counter_value_t level, std::stop_token stop) {
     flush();
     return this->impl_.Check(level, std::move(stop));
+  }
+
+  // Predicate evaluation must see this thread's own increments, so the
+  // buffer flushes before the engine reduces the predicate to a level.
+  template <typename Pred>
+    requires(!std::convertible_to<Pred, counter_value_t> &&
+             std::predicate<Pred&, counter_value_t>)
+  void Check(Pred pred) {
+    flush();
+    this->impl_.Check(std::move(pred));
+  }
+  template <typename Pred>
+    requires(!std::convertible_to<Pred, counter_value_t> &&
+             std::predicate<Pred&, counter_value_t>)
+  bool Check(Pred pred, std::stop_token stop) {
+    flush();
+    return this->impl_.Check(std::move(pred), std::move(stop));
   }
 
   template <typename Rep, typename Period>
@@ -344,6 +423,22 @@ class Broadcasting {
     return local_shard().Check(level, std::move(stop));
   }
 
+  // Predicate waits route to the thread's shard like level waits —
+  // every shard carries the full value, so any shard reduces the
+  // predicate to the same threshold.
+  template <typename Pred>
+    requires(!std::convertible_to<Pred, counter_value_t> &&
+             std::predicate<Pred&, counter_value_t>)
+  void Check(Pred pred) {
+    local_shard().Check(std::move(pred));
+  }
+  template <typename Pred>
+    requires(!std::convertible_to<Pred, counter_value_t> &&
+             std::predicate<Pred&, counter_value_t>)
+  bool Check(Pred pred, std::stop_token stop) {
+    return local_shard().Check(std::move(pred), std::move(stop));
+  }
+
   template <typename Rep, typename Period>
   bool CheckFor(counter_value_t level,
                 std::chrono::duration<Rep, Period> timeout) {
@@ -394,6 +489,12 @@ class Broadcasting {
 
   counter_value_t debug_value() const {
     return shards_.front()->debug_value();
+  }
+
+  /// Any shard's bound is a bound for the ensemble (replicated value);
+  /// shard 0 is the one callbacks register on.
+  counter_value_t value_lower_bound() const {
+    return shards_.front()->value_lower_bound();
   }
 
   /// Summed across shards, with increments normalized back to logical

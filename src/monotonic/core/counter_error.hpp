@@ -143,4 +143,22 @@ class CounterOverloadedError : public CounterError {
   using CounterError::CounterError;
 };
 
+/// Normalizes an exception delivered through OnReach's on_error
+/// channel to the blocking surface's contract.  The channel carries
+/// the producer's ORIGINAL exception when the poison had one
+/// (OnReachErrorCallbackDeliversPoisonCause pins that); surfaces built
+/// on the channel that promise "poison throws CounterPoisonedError" —
+/// check_any, check_sum_at_least, co_await reach() — wrap anything
+/// else, keeping the original reachable via cause().
+inline std::exception_ptr ensure_poisoned_error(std::exception_ptr ep) {
+  try {
+    std::rethrow_exception(ep);
+  } catch (const CounterPoisonedError&) {
+    return ep;
+  } catch (...) {
+    return std::make_exception_ptr(CounterPoisonedError(
+        "counter poisoned while a waiter was registered on it", ep));
+  }
+}
+
 }  // namespace monotonic

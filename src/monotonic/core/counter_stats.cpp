@@ -32,6 +32,8 @@ CounterStatsSnapshot CounterStats::snapshot() const noexcept {
   s.pool_misses = pool_misses_.load(std::memory_order_relaxed);
   s.bulk_wakes = bulk_wakes_.load(std::memory_order_relaxed);
   s.index_depth = index_depth_.load(std::memory_order_relaxed);
+  s.predicate_checks = predicate_checks_.load(std::memory_order_relaxed);
+  s.async_completions = async_completions_.load(std::memory_order_relaxed);
 #endif
   // Configuration, not counters: reported even with stats compiled out.
   s.stripe_count = stripe_count_.load(std::memory_order_relaxed);
@@ -69,6 +71,8 @@ void CounterStats::reset() noexcept {
   pool_misses_.store(0, std::memory_order_relaxed);
   bulk_wakes_.store(0, std::memory_order_relaxed);
   index_depth_.store(0, std::memory_order_relaxed);
+  predicate_checks_.store(0, std::memory_order_relaxed);
+  async_completions_.store(0, std::memory_order_relaxed);
   // stripe_count_ / wait_shard_count_ are configuration, not counters;
   // they survive reset.
 #endif

@@ -49,6 +49,8 @@ struct CounterStatsSnapshot {
   std::uint64_t bulk_wakes = 0;       ///< releases that woke 2+ levels at once
   std::uint64_t index_depth = 0;      ///< heap plane: high-water shard depth
   std::uint64_t wait_shard_count = 1; ///< wait-plane shards (1 = unsharded)
+  std::uint64_t predicate_checks = 0; ///< Check(pred) calls (threshold reduced)
+  std::uint64_t async_completions = 0; ///< reached chains posted to an executor
   // Cross-process fields (shared_counter.hpp); an in-process counter
   // reports epoch 0, which is how printers tell the families apart.
   std::uint64_t participant_deaths = 0; ///< deaths detected, segment lifetime
@@ -73,6 +75,8 @@ class CounterStats {
   void on_timed_out_check() noexcept { bump(timed_out_checks_); }
   void on_overload_rejection() noexcept { bump(overload_rejections_); }
   void on_degraded_wait() noexcept { bump(degraded_waits_); }
+  void on_predicate_check() noexcept { bump(predicate_checks_); }
+  void on_async_completion() noexcept { bump(async_completions_); }
 
   /// Configuration, not a counter: recorded by striped value planes at
   /// construction so snapshots and printers can tell sharded counters
@@ -202,6 +206,8 @@ class CounterStats {
   std::atomic<std::uint64_t> bulk_wakes_{0};
   std::atomic<std::uint64_t> index_depth_{0};
   std::atomic<std::uint64_t> wait_shard_count_{1};
+  std::atomic<std::uint64_t> predicate_checks_{0};
+  std::atomic<std::uint64_t> async_completions_{0};
 };
 
 /// Renders labelled snapshots as an aligned table.  Built on TextTable,

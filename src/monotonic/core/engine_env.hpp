@@ -91,6 +91,10 @@ enum class SchedulePoint : std::uint8_t {
   kSharedPublish,   ///< value published, wake word not yet bumped
   kSharedWake,      ///< waiters woken, in-flight marker not yet cleared
   kSharedSweep,     ///< death detector sweeping the registration slots
+  // Predicate-wait / async-completion plane points (completion.hpp,
+  // the Check(pred) surface).
+  kPredicateEval,      ///< predicate about to be evaluated / re-armed
+  kCompletionEnqueue,  ///< reached chain handed to the completion executor
 };
 
 namespace detail {

@@ -9,25 +9,52 @@
 // deadlock looms (C++ Core Guidelines CP.21 exists precisely because
 // of that).
 //
-// There is deliberately no check_any: "first counter to reach its
-// level" is a race on relative timing, which the no-probe rule (§2)
-// excludes from the deterministic core.  A timed check_all_for is
-// provided for integration with non-deterministic outer layers.
+// Disjunctions and threshold sums ride the ENGINE, not a polling loop:
+//
+//   * check_any registers one OnReach per condition and parks the
+//     caller on an internal one-shot gate counter — the first
+//     condition to fire increments the gate, so the waiter wakes
+//     through the ordinary wait plane (selective wakeup, no probe
+//     loop).  "Which condition fired first" is a race on relative
+//     timing, so check_any is OUTSIDE the deterministic core (§2's
+//     no-probe rule); it exists for integration layers, and its result
+//     is the honest name of that nondeterminism.
+//
+//   * check_sum_at_least waits for value(c_1) + ... + value(c_n) >= k
+//     with AutoSynch-style conservative trigger levels: from a stale
+//     (monotone, hence safe) lower bound of each value it computes the
+//     pigeonhole trigger v_i + ceil(deficit/n) — if the sum ever
+//     reaches k, at least one counter must have crossed its trigger —
+//     waits for any of those exact levels through the level index, and
+//     recomputes on wake.  No broadcast storms, no polling: each round
+//     arms n precise levels, and each wake proves the sum grew by at
+//     least ceil(deficit/n), so the loop terminates.
+//
+//   * sum_of(a, b, ...) >= k is expression sugar over
+//     check_sum_at_least.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <concepts>
 #include <cstddef>
+#include <limits>
+#include <exception>
 #include <initializer_list>
+#include <memory>
 #include <span>
 #include <utility>
+#include <vector>
 
 #include "monotonic/core/counter.hpp"
 #include "monotonic/core/counter_concept.hpp"
+#include "monotonic/core/counter_error.hpp"
+#include "monotonic/support/assert.hpp"
 #include "monotonic/support/config.hpp"
 
 namespace monotonic {
 
-/// One (counter, level) conjunct for check_all.
+/// One (counter, level) conjunct/disjunct for check_all / check_any.
 template <CounterLike C>
 struct CounterCondition {
   C* counter;
@@ -67,6 +94,184 @@ bool check_all_for(std::span<const CounterCondition<C>> conditions,
     if (!cond.counter->CheckUntil(cond.level, deadline)) return false;
   }
   return true;
+}
+
+namespace detail {
+
+/// Shared between the check_any waiter and the per-condition OnReach
+/// callbacks.  shared_ptr lifetime: losing callbacks have no
+/// deregistration (the engine's OnReach is permanent) and fire
+/// whenever their level is eventually reached — possibly long after
+/// the waiter returned — so they must land on live memory.  The
+/// residual is bounded: one callback node per non-winning condition.
+template <typename Gate>
+struct AnyWaitState {
+  Gate gate;  ///< one-shot: the winner Increments it to 1
+  std::atomic<bool> claimed{false};
+  std::size_t winner = 0;
+  std::exception_ptr error;
+
+  /// First firer wins; payload is written before the gate Increment,
+  /// so the waiter's Check-side synchronization publishes it.
+  void fire_reached(std::size_t index) {
+    if (claimed.exchange(true, std::memory_order_acq_rel)) return;
+    winner = index;
+    gate.Increment(1);
+  }
+  void fire_error(std::exception_ptr ep) {
+    if (claimed.exchange(true, std::memory_order_acq_rel)) return;
+    error = ensure_poisoned_error(std::move(ep));
+    gate.Increment(1);
+  }
+};
+
+}  // namespace detail
+
+/// Suspends until ANY condition holds; returns the index of the first
+/// condition observed to fire.  First event wins — including failure:
+/// a condition whose counter is poisoned below its level fires the
+/// wait with that counter's CounterPoisonedError (fail-fast, like
+/// check_all unwinding on its first poisoned Check).  Conditions whose
+/// counters are already at level complete immediately (lowest index
+/// wins among them).
+///
+/// `Gate` is the internal one-shot counter type the caller parks on —
+/// the default is fine everywhere except the simulation harness, which
+/// passes its own Env's counter so the gate wait is scheduled.
+///
+/// Determinism note: which index returns depends on timing; check_any
+/// is for integration layers, not the §6 deterministic core.
+template <typename Gate = Counter, CounterLike C>
+std::size_t check_any(std::span<const CounterCondition<C>> conditions) {
+  MC_REQUIRE(!conditions.empty(), "check_any of no conditions");
+  auto state = std::make_shared<detail::AnyWaitState<Gate>>();
+  for (std::size_t i = 0; i < conditions.size(); ++i) {
+    conditions[i].counter->OnReach(
+        conditions[i].level, [state, i] { state->fire_reached(i); },
+        [state](std::exception_ptr ep) { state->fire_error(std::move(ep)); });
+  }
+  state->gate.Check(1);
+  if (state->error) std::rethrow_exception(state->error);
+  return state->winner;
+}
+
+template <typename Gate = Counter, CounterLike C>
+std::size_t check_any(std::initializer_list<CounterCondition<C>> conditions) {
+  return check_any<Gate, C>(
+      std::span<const CounterCondition<C>>(conditions.begin(),
+                                           conditions.size()));
+}
+
+/// Suspends until value(c_1) + ... + value(c_n) >= k.  The sum of
+/// monotone values is monotone, so this is a monotone predicate over
+/// the joint state and inherits the no-lost-wakeup argument — the
+/// implementation just has to arm triggers the level index can serve.
+///
+/// Each round reads a conservative lower bound v_i of every value
+/// (stale reads are safe: values only rise), and if the sum is short
+/// by d, arms trigger levels t_i = v_i + ceil(d/n).  Pigeonhole: when
+/// the true sum reaches k, at least one counter's value has grown by
+/// ceil(d/n) past its bound, so at least one trigger fires — waiting
+/// for any of them (check_any) cannot miss.  On wake the round
+/// recomputes from fresh bounds (the AutoSynch recompute-on-wake
+/// discipline).  Progress: every wake proves the sum grew by at least
+/// ceil(d/n) >= 1, so the loop terminates in at most k rounds (far
+/// fewer in practice — each round closes at least 1/n of the deficit).
+///
+/// Poison of any constituent counter below its trigger fails the wait
+/// with that counter's CounterPoisonedError, unless the frozen sum
+/// already satisfies k (checked at the top of each round).
+template <typename Gate = Counter, typename C>
+  requires CounterLike<C> && requires(const C c) {
+    { c.value_lower_bound() } -> std::convertible_to<counter_value_t>;
+  }
+void check_sum_at_least(std::span<C* const> counters, counter_value_t k) {
+  MC_REQUIRE(!counters.empty(), "check_sum_at_least of no counters");
+  const counter_value_t n = static_cast<counter_value_t>(counters.size());
+  for (;;) {
+    std::vector<counter_value_t> bounds;
+    bounds.reserve(counters.size());
+    counter_value_t sum = 0;
+    for (const C* c : counters) {
+      const counter_value_t v = c->value_lower_bound();
+      bounds.push_back(v);
+      sum += v;
+    }
+    if (sum >= k) return;
+    const counter_value_t deficit = k - sum;
+    const counter_value_t step = (deficit + n - 1) / n;  // ceil(d/n) >= 1
+    std::vector<CounterCondition<C>> triggers;
+    triggers.reserve(counters.size());
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+      // Clamp: a trigger past the representable range can never fire,
+      // but by pigeonhole SOME unclamped trigger stays reachable as
+      // long as k itself is (Check REQUIREs per-counter range anyway).
+      constexpr counter_value_t cap = [] {
+        if constexpr (requires { C::kMaxValue; }) {
+          return C::kMaxValue;
+        } else {
+          return std::numeric_limits<counter_value_t>::max() >> 1;
+        }
+      }();
+      const counter_value_t t =
+          bounds[i] > cap - step ? cap : bounds[i] + step;
+      triggers.push_back(CounterCondition<C>{counters[i], t});
+    }
+    check_any<Gate, C>(
+        std::span<const CounterCondition<C>>(triggers.data(),
+                                             triggers.size()));
+  }
+}
+
+template <typename Gate = Counter, typename C>
+  requires CounterLike<C> && requires(const C c) {
+    { c.value_lower_bound() } -> std::convertible_to<counter_value_t>;
+  }
+void check_sum_at_least(std::initializer_list<C*> counters,
+                        counter_value_t k) {
+  std::vector<C*> v(counters.begin(), counters.end());
+  check_sum_at_least<Gate, C>(std::span<C* const>(v.data(), v.size()), k);
+}
+
+/// Threshold-expression sugar: `(sum_of(a, b) >= k).wait()` — or pass
+/// the expression around as a value first.  Homogeneous counter types
+/// only (the conditions must share one engine).
+template <typename Gate, typename C>
+class SumThreshold {
+ public:
+  SumThreshold(std::vector<C*> counters, counter_value_t k)
+      : counters_(std::move(counters)), k_(k) {}
+
+  /// Blocks until the sum is at least the threshold.
+  void wait() const {
+    check_sum_at_least<Gate, C>(
+        std::span<C* const>(counters_.data(), counters_.size()), k_);
+  }
+
+ private:
+  std::vector<C*> counters_;
+  counter_value_t k_;
+};
+
+template <typename Gate, typename C>
+class SumExpression {
+ public:
+  explicit SumExpression(std::vector<C*> counters)
+      : counters_(std::move(counters)) {}
+
+  SumThreshold<Gate, C> operator>=(counter_value_t k) const {
+    return SumThreshold<Gate, C>(counters_, k);
+  }
+
+ private:
+  std::vector<C*> counters_;
+};
+
+/// `(sum_of(a, b) >= 100).wait()` — wait until a + b reaches 100.
+template <typename Gate = Counter, typename C, typename... Rest>
+  requires(std::same_as<C, Rest> && ...)
+SumExpression<Gate, C> sum_of(C& first, Rest&... rest) {
+  return SumExpression<Gate, C>(std::vector<C*>{&first, &rest...});
 }
 
 }  // namespace monotonic

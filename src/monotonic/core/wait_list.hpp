@@ -50,9 +50,11 @@
 #include <exception>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "monotonic/core/completion.hpp"
 #include "monotonic/core/counter_stats.hpp"
 #include "monotonic/core/engine_env.hpp"
 #include "monotonic/core/wait_index.hpp"
@@ -206,6 +208,14 @@ struct WaitListOptions {
   /// Heap wait plane only: number of level shards (level % S picks the
   /// shard).  0 = 1 shard.  Ignored by the list plane.
   std::size_t wait_shards = 0;
+  /// Async completion plane (completion.hpp): where detached OnReach /
+  /// predicate callback chains run.  Null (the default) delivers
+  /// inline on the incrementing thread — bit-for-bit the pre-executor
+  /// semantics.  A ThreadPoolExecutor moves slow callbacks off the
+  /// incrementer entirely; poison delivery rides the same queue.
+  /// Shared, not owned: one executor can drain many counters.  Spec
+  /// token "executor=inline|pool[:N]".
+  std::shared_ptr<CompletionExecutor> completion_executor;
 };
 
 /// The §7 wait plane.  `Signal` is the per-node wake primitive

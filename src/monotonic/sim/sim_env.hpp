@@ -60,6 +60,8 @@ inline const char* schedule_point_name(SchedulePoint p) noexcept {
     case SchedulePoint::kSharedPublish: return "shared.publish";
     case SchedulePoint::kSharedWake: return "shared.wake";
     case SchedulePoint::kSharedSweep: return "shared.sweep";
+    case SchedulePoint::kPredicateEval: return "predicate.eval";
+    case SchedulePoint::kCompletionEnqueue: return "completion.enqueue";
   }
   return "?";
 }

@@ -32,12 +32,16 @@
 #pragma once
 
 #include <chrono>
+#include <cstdlib>
 #include <exception>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "monotonic/core/basic_counter.hpp"
+#include "monotonic/core/completion.hpp"
 #include "monotonic/core/counter_error.hpp"
+#include "monotonic/core/multi.hpp"
 #include "monotonic/core/striped_cells.hpp"
 #include "monotonic/core/wait_list.hpp"
 #include "monotonic/sim/fault_env.hpp"
@@ -785,6 +789,142 @@ inline void model_dropped_timed_wake_scenario(SimHarness& h) {
 }
 
 // ---------------------------------------------------------------------------
+// Predicate-wait and completion-plane scenarios
+// ---------------------------------------------------------------------------
+
+/// Predicate wait racing its increments: Check(v >= 3) reduces to the
+/// exact threshold (kPredicateEval schedule point) and parks through
+/// the ordinary engine, so under every schedule the waiter wakes at or
+/// above the threshold and the engine ends structurally clean.
+template <typename C>
+void predicate_threshold_scenario(SimHarness& h) {
+  auto& c = h.make<C>();
+  h.thread("waiter", [&] {
+    c.Check([](counter_value_t v) { return v >= 3; });
+    h.check(c.debug_value() >= 3, "predicate wait woke below threshold");
+  });
+  h.thread("inc-a", [&] { c.Increment(2); });
+  h.thread("inc-b", [&] { c.Increment(1); });
+  h.join();
+  h.check(c.stats().predicate_checks == 1, "predicate reduction not counted");
+  h.check(c.stats().live_nodes == 0, "wait node leaked");
+}
+
+/// check_sum_at_least racing interleaved increments on two counters:
+/// the pigeonhole triggers are recomputed from stale lower bounds on
+/// every wake, and under no schedule may the waiter return early or
+/// strand (the gate counter is a SimCounter, so its park is scheduled).
+inline void predicate_sum_race_scenario(SimHarness& h) {
+  auto& a = h.make<SimCounter>();
+  auto& b = h.make<SimCounter>();
+  h.thread("waiter", [&] {
+    check_sum_at_least<SimCounter>({&a, &b}, 4);
+    h.check(a.debug_value() + b.debug_value() >= 4,
+            "sum wait returned below the threshold");
+  });
+  h.thread("inc-a", [&] {
+    a.Increment(1);
+    h.sleep_ms(1);
+    a.Increment(1);
+  });
+  h.thread("inc-b", [&] {
+    b.Increment(1);
+    h.sleep_ms(1);
+    b.Increment(1);
+  });
+  h.join();
+  h.check(a.debug_value() + b.debug_value() == 4, "final sum != 4");
+}
+
+/// Predicate wait racing Poison: the increments stop at 3, below the
+/// reduced threshold 5, so whichever order the schedule picks the wait
+/// must surface CounterPoisonedError — never return, never hang.
+template <typename C>
+void predicate_poison_scenario(SimHarness& h) {
+  auto& c = h.make<C>();
+  h.thread("waiter", [&] {
+    try {
+      c.Check([](counter_value_t v) { return v >= 5; });
+      h.fail("predicate wait completed below its threshold");
+    } catch (const CounterPoisonedError&) {
+    }
+  });
+  h.thread("inc", [&] { c.Increment(3); });
+  h.thread("poisoner", [&] { c.Poison("sim: producer died"); });
+  h.join();
+}
+
+/// check_any with both conditions racing to fire: either index is a
+/// legal outcome (the disjunction is outside the deterministic core),
+/// but the winner's own condition must hold at return, and the losing
+/// OnReach residual must fire harmlessly before join.
+inline void check_any_race_scenario(SimHarness& h) {
+  auto& a = h.make<SimCounter>();
+  auto& b = h.make<SimCounter>();
+  h.thread("waiter", [&] {
+    const std::size_t winner =
+        check_any<SimCounter>({CounterCondition<SimCounter>{&a, 2},
+                               CounterCondition<SimCounter>{&b, 2}});
+    h.check(winner <= 1, "check_any returned a bogus index");
+    SimCounter& won = winner == 0 ? a : b;
+    h.check(won.debug_value() >= 2, "winner below its level");
+  });
+  h.thread("inc-a", [&] { a.Increment(2); });
+  h.thread("inc-b", [&] { b.Increment(2); });
+  h.join();
+  h.check(a.debug_value() == 2 && b.debug_value() == 2, "final values != 2");
+}
+
+/// Completion-executor handoff: reached and poison-delivery chains are
+/// enqueued (kCompletionEnqueue) to a ManualExecutor and run only when
+/// a separate vthread drains — exactly once each, successes in level
+/// order, the never-reached level delivered as an error, last.
+inline void executor_handoff_scenario(SimHarness& h) {
+  auto exec = std::make_shared<ManualExecutor>();
+  WaitListOptions options;
+  options.completion_executor = exec;
+  auto& c = h.make<SimCounter>(options);
+  // Only the drainer vthread executes callbacks, so the log needs no
+  // lock; entry +L = level L reached, -L = poison delivered to L.
+  auto& log = h.make<std::vector<int>>();
+  h.thread("register", [&] {
+    c.OnReach(1, [&] { log.push_back(1); },
+              [&](std::exception_ptr) { log.push_back(-1); });
+    c.OnReach(2, [&] { log.push_back(2); },
+              [&](std::exception_ptr) { log.push_back(-2); });
+    c.OnReach(9, [&] { log.push_back(9); },
+              [&](std::exception_ptr) { log.push_back(-9); });
+  });
+  h.thread("inc", [&] {
+    c.Increment(1);
+    c.Increment(1);
+  });
+  h.thread("poisoner", [&] {
+    h.sleep_ms(2);
+    c.Poison("sim: producer died with callbacks pending");
+  });
+  h.thread("drainer", [&] {
+    std::size_t ran = 0;
+    for (int spins = 0; spins < 200 && ran < 3; ++spins) {
+      ran += exec->drain();
+      if (ran < 3) h.sleep_ms(1);
+    }
+    h.check(ran == 3, "completion queue did not deliver every callback");
+  });
+  h.join();
+  h.check(log.size() == 3, "callback ran zero times or twice");
+  // Level 9 is never reached: always an error, and always enqueued
+  // after whatever happened to levels 1 and 2.
+  h.check(log[2] == -9, "unreached level not delivered as trailing error");
+  // FIFO queue + ascending-level detach: 1's entry precedes 2's, and
+  // level 2 cannot succeed if level 1 was still unreached at poison.
+  h.check(std::abs(log[0]) == 1 && std::abs(log[1]) == 2,
+          "completion delivery out of level order");
+  h.check(!(log[0] == -1 && log[1] == 2),
+          "level 2 reached though level 1 was poisoned");
+}
+
+// ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
 
@@ -902,6 +1042,30 @@ inline const std::vector<SimScenario>& sim_scenarios() {
        "sharded heap plane over striped cells: watermark from the O(S) root "
        "scan still satisfies the seq_cst publication protocol",
        false, &heap_cross_shard_wake_scenario},
+      {"predicate_threshold_blocking",
+       "Check(v>=3) vs Increment 2+1: threshold reduction + engine park, "
+       "BlockingWait",
+       false, &predicate_threshold_scenario<SimCounter>},
+      {"predicate_threshold_hybrid",
+       "Check(v>=3) vs Increment 2+1: reduction vs the lock-free fast "
+       "path, HybridWait",
+       false, &predicate_threshold_scenario<SimHybridCounter>},
+      {"predicate_sum_race",
+       "check_sum_at_least(a+b>=4) vs interleaved increments: pigeonhole "
+       "triggers recomputed on wake, no early return, no strand",
+       false, &predicate_sum_race_scenario},
+      {"predicate_poison",
+       "Check(v>=5) vs Poison at value 3: CounterPoisonedError under "
+       "every order",
+       false, &predicate_poison_scenario<SimHybridCounter>},
+      {"check_any_race",
+       "check_any over two racing counters: either index legal, winner's "
+       "condition holds, loser residual harmless",
+       false, &check_any_race_scenario},
+      {"executor_handoff",
+       "reached + poison chains through a drained ManualExecutor: "
+       "exactly-once, level order, trailing error",
+       false, &executor_handoff_scenario},
       {"model_weak_watermark",
        "MODEL: watermark store downgraded to relaxed — explorer must find "
        "the lost wakeup",

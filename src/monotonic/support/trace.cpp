@@ -21,6 +21,8 @@ const char* to_string(TraceEventKind kind) {
       return "poison";
     case TraceEventKind::kCollapse:
       return "collapse";
+    case TraceEventKind::kCompletion:
+      return "completion";
     case TraceEventKind::kSpanBegin:
       return "span-begin";
     case TraceEventKind::kSpanEnd:

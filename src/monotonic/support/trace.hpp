@@ -36,6 +36,7 @@ enum class TraceEventKind : std::uint8_t {
   kResume,      ///< parked Check woke (arg = level)
   kPoison,      ///< counter poisoned (arg unused)
   kCollapse,    ///< striped plane collapsed on an Increment (arg = amount)
+  kCompletion,  ///< OnReach callback ran (arg = level)
   kSpanBegin,   ///< user phase begin
   kSpanEnd,     ///< user phase end
   kInstant,     ///< user marker

@@ -1,0 +1,44 @@
+// awaitable_standalone_smoke.cpp — guards the header's standalone
+// contract: monotonic/core/awaitable.hpp must compile as the FIRST and
+// only project include (plus completion.hpp, which makes the same
+// promise), without dragging in the engine.  CI compiles this file as
+// its coroutine smoke check; breaking the include graph breaks the
+// build, not a downstream user.
+#include "monotonic/core/awaitable.hpp"
+
+#include "monotonic/core/completion.hpp"
+
+#include <atomic>
+#include <functional>
+
+namespace {
+
+// A minimal OnReach-capable type: the awaitable needs nothing else
+// from a counter, which is exactly the standalone claim.
+struct FakeCounter {
+  std::function<void()> pending;
+  void OnReach(monotonic::counter_value_t, std::function<void()> fn,
+               std::function<void(std::exception_ptr)>) {
+    pending = std::move(fn);
+  }
+};
+
+monotonic::DetachedTask smoke(FakeCounter& c, std::atomic<int>& state) {
+  const bool reached = co_await monotonic::reach(c, 1);
+  state.store(reached ? 1 : 2);
+}
+
+}  // namespace
+
+int main() {
+  FakeCounter c;
+  std::atomic<int> state{0};
+  smoke(c, state);
+  if (state.load() != 0) return 1;  // must be suspended, not fired
+  c.pending();                      // "reach" the level
+  if (state.load() != 1) return 1;
+  monotonic::InlineExecutor inline_exec;
+  bool ran = false;
+  inline_exec.post([&] { ran = true; });
+  return ran ? 0 : 1;
+}

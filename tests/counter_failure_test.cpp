@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "monotonic/core/any_counter.hpp"
+#include "monotonic/core/awaitable.hpp"
 #include "monotonic/core/broadcast_counter.hpp"
 #include "monotonic/core/counter.hpp"
 #include "monotonic/core/counter_concept.hpp"
@@ -364,6 +365,97 @@ TYPED_TEST(FailureModel, OnReachOnPoisonedCounterAboveFrozen) {
       10, [] { FAIL() << "fn must not run"; },
       [&](std::exception_ptr) { delivered = true; });
   EXPECT_TRUE(delivered);
+}
+
+// --- Predicate waits and the awaitable surface under poison ---------------
+//
+// Check(pred) reduces to an exact threshold before parking, so the
+// poison semantics must match Check(level): a predicate already
+// satisfied by the frozen value succeeds, one that needs more throws.
+// Awaiting coroutines are logical waiters on the same OnReach index —
+// poison must resume them with the error, and a stop request must
+// cancel a suspended frame without firing it.
+
+// state: 0 = pending, 1 = reached, 2 = poisoned, 3 = cancelled.
+template <typename C>
+DetachedTask await_outcome(C& counter, counter_value_t level,
+                           std::atomic<int>& state) {
+  try {
+    co_await reach(counter, level);
+    state.store(1);
+  } catch (const CounterPoisonedError&) {
+    state.store(2);
+  }
+}
+
+template <typename C>
+DetachedTask await_cancellable(C& counter, counter_value_t level,
+                               std::stop_token stop,
+                               std::atomic<int>& state) {
+  try {
+    const bool reached = co_await reach(counter, level, stop);
+    state.store(reached ? 1 : 3);
+  } catch (const CounterPoisonedError&) {
+    state.store(2);
+  }
+}
+
+// Poll until the coroutine publishes an outcome (bounded; the suites
+// run under sanitizers where wakeups can be slow).
+inline int await_state(std::atomic<int>& state) {
+  for (int spin = 0; spin < 2000 && state.load() == 0; ++spin) {
+    std::this_thread::sleep_for(1ms);
+  }
+  return state.load();
+}
+
+TYPED_TEST(FailureModel, PredicateCheckThrowsOnPoisonedBelowThreshold) {
+  this->counter_.Increment(3);
+  this->counter_.Poison(
+      std::make_exception_ptr(std::runtime_error("predicate bane")));
+  // Frozen value 3 already satisfies v >= 3: succeeds like Check(3).
+  this->counter_.Check([](counter_value_t v) { return v >= 3; });
+  // v >= 5 can never be satisfied once frozen at 3.
+  EXPECT_THROW(
+      this->counter_.Check([](counter_value_t v) { return v >= 5; }),
+      CounterPoisonedError);
+}
+
+TYPED_TEST(FailureModel, PredicateCheckWhileParkedThrowsOnPoison) {
+  std::atomic<bool> threw{false};
+  std::jthread waiter([&] {
+    try {
+      this->counter_.Check([](counter_value_t v) { return v >= 10; });
+    } catch (const CounterPoisonedError&) {
+      threw.store(true);
+    }
+  });
+  std::this_thread::sleep_for(20ms);
+  this->counter_.Poison(
+      std::make_exception_ptr(std::runtime_error("parked predicate")));
+  waiter.join();
+  EXPECT_TRUE(threw.load());
+}
+
+TYPED_TEST(FailureModel, AwaitingCoroutineResumesWithPoisonError) {
+  std::atomic<int> state{0};
+  await_outcome(this->counter_, 10, state);
+  this->counter_.Increment(4);  // below the awaited level: stays suspended
+  this->counter_.Poison(
+      std::make_exception_ptr(std::runtime_error("awaited bane")));
+  EXPECT_EQ(await_state(state), 2);
+}
+
+TYPED_TEST(FailureModel, StopTokenCancelsSuspendedCoroutine) {
+  std::atomic<int> state{0};
+  std::stop_source source;
+  await_cancellable(this->counter_, 100, source.get_token(), state);
+  EXPECT_EQ(state.load(), 0);  // level 100 never reached: suspended
+  source.request_stop();
+  EXPECT_EQ(await_state(state), 3);
+  // The counter still works after the cancelled wait.
+  this->counter_.Increment(1);
+  this->counter_.Check(1);
 }
 
 TYPED_TEST(FailureModel, ReasonPoisonHasNullCause) {

@@ -103,7 +103,20 @@ INSTANTIATE_TEST_SUITE_P(
         SpecCase{"sharded:2+hybrid,waitplane=heap:4+traced",
                  "sharded:2+hybrid,waitplane=heap:4+traced"},
         SpecCase{"pooled:16+futex,waitplane=heap",
-                 "pooled:16+futex,waitplane=heap"}));
+                 "pooled:16+futex,waitplane=heap"},
+        // Completion executor: inline is the default and never prints;
+        // pool always prints with its explicit worker count (bare
+        // "pool" means one worker).
+        SpecCase{"hybrid,executor=inline", "hybrid"},
+        SpecCase{"hybrid,executor=pool", "hybrid,executor=pool:1"},
+        SpecCase{"hybrid,executor=pool:1", "hybrid,executor=pool:1"},
+        SpecCase{"hybrid,executor=pool:2", "hybrid,executor=pool:2"},
+        SpecCase{"list,pool=0,executor=pool:4",
+                 "list-nopool,executor=pool:4"},
+        SpecCase{"hybrid,waitplane=heap:4,executor=pool:2",
+                 "hybrid,waitplane=heap:4,executor=pool:2"},
+        SpecCase{"sharded:2+hybrid,executor=pool+traced",
+                 "sharded:2+hybrid,executor=pool:1+traced"}));
 
 // Every enumerated kind round-trips through its kind string.
 TEST(SpecFactory, EveryKindRoundTrips) {
@@ -145,7 +158,10 @@ INSTANTIATE_TEST_SUITE_P(
                       "hybrid,waitplane=list:2", "hybrid,waitplane=bogus",
                       "hybrid,waitplane=heap:0", "hybrid,waitplane=heap:x",
                       "hybrid,waitplane=heap:65",
-                      "hybrid,waitplane="));
+                      "hybrid,waitplane=",
+                      // executor: value must be inline or pool[:N>=1].
+                      "hybrid,executor=bogus", "hybrid,executor=pool:0",
+                      "hybrid,executor=pool:x", "hybrid,executor="));
 
 // Cross-process specs: the name grammar is POSIX shm's, and every
 // rejection must name the bad token like the rest of the grammar.

@@ -78,6 +78,16 @@ static_assert(TimedCounterLike<ShardedHybridCounter>);
 static_assert(IntrospectableCounter<ShardedCounter>);
 static_assert(IntrospectableCounter<ShardedHybridCounter>);
 static_assert(IntrospectableCounter<Traced<ShardedHybridCounter>>);
+static_assert(PredicateCounterLike<Counter>);
+static_assert(PredicateCounterLike<SingleCvCounter>);
+static_assert(PredicateCounterLike<FutexCounter>);
+static_assert(PredicateCounterLike<SpinCounter>);
+static_assert(PredicateCounterLike<HybridCounter>);
+static_assert(PredicateCounterLike<ShardedHybridCounter>);
+static_assert(PredicateCounterLike<Traced<Counter>>);
+static_assert(PredicateCounterLike<Batching<HybridCounter>>);
+static_assert(PredicateCounterLike<Broadcasting<Counter>>);
+static_assert(PredicateCounterLike<AnyHandle>);
 
 // Wrappers that default-construct over the heap wait plane
 // (waitplane=heap — wait_index.hpp), so the typed suite runs the same
@@ -202,6 +212,47 @@ TYPED_TEST(CounterSemantics, CheckBlocksUntilLevelReached) {
   this->counter_.Increment(1);
   waiter.join();
   EXPECT_TRUE(passed.load());
+}
+
+TYPED_TEST(CounterSemantics, PredicateCheckSatisfiedReturnsImmediately) {
+  this->counter_.Increment(5);
+  this->counter_.Check([](counter_value_t v) { return v >= 5; });
+  this->counter_.Check([](counter_value_t v) { return v >= 2; });
+  this->counter_.Check([](counter_value_t) { return true; });
+}
+
+TYPED_TEST(CounterSemantics, PredicateCheckBlocksUntilThresholdReached) {
+  // The engine reduces the monotone predicate to the exact threshold 3
+  // and parks through the ordinary wait plane — a wake at 2 would mean
+  // the reduction (or the rearm) is wrong.
+  std::atomic<bool> passed{false};
+  std::jthread waiter([&] {
+    this->counter_.Check([](counter_value_t v) { return v >= 3; });
+    passed.store(true);
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(passed.load());
+  this->counter_.Increment(2);
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(passed.load()) << "woke below the reduced threshold";
+  this->counter_.Increment(1);
+  waiter.join();
+  EXPECT_TRUE(passed.load());
+}
+
+TYPED_TEST(CounterSemantics, PredicateCheckCancellable) {
+  // v >= 100 is never reached, so the stop request is the only way out
+  // and the return value must say "cancelled".
+  std::stop_source ss;
+  std::atomic<bool> returned{true};
+  std::jthread waiter([&] {
+    returned.store(this->counter_.Check(
+        [](counter_value_t v) { return v >= 100; }, ss.get_token()));
+  });
+  std::this_thread::sleep_for(20ms);
+  ss.request_stop();
+  waiter.join();
+  EXPECT_FALSE(returned.load());
 }
 
 TYPED_TEST(CounterSemantics, SingleIncrementWakesAllLevelsReached) {
@@ -537,8 +588,17 @@ TEST(CounterReset, ResetWithWaitersIsAnError) {
 TEST(CounterReset, ResetWithPendingCallbacksIsAnError) {
   Counter c;
   c.OnReach(5, [] {});
-  EXPECT_THROW(c.Reset(), std::invalid_argument);
-  c.Increment(5);  // run the callback so the counter can wind down
+  c.OnReach(9, [] {});
+  // The error is typed (CounterError) and names every pending level, so
+  // the caller knows which registrations are keeping the counter alive.
+  try {
+    c.Reset();
+    FAIL() << "Reset with pending OnReach callbacks did not throw";
+  } catch (const CounterError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("levels 5, 9"), std::string::npos) << what;
+  }
+  c.Increment(9);  // run the callbacks so the counter can wind down
   c.Reset();
 }
 
