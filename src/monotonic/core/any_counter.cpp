@@ -297,6 +297,10 @@ struct BaseConfig {
   /// never printed).  The executor itself lives in options — this is
   /// the number canonical_base() re-prints.
   std::size_t executor_pool_threads = 0;
+  /// True when the spec named an executor explicitly (even
+  /// "executor=inline") — an ambient default executor passed to
+  /// make_counter(spec, executor) must not override it.
+  bool executor_explicit = false;
   WaitListOptions options;
 };
 
@@ -361,6 +365,7 @@ BaseConfig parse_base(const SpecPart& part, const ShardPrefix& shard,
       }
     } else if (key == "executor") {
       // executor=inline | executor=pool[:N] — the completion plane.
+      cfg.executor_explicit = true;
       if (value == "inline") {
         cfg.executor_pool_threads = 0;
         cfg.options.completion_executor = nullptr;
@@ -732,8 +737,16 @@ std::unique_ptr<AnyCounter> make_counter(CounterKind kind) {
 }
 
 std::unique_ptr<AnyCounter> make_counter(std::string_view spec) {
+  return make_counter(spec, nullptr);
+}
+
+std::unique_ptr<AnyCounter> make_counter(
+    std::string_view spec,
+    std::shared_ptr<CompletionExecutor> default_executor) {
   // "shared:" routes to its own parser before the '+'-split grammar:
   // the name itself contains '/' and the component is indivisible.
+  // Cross-process counters deliver completions from waiter slices, not
+  // an in-process executor, so the injection does not apply.
   if (spec.rfind("shared:", 0) == 0) {
 #if defined(_WIN32)
     throw std::invalid_argument(
@@ -746,7 +759,10 @@ std::unique_ptr<AnyCounter> make_counter(std::string_view spec) {
   const ShardPrefix shard = take_shard_prefix(parts);
   const PoolPrefix pool = take_pool_prefix(parts);
   validate_decorators(parts);
-  const BaseConfig base = parse_base(parts.front(), shard, pool);
+  BaseConfig base = parse_base(parts.front(), shard, pool);
+  if (!base.executor_explicit && default_executor != nullptr) {
+    base.options.completion_executor = std::move(default_executor);
+  }
   return build_layers(parts, base, parts.size() - 1);
 }
 

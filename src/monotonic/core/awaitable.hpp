@@ -38,9 +38,11 @@
 #include <atomic>
 #include <coroutine>
 #include <cstddef>
+#include <cstdio>
 #include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <stop_token>
 #include <tuple>
@@ -242,18 +244,94 @@ WhenAllAwaitable<C...> when_all(ReachAwaitable<C>... conditions) {
   return WhenAllAwaitable<C...>(std::move(conditions)...);
 }
 
+/// What a DetachedTask does with an exception that escapes its body.
+/// Receives the escaped exception; runs on whichever thread resumed
+/// the coroutine (an incrementer, an executor worker, a server event
+/// loop) — keep it cheap and never let it throw.
+using DetachedTaskErrorHandler = std::function<void(std::exception_ptr)>;
+
+namespace detail {
+struct DetachedErrorSlot {
+  std::mutex m;
+  DetachedTaskErrorHandler handler;  ///< empty = default stderr line
+};
+inline DetachedErrorSlot& detached_error_slot() {
+  static DetachedErrorSlot slot;
+  return slot;
+}
+}  // namespace detail
+
+/// Installs the process-wide handler for exceptions escaping
+/// DetachedTask coroutines, returning the previous handler (empty =
+/// the default, which logs one stderr line and drops the exception).
+/// Pass an empty function to restore the default.
+///
+/// A detached coroutine has no joiner, so an escaped exception has no
+/// natural propagation edge — the pre-handler behavior was
+/// std::terminate, which is the wrong failure mode for a server whose
+/// completions are all detached: one poisoned counter reaching an
+/// un-caught `co_await` must not take down every other connection.
+/// The handler is the surviving propagation edge.  A server should
+/// treat it like a producer exception: log it, and Poison the
+/// counters (or FailureDomain) the dead task was serving so its
+/// waiters unblock as CounterPoisonedError instead of hanging —
+/// dropping the exception silently strands them.  Note that an
+/// un-caught poison error from `co_await reach()` itself lands here
+/// too (already-poisoned work needs no re-poisoning, just the log).
+inline DetachedTaskErrorHandler set_detached_task_error_handler(
+    DetachedTaskErrorHandler handler) {
+  auto& slot = detail::detached_error_slot();
+  std::lock_guard<std::mutex> lk(slot.m);
+  std::swap(slot.handler, handler);
+  return handler;
+}
+
 /// Minimal fire-and-forget coroutine type for launching awaiting
-/// work: starts eagerly, detaches, terminates on escaped exceptions
-/// (handle errors inside the body — e.g. catch CounterPoisonedError
-/// around the co_await).  Tests and benches use it; applications with
-/// richer lifetime needs should bring their own task type.
+/// work: starts eagerly and detaches.  An exception that escapes the
+/// body is routed to the process-wide handler
+/// (set_detached_task_error_handler) — by default one stderr line,
+/// never std::terminate — so prefer handling errors inside the body
+/// (e.g. catch CounterPoisonedError around the co_await) where the
+/// task still has context.  Tests, benches and the shard server use
+/// it; applications with richer lifetime needs should bring their own
+/// task type.
 struct DetachedTask {
   struct promise_type {
     DetachedTask get_return_object() noexcept { return {}; }
     std::suspend_never initial_suspend() noexcept { return {}; }
     std::suspend_never final_suspend() noexcept { return {}; }
     void return_void() noexcept {}
-    [[noreturn]] void unhandled_exception() { std::terminate(); }
+    void unhandled_exception() noexcept {
+      DetachedTaskErrorHandler handler;
+      {
+        auto& slot = detail::detached_error_slot();
+        std::lock_guard<std::mutex> lk(slot.m);
+        handler = slot.handler;
+      }
+      std::exception_ptr ep = std::current_exception();
+      if (handler) {
+        try {
+          handler(std::move(ep));
+        } catch (...) {
+          std::fprintf(stderr,
+                       "monotonic: DetachedTask error handler itself threw; "
+                       "exception dropped\n");
+        }
+        return;
+      }
+      try {
+        std::rethrow_exception(ep);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "monotonic: exception escaped a DetachedTask coroutine "
+                     "(dropped): %s\n",
+                     e.what());
+      } catch (...) {
+        std::fprintf(stderr,
+                     "monotonic: non-std::exception escaped a DetachedTask "
+                     "coroutine (dropped)\n");
+      }
+    }
   };
 };
 

@@ -254,7 +254,13 @@ class BasicCounter {
       // The plane publishes the add lock-free (overflow-checked) and
       // reports whether a slow pass is required: the attention bit was
       // set, or the post-increment sum may cross the armed watermark.
-      if (!plane_.add_fast(amount)) {
+      // Degraded pollers hold no wait node, so the armed watermark
+      // cannot see them: while any exist, every increment takes the
+      // slow pass so a value crossing wakes them through the gate
+      // instead of after a nap-cap poll.  One relaxed load; zero when
+      // the counter is unbounded or never overloads.
+      if (!plane_.add_fast(amount) &&
+          degraded_pollers_.load(std::memory_order_relaxed) == 0) {
         stats_.on_fast_increment();
         return;  // fast path: nobody parked below the new value
       }
@@ -290,6 +296,7 @@ class BasicCounter {
         policy_.on_increment_locked(had_waiters, stats_);
         reached = callbacks_.detach_reached(value);
         notify_capacity_locked();  // released levels freed admission room
+        notify_degraded_locked(value);
       }
       policy_.on_increment_unlocked(false);
       complete_chain(reached);
@@ -774,6 +781,9 @@ class BasicCounter {
       // freed every level, and even if it hadn't, their next admission
       // re-check throws/returns per the frozen value.
       notify_capacity_locked();
+      // Degraded pollers likewise: poison settles every level, so wake
+      // them all (kNoDegradedFloor compares >= any published floor).
+      notify_degraded_locked(kNoDegradedFloor);
     }
     policy_.on_increment_unlocked(false);
     complete_chain_error(orphaned, delivered);
@@ -876,6 +886,7 @@ class BasicCounter {
     typename Callbacks::Node* reached = callbacks_.detach_reached(value);
     rearm_locked();
     notify_capacity_locked();  // released levels freed admission room
+    notify_degraded_locked(value);
     return reached;
   }
 
@@ -950,11 +961,36 @@ class BasicCounter {
   }
 
   // kSpinFallback degraded wait: the waiter was refused a wait node, so
-  // it polls the collapsed value instead — relocking m_ per probe with
-  // the environment's spinner backing off in between.  No allocation
-  // and no wait-list presence, so overload cannot cascade into more
-  // overload.  Poison, deadlines and stop tokens stay live because
-  // every probe runs the same checks a parked waiter runs on wake.
+  // it polls the collapsed value instead.  No allocation and no
+  // wait-list presence, so overload cannot cascade into more overload.
+  // Poison, deadlines and stop tokens stay live because every probe
+  // runs the same checks a parked waiter runs on wake.
+  //
+  // Probe pacing is two-phase.  The first kDegradedSpinProbes probes
+  // relock m_ with the environment spinner in between (pause-only) — a
+  // waiter turned away during a momentary burst still wakes in
+  // microseconds.  After that, each probe naps on the capacity gate
+  // with the nap doubling from kDegradedNapFloor up to kDegradedNapCap,
+  // clamped to the caller's deadline.  A fixed sub-millisecond probe
+  // interval here is the E12 storm pathology: 10k degraded waiters
+  // each relocking the engine mutex every ~100µs is ~10^8 lock
+  // round-trips per second demanded of the machine, and every probe
+  // also evicts the line the incrementers need — the degraded plan
+  // costs 170x the kThrow plan it is supposed to undercut.  The gate
+  // nap keeps the probe budget O(waiters / cap) per second, and the
+  // gate (not a raw sleep) keeps the sim deterministic and the mutex
+  // released while napping.
+  //
+  // Naps are not the wake path, only the fallback: a napping poller
+  // registers itself (degraded_pollers_ / degraded_floor_) and the
+  // increment and poison slow paths broadcast the gate the moment the
+  // collapsed value crosses the lowest registered level — see
+  // notify_degraded_locked.  That is what lets the cap sit at 250ms
+  // (a probe budget of O(waiters/cap) ≈ 4/s each) without costing
+  // 250ms of exit latency: under overload the wake is a notify, and
+  // the cap-paced poll only covers value crossings no slow pass
+  // observed.
+  //
   // Returns true when the level was reached, false on deadline/stop
   // (the caller bumps the corresponding stat); throws on poison below
   // the level.
@@ -964,15 +1000,50 @@ class BasicCounter {
                                 deadline,
                             const std::stop_token* stop) {
     stats_.on_degraded_wait();
+    // Registration: counted in on entry, counted out on every exit
+    // (returns and the poison throw all unwind with m_ held).  The
+    // last poller out resets the floor so a dead registration can
+    // never keep increments off the fast path or trigger broadcasts.
+    degraded_pollers_.store(
+        degraded_pollers_.load(std::memory_order_relaxed) + 1);
+    struct PollerScope {
+      BasicCounter& c;
+      ~PollerScope() {
+        const std::size_t left =
+            c.degraded_pollers_.load(std::memory_order_relaxed) - 1;
+        c.degraded_pollers_.store(left);
+        if (left == 0) c.degraded_floor_ = kNoDegradedFloor;
+      }
+    } scope{*this};
     typename Env::SpinWaiter spinner;
+    std::chrono::nanoseconds nap{0};
     for (;;) {
       if (check_poisoned_locked(level)) return true;
       if (collapse_locked() >= level) return true;
       if (stop != nullptr && stop->stop_requested()) return false;
       if (deadline != nullptr && Env::Clock::now() >= *deadline) return false;
-      lock.unlock();
-      spinner.once();
-      lock.lock();
+      if (spinner.spins() < detail::kDegradedSpinProbes) {
+        lock.unlock();
+        spinner.once();
+        lock.lock();
+      } else {
+        nap = nap.count() == 0
+                  ? std::chrono::nanoseconds(detail::kDegradedNapFloor)
+                  : std::min<std::chrono::nanoseconds>(
+                        nap * 2, detail::kDegradedNapCap);
+        auto until = Env::Clock::now() + nap;
+        if (deadline != nullptr) {
+          until = std::min(until, *deadline);
+        }
+        // Publish the level the wake broadcast must cover.  Re-done
+        // before every nap because the broadcast consumes the floor:
+        // a poller the wake did not satisfy re-tightens it here.
+        degraded_floor_ = std::min(degraded_floor_, level);
+        // Gate wakes NOT aimed at us (capacity notifications for
+        // kBlockIncrementers waiters) just cost one early probe; the
+        // nap length is retained, not reset, so backoff still holds.
+        gate_.wait_until(lock, until);
+      }
     }
   }
 
@@ -1009,6 +1080,20 @@ class BasicCounter {
         options_.overload_policy == OverloadPolicy::kBlockIncrementers) {
       gate_.notify_all();
     }
+  }
+
+  // Requires m_.  Wakes degraded pollers once the collapsed value (or
+  // the poison freeze) reaches the lowest level any of them waits for.
+  // The floor is CONSUMED by the broadcast: pollers the wake does not
+  // satisfy re-publish their level before the next nap, so a value
+  // crossing costs one broadcast total — not one per later increment
+  // against a stale floor.  No-op (one relaxed load) while nobody is
+  // degraded, i.e. always, outside an overload.
+  void notify_degraded_locked(counter_value_t value) {
+    if (degraded_pollers_.load(std::memory_order_relaxed) == 0) return;
+    if (value < degraded_floor_) return;
+    degraded_floor_ = kNoDegradedFloor;
+    gate_.notify_all();
   }
 
   void park(std::unique_lock<typename Env::Mutex>& lock,
@@ -1186,7 +1271,20 @@ class BasicCounter {
   // Admission gate for OverloadPolicy::kBlockIncrementers: over-cap
   // waiters nap here (m_ released) until capacity frees — woken by
   // leave/release/abort transitions via notify_capacity_locked.
+  // kSpinFallback degraded pollers nap on the same gate, woken by
+  // value/poison transitions via notify_degraded_locked.
   typename Env::CondVar gate_;
+
+  // Degraded-poller wake state (kSpinFallback).  degraded_pollers_
+  // counts waiters currently inside degraded_wait_locked;
+  // degraded_floor_ is the lowest level any napping poller has
+  // published (kNoDegradedFloor when none).  Both are written only
+  // under m_; the counter is atomic solely so the lock-free Increment
+  // fast path can ask "anyone degraded?" without taking the lock.
+  static constexpr counter_value_t kNoDegradedFloor =
+      std::numeric_limits<counter_value_t>::max();
+  typename Env::template Atomic<std::size_t> degraded_pollers_{0};
+  counter_value_t degraded_floor_ = kNoDegradedFloor;
 
   // Poison state.  The three payload fields are written under m_
   // strictly before the release-store of poisoned_ and never mutated

@@ -47,6 +47,7 @@
 #include <array>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <limits>
@@ -157,6 +158,34 @@ namespace detail {
 /// each) and switches to sort-merge-discard over the shard arrays —
 /// see LevelShard's bulk-drain block (wait_index.hpp).
 inline constexpr std::size_t kBulkWakeThreshold = 64;
+
+/// kSpinFallback relock-poll pacing (degraded_wait_locked in
+/// basic_counter.hpp).  The first kDegradedSpinProbes probes ride the
+/// environment spinner so a waiter denied admission during a short
+/// burst still wakes in microseconds; the count stays BELOW the
+/// spinner's yield threshold (SpinBackoff pauses for its first ten
+/// iterations) because a 10k-waiter storm each burning a yield phase
+/// floods the run queue and starves everything else — E12 measured
+/// the storm's thread-spawn loop alone at ~35 s with yields in the
+/// probe budget.  Past the probes, each poll sleeps on the engine's
+/// capacity gate with the nap doubling from kDegradedNapFloor to
+/// kDegradedNapCap: N degraded waiters then demand O(N / cap) mutex
+/// acquisitions per second instead of O(N / 100µs), which is the
+/// difference between the storm degrading and it monopolizing every
+/// core re-locking the engine mutex (E12 measured 11.8 ms/op before
+/// the cap, ~170x the kThrow policy's cost).
+///
+/// The cap can sit this high because naps are only the FALLBACK wake
+/// path: napping pollers register a level floor with the engine and
+/// the increment/poison slow paths broadcast the gate the moment the
+/// value crosses it (notify_degraded_locked in basic_counter.hpp), so
+/// a 250ms cap costs microseconds of exit latency, not 250ms.  At
+/// 20ms, E12's 10k-waiter storm still demanded ~500k relock wakeups
+/// per second during its spawn ramp — enough to saturate a core
+/// before the first increment arrived.
+inline constexpr std::uint32_t kDegradedSpinProbes = 4;
+inline constexpr std::chrono::microseconds kDegradedNapFloor{100};
+inline constexpr std::chrono::milliseconds kDegradedNapCap{250};
 }  // namespace detail
 
 /// Node-pooling and failure-diagnostic knobs, common to every policy.

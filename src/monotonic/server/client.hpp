@@ -1,0 +1,370 @@
+// client.hpp — blocking client for the counter shard server.
+//
+// One connection, one stream, pipelined: every request carries a
+// req_id and the server may answer out of order (a parked Check
+// answers whenever its level is reached, long after later requests).
+// The client therefore reads responses into a stash keyed by req_id;
+// a blocking call drains the socket until its own id surfaces, filing
+// everything else for the callers that are still waiting.  That makes
+// the async pattern natural:
+//
+//   ServerClient c = ServerClient::connect_uds("/tmp/mc.sock");
+//   const auto opened = c.open("jobs/done");
+//   std::uint64_t rid = c.on_reach_async(opened.id, 100);  // parks server-side
+//   c.increment(opened.id, 100);
+//   c.await_reach(rid);                                    // already fired
+//
+// Wire errors surface typed, mirroring the engine taxonomy:
+// kPoisoned → CounterPoisonedError, kOverloaded →
+// CounterOverloadedError, kUnknownCounter / kBadRequest →
+// std::invalid_argument, kShuttingDown → CounterError.
+//
+// Header-only and deliberately synchronous — the server parks
+// connections, so one client thread with pipelining goes a long way;
+// open a second connection when you need concurrent blocking waits
+// from one process (or use on_reach_async and collect).
+#pragma once
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <system_error>
+#include <unordered_map>
+#include <utility>
+
+#include "monotonic/core/counter_error.hpp"
+#include "monotonic/server/protocol.hpp"
+
+namespace monotonic::server {
+
+class ServerClient {
+ public:
+  struct Response {
+    Status status = Status::kOk;
+    std::uint64_t req_id = 0;
+    std::string body;
+  };
+
+  struct Opened {
+    std::uint64_t id = 0;
+    std::uint64_t value = 0;
+  };
+
+  static ServerClient connect_uds(const std::string& path) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw_errno("socket(AF_UNIX)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+      ::close(fd);
+      throw std::invalid_argument("uds path too long: " + path);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      const int err = errno;
+      ::close(fd);
+      throw std::system_error(err, std::generic_category(),
+                              "connect(" + path + ")");
+    }
+    return ServerClient(fd);
+  }
+
+  static ServerClient connect_tcp(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw_errno("socket(AF_INET)");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      const int err = errno;
+      ::close(fd);
+      throw std::system_error(err, std::generic_category(), "connect(tcp)");
+    }
+    return ServerClient(fd);
+  }
+
+  ServerClient(ServerClient&& o) noexcept
+      : fd_(o.fd_), next_req_(o.next_req_), stash_(std::move(o.stash_)) {
+    o.fd_ = -1;
+  }
+  ServerClient& operator=(ServerClient&& o) noexcept {
+    if (this != &o) {
+      close();
+      fd_ = o.fd_;
+      next_req_ = o.next_req_;
+      stash_ = std::move(o.stash_);
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  ServerClient(const ServerClient&) = delete;
+  ServerClient& operator=(const ServerClient&) = delete;
+  ~ServerClient() { close(); }
+
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  int fd() const noexcept { return fd_; }
+
+  // ---- counter operations -----------------------------------------
+
+  /// Opens (or reopens) a named logical counter.  Empty spec = the
+  /// server default; the spec is ignored when the name already exists.
+  Opened open(std::string_view name, std::string_view spec = "") {
+    std::string body;
+    put_str16(body, name);
+    put_str16(body, spec);
+    const Response resp = request(Op::kOpen, body);
+    raise_unless(resp, Status::kOk);
+    Reader r(resp.body);
+    Opened opened;
+    if (!r.get_u64(opened.id) || !r.get_u64(opened.value)) {
+      throw std::runtime_error("Open: short response body");
+    }
+    return opened;
+  }
+
+  /// Acked increment: waits for the server's kOk (or raises the typed
+  /// error — incrementing a poisoned counter answers kPoisoned).
+  void increment(std::uint64_t id, std::uint64_t amount = 1) {
+    const Response resp = request(Op::kIncrement, increment_body(id, amount,
+                                                                /*ack=*/true));
+    raise_unless(resp, Status::kOk);
+  }
+
+  /// Fire-and-forget increment: no response, no confirmation — the
+  /// open-loop bench's write side.
+  void increment_noack(std::uint64_t id, std::uint64_t amount = 1) {
+    send_frame(Op::kIncrement, next_req_++,
+               increment_body(id, amount, /*ack=*/false));
+  }
+
+  /// Blocking wait: parks the CONNECTION server-side until `level` is
+  /// reached.  Returns the server's value lower bound at fire time.
+  std::uint64_t check(std::uint64_t id, std::uint64_t level) {
+    std::string body;
+    put_u64(body, id);
+    put_u64(body, level);
+    const Response resp = request(Op::kCheck, body);
+    raise_unless(resp, Status::kReached);
+    return read_value(resp);
+  }
+
+  /// Timed wait; true (and *value_out) iff reached before the timeout.
+  bool check_for(std::uint64_t id, std::uint64_t level,
+                 std::chrono::nanoseconds timeout,
+                 std::uint64_t* value_out = nullptr) {
+    std::string body;
+    put_u64(body, id);
+    put_u64(body, level);
+    put_u64(body, static_cast<std::uint64_t>(
+                      timeout.count() < 0 ? 0 : timeout.count()));
+    const Response resp = request(Op::kCheckFor, body);
+    if (resp.status == Status::kTimedOut) return false;
+    raise_unless(resp, Status::kReached);
+    if (value_out != nullptr) *value_out = read_value(resp);
+    return true;
+  }
+
+  /// Registers a wait without blocking; returns the req_id to pass to
+  /// await_reach (or await_response) later.  The wait parks
+  /// server-side immediately — thousands can ride one connection.
+  std::uint64_t on_reach_async(std::uint64_t id, std::uint64_t level) {
+    std::string body;
+    put_u64(body, id);
+    put_u64(body, level);
+    const std::uint64_t req_id = next_req_++;
+    send_frame(Op::kOnReach, req_id, body);
+    return req_id;
+  }
+
+  /// Blocks until the async wait `req_id` fires; returns the value.
+  std::uint64_t await_reach(std::uint64_t req_id) {
+    const Response resp = await_response(req_id);
+    raise_unless(resp, Status::kReached);
+    return read_value(resp);
+  }
+
+  void poison(std::uint64_t id, std::string_view reason) {
+    std::string body;
+    put_u64(body, id);
+    put_str16(body, reason);
+    const Response resp = request(Op::kPoison, body);
+    raise_unless(resp, Status::kOk);
+  }
+
+  /// Stats pairs for one counter, or the server-wide gauges (id 0).
+  std::map<std::string, std::uint64_t> stats(std::uint64_t id = 0) {
+    std::string body;
+    put_u64(body, id);
+    const Response resp = request(Op::kStats, body);
+    raise_unless(resp, Status::kOk);
+    Reader r(resp.body);
+    std::uint32_t n = 0;
+    if (!r.get_u32(n)) throw std::runtime_error("Stats: short response");
+    std::map<std::string, std::uint64_t> out;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::string_view key;
+      std::uint64_t value = 0;
+      if (!r.get_str16(key) || !r.get_u64(value)) {
+        throw std::runtime_error("Stats: truncated pair");
+      }
+      out.emplace(std::string(key), value);
+    }
+    return out;
+  }
+
+  // ---- low-level surface (robustness tests drive these) -----------
+
+  /// Sends one well-formed frame.
+  void send_frame(Op op, std::uint64_t req_id, std::string_view body) {
+    send_raw(make_frame(static_cast<std::uint8_t>(op), req_id, body));
+  }
+
+  /// Sends arbitrary bytes — corrupt frames, truncated frames, half a
+  /// length prefix.  The robustness tests live on this.
+  void send_raw(std::string_view bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("write");
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Sends a request and blocks for ITS response (stashing others).
+  Response request(Op op, std::string_view body) {
+    const std::uint64_t req_id = next_req_++;
+    send_frame(op, req_id, body);
+    return await_response(req_id);
+  }
+
+  /// Blocks until the response for `req_id` arrives.  Out-of-order
+  /// responses (pipelined requests, parked waits) are stashed for
+  /// their own await calls.
+  Response await_response(std::uint64_t req_id) {
+    if (auto it = stash_.find(req_id); it != stash_.end()) {
+      Response resp = std::move(it->second);
+      stash_.erase(it);
+      return resp;
+    }
+    for (;;) {
+      Response resp = read_response();
+      if (resp.req_id == req_id) return resp;
+      stash_.emplace(resp.req_id, std::move(resp));
+    }
+  }
+
+  /// Reads the next response frame off the wire, whatever its req_id.
+  Response read_response() {
+    std::uint8_t lenbuf[4];
+    read_exact(lenbuf, 4);
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(lenbuf[i]) << (8 * i);
+    }
+    if (len < 9 || len > kMaxFramePayload) {
+      throw std::runtime_error("response frame with bad length " +
+                               std::to_string(len));
+    }
+    std::string payload(len, '\0');
+    read_exact(payload.data(), len);
+    Reader r(payload);
+    std::uint8_t status = 0;
+    Response resp;
+    r.get_u8(status);
+    r.get_u64(resp.req_id);
+    resp.status = static_cast<Status>(status);
+    resp.body.assign(payload, 9, std::string::npos);
+    return resp;
+  }
+
+ private:
+  explicit ServerClient(int fd) : fd_(fd) {}
+
+  [[noreturn]] static void throw_errno(const char* what) {
+    throw std::system_error(errno, std::generic_category(), what);
+  }
+
+  static std::string increment_body(std::uint64_t id, std::uint64_t amount,
+                                    bool ack) {
+    std::string body;
+    put_u64(body, id);
+    put_u64(body, amount);
+    put_u8(body, ack ? 0 : kIncrementNoAck);
+    return body;
+  }
+
+  static std::uint64_t read_value(const Response& resp) {
+    Reader r(resp.body);
+    std::uint64_t value = 0;
+    r.get_u64(value);
+    return value;
+  }
+
+  static std::string body_message(const Response& resp) {
+    Reader r(resp.body);
+    std::string_view msg;
+    if (r.get_str16(msg)) return std::string(msg);
+    return std::string(to_string(resp.status));
+  }
+
+  /// Maps an unexpected wire status onto the engine's typed taxonomy.
+  static void raise_unless(const Response& resp, Status want) {
+    if (resp.status == want) return;
+    switch (resp.status) {
+      case Status::kPoisoned:
+        throw CounterPoisonedError(body_message(resp));
+      case Status::kOverloaded:
+        throw CounterOverloadedError(body_message(resp));
+      case Status::kUnknownCounter:
+      case Status::kBadRequest:
+        throw std::invalid_argument(body_message(resp));
+      case Status::kShuttingDown:
+        throw CounterError("server shutting down");
+      default:
+        throw std::runtime_error("unexpected response status " +
+                                 std::string(to_string(resp.status)));
+    }
+  }
+
+  void read_exact(void* dst, std::size_t n) {
+    char* p = static_cast<char*>(dst);
+    while (n > 0) {
+      const ssize_t got = ::read(fd_, p, n);
+      if (got == 0) {
+        throw std::runtime_error("server closed the connection");
+      }
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("read");
+      }
+      p += got;
+      n -= static_cast<std::size_t>(got);
+    }
+  }
+
+  int fd_ = -1;
+  std::uint64_t next_req_ = 1;
+  std::unordered_map<std::uint64_t, Response> stash_;
+};
+
+}  // namespace monotonic::server

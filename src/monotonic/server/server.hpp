@@ -1,0 +1,136 @@
+// server.hpp — the counter-as-a-service shard server.
+//
+// The engine synchronizes threads in one process; the ROADMAP's
+// production story is millions of *users*.  This server is the bridge:
+// one event-loop thread multiplexes any number of client connections
+// (UNIX-domain socket first, optional loopback TCP) over N engine
+// shards, each logical counter a named `make_counter` instance picked
+// by name hash — so "millions of named counters" costs millions of
+// map entries, not millions of threads, and a hot counter still gets
+// the striped value plane and sharded wait index underneath.
+//
+// The three engine mechanisms this PR-stack built are exactly the
+// three a server needs, and each is reused rather than reinvented:
+//
+//   * parked waits ride the completion plane: a blocking Check parks a
+//     CONNECTION as an OnReach registration firing on the shared
+//     ThreadPoolExecutor (injected into every counter via
+//     make_counter(spec, executor)), which posts a completion record
+//     back to the event loop through the wakeup pipe — no server
+//     thread ever blocks on a counter;
+//   * write-side batching rides BatchingIncrementer: increments
+//     accumulate per counter per event-loop tick (sub-batches flush
+//     themselves at batch_size, the remainder flushes at tick end and
+//     before any read of the same counter, preserving read-your-writes);
+//   * admission control rides OverloadPolicy: when parked waits exceed
+//     max_parked_waits the policy decides — kThrow answers
+//     kOverloaded (typed client-side as CounterOverloadedError),
+//     kSpinFallback demotes the wait to a server-side poll list probed
+//     each tick (no engine registration, mirroring the engine's
+//     degraded wait), kBlockIncrementers stops reading the offending
+//     connection until capacity frees (backpressure the client's own
+//     pipelined increments feel through the socket buffer).
+//
+// Poison propagates end-to-end: a producer's Poison reaches parked
+// connections through OnReach's on_error channel and is answered as a
+// typed kPoisoned frame carrying the reason.
+//
+// A connection that dies while parked does not leak: its wait
+// registrations are tombstoned (an atomic claim raced against the
+// completion firing), the parked_waits gauge drops immediately, and a
+// late engine fire is a no-op against the tombstone — observable via
+// the Stats op ("parked_waits"), which the robustness test pins.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "monotonic/core/wait_list.hpp"  // OverloadPolicy
+#include "monotonic/support/config.hpp"
+
+namespace monotonic::server {
+
+struct ServerOptions {
+  /// Filesystem path for the UNIX-domain listener ("" = no UDS).
+  /// Unlinked on bind and again on shutdown.
+  std::string uds_path;
+  /// Loopback TCP listener port (0 = no TCP).  Pass a port of your
+  /// choice or leave 0 and use UDS; tcp_port() reports the bound port
+  /// when you pass 0 but set `tcp_any_port`.
+  std::uint16_t tcp_port = 0;
+  /// Bind TCP on an ephemeral port even when tcp_port == 0.
+  bool tcp_any_port = false;
+  /// Engine shards: logical counters are distributed by name hash.
+  std::size_t shards = 4;
+  /// Spec for counters opened with an empty spec string.
+  std::string default_spec = "pooled:64+hybrid";
+  /// Workers of the one completion pool shared by every counter.
+  std::size_t executor_threads = 2;
+  /// Write-side batching: sub-batch size per counter per tick (1
+  /// disables batching — every increment hits the engine directly).
+  counter_value_t batch_size = 64;
+  /// Admission control for parked waits across all connections
+  /// (0 = unlimited).
+  std::size_t max_parked_waits = 0;
+  /// What to do with a wait that admission turns away; see the header
+  /// comment for the wire semantics of each policy.
+  OverloadPolicy overload_policy = OverloadPolicy::kThrow;
+  /// Cap on open logical counters (0 = unlimited); excess Opens are
+  /// answered kOverloaded.
+  std::size_t max_counters = 0;
+};
+
+/// Server-wide gauges and counters, surfaced by the Stats op with
+/// counter_id 0 (each field a self-describing key/value pair on the
+/// wire) and by stats() in-process.
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_open = 0;
+  std::uint64_t counters_open = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t parked_waits = 0;       ///< live parked Check/OnReach waits
+  std::uint64_t degraded_polls = 0;     ///< waits demoted to the tick poll list
+  std::uint64_t gated_connections = 0;  ///< connections under backpressure
+  std::uint64_t overload_rejections = 0;
+  std::uint64_t batched_increments = 0; ///< increments absorbed into a batch
+  std::uint64_t flushes = 0;            ///< batcher flushes (tick + read-side)
+  std::uint64_t protocol_errors = 0;    ///< bad frames answered or dropped
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+/// The event-loop server.  Construct, Start(), connect clients
+/// (client.hpp), Stop() — Stop drains nothing: parked waits die with
+/// the process, like parked threads would.
+class CounterServer {
+ public:
+  explicit CounterServer(ServerOptions options);
+  ~CounterServer();
+
+  CounterServer(const CounterServer&) = delete;
+  CounterServer& operator=(const CounterServer&) = delete;
+
+  /// Binds the listeners and spawns the event-loop thread.  Throws
+  /// std::system_error when a listener cannot be bound.
+  void Start();
+
+  /// Wakes the loop, joins it, closes every fd.  Idempotent.
+  void Stop();
+
+  /// Actual TCP port (after Start with tcp_any_port), 0 when no TCP.
+  std::uint16_t tcp_port() const noexcept;
+
+  /// In-process snapshot of the server-wide stats.
+  ServerStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace monotonic::server

@@ -444,5 +444,81 @@ TEST(AnyHandleTest, AwaitableOverTypeErasedCounter) {
   EXPECT_EQ(poll_state(state), 1);
 }
 
+// ----------------------------------- detached-coroutine error routing
+
+/// Restores the previous DetachedTask error handler on scope exit so a
+/// failing test can't poison later ones.
+class ScopedDetachedHandler {
+ public:
+  explicit ScopedDetachedHandler(DetachedTaskErrorHandler h)
+      : prev_(set_detached_task_error_handler(std::move(h))) {}
+  ~ScopedDetachedHandler() { set_detached_task_error_handler(std::move(prev_)); }
+
+ private:
+  DetachedTaskErrorHandler prev_;
+};
+
+template <typename C>
+DetachedTask throw_after_reach(C& counter, counter_value_t level) {
+  co_await reach(counter, level);
+  throw std::runtime_error("boom after resume");
+}
+
+TEST(DetachedTaskErrorTest, EscapedExceptionRoutesToHandlerNotTerminate) {
+  std::atomic<int> calls{0};
+  std::string message;
+  ScopedDetachedHandler guard([&](std::exception_ptr ep) {
+    try {
+      std::rethrow_exception(ep);
+    } catch (const std::runtime_error& e) {
+      message = e.what();
+      calls.fetch_add(1);
+    }
+  });
+
+  Counter c;
+  throw_after_reach(c, 2);
+  // Resuming the coroutine makes its body throw; without the handler
+  // seam this Increment would std::terminate the process.
+  c.Increment(2);
+  for (int spin = 0; spin < 2000 && calls.load() == 0; ++spin) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(message, "boom after resume");
+}
+
+TEST(DetachedTaskErrorTest, UncaughtPoisonFromAwaitLandsInHandler) {
+  std::atomic<bool> saw_poison{false};
+  ScopedDetachedHandler guard([&](std::exception_ptr ep) {
+    try {
+      std::rethrow_exception(ep);
+    } catch (const CounterPoisonedError&) {
+      saw_poison.store(true);
+    } catch (...) {
+    }
+  });
+
+  Counter c;
+  std::atomic<int> state{0};
+  await_level(c, 5, state);  // body has no try/catch around co_await
+  c.Poison(std::make_exception_ptr(CounterPoisonedError("producer died")));
+  for (int spin = 0; spin < 2000 && !saw_poison.load(); ++spin) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_TRUE(saw_poison.load());
+  EXPECT_EQ(state.load(), 0);  // the task died before its store
+}
+
+TEST(DetachedTaskErrorTest, SetHandlerReturnsPreviousAndEmptyRestoresDefault) {
+  DetachedTaskErrorHandler first = [](std::exception_ptr) {};
+  auto prev0 = set_detached_task_error_handler(first);
+  auto prev1 = set_detached_task_error_handler({});  // back to default
+  EXPECT_TRUE(static_cast<bool>(prev1));              // got `first` back
+  auto prev2 = set_detached_task_error_handler(std::move(prev0));
+  EXPECT_FALSE(static_cast<bool>(prev2));             // default slot is empty
+  set_detached_task_error_handler(std::move(prev2));
+}
+
 }  // namespace
 }  // namespace monotonic

@@ -2,22 +2,27 @@
 # Runs the counter benches with machine-readable output and merges
 # their JSONL records into one BENCH_counter.json array.
 #
-#   tools/run_bench.sh [--quick] [build-dir] [output-json]
+#   tools/run_bench.sh [--quick|--tables] [build-dir] [output]
 #
 # Defaults: build/ and BENCH_counter.json in the repo root.  --quick
 # shrinks workloads and skips the microbenchmark matrix / slowest
 # ablations (what CI's bench-smoke job runs).  Each record carries
 # op, impl (canonical spec), threads, ns_per_op, and stripes.
+#
+# --tables switches to the human-readable collector (the old
+# tools/run_benches.sh): it runs EVERY bench_* binary with default
+# (table) output and concatenates the tables into one text file
+# (default bench_output.txt) instead of emitting JSON.
 set -u
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
 quick=""
-if [ "${1:-}" = "--quick" ]; then
-  quick="--quick"
-  shift
-fi
+tables=""
+case "${1:-}" in
+  --quick)  quick="--quick"; shift ;;
+  --tables) tables=1; shift ;;
+esac
 build_dir="${1:-$repo_root/build}"
-out_file="${2:-$repo_root/BENCH_counter.json}"
 
 if [ ! -d "$build_dir/bench" ]; then
   echo "error: $build_dir/bench not found — build first:" >&2
@@ -25,11 +30,29 @@ if [ ! -d "$build_dir/bench" ]; then
   exit 1
 fi
 
+if [ -n "$tables" ]; then
+  out_file="${2:-$repo_root/bench_output.txt}"
+  : > "$out_file"
+  status=0
+  for b in "$build_dir"/bench/bench_*; do
+    [ -x "$b" ] || continue
+    echo "### $(basename "$b")" | tee -a "$out_file"
+    if ! "$b" >> "$out_file" 2>&1; then
+      echo "FAILED: $b" | tee -a "$out_file"
+      status=1
+    fi
+    echo >> "$out_file"
+  done
+  echo "wrote $out_file"
+  exit $status
+fi
+
+out_file="${2:-$repo_root/BENCH_counter.json}"
 jsonl="$(mktemp)"
 trap 'rm -f "$jsonl"' EXIT
 
 status=0
-for b in bench_counter_ops bench_counter_impl bench_shared; do
+for b in bench_counter_ops bench_counter_impl bench_shared bench_server; do
   bin="$build_dir/bench/$b"
   if [ ! -x "$bin" ]; then
     echo "missing bench binary: $bin" >&2
