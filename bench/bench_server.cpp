@@ -25,6 +25,24 @@
 // cost times two (batching amortizes the write side); p50 within a
 // small multiple of a UDS round trip; p99 bounded by the event-loop
 // tick cadence, not the counter count.
+//
+// Experiment E17 (fault tolerance, this PR) rides in the same binary:
+//
+//   E17.a server_recovery     wall time to Start() a server that must
+//                             restore N named counters, divided by N —
+//                             measured twice: from a journal alone (the
+//                             crash-shaped worst case: every op
+//                             replayed) and from a snapshot (the
+//                             drained best case: one sequential read).
+//                             Reported ns are per restored counter so
+//                             the row is scale-free.
+//   E17.b server_retry_storm  C reconnecting clients are mid-workload
+//                             when the server is crash-stopped; after a
+//                             fixed downtime the server restarts and
+//                             the row reports the worst client's time
+//                             from listener-up to its increment acked —
+//                             reconnect, re-Hello, id remap, and the
+//                             jittered backoff spread, end to end.
 
 #include <cstdio>
 
@@ -44,6 +62,7 @@ int main(int argc, char** argv) {
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <random>
@@ -345,6 +364,156 @@ void run_e16() {
   server.Stop();
 }
 
+std::string state_path() {
+  return "/tmp/mc-e17-" + std::to_string(::getpid()) + ".state";
+}
+
+ms::ServerOptions e17_options() {
+  ms::ServerOptions opts;
+  opts.uds_path = sock_path();
+  opts.state_file = state_path();
+  opts.default_spec = "hybrid";
+  // The bench measures restore cost, not disk sync cost: fsync per
+  // tick would time the device, and the recovery suite already proves
+  // the acked-implies-durable ordering with it on.
+  opts.journal_fsync = false;
+  return opts;
+}
+
+void run_e17() {
+  banner("E17", "fault tolerance: crash recovery and retry storm");
+
+  const std::size_t n_counters = g_quick ? 2'000 : 10'000;
+
+  // Populate: N named counters, one acked increment each, through a
+  // pipelined window — all of it lands in the journal (no snapshot is
+  // ever written on this path), so the first restart below replays
+  // every record.
+  {
+    ms::CounterServer server(e17_options());
+    server.Start();
+    ms::ServerClient c = ms::ServerClient::connect_uds(sock_path());
+    const std::vector<std::uint64_t> ids = open_range(c, 0, n_counters);
+    constexpr std::size_t kWindow = 512;
+    std::size_t sent = 0, received = 0;
+    while (received < n_counters) {
+      while (sent < n_counters && sent - received < kWindow) {
+        c.send_raw(increment_frame(kReqBase + sent, ids[sent]));
+        ++sent;
+      }
+      (void)c.read_response();
+      ++received;
+    }
+    server.Stop();  // crash-shaped: journal only, worst-case replay
+  }
+
+  // E17.a, journal path: restore = parse + re-open + re-apply N ops.
+  double journal_ns = 0;
+  {
+    const auto t0 = Clock::now();
+    ms::CounterServer server(e17_options());
+    server.Start();
+    journal_ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+    if (server.stats().restored_counters != n_counters) {
+      throw std::runtime_error("E17: journal restore lost counters");
+    }
+    server.Drain();  // writes the compacted snapshot the next leg reads
+  }
+
+  // E17.a, snapshot path: restore = one sequential file read.
+  double snapshot_ns = 0;
+  {
+    const auto t0 = Clock::now();
+    ms::CounterServer server(e17_options());
+    server.Start();
+    snapshot_ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+    if (server.stats().restored_counters != n_counters) {
+      throw std::runtime_error("E17: snapshot restore lost counters");
+    }
+    server.Stop();
+  }
+
+  const double journal_per = journal_ns / static_cast<double>(n_counters);
+  const double snapshot_per = snapshot_ns / static_cast<double>(n_counters);
+  TextTable recovery({"restore from", "counters", "total ms", "ns/counter"});
+  char jms[32], sms[32];
+  std::snprintf(jms, sizeof jms, "%.2f", journal_ns / 1e6);
+  std::snprintf(sms, sizeof sms, "%.2f", snapshot_ns / 1e6);
+  recovery.add_row({"journal replay", std::to_string(n_counters), jms,
+                    std::to_string(static_cast<long>(journal_per))});
+  recovery.add_row({"snapshot", std::to_string(n_counters), sms,
+                    std::to_string(static_cast<long>(snapshot_per))});
+  bench::print(recovery);
+  g_json.record_levels("server_recovery", "journal-replay", 1, journal_per, 1,
+                       n_counters);
+  g_json.record_levels("server_recovery", "snapshot", 1, snapshot_per, 1,
+                       n_counters);
+
+  // E17.b: the retry storm.  Clients with retry enabled are cut off by
+  // a crash-stop, spin their capped jittered backoff against a dead
+  // socket path through a fixed downtime, then race to reconnect when
+  // the restarted listener appears.  The row is the WORST client's
+  // listener-up -> increment-acked time: the tail a fleet feels.
+  const int kClients = 8;
+  std::vector<ms::ServerClient> clients;
+  std::vector<std::uint64_t> client_ids(kClients, 0);
+  {
+    ms::CounterServer server(e17_options());
+    server.Start();
+    ms::ClientOptions copts;
+    copts.retry.enabled = true;
+    copts.retry.backoff_initial = std::chrono::milliseconds(5);
+    copts.retry.backoff_max = std::chrono::milliseconds(100);
+    for (int i = 0; i < kClients; ++i) {
+      clients.push_back(ms::ServerClient::connect_uds(sock_path(), copts));
+      client_ids[i] =
+          clients[i].open("e17/storm" + std::to_string(i)).id;
+      clients[i].increment(client_ids[i]);
+    }
+    server.Stop();  // the crash
+  }
+  std::vector<double> done_ns(kClients, 0);
+  std::atomic<bool> listener_up{false};
+  Clock::time_point up_at{};
+  std::vector<std::thread> storm;
+  for (int i = 0; i < kClients; ++i) {
+    storm.emplace_back([&, i] {
+      clients[i].increment(client_ids[i]);  // blocks in recover()
+      const auto now = Clock::now();
+      if (!listener_up.load(std::memory_order_acquire)) {
+        done_ns[i] = -1;  // acked before the restart?!
+        return;
+      }
+      done_ns[i] =
+          std::chrono::duration<double, std::nano>(now - up_at).count();
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // downtime
+  ms::CounterServer revived(e17_options());
+  up_at = Clock::now();
+  listener_up.store(true, std::memory_order_release);
+  revived.Start();
+  for (auto& t : storm) t.join();
+  double worst = 0;
+  for (const double d : done_ns) {
+    if (d < 0) throw std::runtime_error("E17: increment acked with no server");
+    worst = std::max(worst, d);
+  }
+  char wms[32];
+  std::snprintf(wms, sizeof wms, "%.2f", worst / 1e6);
+  TextTable stormt({"clients", "downtime ms", "worst reconnect ms"});
+  stormt.add_row({std::to_string(kClients), "50", wms});
+  bench::print(stormt);
+  g_json.record_levels("server_retry_storm", "kill-restart", kClients, worst,
+                       1, 0);
+  clients.clear();
+  revived.Stop();
+  ::unlink(state_path().c_str());
+  ::unlink((state_path() + ".journal").c_str());
+}
+
 }  // namespace
 }  // namespace monotonic
 
@@ -353,6 +522,7 @@ int main(int argc, char** argv) {
   monotonic::g_quick = opts.quick;
   monotonic::g_json = monotonic::bench::JsonlWriter(opts.json_path);
   monotonic::run_e16();
+  monotonic::run_e17();
   return 0;
 }
 

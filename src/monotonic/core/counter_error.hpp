@@ -132,6 +132,52 @@ class CounterResourceError : public CounterError {
   using CounterError::CounterError;
 };
 
+/// Thrown by the service-plane client (server/client.hpp) when an I/O
+/// deadline expires: the server stopped answering within
+/// ClientOptions::io_timeout (or a connect attempt blew past
+/// connect_timeout), and the caller opted for a typed error instead of
+/// an unbounded hang.  Recoverable — the server may merely be slow;
+/// retrying (or enabling the client's retry policy) is legitimate.
+/// Monotonicity makes the retry safe: an Increment that DID land
+/// before the timeout only moves the value up, so re-arming the same
+/// Check or re-sending the same deduplicated Increment cannot
+/// double-count or regress.
+class CounterTimeoutError : public CounterError {
+ public:
+  using CounterError::CounterError;
+};
+
+/// Thrown by the service-plane client when a reconnect lands on a
+/// server running a DIFFERENT epoch (the server restarted and restored
+/// its name table from the snapshot) and the caller opted out of
+/// transparent re-resolution (RetryPolicy::transparent_reresolve =
+/// false).  Every counter id minted under the old epoch is invalid;
+/// the caller must re-resolve names before continuing.
+class CounterEpochChangedError : public CounterError {
+ public:
+  CounterEpochChangedError(const std::string& what, std::uint64_t old_epoch,
+                           std::uint64_t new_epoch)
+      : CounterError(what), old_epoch_(old_epoch), new_epoch_(new_epoch) {}
+
+  std::uint64_t old_epoch() const noexcept { return old_epoch_; }
+  std::uint64_t new_epoch() const noexcept { return new_epoch_; }
+
+ private:
+  std::uint64_t old_epoch_ = 0;
+  std::uint64_t new_epoch_ = 0;
+};
+
+/// Thrown by the service-plane client when the server answered
+/// kShuttingDown: an ORDERLY drain (SIGTERM / CounterServer::Drain),
+/// not a crash.  Distinguishing the two is what keeps a fleet of
+/// retrying clients from turning a rolling restart into a retry
+/// storm — a shutdown-aware client backs off on a drain grace period
+/// instead of hammering the listener the moment it closes.
+class CounterShutdownError : public CounterError {
+ public:
+  using CounterError::CounterError;
+};
+
 /// Thrown under OverloadPolicy::kThrow when bounded admission
 /// (WaitListOptions::max_waiters / max_levels) turns a waiter away:
 /// the wait list is full and this thread was not allowed to park.

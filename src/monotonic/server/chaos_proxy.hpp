@@ -1,0 +1,295 @@
+// chaos_proxy.hpp — a fault-injecting byte proxy for the shard server.
+//
+// The crash-recovery suite needs the failures that never happen on a
+// loopback socket in a clean test run: connections that die mid-frame,
+// frames that arrive one byte per read, bytes that dawdle, servers
+// that vanish between the length prefix and the payload.  This proxy
+// sits between a ServerClient and a CounterServer (both ends speak
+// UNIX-domain sockets) and injects exactly those, on a SEEDED
+// schedule — a failing run names its seed and replays bit-identically.
+//
+//   server ←—— upstream UDS ——— [ChaosProxy] ——— listen UDS ——→ client
+//
+// Fault repertoire (ChaosProxyOptions):
+//
+//   * max_chunk      — forward at most N bytes per event: a 21-byte
+//                      frame crosses as 21 reads when N = 1, which is
+//                      how the server's reassembly path gets exercised
+//                      for real instead of by construction;
+//   * chunk_delay    — sleep between chunks: trickling bytes, the
+//                      slow-network shape;
+//   * cut_after_*    — sever the connection (both sides, hard close)
+//                      after a seeded number of forwarded bytes drawn
+//                      from [min, max] — landing mid-frame more often
+//                      than not, which is the point: the server must
+//                      treat a half-frame plus EOF as a dead client,
+//                      and a reconnecting client must treat it as a
+//                      crash and replay;
+//   * blackhole      — accept and read but never forward or answer:
+//                      the pathological peer that is alive at the TCP
+//                      level and dead at the protocol level, which is
+//                      what io_timeout exists to bound.
+//
+// In-process and header-only on purpose: the recovery tests compose it
+// with a forked (and SIGKILLed) server process, so the proxy being a
+// seam inside the TEST process is what lets one test orchestrate both
+// sides of the wire plus the failure schedule deterministically.
+#pragma once
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace monotonic::server {
+
+struct ChaosProxyOptions {
+  std::string listen_path;    ///< where the client under test connects
+  std::string upstream_path;  ///< the real server's UDS
+  std::uint64_t seed = 1;     ///< fault schedule; same seed = same run
+  /// Forward at most this many bytes per poll event (0 = unlimited).
+  std::size_t max_chunk = 0;
+  /// Sleep between forwarded chunks (trickle).
+  std::chrono::microseconds chunk_delay{0};
+  /// Hard-close a connection after a seeded byte count drawn uniformly
+  /// from [cut_after_min, cut_after_max] (0/0 = never cut).  Counted
+  /// over both directions, so cuts land mid-frame in either one.
+  std::size_t cut_after_min = 0;
+  std::size_t cut_after_max = 0;
+  /// Accept but never forward a byte in either direction.
+  bool blackhole = false;
+};
+
+class ChaosProxy {
+ public:
+  explicit ChaosProxy(ChaosProxyOptions opts) : opts_(std::move(opts)) {}
+
+  ~ChaosProxy() { Stop(); }
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  void Start() {
+    if (running_) return;
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+    if (listen_fd_ < 0) throw std::runtime_error("chaos: socket failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, opts_.listen_path.c_str(),
+                opts_.listen_path.size() + 1);
+    ::unlink(opts_.listen_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0 ||
+        ::listen(listen_fd_, 64) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw std::runtime_error("chaos: bind/listen(" + opts_.listen_path +
+                               ") failed");
+    }
+    rng_.seed(static_cast<std::uint32_t>(opts_.seed * 2654435761u + 1));
+    running_ = true;
+    stop_.store(false);
+    loop_ = std::thread([this] { run(); });
+  }
+
+  void Stop() {
+    if (!running_) return;
+    stop_.store(true);
+    if (loop_.joinable()) loop_.join();
+    for (Pipe& p : pipes_) close_pipe(p);
+    pipes_.clear();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(opts_.listen_path.c_str());
+    running_ = false;
+  }
+
+  /// Severs every live proxied connection NOW (drop injection on
+  /// demand, independent of the byte-count schedule).
+  void kill_connections() { kill_all_.store(true); }
+
+  std::uint64_t connections_accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t connections_cut() const {
+    return cut_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_forwarded() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One proxied duplex connection and its remaining fault budget.
+  struct Pipe {
+    int client = -1;
+    int upstream = -1;
+    std::string to_upstream;  // client → server backlog
+    std::string to_client;    // server → client backlog
+    std::size_t cut_at = 0;   // 0 = never
+    std::size_t forwarded = 0;
+    bool dead = false;
+  };
+
+  void run() {
+    std::vector<pollfd> pfds;
+    while (!stop_.load(std::memory_order_relaxed)) {
+      if (kill_all_.exchange(false)) {
+        for (Pipe& p : pipes_) {
+          if (!p.dead) {
+            cut_.fetch_add(1, std::memory_order_relaxed);
+            p.dead = true;
+          }
+        }
+      }
+      pfds.clear();
+      pfds.push_back({listen_fd_, POLLIN, 0});
+      for (Pipe& p : pipes_) {
+        short ce = POLLIN, ue = POLLIN;
+        if (!p.to_client.empty()) ce |= POLLOUT;
+        if (!p.to_upstream.empty()) ue |= POLLOUT;
+        pfds.push_back({p.client, ce, 0});
+        pfds.push_back({p.upstream, ue, 0});
+      }
+      ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 10);
+      if (pfds[0].revents & POLLIN) accept_all();
+      for (Pipe& p : pipes_) {
+        if (p.dead) continue;
+        shuttle(p, p.client, p.upstream, p.to_upstream);
+        if (!p.dead) shuttle(p, p.upstream, p.client, p.to_client);
+      }
+      reap();
+    }
+  }
+
+  void accept_all() {
+    for (;;) {
+      const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+      if (cfd < 0) return;
+      const int ufd =
+          ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::memcpy(addr.sun_path, opts_.upstream_path.c_str(),
+                  opts_.upstream_path.size() + 1);
+      int rc = ::connect(ufd, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr));
+      if (rc != 0 && errno != EINPROGRESS) {
+        ::close(cfd);
+        ::close(ufd);
+        continue;  // upstream gone: refuse by dropping
+      }
+      set_nonblocking(cfd);
+      Pipe p;
+      p.client = cfd;
+      p.upstream = ufd;
+      if (opts_.cut_after_max > 0) {
+        std::uniform_int_distribution<std::size_t> dist(opts_.cut_after_min,
+                                                        opts_.cut_after_max);
+        p.cut_at = std::max<std::size_t>(1, dist(rng_));
+      }
+      pipes_.push_back(std::move(p));
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Moves bytes src → dst through the pipe's backlog, honoring
+  /// blackhole, max_chunk, chunk_delay and the cut budget.
+  void shuttle(Pipe& p, int src, int dst, std::string& backlog) {
+    char buf[16 * 1024];
+    for (;;) {
+      const ssize_t n = ::read(src, buf, sizeof(buf));
+      if (n > 0) {
+        if (!opts_.blackhole) backlog.append(buf, static_cast<std::size_t>(n));
+        if (n == sizeof(buf)) continue;
+        break;
+      }
+      if (n == 0) {
+        p.dead = true;  // one side hung up: kill both (hard, like a crash)
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      p.dead = true;
+      return;
+    }
+    while (!backlog.empty()) {
+      std::size_t want = backlog.size();
+      if (opts_.max_chunk > 0) want = std::min(want, opts_.max_chunk);
+      if (p.cut_at > 0) {
+        if (p.forwarded >= p.cut_at) {
+          cut_.fetch_add(1, std::memory_order_relaxed);
+          p.dead = true;  // budget spent: sever mid-stream
+          return;
+        }
+        want = std::min(want, p.cut_at - p.forwarded);
+      }
+      const ssize_t n = ::send(dst, backlog.data(), want, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        p.dead = true;
+        return;
+      }
+      backlog.erase(0, static_cast<std::size_t>(n));
+      p.forwarded += static_cast<std::size_t>(n);
+      bytes_.fetch_add(static_cast<std::uint64_t>(n),
+                       std::memory_order_relaxed);
+      if (p.cut_at > 0 && p.forwarded >= p.cut_at) {
+        cut_.fetch_add(1, std::memory_order_relaxed);
+        p.dead = true;
+        return;
+      }
+      if (opts_.chunk_delay.count() > 0) {
+        std::this_thread::sleep_for(opts_.chunk_delay);
+      }
+      if (opts_.max_chunk > 0 && opts_.max_chunk < backlog.size()) continue;
+    }
+  }
+
+  void reap() {
+    std::size_t kept = 0;
+    for (Pipe& p : pipes_) {
+      if (p.dead) {
+        close_pipe(p);
+      } else {
+        pipes_[kept++] = std::move(p);
+      }
+    }
+    pipes_.resize(kept);
+  }
+
+  static void close_pipe(Pipe& p) {
+    if (p.client >= 0) ::close(p.client);
+    if (p.upstream >= 0) ::close(p.upstream);
+    p.client = p.upstream = -1;
+  }
+
+  static void set_nonblocking(int fd) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+
+  ChaosProxyOptions opts_;
+  int listen_fd_ = -1;
+  std::thread loop_;
+  std::vector<Pipe> pipes_;
+  std::minstd_rand rng_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> kill_all_{false};
+  std::atomic<std::uint64_t> accepted_{0}, cut_{0}, bytes_{0};
+  bool running_ = false;
+};
+
+}  // namespace monotonic::server

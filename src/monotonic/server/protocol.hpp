@@ -27,16 +27,29 @@
 //               (empty spec = the server's default; reopening an
 //               existing name returns the same id and ignores the spec)
 //   kIncrement  u64 counter_id | u64 amount | u8 flags
-//               (flags bit 0 = no_ack: fire-and-forget, no response)
+//               (flags bit 0 = no_ack: fire-and-forget, no response;
+//                flags bit 1 = the body carries a trailing u64 seq —
+//                the server dedups (session, seq) in a bounded window,
+//                making retried increments idempotent)
 //   kCheck      u64 counter_id | u64 level
 //   kCheckFor   u64 counter_id | u64 level | u64 timeout_ns
 //   kOnReach    u64 counter_id | u64 level
 //   kPoison     u64 counter_id | u16 reason_len | reason
 //   kStats      u64 counter_id            (0 = server-wide stats)
+//   kHello      u64 session_hi | u64 session_lo
+//               (binds the connection to a client session UUID; the
+//                reply carries the server epoch + dedup window, so a
+//                reconnecting client learns whether its cached ids
+//                survived — same epoch — or must be re-resolved)
+//   kResolve    u16 name_len | name
+//               (resolve WITHOUT creating: kOk + id + value when the
+//                name exists, kUnknownCounter otherwise — the
+//                reconnect path's id refresher)
 //
 // Response bodies by status:
 //
-//   kOk         op-specific: Open → u64 counter_id | u64 value;
+//   kOk         op-specific: Open/Resolve → u64 counter_id | u64
+//               value; Hello → u64 epoch | u64 dedup_window;
 //               Increment/Poison → empty; Stats → u32 n | n × (u16
 //               key_len | key | u64 value) — self-describing pairs, so
 //               adding fields never breaks old clients
@@ -69,6 +82,8 @@ enum class Op : std::uint8_t {
   kOnReach = 5,
   kPoison = 6,
   kStats = 7,
+  kHello = 8,
+  kResolve = 9,
 };
 
 enum class Status : std::uint8_t {
@@ -103,6 +118,12 @@ inline constexpr std::size_t kMaxFramePayload = 64 * 1024;
 
 /// Increment flags.
 inline constexpr std::uint8_t kIncrementNoAck = 0x01;
+/// The Increment body carries a trailing u64 sequence number scoped to
+/// the connection's Hello session; the server applies each (session,
+/// seq) at most once within its dedup window, so a client may re-send
+/// an unacknowledged increment after a reconnect without risking a
+/// double count.
+inline constexpr std::uint8_t kIncrementHasSeq = 0x02;
 
 // ---- encoding ------------------------------------------------------
 // Append-to-string writers; explicit shifts, so the wire format is

@@ -30,9 +30,12 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <csignal>
+
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <exception>
@@ -52,6 +55,7 @@
 #include "monotonic/core/completion.hpp"
 #include "monotonic/core/counter_error.hpp"
 #include "monotonic/server/protocol.hpp"
+#include "monotonic/server/state_file.hpp"
 
 namespace monotonic::server {
 
@@ -73,6 +77,22 @@ std::string exception_message(std::exception_ptr ep) {
     return e.what();
   } catch (...) {
     return "counter poisoned (non-std::exception cause)";
+  }
+}
+
+// SIGTERM → graceful drain (ServerOptions::drain_on_sigterm).  The
+// handler may only touch async-signal-safe state: a flag the event
+// loop polls and a write() to the wakeup pipe that makes it poll NOW.
+// Process-wide by necessity — one drain-on-signal server per process.
+volatile std::sig_atomic_t g_sigterm_pending = 0;
+std::atomic<int> g_sigterm_wake_fd{-1};
+
+void sigterm_handler(int) {
+  g_sigterm_pending = 1;
+  const int fd = g_sigterm_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(fd, &byte, 1);
   }
 }
 
@@ -136,6 +156,8 @@ struct CounterServer::Impl {
 
   struct Entry {
     std::string name;
+    std::string spec;           ///< as resolved at creation (snapshotted)
+    std::string poison_reason;  ///< wire poison reason (snapshotted)
     std::unique_ptr<AnyCounter> counter;
     std::unique_ptr<BatchingIncrementer<AnyCounter>> batcher;
     bool dirty = false;  ///< has buffered increments this tick
@@ -159,6 +181,27 @@ struct CounterServer::Impl {
     std::deque<std::string> gated_frames;  ///< payloads deferred while gated
     std::vector<std::shared_ptr<WaitReg>> waits;  ///< for the death sweep
     bool dead = false;
+    bool has_session = false;  ///< Hello received
+    std::uint64_t session_hi = 0;
+    std::uint64_t session_lo = 0;
+  };
+
+  // ---- client sessions (idempotent retries) -----------------------
+
+  /// Dedup state for one Hello session UUID.  Sessions outlive
+  /// connections — that is the point: the reconnected client re-sends
+  /// its unacknowledged increments under the same session, and the
+  /// window absorbs the ones that had already landed.
+  struct Session {
+    DedupWindow window;
+    std::uint64_t last_used = 0;  ///< LRU clock value
+  };
+
+  struct SessionKeyHash {
+    std::size_t operator()(
+        const std::pair<std::uint64_t, std::uint64_t>& k) const noexcept {
+      return static_cast<std::size_t>(k.first ^ (k.second * 0x9e3779b97f4a7c15ULL));
+    }
   };
 
   struct Timer {
@@ -178,6 +221,11 @@ struct CounterServer::Impl {
   std::vector<std::shared_ptr<WaitReg>> degraded;  ///< tick poll list
   std::vector<std::pair<std::size_t, std::size_t>> dirty;  ///< (shard, idx)
 
+  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, Session,
+                     SessionKeyHash>
+      sessions;
+  std::uint64_t lru_clock = 0;
+
   int uds_fd = -1;
   int tcp_fd = -1;
   int wake_r = -1;
@@ -185,18 +233,32 @@ struct CounterServer::Impl {
   std::uint16_t bound_tcp_port = 0;
   std::thread loop;
   std::atomic<bool> stopping{false};
+  std::atomic<bool> drain_requested{false};
+  std::atomic<bool> drained{false};
   bool started = false;
+
+  // Durable state (opts.state_file).  All loop-thread-owned except the
+  // atomics stats() reads.
+  std::atomic<std::uint64_t> epoch{1};
+  std::uint64_t generation = 1;  ///< snapshot/journal glue
+  int journal_fd = -1;
+  std::string journal_pending;        ///< this tick's records
+  std::size_t journal_since_rotate = 0;
+  bool journal_write_failed = false;  ///< warn-once latch
 
   // Loop-side counters; atomics only because stats() reads them from
   // other threads.
   std::atomic<std::uint64_t> s_accepted{0}, s_conns{0}, s_counters{0},
       s_requests{0}, s_responses{0}, s_degraded{0}, s_gated{0},
       s_rejections{0}, s_batched{0}, s_flushes{0}, s_proto_errors{0},
-      s_bytes_in{0}, s_bytes_out{0};
+      s_bytes_in{0}, s_bytes_out{0}, s_restored{0}, s_snapshots{0},
+      s_journal_records{0}, s_journal_bytes{0}, s_sessions{0}, s_dedup{0},
+      s_slow_consumer{0}, s_shutdown_replies{0};
 
   explicit Impl(ServerOptions o) : opts(std::move(o)) {
     if (opts.shards == 0) opts.shards = 1;
     if (opts.batch_size == 0) opts.batch_size = 1;
+    if (opts.max_sessions == 0) opts.max_sessions = 1;
     shards.resize(opts.shards);
     executor = std::make_shared<ThreadPoolExecutor>(
         opts.executor_threads == 0 ? 1 : opts.executor_threads);
@@ -209,9 +271,13 @@ struct CounterServer::Impl {
     // poking can close.  See the lifetime note atop this file.
     shards.clear();
     executor.reset();
+    if (journal_fd >= 0) ::close(journal_fd);
     if (wake_r >= 0) ::close(wake_r);
     if (wake_w >= 0) ::close(wake_w);
   }
+
+  bool persist() const { return !opts.state_file.empty(); }
+  std::string journal_path() const { return opts.state_file + ".journal"; }
 
   // ---- id mapping -------------------------------------------------
   // id = local_index * nshards + shard + 1; 0 is reserved (Stats:
@@ -229,6 +295,49 @@ struct CounterServer::Impl {
     return &shards[shard].entries[idx];
   }
 
+  std::size_t shard_of(std::string_view name) const {
+    return std::hash<std::string_view>{}(name) % shards.size();
+  }
+
+  /// Current id of a named counter, 0 when unknown.
+  std::uint64_t id_of_entry(std::string_view name) const {
+    const Shard& sh = shards[shard_of(name)];
+    const auto it = sh.names.find(std::string(name));
+    return it == sh.names.end() ? 0 : it->second;
+  }
+
+  /// The shared open path (wire Open, snapshot restore, journal
+  /// replay): returns the existing entry for `name` or creates one
+  /// with `spec` (empty = default).  nullptr = the spec failed to
+  /// parse — the caller decides whether that is kBadRequest (wire) or
+  /// a skip (restore of a spec written by a newer binary).
+  Entry* find_or_create(std::string_view name, std::string_view spec) {
+    Shard& sh = shards[shard_of(name)];
+    if (auto it = sh.names.find(std::string(name)); it != sh.names.end()) {
+      return entry_of(it->second);
+    }
+    Entry entry;
+    entry.name = std::string(name);
+    entry.spec =
+        spec.empty() ? opts.default_spec : std::string(spec);
+    try {
+      // The shared executor is ambient: every logical counter's
+      // completions drain through one pool, so a million counters do
+      // not mean a million threads.
+      entry.counter = make_counter(entry.spec, executor);
+    } catch (const std::invalid_argument&) {
+      return nullptr;
+    }
+    entry.batcher = std::make_unique<BatchingIncrementer<AnyCounter>>(
+        *entry.counter, opts.batch_size);
+    sh.entries.push_back(std::move(entry));
+    const std::uint64_t id =
+        id_of(shard_of(name), sh.entries.size() - 1);
+    sh.names.emplace(std::string(name), id);
+    s_counters.fetch_add(1, std::memory_order_relaxed);
+    return entry_of(id);
+  }
+
   // ---- lifecycle --------------------------------------------------
 
   void start() {
@@ -240,11 +349,208 @@ struct CounterServer::Impl {
       wake_w = pipefd[1];
       shared->wake_fd.store(wake_w, std::memory_order_release);
     }
+    // Restore BEFORE the listeners bind: no client can observe a
+    // partially restored name table.
+    if (persist()) restore_state();
+    if (opts.drain_on_sigterm) {
+      g_sigterm_pending = 0;
+      g_sigterm_wake_fd.store(wake_w, std::memory_order_relaxed);
+      struct sigaction sa{};
+      sa.sa_handler = sigterm_handler;
+      ::sigemptyset(&sa.sa_mask);
+      ::sigaction(SIGTERM, &sa, nullptr);
+    }
     if (!opts.uds_path.empty()) bind_uds();
     if (opts.tcp_port != 0 || opts.tcp_any_port) bind_tcp();
     started = true;
     stopping.store(false);
+    drain_requested.store(false);
+    drained.store(false);
     loop = std::thread([this] { run(); });
+  }
+
+  // ---- durable state: restore / journal / snapshot ----------------
+
+  /// Start-time restore: snapshot, then journal replay, then an
+  /// immediate compacting snapshot under a fresh generation.  Runs on
+  /// the caller's thread before the loop exists, so it may touch
+  /// everything freely.
+  void restore_state() {
+    StateSnapshot snap;
+    std::unordered_map<std::uint64_t, std::uint64_t> id_map;  // old → new
+    const bool have_snap = load_snapshot(opts.state_file, snap);
+    if (have_snap) {
+      epoch.store(snap.epoch + 1, std::memory_order_relaxed);
+      generation = snap.generation;
+      for (const CounterRecord& rec : snap.counters) {
+        Entry* entry = find_or_create(rec.name, rec.spec);
+        if (entry == nullptr) continue;  // spec no longer parses: skip
+        id_map[rec.id] = id_of_entry(rec.name);
+        if (rec.value > 0) entry->counter->Increment(rec.value);
+        if (rec.poisoned) poison_entry(*entry, rec.poison_reason);
+      }
+      for (const SessionRecord& rec : snap.sessions) {
+        Session& s = touch_session(rec.hi, rec.lo);
+        s.window.restore(rec);
+      }
+    }
+    std::vector<JournalRecord> records;
+    if (load_journal(journal_path(), generation, records)) {
+      for (const JournalRecord& rec : records) {
+        switch (rec.op) {
+          case JournalOp::kOpen: {
+            Entry* entry = find_or_create(rec.name, rec.spec);
+            if (entry != nullptr) id_map[rec.id] = id_of_entry(rec.name);
+            break;
+          }
+          case JournalOp::kIncrement: {
+            auto it = id_map.find(rec.id);
+            if (it == id_map.end()) break;
+            Entry* entry = entry_of(it->second);
+            if (entry == nullptr || entry->counter->poisoned()) break;
+            if ((rec.session_hi | rec.session_lo) != 0) {
+              Session& s = touch_session(rec.session_hi, rec.session_lo);
+              if (s.window.seen(rec.seq)) break;  // snapshot had it
+              s.window.record(rec.seq);
+            }
+            entry->counter->Increment(rec.amount);
+            break;
+          }
+          case JournalOp::kPoison: {
+            auto it = id_map.find(rec.id);
+            if (it == id_map.end()) break;
+            Entry* entry = entry_of(it->second);
+            if (entry != nullptr) poison_entry(*entry, rec.reason);
+            break;
+          }
+        }
+      }
+    }
+    s_restored.store(s_counters.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    // Compact: everything just replayed becomes the new snapshot; the
+    // journal restarts empty under generation+1 (the old journal can
+    // no longer be double-applied).
+    write_snapshot();
+  }
+
+  /// Poisons an entry with a wire-style reason, recording the reason
+  /// for the next snapshot.
+  void poison_entry(Entry& entry, const std::string& reason) {
+    entry.poison_reason = reason;
+    entry.counter->Poison(std::make_exception_ptr(CounterPoisonedError(
+        reason.empty() ? "poisoned via wire" : reason)));
+  }
+
+  /// Appends one record to this tick's journal buffer.  The buffer is
+  /// written + fsynced by commit_journal() BEFORE flush_writes() — the
+  /// group-commit ordering that makes "acked" imply "durable".
+  void journal_append(std::string body) {
+    if (!persist()) return;
+    append_journal_record(journal_pending, body);
+    s_journal_records.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void commit_journal() {
+    if (journal_pending.empty()) return;
+    if (journal_fd >= 0) {
+      if (!detail::write_all(journal_fd, journal_pending)) {
+        if (!journal_write_failed) {
+          journal_write_failed = true;
+          std::fprintf(stderr,
+                       "monotonic-server: journal write to %s failed (%s); "
+                       "durability degraded until the next snapshot\n",
+                       journal_path().c_str(), std::strerror(errno));
+        }
+      } else if (opts.journal_fsync) {
+        ::fsync(journal_fd);
+      }
+    }
+    journal_since_rotate += journal_pending.size();
+    s_journal_bytes.store(journal_since_rotate, std::memory_order_relaxed);
+    journal_pending.clear();
+  }
+
+  /// Full snapshot + journal rotation.  The tick's un-committed
+  /// journal records are superseded by the snapshot (their effects are
+  /// already applied to the engines), so they are dropped, not synced.
+  void write_snapshot() {
+    if (!persist()) return;
+    flush_dirty();
+    StateSnapshot snap;
+    snap.epoch = epoch.load(std::memory_order_relaxed);
+    snap.generation = generation + 1;
+    snap.dedup_window = DedupWindow(opts.dedup_window).window();
+    for (std::size_t sh = 0; sh < shards.size(); ++sh) {
+      for (std::size_t i = 0; i < shards[sh].entries.size(); ++i) {
+        Entry& entry = shards[sh].entries[i];
+        flush_entry(entry);
+        CounterRecord rec;
+        rec.id = id_of(sh, i);
+        rec.name = entry.name;
+        rec.spec = entry.spec;
+        rec.value = entry.counter->value_lower_bound();
+        rec.poisoned = entry.counter->poisoned();
+        rec.poison_reason = entry.poison_reason;
+        snap.counters.push_back(std::move(rec));
+      }
+    }
+    for (const auto& [key, session] : sessions) {
+      SessionRecord rec;
+      rec.hi = key.first;
+      rec.lo = key.second;
+      rec.max_seq = session.window.max_seq();
+      rec.bits = session.window.bits();
+      snap.sessions.push_back(std::move(rec));
+    }
+    if (!save_snapshot(opts.state_file, snap)) {
+      std::fprintf(stderr,
+                   "monotonic-server: snapshot write to %s failed (%s)\n",
+                   opts.state_file.c_str(), std::strerror(errno));
+      return;
+    }
+    ++generation;
+    journal_pending.clear();
+    rotate_journal();
+    s_snapshots.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void rotate_journal() {
+    if (journal_fd >= 0) ::close(journal_fd);
+    journal_fd = ::open(journal_path().c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_APPEND | O_CLOEXEC,
+                        0644);
+    if (journal_fd >= 0) {
+      detail::write_all(journal_fd, encode_journal_header(generation));
+      ::fsync(journal_fd);
+      journal_write_failed = false;
+    }
+    journal_since_rotate = 0;
+    s_journal_bytes.store(0, std::memory_order_relaxed);
+  }
+
+  // ---- sessions ---------------------------------------------------
+
+  Session& touch_session(std::uint64_t hi, std::uint64_t lo) {
+    const auto key = std::make_pair(hi, lo);
+    auto it = sessions.find(key);
+    if (it == sessions.end()) {
+      if (sessions.size() >= opts.max_sessions) evict_lru_session();
+      it = sessions.emplace(key, Session{DedupWindow(opts.dedup_window), 0})
+               .first;
+      s_sessions.store(sessions.size(), std::memory_order_relaxed);
+    }
+    it->second.last_used = ++lru_clock;
+    return it->second;
+  }
+
+  void evict_lru_session() {
+    auto victim = sessions.begin();
+    for (auto it = sessions.begin(); it != sessions.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    if (victim != sessions.end()) sessions.erase(victim);
+    s_sessions.store(sessions.size(), std::memory_order_relaxed);
   }
 
   void bind_uds() {
@@ -347,9 +653,96 @@ struct CounterServer::Impl {
       expire_timers();
       retry_gated();
       flush_dirty();
+      // Group commit: this tick's journal records hit disk BEFORE any
+      // of this tick's responses leave in flush_writes() — an acked
+      // increment (or an observed kReached) is durable by the time the
+      // client sees it.
+      commit_journal();
+      maybe_snapshot();
       flush_writes();
       reap_dead();
+
+      if (drain_requested.load(std::memory_order_relaxed) ||
+          (opts.drain_on_sigterm && g_sigterm_pending != 0)) {
+        perform_drain();
+        break;
+      }
     }
+  }
+
+  /// Rewrite the snapshot once the journal outgrows its budget —
+  /// bounds crash-replay time without fsync-per-request cost.
+  void maybe_snapshot() {
+    if (persist() && journal_since_rotate > opts.snapshot_journal_bytes) {
+      write_snapshot();
+    }
+  }
+
+  /// The orderly exit (Drain() / SIGTERM): everything a crash would
+  /// lose or a client would have to discover the hard way is settled
+  /// explicitly — waits answered kShuttingDown (typed, so retry-aware
+  /// clients back off instead of storming the dead listener), state
+  /// snapshotted, response buffers flushed best-effort.
+  void perform_drain() {
+    // Refuse new work first: close + unlink the listeners.
+    auto close_if = [](int& fd) {
+      if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+      }
+    };
+    close_if(uds_fd);
+    close_if(tcp_fd);
+    if (!opts.uds_path.empty()) ::unlink(opts.uds_path.c_str());
+
+    drain_completions();  // settle anything already fired
+    for (auto& [fd, conn] : conns) {
+      for (const auto& reg : conn.waits) {
+        if (!reg->claim()) continue;
+        on_loop_claim(*reg);
+        respond(conn, Status::kShuttingDown, reg->req_id);
+        s_shutdown_replies.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Frames deferred under backpressure get the same answer: their
+      // req_id is at a fixed offset in the deferred payload.
+      while (!conn.gated_frames.empty()) {
+        const std::string frame = std::move(conn.gated_frames.front());
+        conn.gated_frames.pop_front();
+        Reader r(frame);
+        std::uint8_t op = 0;
+        std::uint64_t req_id = 0;
+        if (r.get_u8(op) && r.get_u64(req_id)) {
+          respond(conn, Status::kShuttingDown, req_id);
+          s_shutdown_replies.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (conn.gated) {
+        conn.gated = false;
+        s_gated.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    degraded.clear();  // every reg above is claimed; drop the poll list
+
+    flush_dirty();
+    commit_journal();
+    write_snapshot();
+
+    // Best-effort flush of the kShuttingDown replies: bounded, so a
+    // stuck client cannot hold the drain hostage.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(500);
+    for (;;) {
+      flush_writes();
+      reap_dead();
+      bool pending = false;
+      for (auto& [fd, conn] : conns) {
+        if (conn.woff < conn.wbuf.size()) pending = true;
+      }
+      if (!pending || std::chrono::steady_clock::now() >= deadline) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    drained.store(true, std::memory_order_release);
+    stopping.store(true, std::memory_order_relaxed);
   }
 
   int poll_timeout_ms() {
@@ -412,9 +805,17 @@ struct CounterServer::Impl {
       len_r.get_u32(len);
       // A frame must at least carry opcode + req_id; an oversized or
       // runt length word means the stream cannot be resynchronized —
-      // drop the connection.
+      // name the offense in a final kBadRequest (req_id 0: the frame
+      // header never parsed, so there is no id to echo), then drop the
+      // connection.  The reply still flushes: the tick's flush_writes
+      // runs before reap_dead closes the fd.
       if (len < 9 || len > kMaxFramePayload) {
         s_proto_errors.fetch_add(1, std::memory_order_relaxed);
+        respond_message(
+            conn, Status::kBadRequest, 0,
+            "unframeable length " + std::to_string(len) + " (frames carry " +
+                std::to_string(kMaxFramePayload) +
+                " payload bytes at most, 9 at least); closing connection");
         conn.dead = true;
         return;
       }
@@ -437,6 +838,13 @@ struct CounterServer::Impl {
                std::string_view body = {}) {
     conn.wbuf += make_frame(static_cast<std::uint8_t>(status), req_id, body);
     s_responses.fetch_add(1, std::memory_order_relaxed);
+    // A consumer that stops reading does not get to grow wbuf without
+    // bound: past the cap the connection is dropped, not the server.
+    if (opts.max_outbound_bytes != 0 &&
+        conn.wbuf.size() - conn.woff > opts.max_outbound_bytes && !conn.dead) {
+      s_slow_consumer.fetch_add(1, std::memory_order_relaxed);
+      conn.dead = true;
+    }
   }
 
   void respond_message(Connection& conn, Status status, std::uint64_t req_id,
@@ -469,6 +877,10 @@ struct CounterServer::Impl {
         return do_poison(conn, req_id, r);
       case Op::kStats:
         return do_stats(conn, req_id, r);
+      case Op::kHello:
+        return do_hello(conn, req_id, r);
+      case Op::kResolve:
+        return do_resolve(conn, req_id, r);
     }
     bad_request(conn, req_id, "unknown opcode " + std::to_string(op));
   }
@@ -484,40 +896,60 @@ struct CounterServer::Impl {
     if (!r.get_str16(name) || !r.get_str16(spec) || name.empty()) {
       return bad_request(conn, req_id, "Open: want name+spec, non-empty name");
     }
-    const std::size_t shard =
-        std::hash<std::string_view>{}(name) % shards.size();
-    Shard& sh = shards[shard];
-    std::uint64_t id;
-    if (auto it = sh.names.find(std::string(name)); it != sh.names.end()) {
-      // Reopen: same id, spec ignored — names are the identity.
-      id = it->second;
-    } else {
+    std::uint64_t id = id_of_entry(name);
+    if (id == 0) {
+      // Fresh create (reopen returns the same id, spec ignored —
+      // names are the identity).
       if (opts.max_counters != 0 &&
           s_counters.load(std::memory_order_relaxed) >= opts.max_counters) {
         s_rejections.fetch_add(1, std::memory_order_relaxed);
         return respond_message(conn, Status::kOverloaded, req_id,
                                "counter limit reached");
       }
-      Entry entry;
-      entry.name = std::string(name);
-      try {
-        // The shared executor is ambient: every logical counter's
-        // completions drain through one pool, so a million counters
-        // do not mean a million threads.
-        entry.counter = make_counter(
-            spec.empty() ? std::string_view(opts.default_spec) : spec,
-            executor);
-      } catch (const std::invalid_argument& e) {
-        return bad_request(conn, req_id, e.what());
+      Entry* created = find_or_create(name, spec);
+      if (created == nullptr) {
+        return bad_request(conn, req_id,
+                           "Open: unparseable spec '" + std::string(spec) +
+                               "'");
       }
-      entry.batcher = std::make_unique<BatchingIncrementer<AnyCounter>>(
-          *entry.counter, opts.batch_size);
-      sh.entries.push_back(std::move(entry));
-      id = id_of(shard, sh.entries.size() - 1);
-      sh.names.emplace(std::string(name), id);
-      s_counters.fetch_add(1, std::memory_order_relaxed);
+      id = id_of_entry(name);
+      journal_append(journal_open_body(id, name, created->spec));
     }
     Entry* entry = entry_of(id);
+    std::string body;
+    put_u64(body, id);
+    put_u64(body, entry->counter->value_lower_bound());
+    respond(conn, Status::kOk, req_id, body);
+  }
+
+  void do_hello(Connection& conn, std::uint64_t req_id, Reader& r) {
+    std::uint64_t hi = 0, lo = 0;
+    if (!r.get_u64(hi) || !r.get_u64(lo)) {
+      return bad_request(conn, req_id, "Hello: want session_hi+session_lo");
+    }
+    conn.has_session = (hi | lo) != 0;
+    conn.session_hi = hi;
+    conn.session_lo = lo;
+    std::uint64_t window = 0;
+    if (conn.has_session) window = touch_session(hi, lo).window.window();
+    std::string body;
+    put_u64(body, epoch.load(std::memory_order_relaxed));
+    put_u64(body, window);
+    respond(conn, Status::kOk, req_id, body);
+  }
+
+  void do_resolve(Connection& conn, std::uint64_t req_id, Reader& r) {
+    std::string_view name;
+    if (!r.get_str16(name) || name.empty()) {
+      return bad_request(conn, req_id, "Resolve: want non-empty name");
+    }
+    const std::uint64_t id = id_of_entry(name);
+    if (id == 0) {
+      return respond_message(conn, Status::kUnknownCounter, req_id,
+                             "no counter named '" + std::string(name) + "'");
+    }
+    Entry* entry = entry_of(id);
+    flush_entry(*entry);
     std::string body;
     put_u64(body, id);
     put_u64(body, entry->counter->value_lower_bound());
@@ -531,6 +963,11 @@ struct CounterServer::Impl {
       return bad_request(conn, req_id, "Increment: want id+amount+flags");
     }
     const bool ack = (flags & kIncrementNoAck) == 0;
+    std::uint64_t seq = 0;
+    if ((flags & kIncrementHasSeq) != 0 && !r.get_u64(seq)) {
+      return bad_request(conn, req_id,
+                         "Increment: has-seq flag set but no trailing seq");
+    }
     Entry* entry = entry_of(id);
     if (entry == nullptr) {
       if (ack) {
@@ -542,11 +979,29 @@ struct CounterServer::Impl {
     if (entry->counter->poisoned()) {
       // The engine absorbs post-poison increments as counted drops;
       // an acked client gets the typed error instead of a silent ok.
+      // Checked before dedup on purpose: the seq is NOT recorded, and
+      // a retried pre-poison increment that did land answers through
+      // the seen() branch below — the frozen value already counts it.
       if (ack) {
         respond_message(conn, Status::kPoisoned, req_id,
                         "counter '" + entry->name + "' is poisoned");
       }
       return;
+    }
+    if (seq != 0 && conn.has_session) {
+      Session& session = touch_session(conn.session_hi, conn.session_lo);
+      if (session.window.seen(seq)) {
+        // A retry of an increment that already landed: ack as if it
+        // just succeeded — at-least-once delivery, exactly-once apply.
+        s_dedup.fetch_add(1, std::memory_order_relaxed);
+        if (ack) respond(conn, Status::kOk, req_id);
+        return;
+      }
+      session.window.record(seq);
+    }
+    if (persist()) {
+      journal_append(journal_increment_body(id, amount, conn.session_hi,
+                                            conn.session_lo, seq));
     }
     // Per-tick batching: the BatchingIncrementer flushes itself every
     // `batch_size` units (the decorator's sub-batch logic); whatever
@@ -698,8 +1153,8 @@ struct CounterServer::Impl {
                              "no counter with id " + std::to_string(id));
     }
     flush_entry(*entry);  // increments before the freeze still count
-    entry->counter->Poison(std::make_exception_ptr(CounterPoisonedError(
-        reason.empty() ? "poisoned via wire" : std::string(reason))));
+    poison_entry(*entry, std::string(reason));
+    if (persist()) journal_append(journal_poison_body(id, reason));
     respond(conn, Status::kOk, req_id);
   }
 
@@ -724,6 +1179,16 @@ struct CounterServer::Impl {
                                {"protocol_errors", s.protocol_errors},
                                {"bytes_in", s.bytes_in},
                                {"bytes_out", s.bytes_out},
+                               {"epoch", s.epoch},
+                               {"restored_counters", s.restored_counters},
+                               {"snapshots_written", s.snapshots_written},
+                               {"journal_records", s.journal_records},
+                               {"journal_bytes", s.journal_bytes},
+                               {"sessions_open", s.sessions_open},
+                               {"dedup_hits", s.dedup_hits},
+                               {"slow_consumer_disconnects",
+                                s.slow_consumer_disconnects},
+                               {"shutdown_replies", s.shutdown_replies},
                            });
     }
     Entry* entry = entry_of(id);
@@ -883,14 +1348,17 @@ struct CounterServer::Impl {
   void flush_writes() {
     for (auto& [fd, conn] : conns) {
       while (conn.woff < conn.wbuf.size()) {
-        const ssize_t n = ::write(fd, conn.wbuf.data() + conn.woff,
-                                  conn.wbuf.size() - conn.woff);
+        // MSG_NOSIGNAL: a client that vanished mid-response is an
+        // EPIPE (conn.dead below), not a process-killing SIGPIPE.
+        const ssize_t n = ::send(fd, conn.wbuf.data() + conn.woff,
+                                 conn.wbuf.size() - conn.woff, MSG_NOSIGNAL);
         if (n > 0) {
           conn.woff += static_cast<std::size_t>(n);
           s_bytes_out.fetch_add(static_cast<std::uint64_t>(n),
                                 std::memory_order_relaxed);
           continue;
         }
+        if (n < 0 && errno == EINTR) continue;  // signal landed mid-write
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
         conn.dead = true;
         break;
@@ -943,6 +1411,16 @@ struct CounterServer::Impl {
     s.protocol_errors = s_proto_errors.load(std::memory_order_relaxed);
     s.bytes_in = s_bytes_in.load(std::memory_order_relaxed);
     s.bytes_out = s_bytes_out.load(std::memory_order_relaxed);
+    s.epoch = epoch.load(std::memory_order_relaxed);
+    s.restored_counters = s_restored.load(std::memory_order_relaxed);
+    s.snapshots_written = s_snapshots.load(std::memory_order_relaxed);
+    s.journal_records = s_journal_records.load(std::memory_order_relaxed);
+    s.journal_bytes = s_journal_bytes.load(std::memory_order_relaxed);
+    s.sessions_open = s_sessions.load(std::memory_order_relaxed);
+    s.dedup_hits = s_dedup.load(std::memory_order_relaxed);
+    s.slow_consumer_disconnects =
+        s_slow_consumer.load(std::memory_order_relaxed);
+    s.shutdown_replies = s_shutdown_replies.load(std::memory_order_relaxed);
     return s;
   }
 };
@@ -955,6 +1433,25 @@ CounterServer::~CounterServer() = default;
 void CounterServer::Start() { impl_->start(); }
 
 void CounterServer::Stop() { impl_->stop(); }
+
+void CounterServer::Drain() {
+  // NOT stop(): stop's `stopping` flag would end the loop before the
+  // tick reaches the drain check.  Request the drain, wake the loop,
+  // join it (the drain itself sets `stopping` when it finishes), then
+  // run stop() for the fd cleanup.
+  impl_->drain_requested.store(true, std::memory_order_relaxed);
+  impl_->shared->poke();
+  if (impl_->loop.joinable()) impl_->loop.join();
+  impl_->stop();
+}
+
+bool CounterServer::drained() const noexcept {
+  return impl_->drained.load(std::memory_order_acquire);
+}
+
+std::uint64_t CounterServer::epoch() const noexcept {
+  return impl_->epoch.load(std::memory_order_relaxed);
+}
 
 std::uint16_t CounterServer::tcp_port() const noexcept {
   return impl_->bound_tcp_port;

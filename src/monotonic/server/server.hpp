@@ -82,6 +82,42 @@ struct ServerOptions {
   /// Cap on open logical counters (0 = unlimited); excess Opens are
   /// answered kOverloaded.
   std::size_t max_counters = 0;
+
+  // ---- fault tolerance (docs/server.md, "Fault tolerance") --------
+
+  /// Path of the durable state snapshot ("" = in-memory only, the
+  /// pre-fault-tolerance behavior).  The journal lives next to it at
+  /// `state_file + ".journal"`.  On Start the server restores every
+  /// named counter from snapshot + journal at an equal-or-greater
+  /// value under a bumped epoch; on Drain (and periodically, see
+  /// snapshot_journal_bytes) it writes a fresh snapshot.
+  std::string state_file;
+  /// fsync the journal once per event-loop tick, BEFORE any of that
+  /// tick's responses are written (group commit): an acked increment
+  /// is on disk before the ack.  Turning this off trades the "acked
+  /// implies durable" guarantee for throughput — a crash may then
+  /// lose acked work back to the last sync.
+  bool journal_fsync = true;
+  /// Rewrite the snapshot (and truncate the journal) once the journal
+  /// grows past this many bytes.  Bounds replay time after a crash.
+  std::size_t snapshot_journal_bytes = 1 << 20;
+  /// Per-session increment dedup window (rounded up to a multiple of
+  /// 64).  A retried (session, seq) inside the window is applied at
+  /// most once; seqs older than the window are conservatively treated
+  /// as already applied.
+  std::uint64_t dedup_window = 4096;
+  /// Cap on tracked client sessions; the least-recently-used session
+  /// is evicted past it (its retries then dedup as "too old: seen").
+  std::size_t max_sessions = 1024;
+  /// Disconnect a connection whose unsent response backlog exceeds
+  /// this many bytes instead of buffering without bound (counted in
+  /// stats().slow_consumer_disconnects).  0 = unlimited.
+  std::size_t max_outbound_bytes = 8 << 20;
+  /// Install a SIGTERM handler in Start() that triggers the same
+  /// graceful drain as Drain(): parked waits answered kShuttingDown,
+  /// listeners closed, snapshot written.  Process-wide (one draining
+  /// server per process); off by default.
+  bool drain_on_sigterm = false;
 };
 
 /// Server-wide gauges and counters, surfaced by the Stats op with
@@ -102,6 +138,15 @@ struct ServerStats {
   std::uint64_t protocol_errors = 0;    ///< bad frames answered or dropped
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
+  std::uint64_t epoch = 0;              ///< bumped on every restore
+  std::uint64_t restored_counters = 0;  ///< counters revived at Start
+  std::uint64_t snapshots_written = 0;
+  std::uint64_t journal_records = 0;
+  std::uint64_t journal_bytes = 0;      ///< since the last snapshot
+  std::uint64_t sessions_open = 0;      ///< tracked Hello sessions
+  std::uint64_t dedup_hits = 0;         ///< retried increments absorbed
+  std::uint64_t slow_consumer_disconnects = 0;
+  std::uint64_t shutdown_replies = 0;   ///< waits answered kShuttingDown
 };
 
 /// The event-loop server.  Construct, Start(), connect clients
@@ -119,8 +164,25 @@ class CounterServer {
   /// std::system_error when a listener cannot be bound.
   void Start();
 
-  /// Wakes the loop, joins it, closes every fd.  Idempotent.
+  /// Wakes the loop, joins it, closes every fd.  Idempotent.  Abrupt:
+  /// parked waits die unanswered and no snapshot is written (the
+  /// journal still holds everything acked) — the crash-shaped stop.
   void Stop();
+
+  /// Graceful drain, the SIGTERM path: refuses new connections,
+  /// answers every parked/degraded wait kShuttingDown (typed — a
+  /// retry-aware client backs off instead of storming), flushes
+  /// batches, writes a final snapshot, best-effort-flushes response
+  /// buffers, then stops.  Idempotent; blocks until the loop exits.
+  void Drain();
+
+  /// True once a drain (Drain() or SIGTERM) has completed — the hook
+  /// a forked server process uses to exit cleanly after SIGTERM.
+  bool drained() const noexcept;
+
+  /// Current server epoch: 1 on a fresh start, +1 per restore.  The
+  /// Hello op reports this to clients.
+  std::uint64_t epoch() const noexcept;
 
   /// Actual TCP port (after Start with tcp_any_port), 0 when no TCP.
   std::uint16_t tcp_port() const noexcept;

@@ -1,0 +1,500 @@
+// state_file.hpp — crash-safe persistence for the shard server's name
+// table: an atomic, checksummed snapshot plus a group-committed
+// increment journal.
+//
+// The durability argument leans entirely on the paper's monotonicity
+// invariant.  A counter's value never decreases, so the only thing a
+// restore must guarantee is EQUAL-OR-GREATER: every named counter
+// comes back at a value at least as high as any value a client was
+// ever shown.  That is achieved with two files:
+//
+//   <state>           the snapshot — a full serialization of
+//                     {name → spec, value, poison, dedup sessions}
+//                     written as temp + fsync + rename (+ directory
+//                     fsync), so a crash mid-write leaves the OLD
+//                     snapshot intact and a reader never sees a torn
+//                     one.  A trailing FNV-1a checksum rejects
+//                     corruption from outside the rename protocol.
+//
+//   <state>.journal   the write-ahead journal — every state mutation
+//                     (open / increment / poison) appended as a
+//                     self-checksummed record.  The server fsyncs the
+//                     journal ONCE PER EVENT-LOOP TICK, before any
+//                     response bytes of that tick leave the socket
+//                     (group commit): an acked increment is on disk
+//                     before the ack, so a kill -9 can lose only work
+//                     nobody was told succeeded.  A torn tail (the
+//                     crash hit mid-append) is detected by the record
+//                     checksum and replay simply stops there.
+//
+// Snapshot and journal are glued by a GENERATION number: each snapshot
+// writes gen+1 into itself and into the fresh (truncated) journal's
+// header.  A crash between "snapshot renamed" and "journal truncated"
+// would otherwise double-apply the old journal on top of a snapshot
+// that already contains it; the generation mismatch makes restore
+// ignore exactly that journal.
+//
+// Counter identity across a restore: records carry the counter id the
+// server had assigned AT WRITE TIME.  Restore does not try to
+// reproduce those ids (they depend on creation order and shard count);
+// it builds an old-id → new-entry map while loading and replays
+// through it.  Old ids die with the epoch — the epoch bump in the
+// Hello exchange is what tells clients to re-resolve.
+//
+// Everything here is plain file I/O on the event-loop thread; the
+// module is header-only so the recovery tests and tools can read and
+// write state files without linking the server.
+#pragma once
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "monotonic/server/protocol.hpp"
+
+namespace monotonic::server {
+
+// ---- checksums ------------------------------------------------------
+
+/// FNV-1a 64 — the same cheap, dependency-free hash the wait index
+/// uses for level hashing.  Not cryptographic; it guards against torn
+/// writes and bit rot, not adversaries (the state file is as trusted
+/// as the server binary next to it).
+inline std::uint64_t fnv1a(std::string_view bytes,
+                           std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// ---- snapshot model -------------------------------------------------
+
+/// One named logical counter as persisted.  `id` is the id the server
+/// had assigned when the snapshot was written — replay input, not
+/// restore output.
+struct CounterRecord {
+  std::uint64_t id = 0;
+  std::string name;
+  std::string spec;
+  std::uint64_t value = 0;
+  bool poisoned = false;
+  std::string poison_reason;
+};
+
+/// One client session's dedup window: seqs in (max_seq - window, max_seq]
+/// are tracked individually in `bits` (ring-indexed by seq % window);
+/// anything at or below the window floor is treated as already seen.
+struct SessionRecord {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  std::uint64_t max_seq = 0;
+  std::vector<std::uint64_t> bits;  // window/64 words
+};
+
+struct StateSnapshot {
+  std::uint64_t epoch = 0;       ///< epoch the snapshot was taken under
+  std::uint64_t generation = 0;  ///< journal glue (see header comment)
+  std::uint64_t dedup_window = 0;
+  std::vector<CounterRecord> counters;
+  std::vector<SessionRecord> sessions;
+};
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x5353434d;  // "MCSS"
+inline constexpr std::uint32_t kJournalMagic = 0x4c4a434d;   // "MCJL"
+inline constexpr std::uint32_t kStateVersion = 1;
+
+// ---- snapshot serialization ----------------------------------------
+
+inline std::string encode_snapshot(const StateSnapshot& snap) {
+  std::string out;
+  put_u32(out, kSnapshotMagic);
+  put_u32(out, kStateVersion);
+  put_u64(out, snap.epoch);
+  put_u64(out, snap.generation);
+  put_u64(out, snap.dedup_window);
+  put_u32(out, static_cast<std::uint32_t>(snap.counters.size()));
+  for (const CounterRecord& c : snap.counters) {
+    put_u64(out, c.id);
+    put_str16(out, c.name);
+    put_str16(out, c.spec);
+    put_u64(out, c.value);
+    put_u8(out, c.poisoned ? 1 : 0);
+    put_str16(out, c.poison_reason);
+  }
+  put_u32(out, static_cast<std::uint32_t>(snap.sessions.size()));
+  for (const SessionRecord& s : snap.sessions) {
+    put_u64(out, s.hi);
+    put_u64(out, s.lo);
+    put_u64(out, s.max_seq);
+    put_u32(out, static_cast<std::uint32_t>(s.bits.size()));
+    for (const std::uint64_t w : s.bits) put_u64(out, w);
+  }
+  put_u64(out, fnv1a(out));
+  return out;
+}
+
+/// Strict decode: any truncation, magic/version mismatch or checksum
+/// failure returns false and leaves `snap` unspecified.
+inline bool decode_snapshot(std::string_view bytes, StateSnapshot& snap) {
+  if (bytes.size() < 8) return false;
+  const std::string_view body = bytes.substr(0, bytes.size() - 8);
+  Reader tail(bytes.data() + bytes.size() - 8, 8);
+  std::uint64_t want = 0;
+  tail.get_u64(want);
+  if (fnv1a(body) != want) return false;
+
+  Reader r(body);
+  std::uint32_t magic = 0, version = 0, n = 0;
+  if (!r.get_u32(magic) || magic != kSnapshotMagic) return false;
+  if (!r.get_u32(version) || version != kStateVersion) return false;
+  if (!r.get_u64(snap.epoch) || !r.get_u64(snap.generation) ||
+      !r.get_u64(snap.dedup_window)) {
+    return false;
+  }
+  if (!r.get_u32(n)) return false;
+  snap.counters.clear();
+  snap.counters.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    CounterRecord c;
+    std::string_view name, spec, reason;
+    std::uint8_t poisoned = 0;
+    if (!r.get_u64(c.id) || !r.get_str16(name) || !r.get_str16(spec) ||
+        !r.get_u64(c.value) || !r.get_u8(poisoned) || !r.get_str16(reason)) {
+      return false;
+    }
+    c.name = std::string(name);
+    c.spec = std::string(spec);
+    c.poisoned = poisoned != 0;
+    c.poison_reason = std::string(reason);
+    snap.counters.push_back(std::move(c));
+  }
+  if (!r.get_u32(n)) return false;
+  snap.sessions.clear();
+  snap.sessions.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    SessionRecord s;
+    std::uint32_t words = 0;
+    if (!r.get_u64(s.hi) || !r.get_u64(s.lo) || !r.get_u64(s.max_seq) ||
+        !r.get_u32(words)) {
+      return false;
+    }
+    s.bits.resize(words);
+    for (std::uint32_t w = 0; w < words; ++w) {
+      if (!r.get_u64(s.bits[w])) return false;
+    }
+    snap.sessions.push_back(std::move(s));
+  }
+  return r.empty();
+}
+
+// ---- atomic file I/O ------------------------------------------------
+
+namespace detail {
+
+inline bool write_all(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+inline void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+}  // namespace detail
+
+/// Atomically replaces `path` with the encoded snapshot: write to
+/// `path.tmp`, fsync, rename over, fsync the directory.  A crash at
+/// any point leaves either the old snapshot or the new one — never a
+/// prefix of either.
+inline bool save_snapshot(const std::string& path, const StateSnapshot& snap) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  const bool ok = detail::write_all(fd, encode_snapshot(snap)) &&
+                  ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  detail::fsync_parent_dir(path);
+  return true;
+}
+
+/// Loads and verifies `path`.  false = no file / torn / corrupt — the
+/// caller starts fresh (a missing snapshot is the first-boot case, not
+/// an error).
+inline bool load_snapshot(const std::string& path, StateSnapshot& snap) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  std::string bytes;
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    bytes.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return decode_snapshot(bytes, snap);
+}
+
+// ---- journal --------------------------------------------------------
+
+enum class JournalOp : std::uint8_t {
+  kOpen = 1,       ///< u64 id | str16 name | str16 spec
+  kIncrement = 2,  ///< u64 id | u64 amount | u64 hi | u64 lo | u64 seq
+  kPoison = 3,     ///< u64 id | str16 reason
+};
+
+/// Journal file header: magic, version, generation.
+inline std::string encode_journal_header(std::uint64_t generation) {
+  std::string out;
+  put_u32(out, kJournalMagic);
+  put_u32(out, kStateVersion);
+  put_u64(out, generation);
+  return out;
+}
+
+/// One self-checksummed record: u32 body_len | body | u64 fnv(body).
+/// The body's first byte is the JournalOp.
+inline void append_journal_record(std::string& out, std::string_view body) {
+  put_u32(out, static_cast<std::uint32_t>(body.size()));
+  out.append(body.data(), body.size());
+  put_u64(out, fnv1a(body));
+}
+
+inline std::string journal_open_body(std::uint64_t id, std::string_view name,
+                                     std::string_view spec) {
+  std::string body;
+  put_u8(body, static_cast<std::uint8_t>(JournalOp::kOpen));
+  put_u64(body, id);
+  put_str16(body, name);
+  put_str16(body, spec);
+  return body;
+}
+
+inline std::string journal_increment_body(std::uint64_t id,
+                                          std::uint64_t amount,
+                                          std::uint64_t session_hi,
+                                          std::uint64_t session_lo,
+                                          std::uint64_t seq) {
+  std::string body;
+  put_u8(body, static_cast<std::uint8_t>(JournalOp::kIncrement));
+  put_u64(body, id);
+  put_u64(body, amount);
+  put_u64(body, session_hi);
+  put_u64(body, session_lo);
+  put_u64(body, seq);
+  return body;
+}
+
+inline std::string journal_poison_body(std::uint64_t id,
+                                       std::string_view reason) {
+  std::string body;
+  put_u8(body, static_cast<std::uint8_t>(JournalOp::kPoison));
+  put_u64(body, id);
+  put_str16(body, reason);
+  return body;
+}
+
+/// Parsed journal record, tagged by op.  Unused fields stay zero.
+struct JournalRecord {
+  JournalOp op = JournalOp::kOpen;
+  std::uint64_t id = 0;
+  std::string name;
+  std::string spec;
+  std::uint64_t amount = 0;
+  std::uint64_t session_hi = 0;
+  std::uint64_t session_lo = 0;
+  std::uint64_t seq = 0;
+  std::string reason;
+};
+
+/// Reads `path` and parses every intact record whose journal
+/// generation matches `want_generation`.  Returns false only when the
+/// file exists but its HEADER is unreadable or from another
+/// generation (the double-apply guard); a torn or checksum-failing
+/// record simply ends the replay — that is the crash-mid-append
+/// contract, not corruption.
+inline bool load_journal(const std::string& path,
+                         std::uint64_t want_generation,
+                         std::vector<JournalRecord>& records) {
+  records.clear();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return true;  // no journal: nothing to replay
+  std::string bytes;
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    bytes.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  Reader header(bytes);
+  std::uint32_t magic = 0, version = 0;
+  std::uint64_t generation = 0;
+  if (!header.get_u32(magic) || magic != kJournalMagic ||
+      !header.get_u32(version) || version != kStateVersion ||
+      !header.get_u64(generation)) {
+    return bytes.empty();  // empty file = fine; garbage header = not
+  }
+  if (generation != want_generation) return false;
+
+  std::size_t off = 4 + 4 + 8;
+  while (off + 4 <= bytes.size()) {
+    Reader len_r(bytes.data() + off, 4);
+    std::uint32_t len = 0;
+    len_r.get_u32(len);
+    if (off + 4 + len + 8 > bytes.size()) break;  // torn tail
+    const std::string_view body(bytes.data() + off + 4, len);
+    Reader sum_r(bytes.data() + off + 4 + len, 8);
+    std::uint64_t want = 0;
+    sum_r.get_u64(want);
+    if (fnv1a(body) != want) break;  // torn or corrupt: stop here
+    off += 4 + len + 8;
+
+    Reader r(body);
+    std::uint8_t op = 0;
+    if (!r.get_u8(op)) break;
+    JournalRecord rec;
+    rec.op = static_cast<JournalOp>(op);
+    bool ok = false;
+    switch (rec.op) {
+      case JournalOp::kOpen: {
+        std::string_view name, spec;
+        ok = r.get_u64(rec.id) && r.get_str16(name) && r.get_str16(spec);
+        if (ok) {
+          rec.name = std::string(name);
+          rec.spec = std::string(spec);
+        }
+        break;
+      }
+      case JournalOp::kIncrement:
+        ok = r.get_u64(rec.id) && r.get_u64(rec.amount) &&
+             r.get_u64(rec.session_hi) && r.get_u64(rec.session_lo) &&
+             r.get_u64(rec.seq);
+        break;
+      case JournalOp::kPoison: {
+        std::string_view reason;
+        ok = r.get_u64(rec.id) && r.get_str16(reason);
+        if (ok) rec.reason = std::string(reason);
+        break;
+      }
+    }
+    if (!ok) break;
+    records.push_back(std::move(rec));
+  }
+  return true;
+}
+
+// ---- dedup window ---------------------------------------------------
+
+/// Anti-replay window over a client session's increment sequence
+/// numbers (the IPsec sliding-window idiom): seqs above max_seq are
+/// new; seqs within the trailing `window` are tracked bit-exactly;
+/// seqs at or below the window floor are conservatively treated as
+/// already applied — for an at-least-once retry protocol the safe
+/// failure direction is dropping a duplicate, never double-applying.
+class DedupWindow {
+ public:
+  explicit DedupWindow(std::uint64_t window = 4096) { reset(window); }
+
+  void reset(std::uint64_t window) {
+    window_ = std::max<std::uint64_t>(64, window);
+    // Round up to a multiple of 64 so ring indexing stays word-exact.
+    window_ = (window_ + 63) / 64 * 64;
+    bits_.assign(window_ / 64, 0);
+    max_seq_ = 0;
+  }
+
+  std::uint64_t window() const noexcept { return window_; }
+  std::uint64_t max_seq() const noexcept { return max_seq_; }
+  const std::vector<std::uint64_t>& bits() const noexcept { return bits_; }
+
+  /// True iff (session, seq) was already applied — or is too old to
+  /// know, which dedup treats as applied (see class comment).
+  bool seen(std::uint64_t seq) const {
+    if (seq == 0) return false;  // 0 = "no seq": never dedup
+    if (seq + window_ <= max_seq_) return true;
+    if (seq > max_seq_) return false;
+    return (bits_[(seq % window_) / 64] >> (seq % 64)) & 1;
+  }
+
+  /// Marks seq applied.  Call only after seen(seq) returned false.
+  void record(std::uint64_t seq) {
+    if (seq == 0) return;
+    if (seq > max_seq_) {
+      if (seq >= max_seq_ + window_) {
+        bits_.assign(bits_.size(), 0);
+      } else {
+        for (std::uint64_t s = max_seq_ + 1; s < seq; ++s) {
+          bits_[(s % window_) / 64] &= ~(std::uint64_t{1} << (s % 64));
+        }
+      }
+      max_seq_ = seq;
+    }
+    bits_[(seq % window_) / 64] |= std::uint64_t{1} << (seq % 64);
+  }
+
+  /// Restore from a snapshot's SessionRecord (word count must match
+  /// the configured window; a mismatched record resets conservatively
+  /// to "everything at or below max_seq is seen").
+  void restore(const SessionRecord& rec) {
+    max_seq_ = rec.max_seq;
+    if (rec.bits.size() == bits_.size()) {
+      bits_ = rec.bits;
+    } else {
+      bits_.assign(bits_.size(), 0);
+    }
+  }
+
+ private:
+  std::uint64_t window_ = 4096;
+  std::uint64_t max_seq_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace monotonic::server

@@ -56,6 +56,13 @@ class ServerFixture {
   std::optional<ms::CounterServer> server_;
 };
 
+/// str16 message body of an error response.
+std::string body_message(const ms::ServerClient::Response& resp) {
+  ms::Reader r(resp.body);
+  std::string_view msg;
+  return r.get_str16(msg) ? std::string(msg) : std::string();
+}
+
 /// Polls `pred` until true or ~2s elapse.
 template <typename Pred>
 bool eventually(Pred pred) {
@@ -325,7 +332,15 @@ TEST(ServerRobustness, OversizedFrameClosesConnection) {
   std::string evil;
   ms::put_u32(evil, 10 * 1024 * 1024);  // 10MB "payload"
   bad.send_raw(evil);
-  EXPECT_THROW(bad.read_response(), std::runtime_error);  // server hung up
+  // The server names the offense — offending size and the cap — in a
+  // final kBadRequest (req_id 0: no frame header ever parsed) before
+  // hanging up.
+  const auto last = bad.read_response();
+  EXPECT_EQ(last.status, ms::Status::kBadRequest);
+  EXPECT_EQ(last.req_id, 0u);
+  EXPECT_NE(body_message(last).find("10485760"), std::string::npos);
+  EXPECT_NE(body_message(last).find("65536"), std::string::npos);
+  EXPECT_THROW(bad.read_response(), std::runtime_error);  // then hung up
 
   // The server itself is fine and other connections are untouched.
   good.increment(opened.id, 1);
@@ -340,6 +355,8 @@ TEST(ServerRobustness, RuntFrameClosesConnection) {
   ms::put_u32(evil, 3);  // < opcode + req_id
   evil += "abc";
   bad.send_raw(evil);
+  const auto last = bad.read_response();  // named kBadRequest first
+  EXPECT_EQ(last.status, ms::Status::kBadRequest);
   EXPECT_THROW(bad.read_response(), std::runtime_error);
 }
 
